@@ -1,0 +1,377 @@
+//! Double DIP: the 2-DIP attack (Shen & Zhou, GLSVLSI 2017).
+//!
+//! The plain SAT attack's DIP may eliminate only a single wrong key —
+//! which is exactly the regime SARLock engineers. Double DIP strengthens
+//! the query: it searches for an input on which **two key pairs** disagree
+//! across pairs while agreeing within each pair:
+//!
+//! ```text
+//! ∃ X, K1..K4:  C(X,K1) = C(X,K2),  C(X,K3) = C(X,K4),  C(X,K1) ≠ C(X,K3)
+//! ```
+//!
+//! with `K1 ≠ K2` and `K3 ≠ K4`. Whatever the oracle answers on such an
+//! `X`, at least one whole *pair* (two distinct keys) is wrong — every
+//! 2-DIP eliminates ≥ 2 keys. Once no 2-DIP exists the attack cleans up
+//! with plain DIPs.
+//!
+//! Two instructive facts the tests pin down: pure SARLock admits **no**
+//! strict 2-DIP (each input flips exactly one key — that is SARLock's
+//! defining guarantee, and it holds against this attack too), while
+//! redundancy-rich schemes like RLL offer 2-DIPs in abundance. Against
+//! Full-Lock the attack buys nothing either way: iterations were never
+//! the bottleneck.
+
+use std::time::{Duration, Instant};
+
+use fulllock_locking::{Key, LockedCircuit};
+use fulllock_netlist::{topo, GateKind};
+use fulllock_sat::cdcl::{SolveLimits, SolveResult, Solver};
+use fulllock_sat::tseytin::encode_gate;
+use fulllock_sat::{Cnf, Lit, Var};
+
+use crate::encode::encode_locked;
+use crate::oracle::Oracle;
+use crate::sat_attack::{AttackOutcome, SatAttackConfig};
+use crate::{cycsat, AttackError, Result};
+
+/// Result of a Double-DIP run.
+#[derive(Debug, Clone)]
+pub struct DoubleDipReport {
+    /// Why the run ended (key recovery / timeout / iteration limit).
+    pub outcome: AttackOutcome,
+    /// 2-DIP iterations completed.
+    pub iterations: u64,
+    /// Plain-DIP iterations of the clean-up phase (once no 2-DIP exists,
+    /// the attack falls back to single DIPs to finish).
+    pub cleanup_iterations: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Runs the Double-DIP attack.
+///
+/// # Errors
+///
+/// Returns [`AttackError::InterfaceMismatch`] for incompatible interfaces.
+///
+/// # Example
+///
+/// ```no_run
+/// use fulllock_attacks::{double_dip, SatAttackConfig, SimOracle};
+/// use fulllock_locking::{LockingScheme, SarLock};
+/// use fulllock_netlist::benchmarks;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let original = benchmarks::load("c432")?;
+/// let locked = SarLock::new(8, 0).lock(&original)?;
+/// let oracle = SimOracle::new(&original)?;
+/// let report = double_dip::attack(&locked, &oracle, SatAttackConfig::default())?;
+/// assert!(report.outcome.is_broken());
+/// # Ok(())
+/// # }
+/// ```
+pub fn attack(
+    locked: &LockedCircuit,
+    oracle: &dyn Oracle,
+    config: SatAttackConfig,
+) -> Result<DoubleDipReport> {
+    if oracle.num_inputs() != locked.data_inputs.len() {
+        return Err(AttackError::InterfaceMismatch {
+            locked_inputs: locked.data_inputs.len(),
+            oracle_inputs: oracle.num_inputs(),
+        });
+    }
+    let start = Instant::now();
+    let deadline = config.timeout.map(|t| start + t);
+    let limits = SolveLimits {
+        max_conflicts: None,
+        deadline,
+    };
+
+    let mut cnf = Cnf::new();
+    let x_vars: Vec<Var> = locked.data_inputs.iter().map(|_| cnf.new_var()).collect();
+    let key_vars: Vec<Vec<Var>> = (0..4)
+        .map(|_| locked.key_inputs.iter().map(|_| cnf.new_var()).collect())
+        .collect();
+    let copies: Vec<_> = key_vars
+        .iter()
+        .map(|kv| encode_locked(locked, &mut cnf, &x_vars, kv))
+        .collect();
+
+    // within-pair agreement and cross-pair disagreement, gated by two
+    // activation literals so the clean-up phase can fall back to a plain
+    // miter (copies 0 and 2, act_single).
+    let outputs_equal = |cnf: &mut Cnf, a: usize, b: usize| -> Lit {
+        let mut same_lits = Vec::new();
+        for (&oa, &ob) in copies[a].output_vars.iter().zip(&copies[b].output_vars) {
+            let d = cnf.new_var();
+            encode_gate(cnf, GateKind::Xnor, d, &[oa, ob]);
+            same_lits.push(Lit::positive(d));
+        }
+        let all = cnf.new_var();
+        // all ↔ AND(same_lits)
+        let mut long: Vec<Lit> = same_lits.iter().map(|&l| !l).collect();
+        long.push(Lit::positive(all));
+        cnf.add_clause(long);
+        for &l in &same_lits {
+            cnf.add_clause([l, !Lit::positive(all)]);
+        }
+        Lit::positive(all)
+    };
+
+    let pair_a_same = outputs_equal(&mut cnf, 0, 1);
+    let pair_b_same = outputs_equal(&mut cnf, 2, 3);
+    let cross_same = outputs_equal(&mut cnf, 0, 2);
+    // Within-pair key disequality: without it a pair could be one key
+    // twice, and the "pair" elimination would only remove one key.
+    let keys_differ = |cnf: &mut Cnf, a: usize, b: usize| -> Vec<Lit> {
+        key_vars[a]
+            .iter()
+            .zip(&key_vars[b])
+            .map(|(&ka, &kb)| {
+                let d = cnf.new_var();
+                encode_gate(cnf, GateKind::Xor, d, &[ka, kb]);
+                Lit::positive(d)
+            })
+            .collect()
+    };
+    let act_double = Lit::positive(cnf.new_var());
+    let mut diff_a = keys_differ(&mut cnf, 0, 1);
+    diff_a.insert(0, !act_double);
+    cnf.add_clause(diff_a);
+    let mut diff_b = keys_differ(&mut cnf, 2, 3);
+    diff_b.insert(0, !act_double);
+    cnf.add_clause(diff_b);
+    cnf.add_clause([!act_double, pair_a_same]);
+    cnf.add_clause([!act_double, pair_b_same]);
+    cnf.add_clause([!act_double, !cross_same]);
+    let act_single = Lit::positive(cnf.new_var());
+    cnf.add_clause([!act_single, !cross_same]);
+
+    if config.force_cycsat || topo::is_cyclic(&locked.netlist) {
+        for kv in &key_vars {
+            cycsat::add_no_cycle_clauses(locked, &mut cnf, kv);
+        }
+    }
+
+    let mut solver = Solver::from_cnf(&cnf);
+    let assert_io = |solver: &mut Solver, cnf: &mut Cnf, x: &[bool], y: &[bool]| {
+        let before = cnf.num_clauses();
+        for kv in &key_vars {
+            let data_vars: Vec<Var> = x.iter().map(|_| cnf.new_var()).collect();
+            let enc = encode_locked(locked, cnf, &data_vars, kv);
+            for (slot, &v) in data_vars.iter().enumerate() {
+                cnf.add_clause([Lit::with_polarity(v, x[slot])]);
+            }
+            for (o, &v) in enc.output_vars.iter().enumerate() {
+                cnf.add_clause([Lit::with_polarity(v, y[o])]);
+            }
+        }
+        solver.ensure_vars(cnf.num_vars());
+        for clause in &cnf.clauses()[before..] {
+            solver.add_clause(clause.iter().copied());
+        }
+    };
+
+    let mut iterations = 0u64;
+    let mut cleanup_iterations = 0u64;
+    let out_of_budget = |iterations: u64| {
+        deadline.is_some_and(|d| Instant::now() >= d)
+            || config.max_iterations.is_some_and(|m| iterations >= m)
+    };
+
+    // Phase 1: 2-DIPs while they exist.
+    loop {
+        if out_of_budget(iterations) {
+            return Ok(report(AttackOutcome::budget(&config, iterations), iterations, cleanup_iterations, start));
+        }
+        match solver.solve_limited(&[act_double], limits) {
+            SolveResult::Unknown => {
+                return Ok(report(AttackOutcome::Timeout, iterations, cleanup_iterations, start))
+            }
+            SolveResult::Unsat => break,
+            SolveResult::Sat => {
+                let x: Vec<bool> = x_vars
+                    .iter()
+                    .map(|&v| solver.model_value(v).unwrap_or(false))
+                    .collect();
+                let y = oracle.query(&x);
+                assert_io(&mut solver, &mut cnf, &x, &y);
+                iterations += 1;
+            }
+        }
+    }
+    // Phase 2: plain DIPs until convergence.
+    loop {
+        if out_of_budget(iterations + cleanup_iterations) {
+            return Ok(report(
+                AttackOutcome::budget(&config, iterations + cleanup_iterations),
+                iterations,
+                cleanup_iterations,
+                start,
+            ));
+        }
+        match solver.solve_limited(&[act_single], limits) {
+            SolveResult::Unknown => {
+                return Ok(report(AttackOutcome::Timeout, iterations, cleanup_iterations, start))
+            }
+            SolveResult::Unsat => break,
+            SolveResult::Sat => {
+                let x: Vec<bool> = x_vars
+                    .iter()
+                    .map(|&v| solver.model_value(v).unwrap_or(false))
+                    .collect();
+                let y = oracle.query(&x);
+                assert_io(&mut solver, &mut cnf, &x, &y);
+                cleanup_iterations += 1;
+            }
+        }
+    }
+    // Extraction: any key consistent with all constraints.
+    let outcome = match solver.solve_limited(&[!act_double, !act_single], limits) {
+        SolveResult::Sat => {
+            let key = Key::from_bits(
+                key_vars[0]
+                    .iter()
+                    .map(|&v| solver.model_value(v).unwrap_or(false)),
+            );
+            let verified = verify(locked, oracle, &key);
+            AttackOutcome::KeyRecovered { key, verified }
+        }
+        SolveResult::Unknown => AttackOutcome::Timeout,
+        SolveResult::Unsat => AttackOutcome::Inconclusive,
+    };
+    Ok(report(outcome, iterations, cleanup_iterations, start))
+}
+
+impl AttackOutcome {
+    fn budget(config: &SatAttackConfig, iterations: u64) -> AttackOutcome {
+        if config.max_iterations.is_some_and(|m| iterations >= m) {
+            AttackOutcome::IterationLimit
+        } else {
+            AttackOutcome::Timeout
+        }
+    }
+}
+
+fn verify(locked: &LockedCircuit, oracle: &dyn Oracle, key: &Key) -> bool {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x2D12);
+    let width = locked.data_inputs.len();
+    for _ in 0..32 {
+        let x: Vec<bool> = (0..width).map(|_| rng.gen_bool(0.5)).collect();
+        let want = oracle.query(&x);
+        let ok = if topo::is_cyclic(&locked.netlist) {
+            locked
+                .eval_cyclic(&x, key)
+                .map(|e| {
+                    e.all_outputs_known()
+                        && e.outputs.iter().zip(&want).all(|(t, w)| t.to_bool() == Some(*w))
+                })
+                .unwrap_or(false)
+        } else {
+            locked.eval(&x, key).map(|got| got == want).unwrap_or(false)
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+fn report(
+    outcome: AttackOutcome,
+    iterations: u64,
+    cleanup_iterations: u64,
+    start: Instant,
+) -> DoubleDipReport {
+    DoubleDipReport {
+        outcome,
+        iterations,
+        cleanup_iterations,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{attack as plain_attack, SimOracle};
+    use fulllock_locking::{LockingScheme, Rll, SarLock};
+    use fulllock_netlist::random::{generate, RandomCircuitConfig};
+
+    fn host(seed: u64) -> fulllock_netlist::Netlist {
+        generate(RandomCircuitConfig {
+            inputs: 10,
+            outputs: 5,
+            gates: 90,
+            max_fanin: 3,
+            seed,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn breaks_rll_with_correct_key() {
+        let original = host(1);
+        let locked = Rll::new(8, 2).lock(&original).unwrap();
+        let oracle = SimOracle::new(&original).unwrap();
+        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        let AttackOutcome::KeyRecovered { verified, .. } = report.outcome else {
+            panic!("RLL must fall to Double DIP, got {:?}", report.outcome);
+        };
+        assert!(verified);
+    }
+
+    #[test]
+    fn rll_offers_2dips_in_abundance() {
+        // Many distinct RLL keys alias to the same function classes, so
+        // strict 2-DIPs exist and phase 1 does real work.
+        let original = host(2);
+        let locked = Rll::new(10, 3).lock(&original).unwrap();
+        let oracle = SimOracle::new(&original).unwrap();
+        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        assert!(report.outcome.is_broken());
+        assert!(
+            report.iterations >= 1,
+            "expected at least one 2-DIP on RLL"
+        );
+    }
+
+    #[test]
+    fn sarlock_admits_no_2dip() {
+        // SARLock's guarantee — each input eliminates exactly one key —
+        // holds against Double DIP: phase 1 finds nothing, the clean-up
+        // phase pays the full ~2^m - 1 queries, matching the plain attack.
+        let original = host(2);
+        let m = 5;
+        let locked = SarLock::new(m, 3).lock(&original).unwrap();
+
+        let oracle = SimOracle::new(&original).unwrap();
+        let plain = plain_attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        assert!(plain.outcome.is_broken());
+
+        let oracle2 = SimOracle::new(&original).unwrap();
+        let double = attack(&locked, &oracle2, SatAttackConfig::default()).unwrap();
+        assert!(double.outcome.is_broken());
+        assert_eq!(double.iterations, 0, "no strict 2-DIP may exist on SARLock");
+        assert!(double.cleanup_iterations >= plain.iterations / 2);
+    }
+
+    #[test]
+    fn respects_iteration_limit() {
+        let original = host(3);
+        let locked = SarLock::new(10, 1).lock(&original).unwrap();
+        let oracle = SimOracle::new(&original).unwrap();
+        let report = attack(
+            &locked,
+            &oracle,
+            SatAttackConfig {
+                max_iterations: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcome, AttackOutcome::IterationLimit);
+    }
+}

@@ -1,0 +1,103 @@
+//! CNF encoding of locked circuits with separated data/key variables.
+
+use fulllock_locking::LockedCircuit;
+use fulllock_sat::{tseytin, Cnf, Var};
+
+/// One encoded copy of a locked circuit inside a shared CNF.
+#[derive(Debug, Clone)]
+pub struct LockedEncoding {
+    /// Variable of every signal, indexed by
+    /// [`SignalId::index`](fulllock_netlist::SignalId::index).
+    pub signal_vars: Vec<Var>,
+    /// Variables of the primary outputs, in output order.
+    pub output_vars: Vec<Var>,
+}
+
+/// Encodes `locked` into `cnf`, driving its data inputs from `data_vars`
+/// (one per [`LockedCircuit::data_inputs`] slot) and its key inputs from
+/// `key_vars` (one per key slot). Gate outputs get fresh variables.
+///
+/// Encoding two copies with shared `data_vars` and distinct `key_vars` is
+/// the miter construction of the SAT attack; encoding one copy and fixing
+/// `data_vars` with unit clauses expresses an observed I/O constraint.
+///
+/// # Panics
+///
+/// Panics if the variable slices do not match the circuit's interface.
+pub fn encode_locked(
+    locked: &LockedCircuit,
+    cnf: &mut Cnf,
+    data_vars: &[Var],
+    key_vars: &[Var],
+) -> LockedEncoding {
+    assert_eq!(data_vars.len(), locked.data_inputs.len(), "one var per data input");
+    assert_eq!(key_vars.len(), locked.key_inputs.len(), "one var per key input");
+    // Assemble the netlist-input-order variable vector.
+    let mut input_vars: Vec<Var> = Vec::with_capacity(locked.netlist.inputs().len());
+    for &sig in locked.netlist.inputs() {
+        if let Some(slot) = locked.data_inputs.iter().position(|&d| d == sig) {
+            input_vars.push(data_vars[slot]);
+        } else if let Some(slot) = locked.key_inputs.iter().position(|&k| k == sig) {
+            input_vars.push(key_vars[slot]);
+        } else {
+            // An input that is neither data nor key (never produced by our
+            // schemes): give it a free variable.
+            input_vars.push(cnf.new_var());
+        }
+    }
+    let signal_vars = tseytin::encode_into(&locked.netlist, cnf, &input_vars);
+    let output_vars = locked
+        .netlist
+        .outputs()
+        .iter()
+        .map(|o| signal_vars[o.index()])
+        .collect();
+    LockedEncoding {
+        signal_vars,
+        output_vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fulllock_locking::{LockingScheme, Rll};
+    use fulllock_sat::Lit;
+
+    #[test]
+    fn encoding_respects_interface_split() {
+        let host = fulllock_netlist::benchmarks::load("c17").unwrap();
+        let locked = Rll::new(3, 0).lock(&host).unwrap();
+        let mut cnf = Cnf::new();
+        let data: Vec<Var> = (0..5).map(|_| cnf.new_var()).collect();
+        let keys: Vec<Var> = (0..3).map(|_| cnf.new_var()).collect();
+        let enc = encode_locked(&locked, &mut cnf, &data, &keys);
+        assert_eq!(enc.output_vars.len(), 2);
+        // Correct key + an input pattern must be a satisfying scenario:
+        // check via the model against direct evaluation.
+        let x = [true, false, true, true, false];
+        let y = locked.eval(&x, &locked.correct_key).unwrap();
+        let mut solver = fulllock_sat::cdcl::Solver::from_cnf(&cnf);
+        let mut assumptions: Vec<Lit> = Vec::new();
+        for (i, &v) in data.iter().enumerate() {
+            assumptions.push(Lit::with_polarity(v, x[i]));
+        }
+        for (i, &v) in keys.iter().enumerate() {
+            assumptions.push(Lit::with_polarity(v, locked.correct_key.bits()[i]));
+        }
+        for (o, &v) in enc.output_vars.iter().enumerate() {
+            assumptions.push(Lit::with_polarity(v, y[o]));
+        }
+        assert_eq!(
+            solver.solve(&assumptions),
+            fulllock_sat::cdcl::SolveResult::Sat
+        );
+        // Flipping an output expectation must be UNSAT.
+        let last = assumptions.len() - 1;
+        assumptions[last] = !assumptions[last];
+        assert_eq!(
+            solver.solve(&assumptions),
+            fulllock_sat::cdcl::SolveResult::Unsat
+        );
+    }
+}

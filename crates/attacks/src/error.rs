@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors produced by the attack implementations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// The locked circuit and oracle disagree on interface width.
+    InterfaceMismatch {
+        /// Data inputs of the locked circuit.
+        locked_inputs: usize,
+        /// Inputs of the oracle.
+        oracle_inputs: usize,
+    },
+    /// An attack precondition failed (e.g. SPS on a cyclic netlist).
+    Unsupported(String),
+    /// Propagated netlist error.
+    Netlist(fulllock_netlist::NetlistError),
+    /// Propagated locking-layer error.
+    Lock(fulllock_locking::LockError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::InterfaceMismatch {
+                locked_inputs,
+                oracle_inputs,
+            } => write!(
+                f,
+                "locked circuit has {locked_inputs} data inputs but the oracle has {oracle_inputs}"
+            ),
+            AttackError::Unsupported(msg) => write!(f, "unsupported attack input: {msg}"),
+            AttackError::Netlist(e) => write!(f, "netlist error: {e}"),
+            AttackError::Lock(e) => write!(f, "locking error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Netlist(e) => Some(e),
+            AttackError::Lock(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fulllock_netlist::NetlistError> for AttackError {
+    fn from(e: fulllock_netlist::NetlistError) -> Self {
+        AttackError::Netlist(e)
+    }
+}
+
+impl From<fulllock_locking::LockError> for AttackError {
+    fn from(e: fulllock_locking::LockError) -> Self {
+        AttackError::Lock(e)
+    }
+}

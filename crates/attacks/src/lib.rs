@@ -1,0 +1,58 @@
+//! Attacks on locked netlists — the evaluation engine of the Full-Lock
+//! reproduction.
+//!
+//! Implements the attack suite the paper evaluates with (§4):
+//!
+//! * [`sat_attack`] — the oracle-guided SAT attack (miter + DIP loop),
+//!   instrumented with iteration counts, wall-clock timeouts, and
+//!   clause/variable-ratio tracking (Tables 2 & 4, Fig 7);
+//! * [`cycsat`] — CycSAT no-structural-cycle preprocessing for cyclic
+//!   locking (applied automatically when the locked netlist is cyclic);
+//! * [`appsat`] — the approximate attack that settles for a low-error key
+//!   (defeats point-function schemes; gains nothing on Full-Lock);
+//! * [`removal`] — best-case CLN excision with perfect routing recovery
+//!   (§4.2.2's removal-resistance study);
+//! * [`sps`] — the Signal Probability Skew attack on skewed protection
+//!   blocks (breaks Anti-SAT, finds no handle on Full-Lock).
+//!
+//! The threat model is uniform: the attacker holds the locked netlist and
+//! an activated chip ([`Oracle`] / [`SimOracle`]).
+//!
+//! # Example
+//!
+//! ```
+//! use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
+//! use fulllock_locking::{LockingScheme, Rll};
+//! use fulllock_netlist::benchmarks;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let original = benchmarks::load("c17")?;
+//! let locked = Rll::new(4, 0).lock(&original)?;
+//! let oracle = SimOracle::new(&original)?;
+//! let report = attack(&locked, &oracle, SatAttackConfig::default())?;
+//! println!("broken in {} iterations", report.iterations);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appsat;
+pub mod cycsat;
+pub mod double_dip;
+mod encode;
+mod error;
+mod oracle;
+pub mod removal;
+pub mod sat_attack;
+pub mod sps;
+
+pub use appsat::{appsat_attack, AppSatConfig, AppSatReport};
+pub use encode::{encode_locked, LockedEncoding};
+pub use error::AttackError;
+pub use oracle::{Oracle, SimOracle};
+pub use sat_attack::{attack, AttackOutcome, AttackReport, SatAttack, SatAttackConfig};
+
+/// Crate-wide result alias.
+pub type Result<T, E = AttackError> = std::result::Result<T, E>;

@@ -1,0 +1,118 @@
+//! The activated-chip oracle of the SAT-attack threat model.
+//!
+//! The attacker owns the locked (reverse-engineered) netlist *and* one
+//! unlocked chip they can stimulate freely: apply any input, observe the
+//! outputs. [`Oracle`] abstracts that chip; [`SimOracle`] realizes it by
+//! simulating the original netlist (our stand-in for the authors' working
+//! silicon).
+
+use std::cell::Cell;
+
+use fulllock_netlist::{Netlist, Result, Simulator};
+
+/// A black-box functional oracle (an activated chip).
+pub trait Oracle {
+    /// Number of (data) inputs.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of outputs.
+    fn num_outputs(&self) -> usize;
+
+    /// Applies one input pattern and observes the outputs.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `inputs.len() != self.num_inputs()`.
+    fn query(&self, inputs: &[bool]) -> Vec<bool>;
+
+    /// How many queries have been issued (the attack-cost metric the
+    /// literature reports alongside iterations).
+    fn queries(&self) -> u64;
+}
+
+/// An [`Oracle`] backed by simulation of the original netlist.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_attacks::{Oracle, SimOracle};
+/// use fulllock_netlist::benchmarks;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let original = benchmarks::load("c17")?;
+/// let oracle = SimOracle::new(&original)?;
+/// let y = oracle.query(&[true; 5]);
+/// assert_eq!(y.len(), 2);
+/// assert_eq!(oracle.queries(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SimOracle<'a> {
+    sim: Simulator<'a>,
+    count: Cell<u64>,
+}
+
+impl<'a> SimOracle<'a> {
+    /// Wraps an original (unlocked) netlist as an oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cyclic`](fulllock_netlist::NetlistError::Cyclic)
+    /// if the netlist is cyclic (originals never are).
+    pub fn new(original: &'a Netlist) -> Result<SimOracle<'a>> {
+        Ok(SimOracle {
+            sim: Simulator::new(original)?,
+            count: Cell::new(0),
+        })
+    }
+}
+
+impl Oracle for SimOracle<'_> {
+    fn num_inputs(&self) -> usize {
+        self.sim.netlist().inputs().len()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.sim.netlist().outputs().len()
+    }
+
+    fn query(&self, inputs: &[bool]) -> Vec<bool> {
+        self.count.set(self.count.get() + 1);
+        self.sim
+            .run(inputs)
+            .expect("oracle query with the declared input width")
+    }
+
+    fn queries(&self) -> u64 {
+        self.count.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_counts_queries() {
+        let nl = fulllock_netlist::benchmarks::load("c17").unwrap();
+        let oracle = SimOracle::new(&nl).unwrap();
+        assert_eq!(oracle.queries(), 0);
+        oracle.query(&[false; 5]);
+        oracle.query(&[true; 5]);
+        assert_eq!(oracle.queries(), 2);
+        assert_eq!(oracle.num_inputs(), 5);
+        assert_eq!(oracle.num_outputs(), 2);
+    }
+
+    #[test]
+    fn oracle_matches_simulation() {
+        let nl = fulllock_netlist::benchmarks::load("c17").unwrap();
+        let oracle = SimOracle::new(&nl).unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        for row in 0..32u32 {
+            let x: Vec<bool> = (0..5).map(|i| row >> i & 1 == 1).collect();
+            assert_eq!(oracle.query(&x), sim.run(&x).unwrap());
+        }
+    }
+}

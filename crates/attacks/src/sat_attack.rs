@@ -1,0 +1,594 @@
+//! The oracle-guided SAT attack (Subramanyan et al., HOST 2015).
+//!
+//! The attack maintains a *miter*: two copies of the locked circuit sharing
+//! the data inputs `X` but carrying independent keys `K1`, `K2`, with the
+//! constraint that some output differs. A model of the miter yields a
+//! *Discriminating Input Pattern* (DIP): an input on which at least two
+//! candidate keys disagree, so the oracle's answer on it rules at least one
+//! of them out. The observed I/O pair is asserted for both key copies and
+//! the loop repeats; when the miter goes UNSAT, no input distinguishes the
+//! remaining keys and any key satisfying the accumulated constraints is
+//! functionally correct.
+//!
+//! The instrumentation mirrors what the paper reports: iteration counts
+//! (Tables 2 and 4), wall-clock time with a timeout, and the
+//! clause/variable ratio of the growing formula (Fig 7).
+
+use std::time::{Duration, Instant};
+
+use fulllock_locking::{Key, LockedCircuit};
+use fulllock_netlist::topo;
+use fulllock_sat::cdcl::{SolveLimits, SolveResult, Solver, SolverStats};
+use fulllock_sat::{Cnf, Lit, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::encode::{encode_locked, LockedEncoding};
+use crate::oracle::Oracle;
+use crate::{cycsat, AttackError, Result};
+
+/// Configuration of a SAT attack run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SatAttackConfig {
+    /// Wall-clock budget; `None` runs to completion. (The paper's testbed
+    /// used 2×10⁶ s; scaled-down budgets reproduce the same TO patterns.)
+    pub timeout: Option<Duration>,
+    /// Iteration budget; `None` is unlimited.
+    pub max_iterations: Option<u64>,
+    /// Add CycSAT no-structural-cycle clauses even for acyclic netlists
+    /// (they are generated automatically whenever the netlist is cyclic).
+    pub force_cycsat: bool,
+}
+
+/// Why a SAT attack run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// The DIP loop converged and a key was extracted.
+    KeyRecovered {
+        /// The extracted key.
+        key: Key,
+        /// Whether the key matched the oracle on every verification
+        /// pattern.
+        verified: bool,
+    },
+    /// The wall-clock budget expired first (the paper's `TO`).
+    Timeout,
+    /// The iteration budget expired first.
+    IterationLimit,
+    /// The constraint system became unsatisfiable even without the miter —
+    /// only possible if the oracle is inconsistent with the locked circuit.
+    Inconclusive,
+}
+
+impl AttackOutcome {
+    /// Whether a (claimed) key was recovered.
+    pub fn is_broken(&self) -> bool {
+        matches!(self, AttackOutcome::KeyRecovered { .. })
+    }
+}
+
+/// Result and instrumentation of a SAT attack run.
+#[derive(Debug, Clone)]
+pub struct AttackReport {
+    /// Why the run ended.
+    pub outcome: AttackOutcome,
+    /// Completed DIP iterations.
+    pub iterations: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Oracle queries issued.
+    pub oracle_queries: u64,
+    /// Mean clause/variable ratio of the attack formula over iterations
+    /// (Fig 7's metric).
+    pub mean_clause_var_ratio: f64,
+    /// Final formula size (variables, clauses).
+    pub formula: (usize, usize),
+    /// Solver统计 counters accumulated over the run.
+    pub solver: SolverStats,
+}
+
+/// One step of the DIP loop (exposed for AppSAT).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// A DIP was found, queried, and asserted.
+    Dip(Vec<bool>),
+    /// No DIP remains: the key space is functionally collapsed.
+    NoMoreDips,
+    /// A resource limit was hit.
+    Budget,
+}
+
+/// The incremental SAT-attack engine. Use [`attack`] for the one-call
+/// version; instantiate this directly to drive the loop yourself (AppSAT
+/// does).
+pub struct SatAttack<'a> {
+    locked: &'a LockedCircuit,
+    oracle: &'a dyn Oracle,
+    config: SatAttackConfig,
+    solver: Solver,
+    cnf: Cnf,
+    transferred: usize,
+    x_vars: Vec<Var>,
+    k1_vars: Vec<Var>,
+    k2_vars: Vec<Var>,
+    act: Lit,
+    start: Instant,
+    deadline: Option<Instant>,
+    iterations: u64,
+    ratio_sum: f64,
+    ratio_samples: u64,
+}
+
+impl std::fmt::Debug for SatAttack<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SatAttack")
+            .field("iterations", &self.iterations)
+            .field("formula_vars", &self.cnf.num_vars())
+            .field("formula_clauses", &self.cnf.num_clauses())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SatAttack<'a> {
+    /// Builds the attack engine: miter construction plus (for cyclic locked
+    /// netlists) CycSAT no-cycle constraints on both key copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InterfaceMismatch`] if the oracle's width
+    /// differs from the locked circuit's data interface.
+    pub fn new(
+        locked: &'a LockedCircuit,
+        oracle: &'a dyn Oracle,
+        config: SatAttackConfig,
+    ) -> Result<SatAttack<'a>> {
+        if oracle.num_inputs() != locked.data_inputs.len() {
+            return Err(AttackError::InterfaceMismatch {
+                locked_inputs: locked.data_inputs.len(),
+                oracle_inputs: oracle.num_inputs(),
+            });
+        }
+        let mut cnf = Cnf::new();
+        let x_vars: Vec<Var> = locked.data_inputs.iter().map(|_| cnf.new_var()).collect();
+        let k1_vars: Vec<Var> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
+        let k2_vars: Vec<Var> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
+        let copy1 = encode_locked(locked, &mut cnf, &x_vars, &k1_vars);
+        let copy2 = encode_locked(locked, &mut cnf, &x_vars, &k2_vars);
+
+        // Miter: OR over per-output XORs, gated by the activation literal
+        // so key extraction can switch the miter off with an assumption.
+        let mut diff_lits = Vec::with_capacity(copy1.output_vars.len());
+        for (&a, &b) in copy1.output_vars.iter().zip(&copy2.output_vars) {
+            let d = cnf.new_var();
+            fulllock_sat::tseytin::encode_gate(
+                &mut cnf,
+                fulllock_netlist::GateKind::Xor,
+                d,
+                &[a, b],
+            );
+            diff_lits.push(Lit::positive(d));
+        }
+        let act = Lit::positive(cnf.new_var());
+        let mut miter_clause = vec![!act];
+        miter_clause.extend(diff_lits);
+        cnf.add_clause(miter_clause);
+
+        if config.force_cycsat || topo::is_cyclic(&locked.netlist) {
+            cycsat::add_no_cycle_clauses(locked, &mut cnf, &k1_vars);
+            cycsat::add_no_cycle_clauses(locked, &mut cnf, &k2_vars);
+        }
+
+        let start = Instant::now();
+        let mut attack = SatAttack {
+            locked,
+            oracle,
+            config,
+            solver: Solver::new(),
+            cnf,
+            transferred: 0,
+            x_vars,
+            k1_vars,
+            k2_vars,
+            act,
+            start,
+            deadline: config.timeout.map(|t| start + t),
+            iterations: 0,
+            ratio_sum: 0.0,
+            ratio_samples: 0,
+        };
+        attack.transfer_clauses();
+        Ok(attack)
+    }
+
+    /// Completed DIP iterations so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Elapsed wall-clock time since construction.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    fn transfer_clauses(&mut self) {
+        self.solver.ensure_vars(self.cnf.num_vars());
+        for clause in &self.cnf.clauses()[self.transferred..] {
+            self.solver.add_clause(clause.iter().copied());
+        }
+        self.transferred = self.cnf.num_clauses();
+    }
+
+    fn limits(&self) -> SolveLimits {
+        SolveLimits {
+            max_conflicts: None,
+            deadline: self.deadline,
+        }
+    }
+
+    fn out_of_budget(&self) -> bool {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        if let Some(max) = self.config.max_iterations {
+            if self.iterations >= max {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs one DIP iteration: search, oracle query, constraint assertion.
+    pub fn step(&mut self) -> Step {
+        if self.out_of_budget() {
+            return Step::Budget;
+        }
+        match self.solver.solve_limited(&[self.act], self.limits()) {
+            SolveResult::Unknown => Step::Budget,
+            SolveResult::Unsat => Step::NoMoreDips,
+            SolveResult::Sat => {
+                let dip: Vec<bool> = self
+                    .x_vars
+                    .iter()
+                    .map(|&v| self.solver.model_value(v).unwrap_or(false))
+                    .collect();
+                let response = self.oracle.query(&dip);
+                self.assert_io(&dip, &response);
+                self.iterations += 1;
+                self.ratio_sum += self.cnf.clause_to_variable_ratio();
+                self.ratio_samples += 1;
+                Step::Dip(dip)
+            }
+        }
+    }
+
+    /// Asserts an observed I/O pair for both key copies (also used by
+    /// AppSAT for its random-query reinforcement).
+    pub fn assert_io(&mut self, inputs: &[bool], outputs: &[bool]) {
+        for key_vars in [self.k1_vars.clone(), self.k2_vars.clone()] {
+            let data_vars: Vec<Var> = inputs.iter().map(|_| self.cnf.new_var()).collect();
+            let enc: LockedEncoding =
+                encode_locked(self.locked, &mut self.cnf, &data_vars, &key_vars);
+            for (slot, &v) in data_vars.iter().enumerate() {
+                self.cnf.add_clause([Lit::with_polarity(v, inputs[slot])]);
+            }
+            for (o, &v) in enc.output_vars.iter().enumerate() {
+                self.cnf.add_clause([Lit::with_polarity(v, outputs[o])]);
+            }
+        }
+        self.transfer_clauses();
+    }
+
+    /// Extracts a key consistent with every constraint asserted so far
+    /// (the miter is switched off via the activation literal). Returns
+    /// `None` if the budget ran out or the constraints are unsatisfiable.
+    pub fn extract_key(&mut self) -> Option<Key> {
+        match self.solver.solve_limited(&[!self.act], self.limits()) {
+            SolveResult::Sat => Some(Key::from_bits(
+                self.k1_vars
+                    .iter()
+                    .map(|&v| self.solver.model_value(v).unwrap_or(false)),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Verifies a candidate key against the oracle on random patterns
+    /// (plus the all-zeros / all-ones corners). For cyclic locked netlists
+    /// the outputs must settle *and* match.
+    pub fn verify_key(&self, key: &Key, samples: usize, seed: u64) -> bool {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = self.locked.data_inputs.len();
+        let cyclic = topo::is_cyclic(&self.locked.netlist);
+        let mut patterns: Vec<Vec<bool>> = vec![vec![false; width], vec![true; width]];
+        patterns.extend((0..samples).map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect()));
+        for x in patterns {
+            let want = self.oracle.query(&x);
+            let ok = if cyclic {
+                match self.locked.eval_cyclic(&x, key) {
+                    Ok(eval) => {
+                        eval.all_outputs_known()
+                            && eval
+                                .outputs
+                                .iter()
+                                .zip(&want)
+                                .all(|(t, w)| t.to_bool() == Some(*w))
+                    }
+                    Err(_) => false,
+                }
+            } else {
+                self.locked.eval(&x, key).map(|got| got == want).unwrap_or(false)
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Runs the DIP loop to completion (or budget) and reports.
+    pub fn run(&mut self) -> AttackReport {
+        let outcome = loop {
+            match self.step() {
+                Step::Dip(_) => continue,
+                Step::NoMoreDips => match self.extract_key() {
+                    Some(key) => {
+                        let verified = self.verify_key(&key, 32, 0xF17);
+                        break AttackOutcome::KeyRecovered { key, verified };
+                    }
+                    None => {
+                        // Distinguish budget exhaustion from inconsistency.
+                        if self.out_of_budget() {
+                            break AttackOutcome::Timeout;
+                        }
+                        break AttackOutcome::Inconclusive;
+                    }
+                },
+                Step::Budget => {
+                    if self
+                        .config
+                        .max_iterations
+                        .is_some_and(|m| self.iterations >= m)
+                    {
+                        break AttackOutcome::IterationLimit;
+                    }
+                    break AttackOutcome::Timeout;
+                }
+            }
+        };
+        self.report(outcome)
+    }
+
+    /// Builds a report for the given outcome using current instrumentation.
+    pub fn report(&self, outcome: AttackOutcome) -> AttackReport {
+        AttackReport {
+            outcome,
+            iterations: self.iterations,
+            elapsed: self.start.elapsed(),
+            oracle_queries: self.oracle.queries(),
+            mean_clause_var_ratio: if self.ratio_samples == 0 {
+                self.cnf.clause_to_variable_ratio()
+            } else {
+                self.ratio_sum / self.ratio_samples as f64
+            },
+            formula: (self.cnf.num_vars(), self.cnf.num_clauses()),
+            solver: *self.solver.stats(),
+        }
+    }
+}
+
+/// One-call SAT attack with the given configuration.
+///
+/// # Errors
+///
+/// Returns [`AttackError::InterfaceMismatch`] for incompatible interfaces.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
+/// use fulllock_locking::{LockingScheme, Rll};
+/// use fulllock_netlist::benchmarks;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let original = benchmarks::load("c17")?;
+/// let locked = Rll::new(4, 0).lock(&original)?;
+/// let oracle = SimOracle::new(&original)?;
+/// let report = attack(&locked, &oracle, SatAttackConfig::default())?;
+/// assert!(report.outcome.is_broken());
+/// # Ok(())
+/// # }
+/// ```
+pub fn attack(
+    locked: &LockedCircuit,
+    oracle: &dyn Oracle,
+    config: SatAttackConfig,
+) -> Result<AttackReport> {
+    Ok(SatAttack::new(locked, oracle, config)?.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimOracle;
+    use fulllock_locking::{
+        FullLock, FullLockConfig, LockingScheme, LutLock, PlrSpec, Rll, SarLock, WireSelection,
+    };
+    use fulllock_netlist::random::{generate, RandomCircuitConfig};
+    use fulllock_netlist::{Netlist, Simulator};
+
+    fn host(gates: usize, seed: u64) -> Netlist {
+        generate(RandomCircuitConfig {
+            inputs: 12,
+            outputs: 6,
+            gates,
+            max_fanin: 3,
+            seed,
+        })
+        .unwrap()
+    }
+
+    /// The recovered key must make the locked circuit equivalent to the
+    /// oracle (not necessarily equal to the inserted key).
+    fn assert_functionally_correct(original: &Netlist, locked: &fulllock_locking::LockedCircuit, key: &Key) {
+        let sim = Simulator::new(original).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..64 {
+            let x: Vec<bool> = (0..original.inputs().len())
+                .map(|_| rng.gen_bool(0.5))
+                .collect();
+            assert_eq!(locked.eval(&x, key).unwrap(), sim.run(&x).unwrap());
+        }
+    }
+
+    #[test]
+    fn breaks_rll() {
+        let original = host(120, 1);
+        let locked = Rll::new(12, 3).lock(&original).unwrap();
+        let oracle = SimOracle::new(&original).unwrap();
+        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        match report.outcome {
+            AttackOutcome::KeyRecovered { key, verified } => {
+                assert!(verified);
+                assert_functionally_correct(&original, &locked, &key);
+            }
+            other => panic!("expected key recovery, got {other:?}"),
+        }
+        assert!(report.iterations >= 1);
+        assert!(report.oracle_queries >= report.iterations);
+    }
+
+    #[test]
+    fn breaks_lutlock() {
+        let original = host(120, 2);
+        let locked = LutLock::new(6, 1).lock(&original).unwrap();
+        let oracle = SimOracle::new(&original).unwrap();
+        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        match report.outcome {
+            AttackOutcome::KeyRecovered { key, verified } => {
+                assert!(verified);
+                assert_functionally_correct(&original, &locked, &key);
+            }
+            other => panic!("expected key recovery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn breaks_small_fulllock() {
+        // A 4×4 PLR is within easy reach of the attack — the paper's point
+        // is the growth rate, not impossibility at toy sizes.
+        let original = host(150, 3);
+        let config = FullLockConfig {
+            plrs: vec![PlrSpec::new(4)],
+            selection: WireSelection::Acyclic,
+            twist_probability: 0.5,
+            seed: 4,
+        };
+        let locked = FullLock::new(config).lock(&original).unwrap();
+        let oracle = SimOracle::new(&original).unwrap();
+        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        match report.outcome {
+            AttackOutcome::KeyRecovered { key, verified } => {
+                assert!(verified);
+                assert_functionally_correct(&original, &locked, &key);
+            }
+            other => panic!("expected key recovery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sarlock_needs_an_iteration_per_key() {
+        // SARLock over m bits forces ~2^m iterations: with m = 4 the
+        // attack should need on the order of 15 DIPs.
+        let original = host(100, 5);
+        let locked = SarLock::new(4, 2).lock(&original).unwrap();
+        let oracle = SimOracle::new(&original).unwrap();
+        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        assert!(report.outcome.is_broken());
+        assert!(
+            report.iterations >= 10,
+            "SARLock fell in {} iterations",
+            report.iterations
+        );
+    }
+
+    #[test]
+    fn timeout_reports_timeout() {
+        let original = generate(RandomCircuitConfig {
+            inputs: 16,
+            outputs: 8,
+            gates: 500,
+            max_fanin: 3,
+            seed: 6,
+        })
+        .unwrap();
+        let config = FullLockConfig {
+            plrs: vec![PlrSpec::new(16)],
+            selection: WireSelection::Acyclic,
+            twist_probability: 0.5,
+            seed: 7,
+        };
+        let locked = FullLock::new(config).lock(&original).unwrap();
+        let oracle = SimOracle::new(&original).unwrap();
+        let report = attack(
+            &locked,
+            &oracle,
+            SatAttackConfig {
+                timeout: Some(Duration::from_millis(50)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcome, AttackOutcome::Timeout);
+    }
+
+    #[test]
+    fn iteration_limit_reports_limit() {
+        let original = host(100, 8);
+        let locked = SarLock::new(8, 3).lock(&original).unwrap();
+        let oracle = SimOracle::new(&original).unwrap();
+        let report = attack(
+            &locked,
+            &oracle,
+            SatAttackConfig {
+                max_iterations: Some(3),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.outcome, AttackOutcome::IterationLimit);
+        assert_eq!(report.iterations, 3);
+    }
+
+    #[test]
+    fn interface_mismatch_detected() {
+        let original = host(100, 9);
+        let other = host(100, 10);
+        let locked = Rll::new(4, 0).lock(&original).unwrap();
+        let bigger = generate(RandomCircuitConfig {
+            inputs: 20,
+            outputs: 6,
+            gates: 100,
+            max_fanin: 3,
+            seed: 11,
+        })
+        .unwrap();
+        let oracle = SimOracle::new(&bigger).unwrap();
+        assert!(matches!(
+            SatAttack::new(&locked, &oracle, SatAttackConfig::default()),
+            Err(AttackError::InterfaceMismatch { .. })
+        ));
+        let _ = other;
+    }
+
+    #[test]
+    fn ratio_instrumentation_is_populated() {
+        let original = host(120, 12);
+        let locked = Rll::new(8, 4).lock(&original).unwrap();
+        let oracle = SimOracle::new(&original).unwrap();
+        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        assert!(report.mean_clause_var_ratio > 1.0);
+        assert!(report.formula.0 > 0 && report.formula.1 > 0);
+    }
+}

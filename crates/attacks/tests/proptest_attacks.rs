@@ -1,0 +1,109 @@
+//! Property-based tests of the attack layer: the SAT attack must recover
+//! *functionally correct* keys on breakable schemes for arbitrary hosts
+//! and seeds, and CycSAT's no-cycle constraints must never exclude the
+//! correct key.
+
+use fulllock_attacks::{attack, cycsat, AttackOutcome, SatAttackConfig, SimOracle};
+use fulllock_locking::{
+    FullLock, FullLockConfig, LockingScheme, LutLock, PlrSpec, Rll, WireSelection,
+};
+use fulllock_netlist::random::{generate, RandomCircuitConfig};
+use fulllock_netlist::{Netlist, Simulator};
+use fulllock_sat::cdcl::{SolveResult, Solver};
+use fulllock_sat::{Cnf, Lit, Var};
+use proptest::prelude::*;
+
+fn host(seed: u64) -> Netlist {
+    generate(RandomCircuitConfig {
+        inputs: 10,
+        outputs: 5,
+        gates: 90,
+        max_fanin: 3,
+        seed,
+    })
+    .expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The SAT attack always breaks RLL, and the recovered key is
+    /// functionally correct (it need not equal the inserted key bit for
+    /// bit — key aliasing is legal).
+    #[test]
+    fn sat_attack_breaks_rll_correctly(host_seed in any::<u64>(), lock_seed in any::<u64>(), bits in 2usize..12) {
+        let original = host(host_seed);
+        let locked = Rll::new(bits, lock_seed).lock(&original).expect("RLL fits");
+        let oracle = SimOracle::new(&original).expect("acyclic");
+        let report = attack(&locked, &oracle, SatAttackConfig::default()).expect("interfaces");
+        let AttackOutcome::KeyRecovered { key, verified } = report.outcome else {
+            return Err(TestCaseError::fail("RLL must fall"));
+        };
+        prop_assert!(verified);
+        let sim = Simulator::new(&original).expect("acyclic");
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            let x: Vec<bool> = (0..original.inputs().len()).map(|_| rng.gen_bool(0.5)).collect();
+            prop_assert_eq!(
+                locked.eval(&x, &key).expect("interface"),
+                sim.run(&x).expect("sized")
+            );
+        }
+    }
+
+    /// Same for LUT-Lock (MUX-tree-based, exercising a different CNF
+    /// structure).
+    #[test]
+    fn sat_attack_breaks_lutlock_correctly(host_seed in any::<u64>(), lock_seed in any::<u64>(), luts in 1usize..6) {
+        let original = host(host_seed);
+        let locked = LutLock::new(luts, lock_seed).lock(&original).expect("fits");
+        let oracle = SimOracle::new(&original).expect("acyclic");
+        let report = attack(&locked, &oracle, SatAttackConfig::default()).expect("interfaces");
+        let AttackOutcome::KeyRecovered { verified, .. } = report.outcome else {
+            return Err(TestCaseError::fail("LUT-Lock must fall"));
+        };
+        prop_assert!(verified);
+    }
+
+    /// CycSAT's NC clauses are sound: the correct key always satisfies
+    /// them, for arbitrary cyclic Full-Lock instances.
+    #[test]
+    fn cycsat_never_excludes_the_correct_key(host_seed in any::<u64>(), lock_seed in any::<u64>()) {
+        let original = host(host_seed);
+        let config = FullLockConfig {
+            plrs: vec![PlrSpec::new(4)],
+            selection: WireSelection::Cyclic,
+            twist_probability: 0.5,
+            seed: lock_seed,
+        };
+        let Ok(locked) = FullLock::new(config).lock(&original) else { return Ok(()) };
+        let mut cnf = Cnf::new();
+        let key_vars: Vec<Var> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
+        cycsat::add_no_cycle_clauses(&locked, &mut cnf, &key_vars);
+        if cnf.num_clauses() == 0 {
+            return Ok(()); // insertion happened to stay acyclic
+        }
+        let mut solver = Solver::from_cnf(&cnf);
+        let assumptions: Vec<Lit> = key_vars
+            .iter()
+            .zip(locked.correct_key.bits())
+            .map(|(&v, &b)| Lit::with_polarity(v, b))
+            .collect();
+        prop_assert_eq!(solver.solve(&assumptions), SolveResult::Sat);
+    }
+
+    /// Attack instrumentation invariants: queries ≥ iterations, elapsed
+    /// monotone, formula grows with iterations.
+    #[test]
+    fn attack_reports_are_coherent(host_seed in any::<u64>()) {
+        let original = host(host_seed);
+        let locked = Rll::new(6, host_seed).lock(&original).expect("fits");
+        let oracle = SimOracle::new(&original).expect("acyclic");
+        let report = attack(&locked, &oracle, SatAttackConfig::default()).expect("interfaces");
+        prop_assert!(report.oracle_queries >= report.iterations);
+        prop_assert!(report.formula.0 > 0);
+        prop_assert!(report.formula.1 > 0);
+        prop_assert!(report.mean_clause_var_ratio > 0.5);
+    }
+}

@@ -1,0 +1,24 @@
+//! Criterion micro-benchmark of the CDCL solver on phase-transition
+//! random 3-SAT (the solver engine behind every attack).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fulllock_sat::cdcl::Solver;
+use fulllock_sat::random_sat::{generate, RandomSatConfig};
+
+fn bench_cdcl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdcl_3sat_ratio4.3");
+    for vars in [50usize, 100, 150] {
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, &vars| {
+            let cnf = generate(RandomSatConfig::from_ratio(vars, 4.3, 3, 3))
+                .expect("valid config");
+            b.iter(|| {
+                let mut solver = Solver::from_cnf(std::hint::black_box(&cnf));
+                solver.solve(&[])
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cdcl);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmark behind Table 2: full SAT attack on standalone CLNs
+//! (small sizes only — the larger ones are the TO rows of the table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
+use fulllock_bench::cln_testbed;
+use fulllock_locking::ClnTopology;
+
+fn bench_cln_attack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_attack_cln");
+    group.sample_size(10);
+    for (topology, n) in [
+        (ClnTopology::Shuffle, 4usize),
+        (ClnTopology::Shuffle, 8),
+        (ClnTopology::AlmostNonBlocking, 4),
+        (ClnTopology::AlmostNonBlocking, 8),
+    ] {
+        let label = format!("{}_{n}", topology.name());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &n, |b, &n| {
+            let (host, locked) = cln_testbed(n, topology, 1);
+            b.iter(|| {
+                let oracle = SimOracle::new(&host).expect("acyclic host");
+                attack(
+                    std::hint::black_box(&locked),
+                    &oracle,
+                    SatAttackConfig::default(),
+                )
+                .expect("matching interfaces")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cln_attack);
+criterion_main!(benches);

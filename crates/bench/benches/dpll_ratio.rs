@@ -1,0 +1,21 @@
+//! Criterion micro-benchmark behind Fig 1: DPLL solve time across the
+//! easy/hard/easy bands of random 3-SAT.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fulllock_sat::dpll;
+use fulllock_sat::random_sat::{generate, RandomSatConfig};
+
+fn bench_dpll_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpll_3sat_30vars");
+    for ratio in [2.0f64, 3.0, 4.3, 6.0, 8.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &ratio| {
+            let cnf = generate(RandomSatConfig::from_ratio(30, ratio, 3, 7))
+                .expect("valid config");
+            b.iter(|| dpll::solve(std::hint::black_box(&cnf), None));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dpll_ratio);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmark of the locking transformation itself (PLR
+//! insertion cost on the larger suite circuits) and of oracle simulation
+//! (the attack's inner query loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fulllock_locking::{FullLock, FullLockConfig, LockingScheme};
+use fulllock_netlist::{benchmarks, Simulator};
+
+fn bench_lock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fulllock_insertion");
+    group.sample_size(10);
+    for name in ["c880", "c5315"] {
+        let nl = benchmarks::load(name).expect("suite benchmark");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
+            let scheme = FullLock::new(FullLockConfig::single_plr(16));
+            b.iter(|| scheme.lock(std::hint::black_box(nl)).expect("lockable host"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle_simulation");
+    for name in ["c880", "c7552"] {
+        let nl = benchmarks::load(name).expect("suite benchmark");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
+            let sim = Simulator::new(nl).expect("acyclic benchmark");
+            let pattern = vec![true; nl.inputs().len()];
+            b.iter(|| sim.run(std::hint::black_box(&pattern)).expect("sized pattern"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lock, bench_oracle);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benchmarks of the netlist passes that support the
+//! experiments: the logic optimizer and SAT-based equivalence checking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fulllock_netlist::{benchmarks, opt};
+use fulllock_sat::equiv;
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("logic_optimizer");
+    for name in ["c880", "c5315"] {
+        let nl = benchmarks::load(name).expect("suite benchmark");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
+            b.iter(|| opt::optimize(std::hint::black_box(nl)).expect("acyclic"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equivalence_check");
+    group.sample_size(10);
+    for name in ["c432", "c1908"] {
+        let nl = benchmarks::load(name).expect("suite benchmark");
+        let optimized = opt::optimize(&nl).expect("acyclic").netlist;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(nl, optimized),
+            |b, (a, o)| {
+                b.iter(|| {
+                    let verdict = equiv::check(std::hint::black_box(a), o, None)
+                        .expect("checkable");
+                    assert!(verdict.is_equivalent());
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer, bench_equivalence);
+criterion_main!(benches);

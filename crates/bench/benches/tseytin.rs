@@ -1,0 +1,20 @@
+//! Criterion micro-benchmark of the Tseytin encoder over the benchmark
+//! suite (the per-iteration encoding cost of the SAT attack).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fulllock_netlist::benchmarks;
+use fulllock_sat::tseytin;
+
+fn bench_tseytin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tseytin_encode");
+    for name in ["c432", "c1908", "c7552"] {
+        let nl = benchmarks::load(name).expect("suite benchmark");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
+            b.iter(|| tseytin::encode(std::hint::black_box(nl)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tseytin);
+criterion_main!(benches);

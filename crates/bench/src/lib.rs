@@ -1,0 +1,198 @@
+//! Shared harness for the paper-reproduction experiment binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` (see
+//! `EXPERIMENTS.md` at the repository root for the index). This library
+//! holds what they share: wall-clock scaling, plain-text table rendering,
+//! and the standalone-CLN testbed of Table 2.
+//!
+//! # Scaling
+//!
+//! The paper's testbed ran attacks with a 2×10⁶-second timeout. The
+//! binaries default to a seconds-scale budget so the whole suite runs on a
+//! laptop; set `FULLLOCK_TIMEOUT_SECS` to raise it and `FULLLOCK_FULL=1`
+//! to extend the sweeps toward the paper's sizes. `TO` rows mean the same
+//! thing they mean in the paper — the attack did not finish within the
+//! budget.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use fulllock_locking::{
+    ClnTopology, FullLock, FullLockConfig, LockedCircuit, LockingScheme, PlrSpec, WireSelection,
+};
+use fulllock_netlist::{GateKind, Netlist};
+
+/// Experiment scaling knobs, read from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Per-attack wall-clock budget (the paper's 2×10⁶ s, scaled down).
+    pub timeout: Duration,
+    /// Whether to run the extended (closer-to-paper) sweeps.
+    pub full: bool,
+}
+
+impl Scale {
+    /// Reads `FULLLOCK_TIMEOUT_SECS` (default 10) and `FULLLOCK_FULL`.
+    pub fn from_env() -> Scale {
+        let secs = std::env::var("FULLLOCK_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(10.0);
+        let full = std::env::var("FULLLOCK_FULL").is_ok_and(|v| v != "0" && !v.is_empty());
+        Scale {
+            timeout: Duration::from_secs_f64(secs.max(0.1)),
+            full,
+        }
+    }
+}
+
+/// Formats a duration like the paper's tables: seconds with sensible
+/// precision, or `TO` when `None`.
+pub fn fmt_attack_time(elapsed: Option<Duration>) -> String {
+    match elapsed {
+        None => "TO".to_string(),
+        Some(d) => {
+            let s = d.as_secs_f64();
+            if s < 0.1 {
+                format!("{s:.3}")
+            } else if s < 100.0 {
+                format!("{s:.2}")
+            } else {
+                format!("{s:.0}")
+            }
+        }
+    }
+}
+
+/// A plain-text table renderer for experiment output.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self, title: &str) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {title} ===");
+        let line = |out: &mut String, cells: &[String]| {
+            let mut parts = Vec::with_capacity(cells.len());
+            for (w, cell) in widths.iter().zip(cells) {
+                parts.push(format!("{cell:<w$}"));
+            }
+            let _ = writeln!(out, "| {} |", parts.join(" | "));
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self, title: &str) {
+        print!("{}", self.render(title));
+    }
+}
+
+/// Builds the standalone CLN testbed of Table 2: an `n`-wire identity
+/// circuit (input → buffer → output per wire) locked with a single CLN of
+/// the given topology (no LUTs, no twisting — the table isolates the
+/// routing network). Returns `(oracle netlist, locked circuit)`.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two ≥ 4 (the CLN size rule).
+pub fn cln_testbed(n: usize, topology: ClnTopology, seed: u64) -> (Netlist, LockedCircuit) {
+    let mut host = Netlist::new(format!("wires{n}"));
+    let inputs: Vec<_> = (0..n).map(|i| host.add_input(format!("x{i}"))).collect();
+    for (i, &x) in inputs.iter().enumerate() {
+        let b = host
+            .add_named_gate(GateKind::Buf, &[x], format!("w{i}"))
+            .expect("buffer arity is 1");
+        host.mark_output(b);
+    }
+    let config = FullLockConfig {
+        plrs: vec![PlrSpec {
+            cln_size: n,
+            topology,
+            with_luts: false,
+            with_inverters: true,
+        }],
+        selection: WireSelection::Acyclic,
+        twist_probability: 0.0,
+        seed,
+    };
+    let locked = FullLock::new(config)
+        .lock(&host)
+        .expect("an n-wire host always accommodates an n-input CLN");
+    (host, locked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["a", "long header"]);
+        t.row(["1", "2"]);
+        t.row(["wide cell", "x"]);
+        let s = t.render("demo");
+        assert!(s.contains("=== demo ==="));
+        assert!(s.contains("| a         | long header |"));
+    }
+
+    #[test]
+    fn fmt_attack_time_formats() {
+        assert_eq!(fmt_attack_time(None), "TO");
+        assert_eq!(fmt_attack_time(Some(Duration::from_millis(50))), "0.050");
+        assert_eq!(fmt_attack_time(Some(Duration::from_secs(5))), "5.00");
+        assert_eq!(fmt_attack_time(Some(Duration::from_secs(500))), "500");
+    }
+
+    #[test]
+    fn cln_testbed_is_attackable_and_correct() {
+        let (host, locked) = cln_testbed(4, ClnTopology::Shuffle, 0);
+        // Correct key = identity-restoring routing.
+        let x = [true, false, true, true];
+        assert_eq!(locked.eval(&x, &locked.correct_key).unwrap(), x.to_vec());
+        let oracle = SimOracle::new(&host).unwrap();
+        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        assert!(report.outcome.is_broken(), "4-input CLN must fall quickly");
+    }
+
+    #[test]
+    fn scale_reads_defaults() {
+        let scale = Scale::from_env();
+        assert!(scale.timeout >= Duration::from_millis(100));
+    }
+}

@@ -1,0 +1,154 @@
+//! Smoke tests: every experiment binary must run to completion (with a
+//! tiny attack budget) and print its table. This keeps deliverable (d) —
+//! one regenerator per paper table/figure — continuously working.
+
+use std::process::{Command, Output};
+
+fn run(bin: &str, timeout_secs: &str) -> Output {
+    Command::new(bin)
+        .env("FULLLOCK_TIMEOUT_SECS", timeout_secs)
+        .output()
+        .expect("experiment binary runs")
+}
+
+fn assert_contains(bin: &str, timeout_secs: &str, needles: &[&str]) {
+    let out = run(bin, timeout_secs);
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in needles {
+        assert!(text.contains(needle), "{bin} output missing {needle:?}:\n{text}");
+    }
+}
+
+#[test]
+fn fig1_dpll_hardness_runs() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_fig1_dpll_hardness"),
+        "1",
+        &["Fig 1", "median DPLL calls", "peak at ratio"],
+    );
+}
+
+#[test]
+fn table1_tseytin_runs() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_table1_tseytin"),
+        "1",
+        &["Table 1", "MUX", "XNOR"],
+    );
+}
+
+#[test]
+fn topology_report_runs() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_topology_report"),
+        "1",
+        &["Figs 2-4", "benes", "almost-non-blocking"],
+    );
+}
+
+#[test]
+#[ignore = "minutes-long in debug builds; run with --include-ignored"]
+fn table2_cln_sat_runs_scaled_down() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_table2_cln_sat"),
+        "0.5",
+        &["Table 2", "blocking CLN"],
+    );
+}
+
+#[test]
+#[ignore = "minutes-long in debug builds; run with --include-ignored"]
+fn table3_cln_ppa_runs() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_table3_cln_ppa"),
+        "0.5",
+        &["Table 3", "LOG_{64,4,1}"],
+    );
+}
+
+#[test]
+fn fig5_stt_lut_runs() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_fig5_stt_lut"),
+        "1",
+        &["Fig 5", "LUT5", "LUT8"],
+    );
+}
+
+#[test]
+fn fig6_insertion_example_runs() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_fig6_insertion_example"),
+        "1",
+        &["original circuit", "acyclic PLR insertion"],
+    );
+}
+
+#[test]
+#[ignore = "minutes-long in debug builds; run with --include-ignored"]
+fn fig7_clause_var_ratio_runs() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_fig7_clause_var_ratio"),
+        "0.5",
+        &["Fig 7", "full-lock"],
+    );
+}
+
+#[test]
+#[ignore = "minutes-long in debug builds; run with --include-ignored"]
+fn removal_study_runs() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_removal_study"),
+        "0.5",
+        &["Removal attack", "CLN only, no twisting"],
+    );
+}
+
+#[test]
+#[ignore = "minutes-long in debug builds; run with --include-ignored"]
+fn appsat_study_runs() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_appsat_study"),
+        "0.5",
+        &["AppSAT vs corruption", "sarlock"],
+    );
+}
+
+// Table 4/5 and the ablation sweep many attack configurations; even with a
+// sub-second budget they take a couple of minutes in debug builds, so they
+// are exercised with the smallest meaningful budget and marked ignored for
+// quick local runs (CI and `--include-ignored` cover them).
+#[test]
+#[ignore = "minutes-long in debug builds; run with --include-ignored"]
+fn table4_fulllock_cycsat_runs() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_table4_fulllock_cycsat"),
+        "0.3",
+        &["Table 4", "c432"],
+    );
+}
+
+#[test]
+#[ignore = "minutes-long in debug builds; run with --include-ignored"]
+fn table5_plr_sizing_runs() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_table5_plr_sizing"),
+        "0.3",
+        &["Table 5", "Cross-Lock"],
+    );
+}
+
+#[test]
+#[ignore = "minutes-long in debug builds; run with --include-ignored"]
+fn ablation_study_runs() {
+    assert_contains(
+        env!("CARGO_BIN_EXE_ablation_study"),
+        "0.3",
+        &["Ablation", "bare blocking CLN"],
+    );
+}

@@ -1,0 +1,211 @@
+//! Output-corruption measurement.
+//!
+//! One of the paper's claims (§2, §5) is that Full-Lock — unlike the
+//! iteration-blowing schemes (SARLock/Anti-SAT) — exhibits *high output
+//! corruption*: an unactivated chip with a wrong key is badly broken, so
+//! approximate attacks that tolerate a small error rate gain nothing.
+//! [`measure`] quantifies this as the fraction of (wrong key, input
+//! pattern) trials whose outputs differ from the oracle.
+
+use fulllock_netlist::{topo, Netlist, Simulator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Key, LockedCircuit, Result};
+
+/// Result of a corruption measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorruptionReport {
+    /// Number of (key, pattern) trials evaluated.
+    pub trials: usize,
+    /// Trials where at least one output differed from the oracle (or
+    /// failed to settle, for cyclic locked netlists).
+    pub corrupted: usize,
+    /// Total output bits compared.
+    pub output_bits: usize,
+    /// Output bits that differed (unsettled bits count as wrong).
+    pub wrong_bits: usize,
+}
+
+impl CorruptionReport {
+    /// Fraction of trials with any output error (the scheme's *error
+    /// rate* as AppSAT sees it).
+    pub fn pattern_error_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.corrupted as f64 / self.trials as f64
+        }
+    }
+
+    /// Fraction of individual output bits in error.
+    pub fn bit_error_rate(&self) -> f64 {
+        if self.output_bits == 0 {
+            0.0
+        } else {
+            self.wrong_bits as f64 / self.output_bits as f64
+        }
+    }
+}
+
+/// Measures output corruption of `locked` against the `original` oracle
+/// under `keys` uniformly random wrong keys × `patterns` random inputs.
+///
+/// Keys that happen to equal the correct key are re-drawn. Works for both
+/// acyclic and cyclic locked netlists (cyclic ones are evaluated with
+/// ternary fixed-point semantics; an output stuck at `X` counts as wrong).
+///
+/// # Errors
+///
+/// Propagates evaluation errors (mis-sized circuits).
+///
+/// # Example
+///
+/// ```
+/// use fulllock_locking::{corruption, FullLock, FullLockConfig, LockingScheme};
+/// use fulllock_netlist::random::{generate, RandomCircuitConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let host = generate(RandomCircuitConfig { gates: 120, ..Default::default() })?;
+/// let locked = FullLock::new(FullLockConfig::single_plr(8)).lock(&host)?;
+/// let report = corruption::measure(&locked, &host, 10, 16, 0)?;
+/// assert!(report.pattern_error_rate() > 0.3); // high corruption
+/// # Ok(())
+/// # }
+/// ```
+pub fn measure(
+    locked: &LockedCircuit,
+    original: &Netlist,
+    keys: usize,
+    patterns: usize,
+    seed: u64,
+) -> Result<CorruptionReport> {
+    let oracle = Simulator::new(original)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cyclic = topo::is_cyclic(&locked.netlist);
+    let plain_sim = if cyclic {
+        None
+    } else {
+        Some(Simulator::new(&locked.netlist)?)
+    };
+
+    let mut report = CorruptionReport {
+        trials: 0,
+        corrupted: 0,
+        output_bits: 0,
+        wrong_bits: 0,
+    };
+    for _ in 0..keys {
+        let wrong = loop {
+            let k = Key::random(locked.key_len(), &mut rng);
+            if k != locked.correct_key {
+                break k;
+            }
+        };
+        for _ in 0..patterns {
+            let x: Vec<bool> = (0..original.inputs().len())
+                .map(|_| rng.gen_bool(0.5))
+                .collect();
+            let want = oracle.run(&x)?;
+            let wrong_bits: usize = if let Some(sim) = &plain_sim {
+                let full = locked.assemble_inputs(&x, &wrong)?;
+                let got = sim.run(&full)?;
+                got.iter().zip(&want).filter(|(g, w)| g != w).count()
+            } else {
+                let eval = locked.eval_cyclic(&x, &wrong)?;
+                eval.outputs
+                    .iter()
+                    .zip(&want)
+                    .filter(|(g, w)| g.to_bool() != Some(**w))
+                    .count()
+            };
+            report.trials += 1;
+            report.output_bits += want.len();
+            report.wrong_bits += wrong_bits;
+            if wrong_bits > 0 {
+                report.corrupted += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{LockingScheme, Rll, SarLock};
+    use crate::{FullLock, FullLockConfig};
+    use fulllock_netlist::random::{generate, RandomCircuitConfig};
+
+    fn host() -> Netlist {
+        generate(RandomCircuitConfig {
+            inputs: 16,
+            outputs: 8,
+            gates: 150,
+            max_fanin: 3,
+            seed: 42,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn sarlock_corruption_is_tiny() {
+        let original = host();
+        let locked = SarLock::new(12, 0).lock(&original).unwrap();
+        let report = measure(&locked, &original, 8, 32, 1).unwrap();
+        // One flipped pattern out of 2^12 per wrong key: sampling 32
+        // random patterns should essentially never hit it.
+        assert!(
+            report.pattern_error_rate() < 0.05,
+            "rate {}",
+            report.pattern_error_rate()
+        );
+    }
+
+    #[test]
+    fn fulllock_corruption_is_high() {
+        let original = host();
+        let locked = FullLock::new(FullLockConfig::single_plr(8))
+            .lock(&original)
+            .unwrap();
+        let report = measure(&locked, &original, 8, 32, 2).unwrap();
+        assert!(
+            report.pattern_error_rate() > 0.5,
+            "rate {}",
+            report.pattern_error_rate()
+        );
+        assert!(report.bit_error_rate() > 0.0);
+    }
+
+    #[test]
+    fn fulllock_beats_sarlock_on_corruption() {
+        let original = host();
+        let fl = FullLock::new(FullLockConfig::single_plr(8))
+            .lock(&original)
+            .unwrap();
+        let sl = SarLock::new(12, 0).lock(&original).unwrap();
+        let fl_report = measure(&fl, &original, 6, 24, 3).unwrap();
+        let sl_report = measure(&sl, &original, 6, 24, 3).unwrap();
+        assert!(fl_report.pattern_error_rate() > sl_report.pattern_error_rate());
+    }
+
+    #[test]
+    fn rll_corruption_is_moderate() {
+        let original = host();
+        let locked = Rll::new(16, 1).lock(&original).unwrap();
+        let report = measure(&locked, &original, 8, 32, 4).unwrap();
+        assert!(report.pattern_error_rate() > 0.2);
+    }
+
+    #[test]
+    fn report_rates_handle_empty() {
+        let r = CorruptionReport {
+            trials: 0,
+            corrupted: 0,
+            output_bits: 0,
+            wrong_bits: 0,
+        };
+        assert_eq!(r.pattern_error_rate(), 0.0);
+        assert_eq!(r.bit_error_rate(), 0.0);
+    }
+}

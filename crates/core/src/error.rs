@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Errors produced by the locking schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LockError {
+    /// A CLN/crossbar/LUT was configured with impossible parameters.
+    BadConfig(String),
+    /// The host circuit cannot accommodate the requested lock (e.g. fewer
+    /// candidate wires than the CLN has inputs).
+    HostTooSmall {
+        /// What the scheme needed.
+        needed: usize,
+        /// What the host circuit offered.
+        available: usize,
+    },
+    /// Acyclic wire selection failed to find a mutually-independent wire set
+    /// after the retry budget; use cyclic selection or a smaller CLN.
+    SelectionFailed(String),
+    /// A key had the wrong number of bits.
+    KeyLength {
+        /// Bits the circuit expects.
+        expected: usize,
+        /// Bits supplied.
+        got: usize,
+    },
+    /// Propagated netlist error.
+    Netlist(fulllock_netlist::NetlistError),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::BadConfig(msg) => write!(f, "invalid lock configuration: {msg}"),
+            LockError::HostTooSmall { needed, available } => write!(
+                f,
+                "host circuit too small: needed {needed} candidate wires, found {available}"
+            ),
+            LockError::SelectionFailed(msg) => write!(f, "wire selection failed: {msg}"),
+            LockError::KeyLength { expected, got } => {
+                write!(f, "expected a {expected}-bit key, got {got} bits")
+            }
+            LockError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LockError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fulllock_netlist::NetlistError> for LockError {
+    fn from(e: fulllock_netlist::NetlistError) -> Self {
+        LockError::Netlist(e)
+    }
+}

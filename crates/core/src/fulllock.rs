@@ -1,0 +1,563 @@
+//! The Full-Lock scheme: PLR insertion (§3.2–3.3 of the paper).
+//!
+//! Locking a circuit with one PLR of size `N`:
+//!
+//! 1. select `N` gate output wires ([`WireSelection`]);
+//! 2. *twist*: negate a random subset of the selected (leading) gates
+//!    (`OR → NOR`, `XOR → XNOR`, …);
+//! 3. route the `N` wires through a key-configured CLN whose correct key
+//!    realizes a randomly chosen permutation *and* compensates the
+//!    negations through the key-configurable inverters;
+//! 4. reconnect each wire's original fan-outs to the CLN output carrying
+//!    it;
+//! 5. replace the fan-out gates (the gates "proceeding" the wires) with
+//!    key-programmable LUTs whose correct key is the original truth table.
+//!
+//! The composition is a *fully Programmable Logic and Routing block*: even
+//! an attacker who removes the CLN and recovers the LUT functions is left
+//! with negated leading gates and an unknown permutation.
+
+use std::collections::HashSet;
+
+use fulllock_netlist::{Netlist, SignalId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cln::{ClnInstance, ClnStructure, ClnTopology};
+use crate::lut::{LutInstance, MAX_LUT_INPUTS};
+use crate::schemes::LockingScheme;
+use crate::select::{select_wires, WireSelection};
+use crate::{Key, LockError, LockedCircuit, Result};
+
+/// Specification of one PLR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlrSpec {
+    /// CLN size `N` (power of two ≥ 4). The paper's Table 4 uses 8×8,
+    /// 16×16, and 32×32.
+    pub cln_size: usize,
+    /// CLN topology; the paper's Full-Lock uses the almost non-blocking
+    /// `LOG_{N, log2(N)-2, 1}`.
+    pub topology: ClnTopology,
+    /// Whether to replace the wires' fan-out gates with key-programmable
+    /// LUTs (the "logic" half of the PLR).
+    pub with_luts: bool,
+    /// Whether the CLN carries key-configurable inverters. Disabling them
+    /// (an ablation) also disables twisting — there is nothing left to
+    /// compensate a negated leading gate.
+    pub with_inverters: bool,
+}
+
+impl PlrSpec {
+    /// A PLR with the paper's defaults: almost non-blocking CLN +
+    /// inverters + LUTs.
+    pub fn new(cln_size: usize) -> PlrSpec {
+        PlrSpec {
+            cln_size,
+            topology: ClnTopology::AlmostNonBlocking,
+            with_luts: true,
+            with_inverters: true,
+        }
+    }
+
+    /// Same size but with a blocking shuffle CLN (Table 2's baseline).
+    pub fn blocking(cln_size: usize) -> PlrSpec {
+        PlrSpec {
+            topology: ClnTopology::Shuffle,
+            ..PlrSpec::new(cln_size)
+        }
+    }
+}
+
+/// Configuration of the Full-Lock scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FullLockConfig {
+    /// The PLRs to insert, in order.
+    pub plrs: Vec<PlrSpec>,
+    /// Wire-selection policy (acyclic or cyclic insertion).
+    pub selection: WireSelection,
+    /// Probability of negating each selected leading gate (twisting).
+    pub twist_probability: f64,
+    /// RNG seed: locking is fully deterministic in (netlist, config).
+    pub seed: u64,
+}
+
+impl FullLockConfig {
+    /// One PLR of the given size with paper defaults (almost non-blocking
+    /// CLN, LUTs, acyclic insertion, twist probability 0.5).
+    pub fn single_plr(cln_size: usize) -> FullLockConfig {
+        FullLockConfig {
+            plrs: vec![PlrSpec::new(cln_size)],
+            selection: WireSelection::Acyclic,
+            twist_probability: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Insertion metadata of one PLR, for white-box experiments (removal
+/// attacks, ablations). An actual attacker never has this.
+#[derive(Debug, Clone)]
+pub struct PlrTrace {
+    /// The selected (leading) gate wires, in CLN input order.
+    pub sources: Vec<SignalId>,
+    /// The CLN output signals, in output order.
+    pub cln_outputs: Vec<SignalId>,
+    /// `permutation[i]` = CLN output position carrying input `i`.
+    pub permutation: Vec<usize>,
+    /// Which leading gates were negated by twisting.
+    pub negated: Vec<bool>,
+    /// Outputs of the LUTs that replaced the wires' fan-out gates.
+    pub lut_outputs: Vec<SignalId>,
+}
+
+/// Full insertion metadata for a [`FullLock::lock_with_trace`] run.
+#[derive(Debug, Clone, Default)]
+pub struct FullLockTrace {
+    /// One trace per inserted PLR, in insertion order.
+    pub plrs: Vec<PlrTrace>,
+}
+
+/// The Full-Lock locking scheme. See the module docs above.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_locking::{FullLock, FullLockConfig, LockingScheme};
+/// use fulllock_netlist::random::{generate, RandomCircuitConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let host = generate(RandomCircuitConfig { gates: 120, ..Default::default() })?;
+/// let scheme = FullLock::new(FullLockConfig::single_plr(8));
+/// let locked = scheme.lock(&host)?;
+///
+/// // The correct key restores the original function.
+/// let sim = fulllock_netlist::Simulator::new(&host)?;
+/// let x = vec![true; host.inputs().len()];
+/// assert_eq!(locked.eval(&x, &locked.correct_key)?, sim.run(&x)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FullLock {
+    config: FullLockConfig,
+}
+
+impl FullLock {
+    /// Creates the scheme with the given configuration.
+    pub fn new(config: FullLockConfig) -> FullLock {
+        FullLock { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FullLockConfig {
+        &self.config
+    }
+
+    /// Locks `original` and also returns the insertion metadata (wire
+    /// choices, routed permutation, negations) used by white-box
+    /// experiments such as the removal-attack study.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LockingScheme::lock`].
+    pub fn lock_with_trace(&self, original: &Netlist) -> Result<(LockedCircuit, FullLockTrace)> {
+        if self.config.plrs.is_empty() {
+            return Err(LockError::BadConfig("at least one PLR required".into()));
+        }
+        if !(0.0..=1.0).contains(&self.config.twist_probability) {
+            return Err(LockError::BadConfig(
+                "twist_probability must be within [0, 1]".into(),
+            ));
+        }
+        let mut nl = original.clone();
+        let nonce = crate::schemes::key_name_nonce(&nl);
+        let data_inputs: Vec<SignalId> = nl.inputs().to_vec();
+        let candidate_limit = nl.len();
+        // Liveness in the host circuit: dead sinks must not be LUT-replaced
+        // (their LUT would be dead logic and vanish at the final sweep).
+        let live = crate::select::live_signals(&nl);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut key_inputs: Vec<SignalId> = Vec::new();
+        let mut key_bits: Vec<bool> = Vec::new();
+        let mut used_sources: HashSet<SignalId> = HashSet::new();
+        let mut lut_replaced: HashSet<SignalId> = HashSet::new();
+        let mut trace = FullLockTrace::default();
+
+        for (plr_index, spec) in self.config.plrs.iter().enumerate() {
+            let structure = ClnStructure::new(spec.topology, spec.cln_size)?;
+            let n = structure.n();
+            let sources = select_wires(
+                &nl,
+                n,
+                self.config.selection,
+                candidate_limit,
+                &used_sources,
+                &mut rng,
+            )?;
+            used_sources.extend(sources.iter().copied());
+
+            // Twist: negate leading gates where the library has the
+            // complement cell. Without inverters there is no compensation
+            // channel, so twisting is disabled for that ablation.
+            let mut negate = vec![false; n];
+            if spec.with_inverters {
+                for (i, &s) in sources.iter().enumerate() {
+                    let kind = nl.node(s).gate_kind().expect("sources are gates");
+                    if let Some(inverted) = kind.invert() {
+                        if rng.gen_bool(self.config.twist_probability) {
+                            nl.set_gate_kind(s, inverted)?;
+                            negate[i] = true;
+                        }
+                    }
+                }
+            }
+
+            // Record original fan-outs before the CLN adds its own readers.
+            let fanouts = nl.fanouts();
+            let mut sinks: Vec<SignalId> = Vec::new();
+            for &s in &sources {
+                for &g in &fanouts[s.index()] {
+                    if !sinks.contains(&g) {
+                        sinks.push(g);
+                    }
+                }
+            }
+
+            let inst = ClnInstance::instantiate_with_options(
+                &mut nl,
+                &structure,
+                &sources,
+                &format!("keyinput_n{nonce}_plr{plr_index}_cln"),
+                spec.with_inverters,
+            )?;
+
+            // Choose a random valid routing configuration, then patch the
+            // final inverter layer so each path's parity compensates its
+            // leading gate's negation.
+            let states = structure.random_states(&mut rng);
+            let mut inverter_bits: Vec<bool> = (0..structure.stages() * n)
+                .map(|_| spec.with_inverters && rng.gen_bool(0.5))
+                .collect();
+            let (perm, parity) = structure.route_with_parity(&states, &inverter_bits);
+            for token in 0..n {
+                if parity[token] != negate[token] {
+                    let pos = structure.final_position(&perm, token);
+                    let idx = (structure.stages() - 1) * n + pos;
+                    inverter_bits[idx] = !inverter_bits[idx];
+                }
+            }
+            debug_assert_eq!(
+                structure.route_with_parity(&states, &inverter_bits),
+                (perm.clone(), negate.clone()),
+                "inverter fix-up restores polarity"
+            );
+            key_inputs.extend(inst.key_inputs.iter().copied());
+            key_bits.extend(inst.key_bits_for(&states, &inverter_bits));
+
+            // Splice: each wire's consumers now read the CLN output that
+            // carries it.
+            let cln_gates: Vec<SignalId> = inst.gates.clone();
+            for (token, &s) in sources.iter().enumerate() {
+                nl.redirect_fanouts(s, inst.outputs[perm[token]], &cln_gates)?;
+            }
+
+            // LUT replacement of the proceeding gates.
+            let mut lut_outputs: Vec<SignalId> = Vec::new();
+            if spec.with_luts {
+                for (g_index, &g) in sinks.iter().enumerate() {
+                    if g.index() >= candidate_limit
+                        || !live[g.index()]
+                        || used_sources.contains(&g)
+                        || lut_replaced.contains(&g)
+                    {
+                        continue;
+                    }
+                    let node = nl.node(g);
+                    let Some(kind) = node.gate_kind() else { continue };
+                    let arity = node.fanins().len();
+                    if arity == 0 || arity > MAX_LUT_INPUTS {
+                        continue;
+                    }
+                    let lut_inputs: Vec<SignalId> = node.fanins().to_vec();
+                    let lut = LutInstance::instantiate(
+                        &mut nl,
+                        &lut_inputs,
+                        &format!("keyinput_n{nonce}_plr{plr_index}_lut{g_index}_"),
+                    )?;
+                    nl.redirect_fanouts(g, lut.output, &lut.gates)?;
+                    key_inputs.extend(lut.key_inputs.iter().copied());
+                    key_bits.extend(lut.key_for_gate(kind));
+                    lut_replaced.insert(g);
+                    lut_outputs.push(lut.output);
+                }
+            }
+
+            trace.plrs.push(PlrTrace {
+                sources,
+                cln_outputs: inst.outputs.clone(),
+                permutation: perm,
+                negated: negate,
+                lut_outputs,
+            });
+        }
+
+        let mut locked = LockedCircuit {
+            netlist: nl,
+            data_inputs,
+            key_inputs,
+            correct_key: Key::from_bits(key_bits),
+        };
+        locked.netlist.set_name(format!("{}_fulllock", original.name()));
+        let remap = locked.sweep_with_remap();
+        let remap_sig = |s: SignalId| remap[s.index()].expect("traced signals stay live");
+        for plr in &mut trace.plrs {
+            plr.sources = plr.sources.iter().map(|&s| remap_sig(s)).collect();
+            plr.cln_outputs = plr.cln_outputs.iter().map(|&s| remap_sig(s)).collect();
+            plr.lut_outputs = plr.lut_outputs.iter().map(|&s| remap_sig(s)).collect();
+        }
+        locked.netlist.check()?;
+        Ok((locked, trace))
+    }
+}
+
+impl LockingScheme for FullLock {
+    fn name(&self) -> String {
+        let sizes: Vec<String> = self
+            .config
+            .plrs
+            .iter()
+            .map(|p| format!("{0}x{0}", p.cln_size))
+            .collect();
+        format!("full-lock[{}]", sizes.join("+"))
+    }
+
+    fn lock(&self, original: &Netlist) -> Result<LockedCircuit> {
+        Ok(self.lock_with_trace(original)?.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fulllock_netlist::random::{generate, RandomCircuitConfig};
+    use fulllock_netlist::{topo, Simulator};
+
+    fn host(gates: usize, seed: u64) -> Netlist {
+        generate(RandomCircuitConfig {
+            inputs: 16,
+            outputs: 8,
+            gates,
+            max_fanin: 3,
+            seed,
+        })
+        .unwrap()
+    }
+
+    fn check_equivalence(original: &Netlist, locked: &LockedCircuit, samples: usize) {
+        let sim = Simulator::new(original).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..samples {
+            let x: Vec<bool> = (0..original.inputs().len())
+                .map(|_| rng.gen_bool(0.5))
+                .collect();
+            let want = sim.run(&x).unwrap();
+            let got = locked.eval(&x, &locked.correct_key).unwrap();
+            assert_eq!(got, want, "correct key must restore functionality");
+        }
+    }
+
+    #[test]
+    fn correct_key_restores_function_acyclic() {
+        let original = host(150, 1);
+        let locked = FullLock::new(FullLockConfig::single_plr(8))
+            .lock(&original)
+            .unwrap();
+        assert!(!topo::is_cyclic(&locked.netlist));
+        check_equivalence(&original, &locked, 50);
+    }
+
+    #[test]
+    fn correct_key_restores_function_all_topologies() {
+        let original = host(150, 2);
+        for topology in [
+            ClnTopology::Shuffle,
+            ClnTopology::Banyan,
+            ClnTopology::AlmostNonBlocking,
+            ClnTopology::Benes,
+        ] {
+            let config = FullLockConfig {
+                plrs: vec![PlrSpec {
+                    cln_size: 8,
+                    topology,
+                    with_luts: true,
+                    with_inverters: true,
+                }],
+                selection: WireSelection::Acyclic,
+                twist_probability: 0.5,
+                seed: 5,
+            };
+            let locked = FullLock::new(config).lock(&original).unwrap();
+            check_equivalence(&original, &locked, 20);
+        }
+    }
+
+    #[test]
+    fn correct_key_restores_function_without_luts() {
+        let original = host(150, 3);
+        let config = FullLockConfig {
+            plrs: vec![PlrSpec {
+                cln_size: 8,
+                topology: ClnTopology::AlmostNonBlocking,
+                with_luts: false,
+                with_inverters: true,
+            }],
+            selection: WireSelection::Acyclic,
+            twist_probability: 1.0,
+            seed: 7,
+        };
+        let locked = FullLock::new(config).lock(&original).unwrap();
+        check_equivalence(&original, &locked, 50);
+    }
+
+    #[test]
+    fn cyclic_insertion_settles_with_correct_key() {
+        let original = host(200, 4);
+        let config = FullLockConfig {
+            plrs: vec![PlrSpec::new(8)],
+            selection: WireSelection::Cyclic,
+            twist_probability: 0.5,
+            seed: 11,
+        };
+        let locked = FullLock::new(config).lock(&original).unwrap();
+        // With the correct key, the effective logic is the original DAG:
+        // ternary evaluation settles and matches.
+        let sim = Simulator::new(&original).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..20 {
+            let x: Vec<bool> = (0..original.inputs().len())
+                .map(|_| rng.gen_bool(0.5))
+                .collect();
+            let want = sim.run(&x).unwrap();
+            let eval = locked.eval_cyclic(&x, &locked.correct_key).unwrap();
+            assert!(eval.all_outputs_known(), "correct key must settle");
+            let got: Vec<bool> = eval
+                .outputs
+                .iter()
+                .map(|t| t.to_bool().expect("settled"))
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn multiple_plrs() {
+        let original = host(400, 5);
+        let config = FullLockConfig {
+            plrs: vec![PlrSpec::new(8), PlrSpec::new(4)],
+            selection: WireSelection::Acyclic,
+            twist_probability: 0.5,
+            seed: 13,
+        };
+        let locked = FullLock::new(config).lock(&original).unwrap();
+        assert!(!topo::is_cyclic(&locked.netlist));
+        check_equivalence(&original, &locked, 30);
+    }
+
+    #[test]
+    fn inverterless_ablation_still_round_trips() {
+        let original = host(150, 10);
+        let config = FullLockConfig {
+            plrs: vec![PlrSpec {
+                cln_size: 8,
+                topology: ClnTopology::AlmostNonBlocking,
+                with_luts: true,
+                with_inverters: false,
+            }],
+            selection: WireSelection::Acyclic,
+            twist_probability: 1.0, // ignored: no compensation channel
+            seed: 14,
+        };
+        let locked = FullLock::new(config).lock(&original).unwrap();
+        check_equivalence(&original, &locked, 30);
+        // Without inverter keys, the key is strictly shorter than the
+        // default configuration's.
+        let with_inv = FullLock::new(FullLockConfig {
+            plrs: vec![PlrSpec::new(8)],
+            selection: WireSelection::Acyclic,
+            twist_probability: 1.0,
+            seed: 14,
+        })
+        .lock(&original)
+        .unwrap();
+        assert!(locked.key_len() < with_inv.key_len());
+    }
+
+    #[test]
+    fn wrong_keys_corrupt_outputs() {
+        let original = host(150, 6);
+        let locked = FullLock::new(FullLockConfig::single_plr(8))
+            .lock(&original)
+            .unwrap();
+        let sim = Simulator::new(&original).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut corrupted = 0usize;
+        let trials = 30;
+        for _ in 0..trials {
+            let x: Vec<bool> = (0..original.inputs().len())
+                .map(|_| rng.gen_bool(0.5))
+                .collect();
+            let wrong = Key::random(locked.key_len(), &mut rng);
+            if locked.eval(&x, &wrong).unwrap() != sim.run(&x).unwrap() {
+                corrupted += 1;
+            }
+        }
+        // Full-Lock is a high-corruption scheme; random keys should
+        // corrupt the vast majority of patterns.
+        assert!(corrupted > trials / 2, "only {corrupted}/{trials} corrupted");
+    }
+
+    #[test]
+    fn locking_is_deterministic() {
+        let original = host(150, 7);
+        let scheme = FullLock::new(FullLockConfig::single_plr(8));
+        let a = scheme.lock(&original).unwrap();
+        let b = scheme.lock(&original).unwrap();
+        assert_eq!(a.netlist, b.netlist);
+        assert_eq!(a.correct_key, b.correct_key);
+    }
+
+    #[test]
+    fn key_length_matches_inputs() {
+        let original = host(150, 8);
+        let locked = FullLock::new(FullLockConfig::single_plr(8))
+            .lock(&original)
+            .unwrap();
+        assert_eq!(locked.key_len(), locked.correct_key.len());
+        assert!(locked.key_len() > 0);
+        // Data inputs unchanged.
+        assert_eq!(locked.data_inputs.len(), original.inputs().len());
+    }
+
+    #[test]
+    fn empty_config_is_rejected() {
+        let original = host(100, 9);
+        let scheme = FullLock::new(FullLockConfig {
+            plrs: vec![],
+            selection: WireSelection::Acyclic,
+            twist_probability: 0.5,
+            seed: 0,
+        });
+        assert!(scheme.lock(&original).is_err());
+    }
+
+    #[test]
+    fn scheme_name_lists_plr_sizes() {
+        let scheme = FullLock::new(FullLockConfig {
+            plrs: vec![PlrSpec::new(16), PlrSpec::new(8)],
+            selection: WireSelection::Acyclic,
+            twist_probability: 0.5,
+            seed: 0,
+        });
+        assert_eq!(scheme.name(), "full-lock[16x16+8x8]");
+    }
+}

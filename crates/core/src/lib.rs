@@ -1,0 +1,59 @@
+//! Full-Lock: SAT-hard logic locking with fully configurable logic and
+//! routing blocks (DAC 2019), plus the baseline schemes it is evaluated
+//! against.
+//!
+//! The paper's contribution is a family of *PLRs* — Programmable Logic and
+//! Routing blocks — built from:
+//!
+//! * [`cln`] — key-Configurable Logarithmic-based Networks: cascaded 2×2
+//!   MUX switch-boxes with key-configurable inverters, in blocking
+//!   (shuffle/banyan) or almost non-blocking (`LOG_{N, log2(N)-2, 1}`)
+//!   topologies;
+//! * [`lut`] — key-programmable LUTs replacing the gates around the CLN;
+//! * [`FullLock`] — the end-to-end scheme: wire selection ([`select`]),
+//!   leading-gate negation (*twisting*), CLN routing, LUT replacement, and
+//!   correct-key derivation.
+//!
+//! Baselines for the comparative experiments live in [`schemes`]:
+//! [`Rll`], [`SarLock`], [`AntiSat`], [`LutLock`], and [`CrossLock`], all
+//! behind the common [`LockingScheme`] trait. Output-corruption measurement
+//! (the property separating Full-Lock from point-function schemes) is in
+//! [`corruption`].
+//!
+//! # Example
+//!
+//! ```
+//! use fulllock_locking::{FullLock, FullLockConfig, LockingScheme};
+//! use fulllock_netlist::benchmarks;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let host = benchmarks::load("c432")?;
+//! let locked = FullLock::new(FullLockConfig::single_plr(8)).lock(&host)?;
+//! println!("{} key bits protect {}", locked.key_len(), host.name());
+//! assert!(locked.key_len() >= 8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cln;
+pub mod corruption;
+mod error;
+mod fulllock;
+mod key;
+pub mod lut;
+pub mod schemes;
+pub mod select;
+
+pub use cln::{ClnInstance, ClnStructure, ClnTopology, SwbState};
+pub use error::LockError;
+pub use fulllock::{FullLock, FullLockConfig, FullLockTrace, PlrSpec, PlrTrace};
+pub use key::{Key, LockedCircuit};
+pub use lut::LutInstance;
+pub use schemes::{AntiSat, CrossLock, Fll, LockingScheme, LutLock, Rll, SarLock};
+pub use select::WireSelection;
+
+/// Crate-wide result alias.
+pub type Result<T, E = LockError> = std::result::Result<T, E>;

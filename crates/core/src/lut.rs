@@ -1,0 +1,176 @@
+//! Key-programmable LUTs (the logic half of a PLR).
+//!
+//! An `R`-input LUT is a `2^R`-leaf MUX tree whose leaves are key inputs:
+//! the key *is* the truth table. Full-Lock replaces the gates around a CLN
+//! with LUTs (§3.2), which (a) adds `R` more levels to the DPLL recursion
+//! under the CLN and (b) defeats removal attacks, since excising the CLN
+//! leaves the LUT functions unknown.
+
+use fulllock_netlist::{GateKind, Netlist, SignalId};
+
+use crate::{LockError, Result};
+
+/// Largest LUT the paper uses (max fan-in observed across ISCAS-85/MCNC).
+pub const MAX_LUT_INPUTS: usize = 5;
+
+/// A LUT instantiated inside a netlist.
+#[derive(Debug, Clone)]
+pub struct LutInstance {
+    /// The LUT's output signal (root of the MUX tree).
+    pub output: SignalId,
+    /// Key inputs in truth-table order: bit `i` is the output for the input
+    /// combination whose bit `j` equals input `j`'s value.
+    pub key_inputs: Vec<SignalId>,
+    /// Every MUX gate created for the tree.
+    pub gates: Vec<SignalId>,
+}
+
+impl LutInstance {
+    /// Builds a key-programmable LUT over `inputs` inside `netlist`,
+    /// creating `2^inputs.len()` key inputs named `{prefix}{i}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LockError::BadConfig`] if `inputs` is empty or wider than
+    /// [`MAX_LUT_INPUTS`].
+    pub fn instantiate(
+        netlist: &mut Netlist,
+        inputs: &[SignalId],
+        prefix: &str,
+    ) -> Result<LutInstance> {
+        if inputs.is_empty() || inputs.len() > MAX_LUT_INPUTS {
+            return Err(LockError::BadConfig(format!(
+                "LUT must have 1..={MAX_LUT_INPUTS} inputs, got {}",
+                inputs.len()
+            )));
+        }
+        let entries = 1usize << inputs.len();
+        let key_inputs: Vec<SignalId> = (0..entries)
+            .map(|i| netlist.add_input(format!("{prefix}{i}")))
+            .collect();
+        let mut gates = Vec::new();
+        let output = build_tree(netlist, inputs, &key_inputs, &mut gates)?;
+        Ok(LutInstance {
+            output,
+            key_inputs,
+            gates,
+        })
+    }
+
+    /// The truth-table key implementing `kind` over the LUT's inputs (in
+    /// the same order they were passed to [`LutInstance::instantiate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` does not accept the LUT's input count.
+    pub fn key_for_gate(&self, kind: GateKind) -> Vec<bool> {
+        let arity = self.key_inputs.len().trailing_zeros() as usize;
+        (0..self.key_inputs.len())
+            .map(|row| {
+                let bits: Vec<bool> = (0..arity).map(|j| row >> j & 1 == 1).collect();
+                kind.eval(&bits)
+            })
+            .collect()
+    }
+}
+
+/// Recursive MUX-tree builder: selects on the *last* input, so truth-table
+/// index bit `j` corresponds to input `j`.
+fn build_tree(
+    netlist: &mut Netlist,
+    inputs: &[SignalId],
+    leaves: &[SignalId],
+    gates: &mut Vec<SignalId>,
+) -> Result<SignalId> {
+    debug_assert_eq!(leaves.len(), 1 << inputs.len());
+    if inputs.is_empty() {
+        return Ok(leaves[0]);
+    }
+    let (rest, &[sel]) = inputs.split_at(inputs.len() - 1) else {
+        unreachable!("inputs is non-empty")
+    };
+    let half = leaves.len() / 2;
+    let low = build_tree(netlist, rest, &leaves[..half], gates)?;
+    let high = build_tree(netlist, rest, &leaves[half..], gates)?;
+    // MUX fan-ins [S, A, B]: S=0 selects A (sel bit clear -> low half).
+    let m = netlist
+        .add_gate(GateKind::Mux, &[sel, low, high])
+        .map_err(LockError::Netlist)?;
+    gates.push(m);
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fulllock_netlist::Simulator;
+
+    fn eval_lut(arity: usize, key: &[bool], data: &[bool]) -> bool {
+        let mut nl = Netlist::new("lut");
+        let inputs: Vec<_> = (0..arity).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let lut = LutInstance::instantiate(&mut nl, &inputs, "k").unwrap();
+        nl.mark_output(lut.output);
+        let sim = Simulator::new(&nl).unwrap();
+        let mut full = data.to_vec();
+        full.extend_from_slice(key);
+        sim.run(&full).unwrap()[0]
+    }
+
+    #[test]
+    fn lut_realizes_its_truth_table() {
+        for arity in 1..=3usize {
+            let entries = 1 << arity;
+            // Try a couple of characteristic truth tables per arity.
+            for pattern in [0b0110_1001_usize, 0b1110_0001, 0b0000_0001] {
+                let key: Vec<bool> = (0..entries).map(|i| pattern >> i & 1 == 1).collect();
+                for row in 0..entries {
+                    let data: Vec<bool> = (0..arity).map(|j| row >> j & 1 == 1).collect();
+                    assert_eq!(
+                        eval_lut(arity, &key, &data),
+                        key[row],
+                        "arity {arity} pattern {pattern:b} row {row}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn key_for_gate_matches_gate_function() {
+        for kind in [GateKind::And, GateKind::Nand, GateKind::Xor, GateKind::Nor] {
+            let mut nl = Netlist::new("lut");
+            let inputs: Vec<_> = (0..2).map(|i| nl.add_input(format!("i{i}"))).collect();
+            let lut = LutInstance::instantiate(&mut nl, &inputs, "k").unwrap();
+            nl.mark_output(lut.output);
+            let key = lut.key_for_gate(kind);
+            let sim = Simulator::new(&nl).unwrap();
+            for row in 0..4usize {
+                let data = [row & 1 == 1, row >> 1 & 1 == 1];
+                let mut full = data.to_vec();
+                full.extend(&key);
+                assert_eq!(
+                    sim.run(&full).unwrap()[0],
+                    kind.eval(&data),
+                    "{kind} row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gate_and_key_counts() {
+        let mut nl = Netlist::new("lut");
+        let inputs: Vec<_> = (0..3).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let lut = LutInstance::instantiate(&mut nl, &inputs, "k").unwrap();
+        assert_eq!(lut.key_inputs.len(), 8);
+        assert_eq!(lut.gates.len(), 7); // full binary tree of MUXes
+    }
+
+    #[test]
+    fn oversized_lut_is_rejected() {
+        let mut nl = Netlist::new("lut");
+        let inputs: Vec<_> = (0..6).map(|i| nl.add_input(format!("i{i}"))).collect();
+        assert!(LutInstance::instantiate(&mut nl, &inputs, "k").is_err());
+        assert!(LutInstance::instantiate(&mut nl, &[], "k").is_err());
+    }
+}

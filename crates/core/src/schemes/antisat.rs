@@ -1,0 +1,178 @@
+//! Anti-SAT: complementary AND-tree blocks (Xie & Srivastava, CHES 2016).
+
+use std::collections::HashSet;
+
+use fulllock_netlist::{GateKind, Netlist, SignalId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schemes::LockingScheme;
+use crate::select::{select_wires, WireSelection};
+use crate::{Key, LockError, LockedCircuit, Result};
+
+/// Anti-SAT: a block `f = g(X ⊕ K1) ∧ ḡ(X ⊕ K2)` with `g = AND`, XORed
+/// onto an internal wire. When `K1 = K2` the two halves are complementary
+/// and `f ≡ 0`; any `K1 ≠ K2` leaves a few input patterns where `f = 1`
+/// and the wire is corrupted. Like SARLock it forces exponentially many SAT
+/// iterations but has very low output corruption, and its skewed AND trees
+/// are the classic target of the SPS attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AntiSat {
+    half_bits: usize,
+    seed: u64,
+}
+
+impl AntiSat {
+    /// An Anti-SAT block comparing the first `half_bits` data inputs; the
+    /// key is `2 · half_bits` wide (`K1 ‖ K2`).
+    pub fn new(half_bits: usize, seed: u64) -> AntiSat {
+        AntiSat { half_bits, seed }
+    }
+}
+
+impl LockingScheme for AntiSat {
+    fn name(&self) -> String {
+        format!("antisat[{}]", self.half_bits)
+    }
+
+    fn lock(&self, original: &Netlist) -> Result<LockedCircuit> {
+        if self.half_bits == 0 {
+            return Err(LockError::BadConfig("half_bits must be >= 1".into()));
+        }
+        if original.inputs().len() < self.half_bits {
+            return Err(LockError::HostTooSmall {
+                needed: self.half_bits,
+                available: original.inputs().len(),
+            });
+        }
+        let mut nl = original.clone();
+        let data_inputs = nl.inputs().to_vec();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let m = self.half_bits;
+        let xs: Vec<SignalId> = data_inputs.iter().take(m).copied().collect();
+
+        let nonce = crate::schemes::key_name_nonce(&nl);
+        let k1: Vec<SignalId> = (0..m)
+            .map(|i| nl.add_input(format!("keyinput{}", nonce + i)))
+            .collect();
+        let k2: Vec<SignalId> = (0..m)
+            .map(|i| nl.add_input(format!("keyinput{}", nonce + m + i)))
+            .collect();
+
+        // g(X ⊕ K1) = AND_i (x_i ⊕ k1_i)
+        let mut g_terms = Vec::with_capacity(m);
+        let mut gbar_terms = Vec::with_capacity(m);
+        for i in 0..m {
+            g_terms.push(nl.add_gate(GateKind::Xor, &[xs[i], k1[i]])?);
+            gbar_terms.push(nl.add_gate(GateKind::Xor, &[xs[i], k2[i]])?);
+        }
+        let g = wide_gate(&mut nl, GateKind::And, &g_terms)?;
+        let gbar = wide_gate(&mut nl, GateKind::Nand, &gbar_terms)?;
+        let f = nl.add_gate(GateKind::And, &[g, gbar])?;
+
+        // XOR the block onto a random internal wire.
+        let target = select_wires(
+            &nl,
+            1,
+            WireSelection::Cyclic,
+            original.len(),
+            &HashSet::new(),
+            &mut rng,
+        )?[0];
+        let corrupted = nl.add_gate(GateKind::Xor, &[target, f])?;
+        nl.redirect_fanouts(target, corrupted, &[corrupted])?;
+
+        // Correct key: K1 = K2 = r for any r.
+        let r: Vec<bool> = (0..m).map(|_| rng.gen_bool(0.5)).collect();
+        let mut key_bits = r.clone();
+        key_bits.extend(&r);
+        let mut key_inputs = k1;
+        key_inputs.extend(k2);
+        nl.set_name(format!("{}_antisat", original.name()));
+        Ok(LockedCircuit {
+            netlist: nl,
+            data_inputs,
+            key_inputs,
+            correct_key: Key::from_bits(key_bits),
+        })
+    }
+}
+
+/// An n-ary gate, emitted directly when the arity allows (n-ary cells keep
+/// the AND-tree *visibly* skewed, which is what SPS looks for).
+fn wide_gate(nl: &mut Netlist, kind: GateKind, terms: &[SignalId]) -> Result<SignalId> {
+    debug_assert!(!terms.is_empty());
+    if terms.len() == 1 {
+        return Ok(match kind {
+            GateKind::Nand => nl.add_gate(GateKind::Not, &[terms[0]])?,
+            _ => terms[0],
+        });
+    }
+    Ok(nl.add_gate(kind, terms)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fulllock_netlist::Simulator;
+
+    fn host() -> Netlist {
+        fulllock_netlist::benchmarks::load("c17").unwrap()
+    }
+
+    #[test]
+    fn correct_key_never_corrupts() {
+        let locked = AntiSat::new(5, 1).lock(&host()).unwrap();
+        let original = host();
+        let sim = Simulator::new(&original).unwrap();
+        for row in 0..32u32 {
+            let x: Vec<bool> = (0..5).map(|i| row >> i & 1 == 1).collect();
+            assert_eq!(
+                locked.eval(&x, &locked.correct_key).unwrap(),
+                sim.run(&x).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn any_matched_halves_key_is_correct() {
+        // Anti-SAT's correct key class: K1 = K2 (any value).
+        let locked = AntiSat::new(4, 2).lock(&host()).unwrap();
+        let original = host();
+        let sim = Simulator::new(&original).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..4 {
+            let half: Vec<bool> = (0..4).map(|_| rng.gen_bool(0.5)).collect();
+            let mut bits = half.clone();
+            bits.extend(&half);
+            let key = Key::from_bits(bits);
+            for row in 0..32u32 {
+                let x: Vec<bool> = (0..5).map(|i| row >> i & 1 == 1).collect();
+                assert_eq!(locked.eval(&x, &key).unwrap(), sim.run(&x).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_halves_corrupt_somewhere() {
+        let locked = AntiSat::new(5, 4).lock(&host()).unwrap();
+        let original = host();
+        let sim = Simulator::new(&original).unwrap();
+        // K1 = 00000, K2 = 11111: g(X)=AND(x), gbar = NAND(~x); both 1 at
+        // X=11111 unless... check at least one corrupted pattern exists.
+        let mut bits = vec![false; 5];
+        bits.extend(vec![true; 5]);
+        let wrong = Key::from_bits(bits);
+        let corrupts = (0..32u32).any(|row| {
+            let x: Vec<bool> = (0..5).map(|i| row >> i & 1 == 1).collect();
+            locked.eval(&x, &wrong).unwrap() != sim.run(&x).unwrap()
+        });
+        assert!(corrupts);
+    }
+
+    #[test]
+    fn key_width_is_twice_half() {
+        let locked = AntiSat::new(3, 0).lock(&host()).unwrap();
+        assert_eq!(locked.key_len(), 6);
+    }
+}

@@ -1,0 +1,134 @@
+//! Random logic locking (RLL / EPIC): XOR/XNOR key gates on random wires.
+
+use std::collections::HashSet;
+
+use fulllock_netlist::{GateKind, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schemes::LockingScheme;
+use crate::select::{select_wires, WireSelection};
+use crate::{Key, LockedCircuit, Result};
+
+/// Random XOR/XNOR key-gate insertion — the primitive locking scheme the
+/// SAT attack was originally demonstrated against.
+///
+/// Each key bit guards one randomly selected wire `w`: the wire is replaced
+/// by `XOR(w, k)` or `XNOR(w, k)` (chosen at random so polarity does not
+/// leak the key); the correct bit is `0` for XOR and `1` for XNOR.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_locking::{LockingScheme, Rll};
+/// use fulllock_netlist::benchmarks;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let host = benchmarks::load("c17")?;
+/// let locked = Rll::new(4, 0).lock(&host)?;
+/// assert_eq!(locked.key_len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rll {
+    key_bits: usize,
+    seed: u64,
+}
+
+impl Rll {
+    /// An RLL scheme inserting `key_bits` key gates.
+    pub fn new(key_bits: usize, seed: u64) -> Rll {
+        Rll { key_bits, seed }
+    }
+}
+
+impl LockingScheme for Rll {
+    fn name(&self) -> String {
+        format!("rll[{}]", self.key_bits)
+    }
+
+    fn lock(&self, original: &Netlist) -> Result<LockedCircuit> {
+        let mut nl = original.clone();
+        let nonce = crate::schemes::key_name_nonce(&nl);
+        let data_inputs = nl.inputs().to_vec();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let wires = select_wires(
+            &nl,
+            self.key_bits,
+            WireSelection::Cyclic, // key gates never create cycles
+            nl.len(),
+            &HashSet::new(),
+            &mut rng,
+        )?;
+        let mut key_inputs = Vec::with_capacity(self.key_bits);
+        let mut key_bits = Vec::with_capacity(self.key_bits);
+        for (i, &w) in wires.iter().enumerate() {
+            let k = nl.add_input(format!("keyinput{}", nonce + i));
+            let xnor = rng.gen_bool(0.5);
+            let kind = if xnor { GateKind::Xnor } else { GateKind::Xor };
+            let g = nl.add_gate(kind, &[w, k])?;
+            nl.redirect_fanouts(w, g, &[g])?;
+            key_inputs.push(k);
+            key_bits.push(xnor);
+        }
+        nl.set_name(format!("{}_rll", original.name()));
+        Ok(LockedCircuit {
+            netlist: nl,
+            data_inputs,
+            key_inputs,
+            correct_key: Key::from_bits(key_bits),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fulllock_netlist::Simulator;
+
+    #[test]
+    fn correct_key_restores_function() {
+        let host = fulllock_netlist::benchmarks::load("c17").unwrap();
+        let locked = Rll::new(4, 3).lock(&host).unwrap();
+        let sim = Simulator::new(&host).unwrap();
+        for row in 0..32u32 {
+            let x: Vec<bool> = (0..5).map(|i| row >> i & 1 == 1).collect();
+            assert_eq!(
+                locked.eval(&x, &locked.correct_key).unwrap(),
+                sim.run(&x).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_key_bit_corrupts_some_input() {
+        let host = fulllock_netlist::benchmarks::load("c17").unwrap();
+        let locked = Rll::new(3, 5).lock(&host).unwrap();
+        let sim = Simulator::new(&host).unwrap();
+        for bit in 0..3 {
+            let mut wrong = locked.correct_key.clone();
+            wrong.flip(bit);
+            let corrupts = (0..32u32).any(|row| {
+                let x: Vec<bool> = (0..5).map(|i| row >> i & 1 == 1).collect();
+                locked.eval(&x, &wrong).unwrap() != sim.run(&x).unwrap()
+            });
+            assert!(corrupts, "flipping key bit {bit} corrupted nothing");
+        }
+    }
+
+    #[test]
+    fn key_gate_polarity_is_randomized() {
+        // Across enough key bits both XOR and XNOR should appear, so the
+        // correct key is not all-zeros (which would leak trivially).
+        let host = fulllock_netlist::benchmarks::load("c432").unwrap();
+        let locked = Rll::new(32, 7).lock(&host).unwrap();
+        let ones = locked.correct_key.bits().iter().filter(|&&b| b).count();
+        assert!(ones > 0 && ones < 32);
+    }
+
+    #[test]
+    fn name_includes_width() {
+        assert_eq!(Rll::new(8, 0).name(), "rll[8]");
+    }
+}

@@ -1,0 +1,189 @@
+//! SARLock: one-point output flipping (SAT-attack-resistant by iteration
+//! count).
+
+use fulllock_netlist::{GateKind, Netlist, SignalId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schemes::LockingScheme;
+use crate::{Key, LockError, LockedCircuit, Result};
+
+/// SARLock (Yasin et al., HOST 2016): a comparator block that flips one
+/// primary output for exactly one input pattern per wrong key, so each SAT
+/// attack DIP eliminates only one key — forcing `2^m` iterations — at the
+/// price of near-zero output corruption.
+///
+/// Construction (on the first `m` data inputs `X`, with hidden pattern `C`
+/// equal to the correct key):
+///
+/// ```text
+/// flip = eq(X, K) ∧ ¬eq(X, C)        y0' = y0 ⊕ flip
+/// ```
+///
+/// `eq(X, C)` hard-wires `C` as per-bit buffers/inverters, the standard
+/// mask that keeps the correct key corruption-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SarLock {
+    key_bits: usize,
+    seed: u64,
+}
+
+impl SarLock {
+    /// SARLock over the first `key_bits` data inputs.
+    pub fn new(key_bits: usize, seed: u64) -> SarLock {
+        SarLock { key_bits, seed }
+    }
+}
+
+impl LockingScheme for SarLock {
+    fn name(&self) -> String {
+        format!("sarlock[{}]", self.key_bits)
+    }
+
+    fn lock(&self, original: &Netlist) -> Result<LockedCircuit> {
+        if self.key_bits == 0 {
+            return Err(LockError::BadConfig("key_bits must be >= 1".into()));
+        }
+        if original.inputs().len() < self.key_bits {
+            return Err(LockError::HostTooSmall {
+                needed: self.key_bits,
+                available: original.inputs().len(),
+            });
+        }
+        if original.outputs().is_empty() {
+            return Err(LockError::BadConfig("host has no outputs to flip".into()));
+        }
+        let mut nl = original.clone();
+        let nonce = crate::schemes::key_name_nonce(&nl);
+        let data_inputs = nl.inputs().to_vec();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let m = self.key_bits;
+        let xs: Vec<SignalId> = data_inputs.iter().take(m).copied().collect();
+
+        // Hidden pattern C = the correct key.
+        let c: Vec<bool> = (0..m).map(|_| rng.gen_bool(0.5)).collect();
+        let key_inputs: Vec<SignalId> =
+            (0..m)
+            .map(|i| nl.add_input(format!("keyinput{}", nonce + i)))
+            .collect();
+
+        // eq(X, K) = AND_i XNOR(x_i, k_i)
+        let mut eq_terms = Vec::with_capacity(m);
+        for i in 0..m {
+            eq_terms.push(nl.add_gate(GateKind::Xnor, &[xs[i], key_inputs[i]])?);
+        }
+        let eq_k = and_tree(&mut nl, &eq_terms)?;
+
+        // eq(X, C): per-bit buffer (c=1) or inverter (c=0), hard-wired.
+        let mut mask_terms = Vec::with_capacity(m);
+        for i in 0..m {
+            let term = if c[i] {
+                nl.add_gate(GateKind::Buf, &[xs[i]])?
+            } else {
+                nl.add_gate(GateKind::Not, &[xs[i]])?
+            };
+            mask_terms.push(term);
+        }
+        let eq_c = and_tree(&mut nl, &mask_terms)?;
+        let not_eq_c = nl.add_gate(GateKind::Not, &[eq_c])?;
+        let flip = nl.add_gate(GateKind::And, &[eq_k, not_eq_c])?;
+
+        let target = nl.outputs()[0];
+        let flipped = nl.add_gate(GateKind::Xor, &[target, flip])?;
+        nl.set_output(0, flipped)?;
+        nl.set_name(format!("{}_sarlock", original.name()));
+        Ok(LockedCircuit {
+            netlist: nl,
+            data_inputs,
+            key_inputs,
+            correct_key: Key::from_bits(c),
+        })
+    }
+}
+
+/// Balanced AND tree (keeps depth logarithmic, fan-in ≤ 2).
+fn and_tree(nl: &mut Netlist, terms: &[SignalId]) -> Result<SignalId> {
+    debug_assert!(!terms.is_empty());
+    if terms.len() == 1 {
+        return Ok(terms[0]);
+    }
+    let mut layer = terms.to_vec();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(nl.add_gate(GateKind::And, &[pair[0], pair[1]])?);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    Ok(layer[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fulllock_netlist::Simulator;
+
+    fn host() -> Netlist {
+        fulllock_netlist::benchmarks::load("c17").unwrap()
+    }
+
+    #[test]
+    fn correct_key_never_corrupts() {
+        let locked = SarLock::new(5, 1).lock(&host()).unwrap();
+        let original = host();
+        let sim = Simulator::new(&original).unwrap();
+        for row in 0..32u32 {
+            let x: Vec<bool> = (0..5).map(|i| row >> i & 1 == 1).collect();
+            assert_eq!(
+                locked.eval(&x, &locked.correct_key).unwrap(),
+                sim.run(&x).unwrap(),
+                "row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_corrupts_exactly_one_pattern() {
+        let locked = SarLock::new(5, 2).lock(&host()).unwrap();
+        let original = host();
+        let sim = Simulator::new(&original).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..5 {
+            let wrong = loop {
+                let k = Key::random(5, &mut rng);
+                if k != locked.correct_key {
+                    break k;
+                }
+            };
+            let mut corrupted_rows = Vec::new();
+            for row in 0..32u32 {
+                let x: Vec<bool> = (0..5).map(|i| row >> i & 1 == 1).collect();
+                if locked.eval(&x, &wrong).unwrap() != sim.run(&x).unwrap() {
+                    corrupted_rows.push(row);
+                }
+            }
+            // SARLock's signature: exactly one corrupted input pattern per
+            // wrong key — the pattern equal to the wrong key itself.
+            assert_eq!(corrupted_rows.len(), 1, "wrong key {wrong}");
+            let bits: Vec<bool> = (0..5).map(|i| corrupted_rows[0] >> i & 1 == 1).collect();
+            assert_eq!(Key::from_bits(bits), wrong);
+        }
+    }
+
+    #[test]
+    fn too_many_key_bits_for_host() {
+        assert!(matches!(
+            SarLock::new(6, 0).lock(&host()),
+            Err(LockError::HostTooSmall { needed: 6, available: 5 })
+        ));
+    }
+
+    #[test]
+    fn zero_key_bits_rejected() {
+        assert!(SarLock::new(0, 0).lock(&host()).is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! Wire selection for PLR insertion (§3.3 of the paper).
+//!
+//! Full-Lock has no *security* restriction on wire choice (unlike
+//! Cross-Lock's cone-based strategies), so selection is random. The only
+//! structural concern is cyclicity: routing a group of wires through one
+//! CLN connects all of them combinationally, so any path between two
+//! selected wires closes a loop through the CLN. [`WireSelection::Acyclic`]
+//! picks mutually-unreachable wires (Fig 6(b)); [`WireSelection::Cyclic`]
+//! picks freely and may create cycles on purpose (Fig 6(c)), which is the
+//! mode Table 4 attacks with CycSAT.
+
+use std::collections::HashSet;
+
+use fulllock_netlist::{Netlist, SignalId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{LockError, Result};
+
+/// How PLR wires are selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WireSelection {
+    /// Mutually-unreachable gates: insertion never creates a cycle.
+    #[default]
+    Acyclic,
+    /// Unrestricted random gates: insertion may create combinational
+    /// cycles (attacked with CycSAT rather than plain SAT).
+    Cyclic,
+}
+
+/// Selects `count` distinct gate output wires from the first
+/// `candidate_limit` nodes (the original circuit, excluding logic added by
+/// earlier PLRs), avoiding `exclude`.
+///
+/// # Example
+///
+/// ```
+/// use std::collections::HashSet;
+/// use fulllock_locking::select::{select_wires, WireSelection};
+/// use fulllock_netlist::benchmarks;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), fulllock_locking::LockError> {
+/// let nl = benchmarks::load("c432").expect("built-in benchmark");
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let wires = select_wires(&nl, 8, WireSelection::Acyclic, nl.len(), &HashSet::new(), &mut rng)?;
+/// assert_eq!(wires.len(), 8);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`LockError::HostTooSmall`] if fewer than `count` candidates
+/// exist, and [`LockError::SelectionFailed`] if acyclic selection cannot
+/// find a mutually-unreachable set (the host is too entangled for this CLN
+/// size).
+pub fn select_wires(
+    netlist: &Netlist,
+    count: usize,
+    mode: WireSelection,
+    candidate_limit: usize,
+    exclude: &HashSet<SignalId>,
+    rng: &mut impl Rng,
+) -> Result<Vec<SignalId>> {
+    // Only *live* wires (reachable from a primary output) are lockable:
+    // routing a dangling wire through a CLN would protect nothing, and the
+    // block guarding it would itself be dead logic.
+    let live = live_signals(netlist);
+    let all_fanouts = netlist.fanouts();
+    let mut candidates: Vec<SignalId> = netlist
+        .gates()
+        .filter(|s| {
+            s.index() < candidate_limit
+                && !exclude.contains(s)
+                && live[s.index()]
+                && (!all_fanouts[s.index()].is_empty() || netlist.outputs().contains(s))
+        })
+        .collect();
+    if candidates.len() < count {
+        return Err(LockError::HostTooSmall {
+            needed: count,
+            available: candidates.len(),
+        });
+    }
+    candidates.shuffle(rng);
+    match mode {
+        WireSelection::Cyclic => Ok(candidates.into_iter().take(count).collect()),
+        WireSelection::Acyclic => {
+            // The greedy sweep is order-sensitive; retry with fresh
+            // shuffles before declaring the host too entangled.
+            let fanouts = netlist.fanouts();
+            let mut best = 0usize;
+            for _attempt in 0..24 {
+                let mut forbidden: HashSet<SignalId> = HashSet::new();
+                let mut chosen = Vec::with_capacity(count);
+                for &cand in &candidates {
+                    if chosen.len() == count {
+                        break;
+                    }
+                    if forbidden.contains(&cand) {
+                        continue;
+                    }
+                    chosen.push(cand);
+                    forbidden.insert(cand);
+                    // Everything reachable from `cand` (descendants) and
+                    // everything reaching it (ancestors) would close a loop
+                    // through the shared CLN.
+                    mark_reachable(&mut forbidden, cand, |s| {
+                        fanouts[s.index()].iter().copied()
+                    });
+                    mark_reachable(&mut forbidden, cand, |s| {
+                        netlist.node(s).fanins().iter().copied()
+                    });
+                }
+                if chosen.len() == count {
+                    return Ok(chosen);
+                }
+                best = best.max(chosen.len());
+                candidates.shuffle(rng);
+            }
+            Err(LockError::SelectionFailed(format!(
+                "only {best} of {count} mutually-independent wires found"
+            )))
+        }
+    }
+}
+
+/// Which signals are reachable (through fan-ins) from a primary output.
+pub(crate) fn live_signals(netlist: &Netlist) -> Vec<bool> {
+    let mut live = vec![false; netlist.len()];
+    let mut stack: Vec<SignalId> = Vec::new();
+    for &o in netlist.outputs() {
+        if !live[o.index()] {
+            live[o.index()] = true;
+            stack.push(o);
+        }
+    }
+    while let Some(s) = stack.pop() {
+        for &f in netlist.node(s).fanins() {
+            if !live[f.index()] {
+                live[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+    live
+}
+
+fn mark_reachable<I>(
+    forbidden: &mut HashSet<SignalId>,
+    from: SignalId,
+    neighbors: impl Fn(SignalId) -> I,
+) where
+    I: Iterator<Item = SignalId>,
+{
+    let mut stack = vec![from];
+    let mut visited: HashSet<SignalId> = HashSet::new();
+    visited.insert(from);
+    while let Some(s) = stack.pop() {
+        for n in neighbors(s) {
+            if visited.insert(n) {
+                forbidden.insert(n);
+                stack.push(n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fulllock_netlist::random::{generate, RandomCircuitConfig};
+    use fulllock_netlist::GateKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn host() -> Netlist {
+        generate(RandomCircuitConfig {
+            inputs: 16,
+            outputs: 8,
+            gates: 150,
+            max_fanin: 3,
+            seed: 2,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn cyclic_selection_returns_distinct_gates() {
+        let nl = host();
+        let mut rng = StdRng::seed_from_u64(0);
+        let picked = select_wires(
+            &nl,
+            8,
+            WireSelection::Cyclic,
+            nl.len(),
+            &HashSet::new(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(picked.len(), 8);
+        let set: HashSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), 8);
+        for &s in &picked {
+            assert!(!nl.node(s).is_input());
+        }
+    }
+
+    #[test]
+    fn acyclic_selection_is_mutually_unreachable() {
+        let nl = host();
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = select_wires(
+            &nl,
+            4,
+            WireSelection::Acyclic,
+            nl.len(),
+            &HashSet::new(),
+            &mut rng,
+        )
+        .unwrap();
+        // Verify pairwise unreachability with a fresh BFS.
+        let fanouts = nl.fanouts();
+        for &a in &picked {
+            let mut reach: HashSet<SignalId> = HashSet::new();
+            mark_reachable(&mut reach, a, |s| fanouts[s.index()].iter().copied());
+            for &b in &picked {
+                if a != b {
+                    assert!(!reach.contains(&b), "{a} reaches {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn excluded_wires_are_skipped() {
+        let nl = host();
+        let mut rng = StdRng::seed_from_u64(1);
+        let first = select_wires(
+            &nl,
+            4,
+            WireSelection::Cyclic,
+            nl.len(),
+            &HashSet::new(),
+            &mut rng,
+        )
+        .unwrap();
+        let exclude: HashSet<_> = first.iter().copied().collect();
+        let second =
+            select_wires(&nl, 4, WireSelection::Cyclic, nl.len(), &exclude, &mut rng).unwrap();
+        for s in second {
+            assert!(!exclude.contains(&s));
+        }
+    }
+
+    #[test]
+    fn too_small_host_errors() {
+        let mut nl = Netlist::new("tiny");
+        let a = nl.add_input("a");
+        let g = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        nl.mark_output(g);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            select_wires(&nl, 4, WireSelection::Cyclic, nl.len(), &HashSet::new(), &mut rng),
+            Err(LockError::HostTooSmall { needed: 4, available: 1 })
+        ));
+    }
+
+    #[test]
+    fn chain_cannot_supply_independent_wires() {
+        // A pure chain has total order: only 1 mutually-independent wire.
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_input("a");
+        for _ in 0..20 {
+            prev = nl.add_gate(GateKind::Not, &[prev]).unwrap();
+        }
+        nl.mark_output(prev);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            select_wires(&nl, 2, WireSelection::Acyclic, nl.len(), &HashSet::new(), &mut rng),
+            Err(LockError::SelectionFailed(_))
+        ));
+    }
+
+    #[test]
+    fn candidate_limit_restricts_choices() {
+        let nl = host();
+        let mut rng = StdRng::seed_from_u64(4);
+        let limit = nl.inputs().len() + 30;
+        let picked = select_wires(
+            &nl,
+            4,
+            WireSelection::Cyclic,
+            limit,
+            &HashSet::new(),
+            &mut rng,
+        )
+        .unwrap();
+        for s in picked {
+            assert!(s.index() < limit);
+        }
+    }
+}

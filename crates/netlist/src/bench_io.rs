@@ -1,0 +1,373 @@
+//! Reading and writing ISCAS-85 style `.bench` files.
+//!
+//! The `.bench` dialect accepted here is the one used by the logic-locking
+//! literature (and by the original SAT-attack tool): `INPUT(name)`,
+//! `OUTPUT(name)`, and `name = KIND(a, b, ...)` lines, `#` comments, and the
+//! gate kinds of [`GateKind`]. Key inputs of locked circuits are ordinary
+//! `INPUT`s whose names start with a conventional prefix (`keyinput` in the
+//! published benchmarks).
+//!
+//! Forward references and combinational cycles are supported: gates may be
+//! defined in any order.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::{GateKind, Netlist, NetlistError, Result, SignalId};
+
+/// Parses a `.bench` netlist from a string.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::DuplicateName`] / [`NetlistError::UndefinedName`] for
+/// inconsistent signal names, and [`NetlistError::BadArity`] for gates whose
+/// fan-in count their kind rejects.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_netlist::bench_io;
+///
+/// # fn main() -> Result<(), fulllock_netlist::NetlistError> {
+/// let src = "\
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = NAND(a, b)
+/// ";
+/// let nl = bench_io::parse(src, "tiny")?;
+/// assert_eq!(nl.stats().gates, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(source: &str, name: impl Into<String>) -> Result<Netlist> {
+    struct GateLine {
+        line_no: usize,
+        output: String,
+        kind: GateKind,
+        fanins: Vec<String>,
+    }
+
+    let mut inputs: Vec<(usize, String)> = Vec::new();
+    let mut outputs: Vec<(usize, String)> = Vec::new();
+    let mut gate_lines: Vec<GateLine> = Vec::new();
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            inputs.push((line_no, rest.to_string()));
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            outputs.push((line_no, rest.to_string()));
+        } else if let Some(eq) = line.find('=') {
+            let output = line[..eq].trim();
+            let rhs = line[eq + 1..].trim();
+            let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+                line: line_no,
+                message: format!("expected KIND(...) on right-hand side, got {rhs:?}"),
+            })?;
+            if !rhs.ends_with(')') {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "missing closing parenthesis".to_string(),
+                });
+            }
+            let kind_name = rhs[..open].trim();
+            let kind = GateKind::from_name(kind_name).ok_or_else(|| NetlistError::Parse {
+                line: line_no,
+                message: format!("unknown gate kind {kind_name:?}"),
+            })?;
+            let args = &rhs[open + 1..rhs.len() - 1];
+            let fanins: Vec<String> = args
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if output.is_empty() {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "empty signal name on left-hand side".to_string(),
+                });
+            }
+            gate_lines.push(GateLine {
+                line_no,
+                output: output.to_string(),
+                kind,
+                fanins,
+            });
+        } else {
+            return Err(NetlistError::Parse {
+                line: line_no,
+                message: format!("unrecognized line {line:?}"),
+            });
+        }
+    }
+
+    let mut netlist = Netlist::new(name);
+    let mut by_name: HashMap<String, SignalId> = HashMap::new();
+
+    for (line_no, input_name) in &inputs {
+        if by_name.contains_key(input_name) {
+            return Err(NetlistError::Parse {
+                line: *line_no,
+                message: format!("signal {input_name:?} defined twice"),
+            });
+        }
+        let id = netlist.add_input(input_name.clone());
+        by_name.insert(input_name.clone(), id);
+    }
+    // First create every gate (deferred, so cycles and forward references
+    // work), then wire fan-ins by name.
+    for gl in &gate_lines {
+        if by_name.contains_key(&gl.output) {
+            return Err(NetlistError::Parse {
+                line: gl.line_no,
+                message: format!("signal {:?} defined twice", gl.output),
+            });
+        }
+        let id = netlist
+            .add_deferred_gate(gl.kind, gl.fanins.len())
+            .map_err(|_| NetlistError::Parse {
+                line: gl.line_no,
+                message: format!(
+                    "gate kind {} does not accept {} fan-ins",
+                    gl.kind,
+                    gl.fanins.len()
+                ),
+            })?;
+        netlist.set_signal_name(id, gl.output.clone())?;
+        by_name.insert(gl.output.clone(), id);
+    }
+    for gl in &gate_lines {
+        let gate = by_name[&gl.output];
+        for (slot, fanin_name) in gl.fanins.iter().enumerate() {
+            let &fanin = by_name
+                .get(fanin_name)
+                .ok_or_else(|| NetlistError::UndefinedName(fanin_name.clone()))?;
+            netlist.set_fanin(gate, slot, fanin)?;
+        }
+    }
+    for (_, output_name) in &outputs {
+        let &sig = by_name
+            .get(output_name)
+            .ok_or_else(|| NetlistError::UndefinedName(output_name.clone()))?;
+        netlist.mark_output(sig);
+    }
+    netlist.check()?;
+    Ok(netlist)
+}
+
+fn strip_directive<'a>(line: &'a str, keyword: &str) -> Option<&'a str> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let rest = rest.trim_end().strip_suffix(')')?;
+    Some(rest.trim())
+}
+
+/// Serializes a netlist to `.bench` text. Unnamed signals are given
+/// synthesized `n<index>` names.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_netlist::{bench_io, GateKind, Netlist};
+///
+/// # fn main() -> Result<(), fulllock_netlist::NetlistError> {
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let g = nl.add_gate(GateKind::Not, &[a])?;
+/// nl.mark_output(g);
+/// let text = bench_io::write(&nl);
+/// let back = bench_io::parse(&text, "t")?;
+/// assert_eq!(back.stats(), nl.stats());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", netlist.name());
+    let stats = netlist.stats();
+    let _ = writeln!(
+        out,
+        "# {} inputs, {} outputs, {} gates",
+        stats.inputs, stats.outputs, stats.gates
+    );
+    for &i in netlist.inputs() {
+        let _ = writeln!(out, "INPUT({})", netlist.signal_name(i));
+    }
+    for &o in netlist.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", netlist.signal_name(o));
+    }
+    for g in netlist.gates() {
+        let node = netlist.node(g);
+        let kind = node.gate_kind().expect("gates() yields only gates");
+        let fanins: Vec<String> = node
+            .fanins()
+            .iter()
+            .map(|&f| netlist.signal_name(f))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            netlist.signal_name(g),
+            kind.name(),
+            fanins.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    const C17: &str = "\
+# c17 (real ISCAS-85 circuit)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let nl = parse(C17, "c17").unwrap();
+        let stats = nl.stats();
+        assert_eq!(stats.inputs, 5);
+        assert_eq!(stats.outputs, 2);
+        assert_eq!(stats.gates, 6);
+    }
+
+    #[test]
+    fn c17_functionality() {
+        let nl = parse(C17, "c17").unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        // Check against the NAND equations directly for every input pattern.
+        for row in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|i| row >> i & 1 == 1).collect();
+            let (g1, g2, g3, g6, g7) = (bits[0], bits[1], bits[2], bits[3], bits[4]);
+            let g10 = !(g1 && g3);
+            let g11 = !(g3 && g6);
+            let g16 = !(g2 && g11);
+            let g19 = !(g11 && g7);
+            let g22 = !(g10 && g16);
+            let g23 = !(g16 && g19);
+            assert_eq!(sim.run(&bits).unwrap(), vec![g22, g23], "row {row}");
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let nl = parse(C17, "c17").unwrap();
+        let text = write(&nl);
+        let back = parse(&text, "c17").unwrap();
+        let sim_a = Simulator::new(&nl).unwrap();
+        let sim_b = Simulator::new(&back).unwrap();
+        for row in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|i| row >> i & 1 == 1).collect();
+            assert_eq!(sim_a.run(&bits).unwrap(), sim_b.run(&bits).unwrap());
+        }
+    }
+
+    #[test]
+    fn forward_references_parse() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+y = NOT(z)
+z = BUF(a)
+";
+        let nl = parse(src, "fwd").unwrap();
+        assert_eq!(nl.stats().gates, 2);
+    }
+
+    #[test]
+    fn cyclic_bench_parses() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+y = AND(a, y)
+";
+        let nl = parse(src, "cyc").unwrap();
+        assert!(crate::topo::is_cyclic(&nl));
+    }
+
+    #[test]
+    fn mux_parses() {
+        let src = "\
+INPUT(s)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = MUX(s, a, b)
+";
+        let nl = parse(src, "mux").unwrap();
+        let sim = Simulator::new(&nl).unwrap();
+        assert_eq!(sim.run(&[false, true, false]).unwrap(), vec![true]);
+        assert_eq!(sim.run(&[true, true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn unknown_kind_is_parse_error() {
+        let err = parse("y = FROB(a)\n", "t").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn undefined_fanin_is_error() {
+        let err = parse("INPUT(a)\ny = NOT(zzz)\nOUTPUT(y)\n", "t").unwrap_err();
+        assert_eq!(err, NetlistError::UndefinedName("zzz".to_string()));
+    }
+
+    #[test]
+    fn duplicate_definition_is_error() {
+        let err = parse("INPUT(a)\na = NOT(a)\n", "t").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let src = "\n# header\n\nINPUT(a)  # trailing\nOUTPUT(y)\ny = BUF(a)\n";
+        let nl = parse(src, "t").unwrap();
+        assert_eq!(nl.stats().gates, 1);
+    }
+
+    #[test]
+    fn constant_cells_round_trip() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let zero = nl.add_named_gate(crate::GateKind::Const0, &[], "zero").unwrap();
+        let y = nl.add_gate(crate::GateKind::Or, &[a, zero]).unwrap();
+        nl.mark_output(y);
+        let text = write(&nl);
+        assert!(text.contains("zero = CONST0()"));
+        let back = parse(&text, "c").unwrap();
+        let sim = Simulator::new(&back).unwrap();
+        assert_eq!(sim.run(&[true]).unwrap(), vec![true]);
+        assert_eq!(sim.run(&[false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn bad_arity_in_bench_is_error() {
+        let err = parse("INPUT(a)\ny = NOT(a, a)\nOUTPUT(y)\n", "t").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+}

@@ -1,0 +1,341 @@
+//! Three-valued fixed-point evaluation of netlists with combinational
+//! cycles.
+//!
+//! A wrong key in Full-Lock's cyclic insertion mode can close a structural
+//! loop. The standard semantics for such circuits (used by CycSAT's
+//! correctness argument) is ternary simulation: start every signal at the
+//! unknown value `X` and propagate until a fixed point. Signals that settle
+//! carry a definite value; signals that stay `X` either oscillate or float.
+
+use crate::{GateKind, Netlist, NetlistError, Result};
+
+/// A three-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Trit {
+    /// Definite 0.
+    Zero,
+    /// Definite 1.
+    One,
+    /// Unknown / unsettled.
+    #[default]
+    X,
+}
+
+impl Trit {
+    /// Converts a definite boolean.
+    pub fn from_bool(b: bool) -> Trit {
+        if b {
+            Trit::One
+        } else {
+            Trit::Zero
+        }
+    }
+
+    /// The definite value, if any.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Trit::Zero => Some(false),
+            Trit::One => Some(true),
+            Trit::X => None,
+        }
+    }
+
+    /// Whether the value is definite.
+    pub fn is_known(self) -> bool {
+        self != Trit::X
+    }
+
+    fn not(self) -> Trit {
+        match self {
+            Trit::Zero => Trit::One,
+            Trit::One => Trit::Zero,
+            Trit::X => Trit::X,
+        }
+    }
+}
+
+/// Kleene (strong) three-valued evaluation of a gate.
+///
+/// Controlling values dominate `X`: `AND(0, X) = 0`, `OR(1, X) = 1`,
+/// `MUX` with a known select ignores the unselected leg.
+pub fn eval_trit(kind: GateKind, inputs: &[Trit]) -> Trit {
+    match kind {
+        GateKind::Const0 => Trit::Zero,
+        GateKind::Const1 => Trit::One,
+        GateKind::Buf => inputs[0],
+        GateKind::Not => inputs[0].not(),
+        GateKind::And | GateKind::Nand => {
+            let mut any_x = false;
+            for &t in inputs {
+                match t {
+                    Trit::Zero => {
+                        return if kind == GateKind::And { Trit::Zero } else { Trit::One }
+                    }
+                    Trit::X => any_x = true,
+                    Trit::One => {}
+                }
+            }
+            if any_x {
+                Trit::X
+            } else if kind == GateKind::And {
+                Trit::One
+            } else {
+                Trit::Zero
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut any_x = false;
+            for &t in inputs {
+                match t {
+                    Trit::One => {
+                        return if kind == GateKind::Or { Trit::One } else { Trit::Zero }
+                    }
+                    Trit::X => any_x = true,
+                    Trit::Zero => {}
+                }
+            }
+            if any_x {
+                Trit::X
+            } else if kind == GateKind::Or {
+                Trit::Zero
+            } else {
+                Trit::One
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = false;
+            for &t in inputs {
+                match t.to_bool() {
+                    Some(b) => acc ^= b,
+                    None => return Trit::X,
+                }
+            }
+            Trit::from_bool(if kind == GateKind::Xor { acc } else { !acc })
+        }
+        GateKind::Mux => {
+            let (s, a, b) = (inputs[0], inputs[1], inputs[2]);
+            match s {
+                Trit::Zero => a,
+                Trit::One => b,
+                Trit::X => {
+                    // If both legs agree on a definite value the output is
+                    // definite regardless of the select.
+                    if a.is_known() && a == b {
+                        a
+                    } else {
+                        Trit::X
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Result of one ternary fixed-point evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CyclicEval {
+    /// Final value of every signal, indexed by [`SignalId::index`](crate::SignalId::index).
+    pub signals: Vec<Trit>,
+    /// Final value of every primary output, in output order.
+    pub outputs: Vec<Trit>,
+    /// Number of sweeps until the fixed point was reached.
+    pub sweeps: usize,
+}
+
+impl CyclicEval {
+    /// Whether every primary output settled to a definite value.
+    pub fn all_outputs_known(&self) -> bool {
+        self.outputs.iter().all(|t| t.is_known())
+    }
+}
+
+/// Evaluator for (possibly) cyclic netlists using ternary fixed-point
+/// sweeps.
+///
+/// The evaluation is monotone in Kleene's information order (signals only
+/// move `X → 0/1`... never back), so a fixed point is reached within
+/// `len()` sweeps; the sweep bound exists purely as a defensive guard.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_netlist::{GateKind, Netlist};
+/// use fulllock_netlist::cyclic::{CyclicSimulator, Trit};
+///
+/// # fn main() -> Result<(), fulllock_netlist::NetlistError> {
+/// // g = AND(a, g): settles to 0 when a = 0, floats (X) when a = 1.
+/// let mut nl = Netlist::new("loop");
+/// let a = nl.add_input("a");
+/// let g = nl.add_deferred_gate(GateKind::And, 2)?;
+/// nl.set_fanin(g, 0, a)?;
+/// nl.set_fanin(g, 1, g)?;
+/// nl.mark_output(g);
+///
+/// let sim = CyclicSimulator::new(&nl);
+/// assert_eq!(sim.run(&[false])?.outputs, vec![Trit::Zero]);
+/// assert_eq!(sim.run(&[true])?.outputs, vec![Trit::X]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CyclicSimulator<'a> {
+    netlist: &'a Netlist,
+}
+
+impl<'a> CyclicSimulator<'a> {
+    /// Creates an evaluator. Works for acyclic netlists too (it then agrees
+    /// with [`Simulator`](crate::Simulator) and every signal settles).
+    pub fn new(netlist: &'a Netlist) -> CyclicSimulator<'a> {
+        CyclicSimulator { netlist }
+    }
+
+    /// Runs ternary fixed-point evaluation for one input pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputCount`] if the pattern length does not
+    /// match the number of primary inputs.
+    pub fn run(&self, inputs: &[bool]) -> Result<CyclicEval> {
+        if inputs.len() != self.netlist.inputs().len() {
+            return Err(NetlistError::InputCount {
+                expected: self.netlist.inputs().len(),
+                got: inputs.len(),
+            });
+        }
+        let n = self.netlist.len();
+        let mut values = vec![Trit::X; n];
+        for (slot, &sig) in self.netlist.inputs().iter().enumerate() {
+            values[sig.index()] = Trit::from_bool(inputs[slot]);
+        }
+        let mut fanin_buf: Vec<Trit> = Vec::with_capacity(8);
+        let mut sweeps = 0usize;
+        // Monotone ternary propagation: at most n sweeps are ever needed.
+        loop {
+            sweeps += 1;
+            let mut changed = false;
+            for s in self.netlist.signals() {
+                let node = self.netlist.node(s);
+                if let Some(kind) = node.gate_kind() {
+                    fanin_buf.clear();
+                    fanin_buf.extend(node.fanins().iter().map(|f| values[f.index()]));
+                    let new = eval_trit(kind, &fanin_buf);
+                    if new != values[s.index()] && new.is_known() {
+                        values[s.index()] = new;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed || sweeps > n + 1 {
+                break;
+            }
+        }
+        let outputs = self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|o| values[o.index()])
+            .collect();
+        Ok(CyclicEval {
+            signals: values,
+            outputs,
+            sweeps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    #[test]
+    fn trit_conversions() {
+        assert_eq!(Trit::from_bool(true), Trit::One);
+        assert_eq!(Trit::One.to_bool(), Some(true));
+        assert_eq!(Trit::X.to_bool(), None);
+        assert!(!Trit::X.is_known());
+    }
+
+    #[test]
+    fn kleene_controlling_values() {
+        assert_eq!(eval_trit(GateKind::And, &[Trit::Zero, Trit::X]), Trit::Zero);
+        assert_eq!(eval_trit(GateKind::Nand, &[Trit::Zero, Trit::X]), Trit::One);
+        assert_eq!(eval_trit(GateKind::Or, &[Trit::One, Trit::X]), Trit::One);
+        assert_eq!(eval_trit(GateKind::Nor, &[Trit::One, Trit::X]), Trit::Zero);
+        assert_eq!(eval_trit(GateKind::And, &[Trit::One, Trit::X]), Trit::X);
+        assert_eq!(eval_trit(GateKind::Xor, &[Trit::One, Trit::X]), Trit::X);
+    }
+
+    #[test]
+    fn mux_with_agreeing_legs_is_definite() {
+        assert_eq!(
+            eval_trit(GateKind::Mux, &[Trit::X, Trit::One, Trit::One]),
+            Trit::One
+        );
+        assert_eq!(
+            eval_trit(GateKind::Mux, &[Trit::X, Trit::One, Trit::Zero]),
+            Trit::X
+        );
+        assert_eq!(
+            eval_trit(GateKind::Mux, &[Trit::Zero, Trit::One, Trit::X]),
+            Trit::One
+        );
+    }
+
+    #[test]
+    fn acyclic_agrees_with_plain_simulator() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Nand, &[a, b]).unwrap();
+        let h = nl.add_gate(GateKind::Xor, &[g, a]).unwrap();
+        nl.mark_output(h);
+        let plain = Simulator::new(&nl).unwrap();
+        let ternary = CyclicSimulator::new(&nl);
+        for row in 0..4 {
+            let pat = [row & 1 == 1, row >> 1 & 1 == 1];
+            let want = plain.run(&pat).unwrap();
+            let got = ternary.run(&pat).unwrap();
+            assert_eq!(got.outputs, vec![Trit::from_bool(want[0])]);
+            assert!(got.all_outputs_known());
+        }
+    }
+
+    #[test]
+    fn stable_loop_settles_oscillating_loop_floats() {
+        // Ring oscillator: g = NOT(g) never settles.
+        let mut nl = Netlist::new("osc");
+        let g = nl.add_deferred_gate(GateKind::Not, 1).unwrap();
+        nl.set_fanin(g, 0, g).unwrap();
+        nl.mark_output(g);
+        let sim = CyclicSimulator::new(&nl);
+        let eval = sim.run(&[]).unwrap();
+        assert_eq!(eval.outputs, vec![Trit::X]);
+        assert!(!eval.all_outputs_known());
+    }
+
+    #[test]
+    fn gated_loop_settles_when_broken() {
+        // g = OR(a, g): a=1 forces 1; a=0 leaves the loop floating.
+        let mut nl = Netlist::new("latchish");
+        let a = nl.add_input("a");
+        let g = nl.add_deferred_gate(GateKind::Or, 2).unwrap();
+        nl.set_fanin(g, 0, a).unwrap();
+        nl.set_fanin(g, 1, g).unwrap();
+        nl.mark_output(g);
+        let sim = CyclicSimulator::new(&nl);
+        assert_eq!(sim.run(&[true]).unwrap().outputs, vec![Trit::One]);
+        assert_eq!(sim.run(&[false]).unwrap().outputs, vec![Trit::X]);
+    }
+
+    #[test]
+    fn wrong_input_count() {
+        let mut nl = Netlist::new("t");
+        nl.add_input("a");
+        let sim = CyclicSimulator::new(&nl);
+        assert!(matches!(
+            sim.run(&[]),
+            Err(NetlistError::InputCount { expected: 1, got: 0 })
+        ));
+    }
+}

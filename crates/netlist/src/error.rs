@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced while building, parsing, or evaluating netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was created with a fan-in count its [`GateKind`](crate::GateKind)
+    /// does not support (e.g. a three-input `NOT`).
+    BadArity {
+        /// The offending gate kind, by name.
+        kind: &'static str,
+        /// The fan-in count that was supplied.
+        got: usize,
+    },
+    /// A [`SignalId`](crate::SignalId) referenced a node that does not exist
+    /// in this netlist.
+    UnknownSignal(u32),
+    /// An operation that requires an acyclic netlist found a combinational
+    /// cycle through the named signal.
+    Cyclic {
+        /// Index of a signal on the detected cycle.
+        on_cycle: u32,
+    },
+    /// The number of supplied input values does not match the number of
+    /// primary inputs.
+    InputCount {
+        /// Number of primary inputs the netlist declares.
+        expected: usize,
+        /// Number of values supplied by the caller.
+        got: usize,
+    },
+    /// A `.bench` file failed to parse.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A signal name was defined twice, or a gate redefined an input.
+    DuplicateName(String),
+    /// A named signal was referenced but never defined.
+    UndefinedName(String),
+    /// A generator was asked for an impossible configuration
+    /// (e.g. zero inputs, or more outputs than reachable gates).
+    BadConfig(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::BadArity { kind, got } => {
+                write!(f, "gate kind {kind} does not accept {got} fan-ins")
+            }
+            NetlistError::UnknownSignal(id) => write!(f, "unknown signal id {id}"),
+            NetlistError::Cyclic { on_cycle } => {
+                write!(f, "netlist has a combinational cycle through signal {on_cycle}")
+            }
+            NetlistError::InputCount { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::DuplicateName(name) => write!(f, "signal name {name:?} defined twice"),
+            NetlistError::UndefinedName(name) => {
+                write!(f, "signal name {name:?} referenced but never defined")
+            }
+            NetlistError::BadConfig(msg) => write!(f, "invalid generator configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,67 @@
+//! Gate-level netlist substrate for the Full-Lock reproduction.
+//!
+//! This crate provides everything the locking schemes and attacks need from a
+//! logic-synthesis front end:
+//!
+//! * a mutable gate-level [`Netlist`] with named signals, primary inputs and
+//!   outputs, and multi-input standard cells ([`GateKind`]);
+//! * ISCAS-85 style `.bench` parsing and writing ([`bench_io`]);
+//! * topological analysis: ordering, logic levels, cycle detection and
+//!   strongly-connected components ([`topo`]);
+//! * fast combinational simulation, both single-pattern and 64-way
+//!   bit-parallel ([`sim`]), plus three-valued fixed-point evaluation for
+//!   circuits with combinational cycles ([`cyclic`]);
+//! * seeded random circuit generation ([`random`]) and the synthetic
+//!   ISCAS-85 / MCNC benchmark suite used by the paper's evaluation
+//!   ([`benchmarks`]);
+//! * signal-probability analysis used by the SPS attack ([`probability`]).
+//!
+//! # Example
+//!
+//! Build a one-bit full adder and simulate it:
+//!
+//! ```
+//! use fulllock_netlist::{GateKind, Netlist};
+//!
+//! # fn main() -> Result<(), fulllock_netlist::NetlistError> {
+//! let mut nl = Netlist::new("full_adder");
+//! let a = nl.add_input("a");
+//! let b = nl.add_input("b");
+//! let cin = nl.add_input("cin");
+//! let sum = nl.add_gate(GateKind::Xor, &[a, b, cin])?;
+//! let ab = nl.add_gate(GateKind::And, &[a, b])?;
+//! let axb = nl.add_gate(GateKind::Xor, &[a, b])?;
+//! let t = nl.add_gate(GateKind::And, &[axb, cin])?;
+//! let cout = nl.add_gate(GateKind::Or, &[ab, t])?;
+//! nl.mark_output(sum);
+//! nl.mark_output(cout);
+//!
+//! let sim = fulllock_netlist::Simulator::new(&nl)?;
+//! assert_eq!(sim.run(&[true, true, false])?, vec![false, true]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench_io;
+pub mod benchmarks;
+pub mod cyclic;
+mod error;
+mod gate;
+mod netlist;
+pub mod opt;
+pub mod probability;
+pub mod random;
+pub mod sim;
+pub mod topo;
+pub mod verilog;
+
+pub use error::NetlistError;
+pub use gate::GateKind;
+pub use netlist::{Netlist, NetlistStats, Node, NodeKind, SignalId};
+pub use sim::Simulator;
+
+/// Crate-wide result alias.
+pub type Result<T, E = NetlistError> = std::result::Result<T, E>;

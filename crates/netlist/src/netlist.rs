@@ -1,0 +1,780 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{GateKind, NetlistError, Result};
+
+/// Identifier of a signal (the output of a primary input or of a gate).
+///
+/// `SignalId`s are dense indices into a [`Netlist`]'s node table and are only
+/// meaningful for the netlist that issued them.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_netlist::Netlist;
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// assert_eq!(a.index(), 0);
+/// assert_eq!(format!("{a}"), "s0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(u32);
+
+impl SignalId {
+    pub(crate) fn new(index: usize) -> SignalId {
+        SignalId(u32::try_from(index).expect("netlist larger than u32::MAX nodes"))
+    }
+
+    /// The dense index of this signal in its netlist's node table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// What drives a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A primary input (or, in a locked netlist, a key input).
+    Input,
+    /// A logic gate of the given kind.
+    Gate(GateKind),
+}
+
+/// One node of the netlist: a primary input or a gate, together with its
+/// fan-in signals and optional name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    kind: NodeKind,
+    fanins: Vec<SignalId>,
+    name: Option<String>,
+}
+
+impl Node {
+    /// Whether this node is a primary input.
+    pub fn is_input(&self) -> bool {
+        matches!(self.kind, NodeKind::Input)
+    }
+
+    /// The node's kind.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The gate kind, if this node is a gate.
+    pub fn gate_kind(&self) -> Option<GateKind> {
+        match self.kind {
+            NodeKind::Gate(k) => Some(k),
+            NodeKind::Input => None,
+        }
+    }
+
+    /// The fan-in signals (empty for inputs).
+    pub fn fanins(&self) -> &[SignalId] {
+        &self.fanins
+    }
+
+    /// The signal's name, if one was assigned.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+/// Aggregate statistics of a netlist, as reported by [`Netlist::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of gates (non-input nodes).
+    pub gates: usize,
+    /// Largest gate fan-in.
+    pub max_fanin: usize,
+}
+
+/// A mutable gate-level combinational netlist.
+///
+/// Signals are created append-only (inputs via [`add_input`], gates via
+/// [`add_gate`]) and referenced by [`SignalId`]. Fan-ins may be *rewired*
+/// after creation ([`set_fanin`], [`redirect_fanouts`]) — this is how the
+/// locking transformations splice PLRs into a host circuit — but nodes are
+/// never removed, so `SignalId`s stay valid for the netlist's lifetime.
+///
+/// The structure intentionally permits combinational cycles: Full-Lock's
+/// cyclic insertion mode creates them on purpose. Analyses that require a DAG
+/// (e.g. [`Simulator`](crate::Simulator)) report [`NetlistError::Cyclic`].
+///
+/// [`add_input`]: Netlist::add_input
+/// [`add_gate`]: Netlist::add_gate
+/// [`set_fanin`]: Netlist::set_fanin
+/// [`redirect_fanouts`]: Netlist::redirect_fanouts
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    nodes: Vec<Node>,
+    inputs: Vec<SignalId>,
+    outputs: Vec<SignalId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            nodes: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the design.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Appends an unnamed anonymous input. See [`Netlist::add_input`].
+    pub fn add_anonymous_input(&mut self) -> SignalId {
+        let id = SignalId::new(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::Input,
+            fanins: Vec::new(),
+            name: None,
+        });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Appends a named primary input and returns its signal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> SignalId {
+        let id = self.add_anonymous_input();
+        self.nodes[id.index()].name = Some(name.into());
+        id
+    }
+
+    /// Appends a gate and returns its output signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] if `fanins.len()` is not an
+    /// accepted arity for `kind`, and [`NetlistError::UnknownSignal`] if any
+    /// fan-in does not exist yet.
+    pub fn add_gate(&mut self, kind: GateKind, fanins: &[SignalId]) -> Result<SignalId> {
+        if !kind.accepts_arity(fanins.len()) {
+            return Err(NetlistError::BadArity {
+                kind: kind.name(),
+                got: fanins.len(),
+            });
+        }
+        for &f in fanins {
+            self.check_signal(f)?;
+        }
+        let id = SignalId::new(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::Gate(kind),
+            fanins: fanins.to_vec(),
+            name: None,
+        });
+        Ok(id)
+    }
+
+    /// Appends a named gate. See [`Netlist::add_gate`] for errors.
+    pub fn add_named_gate(
+        &mut self,
+        kind: GateKind,
+        fanins: &[SignalId],
+        name: impl Into<String>,
+    ) -> Result<SignalId> {
+        let id = self.add_gate(kind, fanins)?;
+        self.nodes[id.index()].name = Some(name.into());
+        Ok(id)
+    }
+
+    /// Reserves a gate whose fan-ins will be wired later with
+    /// [`Netlist::set_fanin`]. The placeholder fan-ins all point at the gate
+    /// itself, making the netlist cyclic until they are replaced — callers
+    /// must wire every slot before using the netlist.
+    ///
+    /// This is the mechanism the locking crate uses to build feedback
+    /// structures (cyclic PLR insertion) that cannot be expressed
+    /// append-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] if `arity` is not accepted by
+    /// `kind`.
+    pub fn add_deferred_gate(&mut self, kind: GateKind, arity: usize) -> Result<SignalId> {
+        if !kind.accepts_arity(arity) {
+            return Err(NetlistError::BadArity {
+                kind: kind.name(),
+                got: arity,
+            });
+        }
+        let id = SignalId::new(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::Gate(kind),
+            fanins: vec![id; arity],
+            name: None,
+        });
+        Ok(id)
+    }
+
+    /// Marks a signal as a primary output. A signal may be marked more than
+    /// once (multiple output ports on one net), matching `.bench` semantics.
+    pub fn mark_output(&mut self, signal: SignalId) {
+        self.outputs.push(signal);
+    }
+
+    /// Assigns (or replaces) a signal's name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] if `signal` is out of range.
+    pub fn set_signal_name(&mut self, signal: SignalId, name: impl Into<String>) -> Result<()> {
+        self.check_signal(signal)?;
+        self.nodes[signal.index()].name = Some(name.into());
+        Ok(())
+    }
+
+    /// Replaces one fan-in slot of a gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] if either signal is out of
+    /// range or if `slot` is out of range for the gate, and
+    /// [`NetlistError::BadArity`] if `gate` is a primary input.
+    pub fn set_fanin(&mut self, gate: SignalId, slot: usize, new_fanin: SignalId) -> Result<()> {
+        self.check_signal(gate)?;
+        self.check_signal(new_fanin)?;
+        let node = &mut self.nodes[gate.index()];
+        if node.is_input() {
+            return Err(NetlistError::BadArity { kind: "INPUT", got: 0 });
+        }
+        if slot >= node.fanins.len() {
+            return Err(NetlistError::UnknownSignal(slot as u32));
+        }
+        node.fanins[slot] = new_fanin;
+        Ok(())
+    }
+
+    /// Changes a gate's kind in place, keeping its fan-ins.
+    ///
+    /// Used by the "twisting" step of Full-Lock, which negates gates leading
+    /// into a CLN (e.g. `OR → NOR`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] for an out-of-range signal and
+    /// [`NetlistError::BadArity`] if the node is an input or the new kind
+    /// rejects the existing fan-in count.
+    pub fn set_gate_kind(&mut self, gate: SignalId, kind: GateKind) -> Result<()> {
+        self.check_signal(gate)?;
+        let node = &mut self.nodes[gate.index()];
+        if node.is_input() {
+            return Err(NetlistError::BadArity { kind: "INPUT", got: 0 });
+        }
+        if !kind.accepts_arity(node.fanins.len()) {
+            return Err(NetlistError::BadArity {
+                kind: kind.name(),
+                got: node.fanins.len(),
+            });
+        }
+        node.kind = NodeKind::Gate(kind);
+        Ok(())
+    }
+
+    /// Redirects every fan-in reference to `from` so it reads `to` instead,
+    /// except inside the gates listed in `except`. Primary-output references
+    /// to `from` are redirected as well. Returns the number of fan-in slots
+    /// (plus output ports) rewired.
+    ///
+    /// This is the splice primitive: to insert a block on wire `w`, create
+    /// the block reading `w`, then redirect `w`'s fan-outs to the block's
+    /// output while excepting the block itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] if `from` or `to` is out of
+    /// range.
+    pub fn redirect_fanouts(
+        &mut self,
+        from: SignalId,
+        to: SignalId,
+        except: &[SignalId],
+    ) -> Result<usize> {
+        self.check_signal(from)?;
+        self.check_signal(to)?;
+        let mut rewired = 0;
+        for idx in 0..self.nodes.len() {
+            let here = SignalId::new(idx);
+            if except.contains(&here) {
+                continue;
+            }
+            for fanin in &mut self.nodes[idx].fanins {
+                if *fanin == from {
+                    *fanin = to;
+                    rewired += 1;
+                }
+            }
+        }
+        for out in &mut self.outputs {
+            if *out == from {
+                *out = to;
+                rewired += 1;
+            }
+        }
+        Ok(rewired)
+    }
+
+    /// Total number of nodes (inputs + gates).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the netlist has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node table entry for a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal` is out of range; all `SignalId`s handed out by this
+    /// netlist are in range.
+    pub fn node(&self, signal: SignalId) -> &Node {
+        &self.nodes[signal.index()]
+    }
+
+    /// Iterates over all signals in creation order.
+    pub fn signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        (0..self.nodes.len()).map(SignalId::new)
+    }
+
+    /// Iterates over all gate signals (skipping inputs) in creation order.
+    pub fn gates(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.signals().filter(|&s| !self.nodes[s.index()].is_input())
+    }
+
+    /// The primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// The primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[SignalId] {
+        &self.outputs
+    }
+
+    /// Re-points the `position`-th primary output at a different signal
+    /// (used by schemes that wrap an output in corruption logic).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownSignal`] if `position` or `signal` is
+    /// out of range.
+    pub fn set_output(&mut self, position: usize, signal: SignalId) -> Result<()> {
+        self.check_signal(signal)?;
+        let slot = self
+            .outputs
+            .get_mut(position)
+            .ok_or(NetlistError::UnknownSignal(position as u32))?;
+        *slot = signal;
+        Ok(())
+    }
+
+    /// Looks a signal up by name (linear scan; build a map for bulk lookups).
+    pub fn find_by_name(&self, name: &str) -> Option<SignalId> {
+        self.signals().find(|&s| self.nodes[s.index()].name() == Some(name))
+    }
+
+    /// A printable name for a signal: its assigned name if any, otherwise a
+    /// synthesized `n<index>`.
+    pub fn signal_name(&self, signal: SignalId) -> String {
+        match self.nodes[signal.index()].name() {
+            Some(n) => n.to_string(),
+            None => format!("n{}", signal.index()),
+        }
+    }
+
+    /// Computes, for every signal, the list of gates reading it. The outer
+    /// vector is indexed by [`SignalId::index`].
+    pub fn fanouts(&self) -> Vec<Vec<SignalId>> {
+        let mut fanouts = vec![Vec::new(); self.nodes.len()];
+        for s in self.signals() {
+            for &f in self.nodes[s.index()].fanins() {
+                fanouts[f.index()].push(s);
+            }
+        }
+        fanouts
+    }
+
+    /// Gate-kind histogram (useful for technology mapping reports and for
+    /// eyeballing what a locking transformation inserted).
+    pub fn gate_histogram(&self) -> std::collections::BTreeMap<GateKind, usize> {
+        let mut histogram = std::collections::BTreeMap::new();
+        for g in self.gates() {
+            if let Some(kind) = self.nodes[g.index()].gate_kind() {
+                *histogram.entry(kind).or_insert(0) += 1;
+            }
+        }
+        histogram
+    }
+
+    /// Aggregate size statistics.
+    pub fn stats(&self) -> NetlistStats {
+        NetlistStats {
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            gates: self.nodes.len() - self.inputs.len(),
+            max_fanin: self
+                .nodes
+                .iter()
+                .map(|n| n.fanins.len())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Verifies structural invariants: every fan-in id in range, every arity
+    /// accepted, every output id in range, and names unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`NetlistError`].
+    pub fn check(&self) -> Result<()> {
+        let mut seen_names: HashMap<&str, SignalId> = HashMap::new();
+        for s in self.signals() {
+            let node = &self.nodes[s.index()];
+            match node.kind {
+                NodeKind::Input => {
+                    if !node.fanins.is_empty() {
+                        return Err(NetlistError::BadArity {
+                            kind: "INPUT",
+                            got: node.fanins.len(),
+                        });
+                    }
+                }
+                NodeKind::Gate(kind) => {
+                    if !kind.accepts_arity(node.fanins.len()) {
+                        return Err(NetlistError::BadArity {
+                            kind: kind.name(),
+                            got: node.fanins.len(),
+                        });
+                    }
+                }
+            }
+            for &f in &node.fanins {
+                if f.index() >= self.nodes.len() {
+                    return Err(NetlistError::UnknownSignal(f.raw()));
+                }
+            }
+            if let Some(name) = node.name() {
+                if let Some(prev) = seen_names.insert(name, s) {
+                    if prev != s {
+                        return Err(NetlistError::DuplicateName(name.to_string()));
+                    }
+                }
+            }
+        }
+        for &o in &self.outputs {
+            if o.index() >= self.nodes.len() {
+                return Err(NetlistError::UnknownSignal(o.raw()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces a copy of this netlist containing only the primary inputs
+    /// and the gates reachable (through fan-ins) from a primary output,
+    /// together with a remap table `old SignalId index → new SignalId`
+    /// (`None` for dropped gates).
+    ///
+    /// Locking transformations splice blocks over existing wires and leave
+    /// the replaced gates dangling; sweeping removes that dead logic so it
+    /// does not pollute CNF statistics or PPA estimates. All primary inputs
+    /// are kept even if unused (ports are part of the interface).
+    pub fn sweep(&self) -> (Netlist, Vec<Option<SignalId>>) {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<SignalId> = Vec::new();
+        for &o in &self.outputs {
+            if !live[o.index()] {
+                live[o.index()] = true;
+                stack.push(o);
+            }
+        }
+        while let Some(s) = stack.pop() {
+            for &f in self.nodes[s.index()].fanins() {
+                if !live[f.index()] {
+                    live[f.index()] = true;
+                    stack.push(f);
+                }
+            }
+        }
+        for &i in &self.inputs {
+            live[i.index()] = true;
+        }
+
+        let mut remap: Vec<Option<SignalId>> = vec![None; self.nodes.len()];
+        let mut swept = Netlist::new(self.name.clone());
+        // Nodes are appended in original order, so fan-in references of kept
+        // gates always resolve (sweep never reorders).
+        for s in self.signals() {
+            if !live[s.index()] {
+                continue;
+            }
+            let node = &self.nodes[s.index()];
+            let new_id = SignalId::new(swept.nodes.len());
+            swept.nodes.push(Node {
+                kind: node.kind,
+                fanins: Vec::new(), // wired below once ids exist
+                name: node.name.clone(),
+            });
+            if node.is_input() {
+                swept.inputs.push(new_id);
+            }
+            remap[s.index()] = Some(new_id);
+        }
+        for s in self.signals() {
+            let Some(new_id) = remap[s.index()] else { continue };
+            let fanins: Vec<SignalId> = self.nodes[s.index()]
+                .fanins()
+                .iter()
+                .map(|f| remap[f.index()].expect("fan-in of a live node is live"))
+                .collect();
+            swept.nodes[new_id.index()].fanins = fanins;
+        }
+        for &o in &self.outputs {
+            swept
+                .outputs
+                .push(remap[o.index()].expect("outputs are live"));
+        }
+        (swept, remap)
+    }
+
+    fn check_signal(&self, signal: SignalId) -> Result<()> {
+        if signal.index() >= self.nodes.len() {
+            return Err(NetlistError::UnknownSignal(signal.raw()));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        write!(
+            f,
+            "{} ({} inputs, {} outputs, {} gates)",
+            self.name, stats.inputs, stats.outputs, stats.gates
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Netlist, SignalId, SignalId, SignalId) {
+        let mut nl = Netlist::new("tiny");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.mark_output(g);
+        (nl, a, b, g)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (nl, a, b, g) = tiny();
+        assert_eq!(nl.inputs(), &[a, b]);
+        assert_eq!(nl.outputs(), &[g]);
+        assert_eq!(nl.node(g).gate_kind(), Some(GateKind::And));
+        assert_eq!(nl.node(g).fanins(), &[a, b]);
+        assert_eq!(nl.stats().gates, 1);
+        assert!(nl.check().is_ok());
+    }
+
+    #[test]
+    fn bad_arity_is_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        assert_eq!(
+            nl.add_gate(GateKind::Not, &[a, a]),
+            Err(NetlistError::BadArity { kind: "NOT", got: 2 })
+        );
+        assert_eq!(
+            nl.add_gate(GateKind::Mux, &[a]),
+            Err(NetlistError::BadArity { kind: "MUX", got: 1 })
+        );
+    }
+
+    #[test]
+    fn unknown_fanin_is_rejected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let bogus = SignalId::new(99);
+        assert_eq!(
+            nl.add_gate(GateKind::Not, &[bogus]),
+            Err(NetlistError::UnknownSignal(99))
+        );
+        let _ = a;
+    }
+
+    #[test]
+    fn redirect_fanouts_respects_exceptions() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g1 = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let g2 = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+        nl.mark_output(a);
+        let n = nl.redirect_fanouts(a, g1, &[g1]).unwrap();
+        // g2's fan-in and the primary output move; g1 keeps reading `a`.
+        assert_eq!(n, 2);
+        assert_eq!(nl.node(g2).fanins(), &[g1]);
+        assert_eq!(nl.node(g1).fanins(), &[a]);
+        assert_eq!(nl.outputs(), &[g1]);
+    }
+
+    #[test]
+    fn set_gate_kind_twists() {
+        let (mut nl, _, _, g) = tiny();
+        nl.set_gate_kind(g, GateKind::Nand).unwrap();
+        assert_eq!(nl.node(g).gate_kind(), Some(GateKind::Nand));
+        // NOT needs arity 1, the AND has 2 fan-ins.
+        assert!(nl.set_gate_kind(g, GateKind::Not).is_err());
+    }
+
+    #[test]
+    fn deferred_gate_starts_self_referential() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let g = nl.add_deferred_gate(GateKind::And, 2).unwrap();
+        assert_eq!(nl.node(g).fanins(), &[g, g]);
+        nl.set_fanin(g, 0, a).unwrap();
+        nl.set_fanin(g, 1, a).unwrap();
+        assert_eq!(nl.node(g).fanins(), &[a, a]);
+    }
+
+    #[test]
+    fn duplicate_names_fail_check() {
+        let mut nl = Netlist::new("t");
+        nl.add_input("x");
+        nl.add_input("x");
+        assert_eq!(nl.check(), Err(NetlistError::DuplicateName("x".into())));
+    }
+
+    #[test]
+    fn fanouts_are_inverse_of_fanins() {
+        let (nl, a, b, g) = tiny();
+        let fanouts = nl.fanouts();
+        assert_eq!(fanouts[a.index()], vec![g]);
+        assert_eq!(fanouts[b.index()], vec![g]);
+        assert!(fanouts[g.index()].is_empty());
+    }
+
+    #[test]
+    fn set_output_replaces_and_validates() {
+        let (mut nl, a, _, g) = tiny();
+        nl.set_output(0, a).unwrap();
+        assert_eq!(nl.outputs(), &[a]);
+        assert!(nl.set_output(5, a).is_err()); // no such port
+        assert!(nl.set_output(0, SignalId::new(99)).is_err()); // no such signal
+        let _ = g;
+    }
+
+    #[test]
+    fn set_fanin_error_paths() {
+        let (mut nl, a, b, g) = tiny();
+        // Rewiring an input is rejected.
+        assert!(matches!(
+            nl.set_fanin(a, 0, b),
+            Err(NetlistError::BadArity { kind: "INPUT", .. })
+        ));
+        // Slot out of range.
+        assert!(nl.set_fanin(g, 7, a).is_err());
+        // Unknown signals on either side.
+        assert!(nl.set_fanin(SignalId::new(99), 0, a).is_err());
+        assert!(nl.set_fanin(g, 0, SignalId::new(99)).is_err());
+    }
+
+    #[test]
+    fn redirect_fanouts_validates_signals() {
+        let (mut nl, a, _, g) = tiny();
+        assert!(nl.redirect_fanouts(SignalId::new(99), a, &[]).is_err());
+        assert!(nl.redirect_fanouts(a, SignalId::new(99), &[]).is_err());
+        // Redirecting a signal nothing reads is a no-op, not an error.
+        assert_eq!(nl.redirect_fanouts(g, a, &[]).unwrap(), 1); // the output port
+    }
+
+    #[test]
+    fn gate_histogram_counts_kinds() {
+        let mut nl = Netlist::new("h");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let hist = nl.gate_histogram();
+        assert_eq!(hist.get(&GateKind::And), Some(&2));
+        assert_eq!(hist.get(&GateKind::Not), Some(&1));
+        assert_eq!(hist.get(&GateKind::Or), None);
+    }
+
+    #[test]
+    fn sweep_removes_dead_gates_and_keeps_inputs() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b"); // unused input: must survive
+        let live = nl.add_gate(GateKind::Not, &[a]).unwrap();
+        let dead = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let dead2 = nl.add_gate(GateKind::Not, &[dead]).unwrap();
+        nl.mark_output(live);
+        let (swept, remap) = nl.sweep();
+        assert_eq!(swept.stats().inputs, 2);
+        assert_eq!(swept.stats().gates, 1);
+        assert!(remap[live.index()].is_some());
+        assert!(remap[dead.index()].is_none());
+        assert!(remap[dead2.index()].is_none());
+        assert!(swept.check().is_ok());
+        // Function preserved.
+        let sim = crate::Simulator::new(&swept).unwrap();
+        assert_eq!(sim.run(&[true, false]).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn sweep_keeps_cyclic_logic_reachable_from_outputs() {
+        let mut nl = Netlist::new("c");
+        let a = nl.add_input("a");
+        let g = nl.add_deferred_gate(GateKind::Or, 2).unwrap();
+        nl.set_fanin(g, 0, a).unwrap();
+        nl.set_fanin(g, 1, g).unwrap();
+        nl.mark_output(g);
+        let (swept, _) = nl.sweep();
+        assert_eq!(swept.stats().gates, 1);
+    }
+
+    #[test]
+    fn find_by_name_and_signal_name() {
+        let (nl, a, _, g) = tiny();
+        assert_eq!(nl.find_by_name("a"), Some(a));
+        assert_eq!(nl.find_by_name("zzz"), None);
+        assert_eq!(nl.signal_name(a), "a");
+        assert_eq!(nl.signal_name(g), format!("n{}", g.index()));
+    }
+}

@@ -1,0 +1,198 @@
+//! Signal-probability analysis.
+//!
+//! The Signal Probability Skew (SPS) attack locates Anti-SAT style blocks by
+//! finding internal wires whose probability of being 1 is extremely skewed
+//! (an N-input AND tree output is 1 with probability `2^-N`). Two estimators
+//! are provided:
+//!
+//! * [`static_probabilities`] — one topological pass propagating
+//!   probabilities under an independence assumption (exact for trees, an
+//!   approximation under reconvergent fan-out);
+//! * [`monte_carlo_probabilities`] — 64-way bit-parallel random simulation,
+//!   unbiased for any DAG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{topo, GateKind, Netlist, Result, Simulator};
+
+/// Propagates `P(signal = 1)` through the netlist in one topological pass,
+/// assuming fan-ins are independent. Primary inputs are assigned
+/// probability 0.5. Returns one probability per signal, indexed by
+/// [`SignalId::index`](crate::SignalId::index).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cyclic`](crate::NetlistError::Cyclic) for cyclic
+/// netlists.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_netlist::{GateKind, Netlist, probability};
+///
+/// # fn main() -> Result<(), fulllock_netlist::NetlistError> {
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_gate(GateKind::And, &[a, b])?;
+/// let p = probability::static_probabilities(&nl)?;
+/// assert!((p[g.index()] - 0.25).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn static_probabilities(netlist: &Netlist) -> Result<Vec<f64>> {
+    let order = topo::topo_order(netlist)?;
+    let mut prob = vec![0.5f64; netlist.len()];
+    for s in order {
+        let node = netlist.node(s);
+        let Some(kind) = node.gate_kind() else { continue };
+        let p: Vec<f64> = node.fanins().iter().map(|f| prob[f.index()]).collect();
+        prob[s.index()] = match kind {
+            GateKind::Const0 => 0.0,
+            GateKind::Const1 => 1.0,
+            GateKind::Buf => p[0],
+            GateKind::Not => 1.0 - p[0],
+            GateKind::And => p.iter().product(),
+            GateKind::Nand => 1.0 - p.iter().product::<f64>(),
+            GateKind::Or => 1.0 - p.iter().map(|q| 1.0 - q).product::<f64>(),
+            GateKind::Nor => p.iter().map(|q| 1.0 - q).product(),
+            GateKind::Xor | GateKind::Xnor => {
+                // P(odd parity) folds as p⊕q = p(1-q) + q(1-p).
+                let odd = p
+                    .iter()
+                    .fold(0.0f64, |acc, &q| acc * (1.0 - q) + q * (1.0 - acc));
+                if kind == GateKind::Xor {
+                    odd
+                } else {
+                    1.0 - odd
+                }
+            }
+            GateKind::Mux => {
+                let (s_p, a_p, b_p) = (p[0], p[1], p[2]);
+                (1.0 - s_p) * a_p + s_p * b_p
+            }
+        };
+    }
+    Ok(prob)
+}
+
+/// Estimates `P(signal = 1)` by simulating `rounds * 64` uniformly random
+/// input patterns. Deterministic in the seed.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cyclic`](crate::NetlistError::Cyclic) for cyclic
+/// netlists.
+pub fn monte_carlo_probabilities(netlist: &Netlist, rounds: usize, seed: u64) -> Result<Vec<f64>> {
+    let sim = Simulator::new(netlist)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ones = vec![0u64; netlist.len()];
+    for _ in 0..rounds {
+        let words: Vec<u64> = netlist.inputs().iter().map(|_| rng.gen()).collect();
+        let packed = sim.run_all_u64(&words)?;
+        for (count, word) in ones.iter_mut().zip(packed.signals.iter()) {
+            *count += u64::from(word.count_ones());
+        }
+    }
+    let total = (rounds * 64) as f64;
+    Ok(ones.into_iter().map(|c| c as f64 / total).collect())
+}
+
+/// Signals whose estimated probability deviates from 0.5 by at least
+/// `skew_threshold` (e.g. 0.49 flags signals with `P ≤ 0.01` or `P ≥ 0.99`).
+/// Returned most-skewed first. This is the primitive the SPS attack builds
+/// on.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Cyclic`](crate::NetlistError::Cyclic) for cyclic
+/// netlists.
+pub fn skewed_signals(
+    netlist: &Netlist,
+    skew_threshold: f64,
+) -> Result<Vec<(crate::SignalId, f64)>> {
+    let probs = static_probabilities(netlist)?;
+    let mut flagged: Vec<_> = netlist
+        .signals()
+        .map(|s| (s, probs[s.index()]))
+        .filter(|&(_, p)| (p - 0.5).abs() >= skew_threshold)
+        .collect();
+    flagged.sort_by(|a, b| {
+        let sa = (a.1 - 0.5).abs();
+        let sb = (b.1 - 0.5).abs();
+        sb.partial_cmp(&sa).expect("probabilities are finite")
+    });
+    Ok(flagged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Netlist;
+
+    fn and_tree(width: usize) -> (Netlist, crate::SignalId) {
+        let mut nl = Netlist::new("and_tree");
+        let inputs: Vec<_> = (0..width).map(|i| nl.add_input(format!("x{i}"))).collect();
+        let g = nl.add_gate(GateKind::And, &inputs).unwrap();
+        nl.mark_output(g);
+        (nl, g)
+    }
+
+    #[test]
+    fn and_tree_probability_is_two_to_minus_n() {
+        for width in [2usize, 4, 8] {
+            let (nl, g) = and_tree(width);
+            let p = static_probabilities(&nl).unwrap();
+            let expect = 0.5f64.powi(width as i32);
+            assert!((p[g.index()] - expect).abs() < 1e-12, "width {width}");
+        }
+    }
+
+    #[test]
+    fn xor_keeps_probability_balanced() {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let p = static_probabilities(&nl).unwrap();
+        assert!((p[g.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_static_on_trees() {
+        let (nl, g) = and_tree(4);
+        let mc = monte_carlo_probabilities(&nl, 64, 42).unwrap();
+        let st = static_probabilities(&nl).unwrap();
+        assert!(
+            (mc[g.index()] - st[g.index()]).abs() < 0.02,
+            "mc={} static={}",
+            mc[g.index()],
+            st[g.index()]
+        );
+    }
+
+    #[test]
+    fn skewed_signals_flags_the_and_tree_output() {
+        let (nl, g) = and_tree(8);
+        let flagged = skewed_signals(&nl, 0.45).unwrap();
+        assert!(flagged.iter().any(|&(s, _)| s == g));
+        // Inputs are perfectly balanced and must not be flagged.
+        for &pi in nl.inputs() {
+            assert!(flagged.iter().all(|&(s, _)| s != pi));
+        }
+    }
+
+    #[test]
+    fn mux_probability() {
+        let mut nl = Netlist::new("m");
+        let s = nl.add_input("s");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let and_ab = nl.add_gate(GateKind::And, &[a, b]).unwrap(); // p = 0.25
+        let m = nl.add_gate(GateKind::Mux, &[s, a, and_ab]).unwrap();
+        let p = static_probabilities(&nl).unwrap();
+        // 0.5*0.5 + 0.5*0.25 = 0.375
+        assert!((p[m.index()] - 0.375).abs() < 1e-12);
+    }
+}

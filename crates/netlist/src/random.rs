@@ -1,0 +1,417 @@
+//! Seeded random combinational circuit generation.
+//!
+//! The generator produces ISCAS-like DAGs with a **no-dead-logic
+//! guarantee**: every primary input and every gate is reachable from a
+//! primary output. It works in two phases:
+//!
+//! 1. gate kinds and arities are sampled (mostly 2-input standard cells,
+//!    some inverters/buffers, occasional wider gates), widening a few gates
+//!    if the total fan-in capacity could not absorb every signal;
+//! 2. fan-ins are wired from the last gate backwards while draining a
+//!    *needs-a-reader* pool, so every earlier signal ends up read by some
+//!    later gate. The last `outputs` gates become the primary outputs.
+//!
+//! Reader chains strictly increase the node index and only primary outputs
+//! lack readers, so every signal reaches an output. Locality bias (fan-ins
+//! prefer recent signals) gives the DAGs realistic logic depth.
+//!
+//! Generation is fully deterministic in the seed, which is what lets the
+//! benchmark suite ([`crate::benchmarks`]) stand in for the original
+//! ISCAS-85/MCNC netlists reproducibly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{GateKind, Netlist, NetlistError, Result};
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomCircuitConfig {
+    /// Number of primary inputs (≥ 1).
+    pub inputs: usize,
+    /// Number of primary outputs (≥ 1, ≤ `gates`).
+    pub outputs: usize,
+    /// Number of gates (≥ `outputs`).
+    pub gates: usize,
+    /// Largest fan-in to generate (2 ..= 5 covers the paper's observation
+    /// that ISCAS-85/MCNC max fan-in is 5).
+    pub max_fanin: usize,
+    /// RNG seed; equal seeds give identical circuits.
+    pub seed: u64,
+}
+
+impl Default for RandomCircuitConfig {
+    fn default() -> Self {
+        RandomCircuitConfig {
+            inputs: 16,
+            outputs: 8,
+            gates: 100,
+            max_fanin: 4,
+            seed: 0,
+        }
+    }
+}
+
+/// The gate-kind flavor of a generated circuit, used to make the
+/// benchmark stand-ins resemble their originals: ISCAS-85's `c499`/`c1355`
+/// are XOR-dominated error-correction circuits, most others are NAND/NOR
+/// fabric, and the MCNC `apex*` circuits descend from two-level PLA forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum GateProfile {
+    /// NAND/NOR-heavy with some AND/OR/XOR (generic ISCAS flavor).
+    #[default]
+    Mixed,
+    /// XOR/XNOR-dominated (parity / ECC circuits like c499, c1355).
+    XorRich,
+    /// Almost exclusively NAND/NOR (c1908-style fabric).
+    NandDominant,
+    /// AND/OR dominated (flattened two-level PLA descendants).
+    TwoLevel,
+}
+
+/// Generates a random acyclic netlist with no dead logic, using the
+/// [`GateProfile::Mixed`] kind distribution.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::BadConfig`] if the configuration is impossible
+/// (zero inputs/outputs/gates, `max_fanin < 2`, more outputs than gates, or
+/// too many inputs for the gates' total fan-in capacity).
+///
+/// # Example
+///
+/// ```
+/// use fulllock_netlist::random::{generate, RandomCircuitConfig};
+///
+/// # fn main() -> Result<(), fulllock_netlist::NetlistError> {
+/// let cfg = RandomCircuitConfig { inputs: 8, outputs: 4, gates: 40, max_fanin: 3, seed: 7 };
+/// let nl = generate(cfg)?;
+/// assert_eq!(nl.stats().gates, 40);
+/// assert!(!fulllock_netlist::topo::is_cyclic(&nl));
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate(config: RandomCircuitConfig) -> Result<Netlist> {
+    generate_with_profile(config, GateProfile::Mixed)
+}
+
+/// Like [`generate`], with an explicit gate-kind profile.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_with_profile(
+    config: RandomCircuitConfig,
+    profile: GateProfile,
+) -> Result<Netlist> {
+    let RandomCircuitConfig {
+        inputs,
+        outputs,
+        gates,
+        max_fanin,
+        seed,
+    } = config;
+    if inputs == 0 {
+        return Err(NetlistError::BadConfig("inputs must be >= 1".into()));
+    }
+    if outputs == 0 {
+        return Err(NetlistError::BadConfig("outputs must be >= 1".into()));
+    }
+    if gates == 0 {
+        return Err(NetlistError::BadConfig("gates must be >= 1".into()));
+    }
+    if max_fanin < 2 {
+        return Err(NetlistError::BadConfig("max_fanin must be >= 2".into()));
+    }
+    if outputs > gates {
+        return Err(NetlistError::BadConfig(format!(
+            "outputs ({outputs}) may not exceed gates ({gates})"
+        )));
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Phase 1: sample kinds and arities, then widen if the fan-in capacity
+    // cannot absorb every signal that needs a reader.
+    let mut kinds: Vec<GateKind> = (0..gates)
+        .map(|_| random_kind(&mut rng, profile))
+        .collect();
+    let mut arities: Vec<usize> = kinds
+        .iter()
+        .map(|k| match k {
+            GateKind::Not | GateKind::Buf => 1,
+            _ => {
+                if max_fanin > 2 && rng.gen_bool(0.15) {
+                    rng.gen_range(3..=max_fanin)
+                } else {
+                    2
+                }
+            }
+        })
+        .collect();
+    // Signals needing a reader: every PI and every non-output gate. The
+    // first gate can only read PIs, so its capacity serves PIs only —
+    // counting conservatively, require total slots to cover the demand.
+    let demand = inputs + gates - outputs;
+    let mut capacity: usize = arities.iter().sum();
+    let mut widen_at = 0usize;
+    while capacity < demand && widen_at < gates {
+        let room = max_fanin.saturating_sub(arities[widen_at]);
+        if room > 0 && !matches!(kinds[widen_at], GateKind::Not | GateKind::Buf) {
+            arities[widen_at] += room;
+            capacity += room;
+        } else if room > 0 {
+            // Widen a unary cell by retyping it.
+            kinds[widen_at] = GateKind::Nand;
+            arities[widen_at] = max_fanin;
+            capacity += max_fanin - 1;
+        }
+        widen_at += 1;
+    }
+    if capacity < demand {
+        return Err(NetlistError::BadConfig(format!(
+            "{gates} gates of fan-in <= {max_fanin} cannot absorb {inputs} inputs"
+        )));
+    }
+
+    // Phase 2: create nodes, then wire fan-ins from the last gate backwards.
+    let mut nl = Netlist::new(format!("random_{seed}"));
+    let pis: Vec<_> = (0..inputs).map(|i| nl.add_input(format!("pi{i}"))).collect();
+    let mut gate_ids = Vec::with_capacity(gates);
+    for g in 0..gates {
+        let id = nl.add_deferred_gate(kinds[g], arities[g])?;
+        nl.set_signal_name(id, format!("g{g}"))?;
+        gate_ids.push(id);
+    }
+    for &g in gate_ids.iter().rev().take(outputs) {
+        nl.mark_output(g);
+    }
+
+    // needs-a-reader pool, sorted by node index (ascending).
+    let mut pending: Vec<crate::SignalId> = pis.clone();
+    pending.extend(gate_ids.iter().take(gates - outputs).copied());
+    // Prefix fan-in capacity: slots available in gates strictly below node
+    // index i (only those can be consumed once the descent passes i).
+    let first_gate_index = pis.len();
+
+    for g in (0..gates).rev() {
+        let gate = gate_ids[g];
+        let gate_node_index = first_gate_index + g;
+        // Fan-in capacity strictly below this gate (gates 0..g).
+        let capacity_below: usize = arities[..g].iter().sum();
+        let slots = arities[g];
+        for slot in 0..slots {
+            let below_now = pending.partition_point(|s| s.index() < gate_node_index);
+            // Pending signals below must never exceed the fan-in capacity
+            // still able to consume them.
+            let must_drain = below_now + slot >= capacity_below + slots;
+            let source = if below_now > 0 && (must_drain || slot == 0) {
+                // Newest-first popping guarantees pending gates are drained
+                // before the descent passes them (see module docs).
+                pending.remove(below_now - 1)
+            } else if below_now > 0 && rng.gen_bool(0.35) {
+                // Optional extra drain, biased recent for depth.
+                let pick = if below_now > 4 && rng.gen_bool(0.7) {
+                    rng.gen_range(below_now - below_now / 3..below_now)
+                } else {
+                    rng.gen_range(0..below_now)
+                };
+                pending.remove(pick)
+            } else {
+                // Any earlier signal (reconvergent fan-out).
+                let idx = rng.gen_range(0..gate_node_index);
+                crate::SignalId::new(idx)
+            };
+            nl.set_fanin(gate, slot, source)?;
+        }
+    }
+    if !pending.is_empty() {
+        return Err(NetlistError::BadConfig(format!(
+            "{} signals could not be given a reader; increase gates or max_fanin",
+            pending.len()
+        )));
+    }
+
+    nl.check()?;
+    debug_assert!(!crate::topo::is_cyclic(&nl));
+    Ok(nl)
+}
+
+fn random_kind(rng: &mut StdRng, profile: GateProfile) -> GateKind {
+    let roll = rng.gen_range(0..100);
+    match profile {
+        // Rough ISCAS-85 flavor: NAND/NOR-heavy, some AND/OR, some
+        // XOR/XNOR, a few inverters/buffers.
+        GateProfile::Mixed => match roll {
+            0..=24 => GateKind::Nand,
+            25..=44 => GateKind::And,
+            45..=59 => GateKind::Nor,
+            60..=74 => GateKind::Or,
+            75..=84 => GateKind::Xor,
+            85..=89 => GateKind::Xnor,
+            90..=95 => GateKind::Not,
+            _ => GateKind::Buf,
+        },
+        GateProfile::XorRich => match roll {
+            0..=49 => GateKind::Xor,
+            50..=64 => GateKind::Xnor,
+            65..=79 => GateKind::And,
+            80..=89 => GateKind::Or,
+            90..=95 => GateKind::Not,
+            _ => GateKind::Buf,
+        },
+        GateProfile::NandDominant => match roll {
+            0..=59 => GateKind::Nand,
+            60..=84 => GateKind::Nor,
+            85..=92 => GateKind::Not,
+            93..=97 => GateKind::And,
+            _ => GateKind::Buf,
+        },
+        GateProfile::TwoLevel => match roll {
+            0..=44 => GateKind::And,
+            45..=84 => GateKind::Or,
+            85..=94 => GateKind::Not,
+            _ => GateKind::Nand,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{topo, Simulator};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = RandomCircuitConfig::default();
+        let a = generate(cfg).unwrap();
+        let b = generate(cfg).unwrap();
+        assert_eq!(a, b);
+        let c = generate(RandomCircuitConfig { seed: 1, ..cfg }).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_requested_sizes() {
+        let cfg = RandomCircuitConfig {
+            inputs: 12,
+            outputs: 5,
+            gates: 80,
+            max_fanin: 5,
+            seed: 3,
+        };
+        let nl = generate(cfg).unwrap();
+        let stats = nl.stats();
+        assert_eq!(stats.inputs, 12);
+        assert_eq!(stats.outputs, 5);
+        assert_eq!(stats.gates, 80);
+        assert!(stats.max_fanin <= 5);
+    }
+
+    #[test]
+    fn generated_circuits_are_acyclic_and_simulable() {
+        for seed in 0..8 {
+            let nl = generate(RandomCircuitConfig {
+                seed,
+                ..RandomCircuitConfig::default()
+            })
+            .unwrap();
+            assert!(!topo::is_cyclic(&nl));
+            let sim = Simulator::new(&nl).unwrap();
+            let zeros = vec![false; nl.inputs().len()];
+            assert_eq!(sim.run(&zeros).unwrap().len(), nl.outputs().len());
+        }
+    }
+
+    #[test]
+    fn no_dead_logic() {
+        for seed in 0..8 {
+            let nl = generate(RandomCircuitConfig {
+                inputs: 20,
+                outputs: 6,
+                gates: 120,
+                max_fanin: 4,
+                seed,
+            })
+            .unwrap();
+            let (swept, _) = nl.sweep();
+            assert_eq!(
+                swept.stats(),
+                nl.stats(),
+                "seed {seed}: sweeping must remove nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn every_input_is_used() {
+        let nl = generate(RandomCircuitConfig {
+            inputs: 30,
+            outputs: 4,
+            gates: 40,
+            max_fanin: 4,
+            seed: 11,
+        })
+        .unwrap();
+        let fanouts = nl.fanouts();
+        for &pi in nl.inputs() {
+            assert!(
+                !fanouts[pi.index()].is_empty(),
+                "input {} unused",
+                nl.signal_name(pi)
+            );
+        }
+    }
+
+    #[test]
+    fn input_heavy_circuits_work() {
+        // i4-like: many more inputs than half the gates.
+        let nl = generate(RandomCircuitConfig {
+            inputs: 192,
+            outputs: 6,
+            gates: 338,
+            max_fanin: 5,
+            seed: 1,
+        })
+        .unwrap();
+        let (swept, _) = nl.sweep();
+        assert_eq!(swept.stats(), nl.stats());
+    }
+
+    #[test]
+    fn impossible_configs_error() {
+        let base = RandomCircuitConfig::default();
+        assert!(generate(RandomCircuitConfig { inputs: 0, ..base }).is_err());
+        assert!(generate(RandomCircuitConfig { outputs: 0, ..base }).is_err());
+        assert!(generate(RandomCircuitConfig { gates: 0, ..base }).is_err());
+        assert!(generate(RandomCircuitConfig { max_fanin: 1, ..base }).is_err());
+        assert!(generate(RandomCircuitConfig {
+            outputs: 200,
+            gates: 100,
+            ..base
+        })
+        .is_err());
+        // Far more inputs than any fan-in assignment can absorb.
+        assert!(generate(RandomCircuitConfig {
+            inputs: 100,
+            outputs: 1,
+            gates: 10,
+            max_fanin: 2,
+            seed: 0
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn depth_is_nontrivial() {
+        let nl = generate(RandomCircuitConfig {
+            inputs: 16,
+            outputs: 8,
+            gates: 200,
+            max_fanin: 3,
+            seed: 5,
+        })
+        .unwrap();
+        assert!(topo::depth(&nl).unwrap() >= 5, "generator should build depth");
+    }
+}

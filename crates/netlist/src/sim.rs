@@ -1,0 +1,252 @@
+//! Combinational simulation of acyclic netlists.
+//!
+//! [`Simulator`] precomputes a topological order once and then evaluates
+//! input patterns repeatedly — this is the hot path of the oracle in the
+//! SAT attack, and of corruption (error-rate) measurement, so a 64-way
+//! bit-parallel variant is provided as well.
+
+use crate::{topo, Netlist, NetlistError, Result, SignalId};
+
+/// A reusable evaluator for an acyclic [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use fulllock_netlist::{GateKind, Netlist, Simulator};
+///
+/// # fn main() -> Result<(), fulllock_netlist::NetlistError> {
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let g = nl.add_gate(GateKind::Xor, &[a, b])?;
+/// nl.mark_output(g);
+/// let sim = Simulator::new(&nl)?;
+/// assert_eq!(sim.run(&[true, false])?, vec![true]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<SignalId>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator, computing and caching a topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cyclic`] if the netlist has a combinational
+    /// cycle; use [`crate::cyclic::CyclicSimulator`] for those.
+    pub fn new(netlist: &'a Netlist) -> Result<Simulator<'a>> {
+        let order = topo::topo_order(netlist)?;
+        Ok(Simulator { netlist, order })
+    }
+
+    /// The netlist this simulator evaluates.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Evaluates one input pattern; returns one value per primary output.
+    ///
+    /// `inputs[i]` drives the `i`-th entry of [`Netlist::inputs`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputCount`] if the pattern length is wrong.
+    pub fn run(&self, inputs: &[bool]) -> Result<Vec<bool>> {
+        let values = self.run_all(inputs)?;
+        Ok(self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|o| values[o.index()])
+            .collect())
+    }
+
+    /// Evaluates one input pattern and returns the value of **every** signal
+    /// (indexed by [`SignalId::index`]). Useful for attacks that inspect
+    /// internal wires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputCount`] if the pattern length is wrong.
+    pub fn run_all(&self, inputs: &[bool]) -> Result<Vec<bool>> {
+        if inputs.len() != self.netlist.inputs().len() {
+            return Err(NetlistError::InputCount {
+                expected: self.netlist.inputs().len(),
+                got: inputs.len(),
+            });
+        }
+        let mut values = vec![false; self.netlist.len()];
+        for (slot, &sig) in self.netlist.inputs().iter().enumerate() {
+            values[sig.index()] = inputs[slot];
+        }
+        let mut fanin_buf: Vec<bool> = Vec::with_capacity(8);
+        for &s in &self.order {
+            let node = self.netlist.node(s);
+            if let Some(kind) = node.gate_kind() {
+                fanin_buf.clear();
+                fanin_buf.extend(node.fanins().iter().map(|f| values[f.index()]));
+                values[s.index()] = kind.eval(&fanin_buf);
+            }
+        }
+        Ok(values)
+    }
+
+    /// Evaluates 64 input patterns at once; `inputs[i]` carries 64 values of
+    /// the `i`-th primary input, one per bit lane. Returns one packed word
+    /// per primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputCount`] if the pattern length is wrong.
+    pub fn run_u64(&self, inputs: &[u64]) -> Result<Vec<u64>> {
+        Ok(self
+            .run_all_u64(inputs)?
+            .outputs)
+    }
+
+    /// 64-way variant of [`Simulator::run_all`]; also returns output words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputCount`] if the pattern length is wrong.
+    pub fn run_all_u64(&self, inputs: &[u64]) -> Result<PackedValues> {
+        if inputs.len() != self.netlist.inputs().len() {
+            return Err(NetlistError::InputCount {
+                expected: self.netlist.inputs().len(),
+                got: inputs.len(),
+            });
+        }
+        let mut values = vec![0u64; self.netlist.len()];
+        for (slot, &sig) in self.netlist.inputs().iter().enumerate() {
+            values[sig.index()] = inputs[slot];
+        }
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        for &s in &self.order {
+            let node = self.netlist.node(s);
+            if let Some(kind) = node.gate_kind() {
+                fanin_buf.clear();
+                fanin_buf.extend(node.fanins().iter().map(|f| values[f.index()]));
+                values[s.index()] = kind.eval_u64(&fanin_buf);
+            }
+        }
+        let outputs = self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|o| values[o.index()])
+            .collect();
+        Ok(PackedValues {
+            signals: values,
+            outputs,
+        })
+    }
+}
+
+/// Result of a 64-way packed simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedValues {
+    /// One packed word per signal, indexed by [`SignalId::index`].
+    pub signals: Vec<u64>,
+    /// One packed word per primary output.
+    pub outputs: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    fn adder() -> Netlist {
+        let mut nl = Netlist::new("adder");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let cin = nl.add_input("cin");
+        let sum = nl.add_gate(GateKind::Xor, &[a, b, cin]).unwrap();
+        let ab = nl.add_gate(GateKind::And, &[a, b]).unwrap();
+        let axb = nl.add_gate(GateKind::Xor, &[a, b]).unwrap();
+        let t = nl.add_gate(GateKind::And, &[axb, cin]).unwrap();
+        let cout = nl.add_gate(GateKind::Or, &[ab, t]).unwrap();
+        nl.mark_output(sum);
+        nl.mark_output(cout);
+        nl
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let nl = adder();
+        let sim = Simulator::new(&nl).unwrap();
+        for row in 0..8u32 {
+            let a = row & 1 == 1;
+            let b = row >> 1 & 1 == 1;
+            let c = row >> 2 & 1 == 1;
+            let got = sim.run(&[a, b, c]).unwrap();
+            let total = a as u32 + b as u32 + c as u32;
+            assert_eq!(got[0], total & 1 == 1, "sum for row {row}");
+            assert_eq!(got[1], total >= 2, "carry for row {row}");
+        }
+    }
+
+    #[test]
+    fn wrong_input_count_errors() {
+        let nl = adder();
+        let sim = Simulator::new(&nl).unwrap();
+        assert!(matches!(
+            sim.run(&[true]),
+            Err(NetlistError::InputCount { expected: 3, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn packed_matches_scalar() {
+        let nl = adder();
+        let sim = Simulator::new(&nl).unwrap();
+        // Pack the 8 truth-table rows into lanes 0..8.
+        let words: Vec<u64> = (0..3)
+            .map(|i| {
+                let mut w = 0u64;
+                for row in 0..8u64 {
+                    if row >> i & 1 == 1 {
+                        w |= 1 << row;
+                    }
+                }
+                w
+            })
+            .collect();
+        let packed = sim.run_u64(&words).unwrap();
+        for row in 0..8usize {
+            let bits: Vec<bool> = (0..3).map(|i| row >> i & 1 == 1).collect();
+            let scalar = sim.run(&bits).unwrap();
+            for (o, word) in packed.iter().enumerate() {
+                assert_eq!(word >> row & 1 == 1, scalar[o]);
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_netlist_is_rejected() {
+        let mut nl = Netlist::new("c");
+        let _g = nl.add_deferred_gate(GateKind::Not, 1).unwrap();
+        assert!(matches!(
+            Simulator::new(&nl),
+            Err(NetlistError::Cyclic { .. })
+        ));
+    }
+
+    #[test]
+    fn run_all_exposes_internal_wires() {
+        let nl = adder();
+        let sim = Simulator::new(&nl).unwrap();
+        let values = sim.run_all(&[true, true, true]).unwrap();
+        assert_eq!(values.len(), nl.len());
+        // a AND b must be true for inputs (1,1,1).
+        let ab = nl
+            .gates()
+            .find(|&g| nl.node(g).gate_kind() == Some(GateKind::And))
+            .unwrap();
+        assert!(values[ab.index()]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the netlist substrate: generator guarantees,
+//! simulation consistency, serialization round-trips, and sweep safety.
+
+use fulllock_netlist::random::{generate, RandomCircuitConfig};
+use fulllock_netlist::{bench_io, topo, verilog, Simulator};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn config() -> impl Strategy<Value = RandomCircuitConfig> {
+    (2usize..24, 1usize..8, 30usize..200, 2usize..6, any::<u64>()).prop_map(
+        |(inputs, outputs, gates, max_fanin, seed)| RandomCircuitConfig {
+            inputs,
+            outputs: outputs.min(gates),
+            gates,
+            max_fanin,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generated circuits are acyclic, fully live, exactly sized, and
+    /// structurally valid.
+    #[test]
+    fn generator_invariants(cfg in config()) {
+        let nl = generate(cfg).expect("strategy yields valid configs");
+        prop_assert!(nl.check().is_ok());
+        prop_assert!(!topo::is_cyclic(&nl));
+        let stats = nl.stats();
+        prop_assert_eq!(stats.inputs, cfg.inputs);
+        prop_assert_eq!(stats.outputs, cfg.outputs);
+        prop_assert_eq!(stats.gates, cfg.gates);
+        prop_assert!(stats.max_fanin <= cfg.max_fanin);
+        // No dead logic: sweeping removes nothing.
+        let (swept, _) = nl.sweep();
+        prop_assert_eq!(swept.stats(), stats);
+    }
+
+    /// 64-way packed simulation agrees with scalar simulation lane by
+    /// lane.
+    #[test]
+    fn packed_simulation_matches_scalar(cfg in config(), seed in any::<u64>()) {
+        let nl = generate(cfg).expect("valid config");
+        let sim = Simulator::new(&nl).expect("acyclic");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let words: Vec<u64> = (0..nl.inputs().len()).map(|_| rng.gen()).collect();
+        let packed = sim.run_u64(&words).expect("sized input");
+        for lane in [0usize, 17, 63] {
+            let bits: Vec<bool> = words.iter().map(|w| w >> lane & 1 == 1).collect();
+            let scalar = sim.run(&bits).expect("sized input");
+            for (o, &word) in packed.iter().enumerate() {
+                prop_assert_eq!(word >> lane & 1 == 1, scalar[o]);
+            }
+        }
+    }
+
+    /// `.bench` text round-trips to a functionally identical netlist.
+    #[test]
+    fn bench_round_trip_preserves_function(cfg in config(), seed in any::<u64>()) {
+        let nl = generate(cfg).expect("valid config");
+        let text = bench_io::write(&nl);
+        let back = bench_io::parse(&text, nl.name()).expect("own output parses");
+        prop_assert_eq!(back.stats(), nl.stats());
+        let sim_a = Simulator::new(&nl).expect("acyclic");
+        let sim_b = Simulator::new(&back).expect("acyclic");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            let x: Vec<bool> = (0..nl.inputs().len()).map(|_| rng.gen_bool(0.5)).collect();
+            prop_assert_eq!(sim_a.run(&x).expect("sized"), sim_b.run(&x).expect("sized"));
+        }
+    }
+
+    /// Ternary (cyclic-capable) evaluation agrees with plain simulation on
+    /// acyclic circuits and always settles.
+    #[test]
+    fn ternary_eval_matches_plain_on_dags(cfg in config(), seed in any::<u64>()) {
+        let nl = generate(cfg).expect("valid config");
+        let plain = Simulator::new(&nl).expect("acyclic");
+        let ternary = fulllock_netlist::cyclic::CyclicSimulator::new(&nl);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<bool> = (0..nl.inputs().len()).map(|_| rng.gen_bool(0.5)).collect();
+        let want = plain.run(&x).expect("sized");
+        let got = ternary.run(&x).expect("sized");
+        prop_assert!(got.all_outputs_known());
+        for (t, w) in got.outputs.iter().zip(&want) {
+            prop_assert_eq!(t.to_bool(), Some(*w));
+        }
+    }
+
+    /// Logic levels are consistent: every gate sits exactly one above its
+    /// deepest fan-in.
+    #[test]
+    fn levels_are_consistent(cfg in config()) {
+        let nl = generate(cfg).expect("valid config");
+        let levels = topo::levels(&nl).expect("acyclic");
+        for s in nl.signals() {
+            let node = nl.node(s);
+            if node.is_input() {
+                prop_assert_eq!(levels[s.index()], 0);
+            } else {
+                let deepest = node
+                    .fanins()
+                    .iter()
+                    .map(|f| levels[f.index()])
+                    .max()
+                    .expect("gates have fan-ins");
+                prop_assert_eq!(levels[s.index()], deepest + 1);
+            }
+        }
+    }
+
+    /// Verilog export mentions every port and gate of the design.
+    #[test]
+    fn verilog_mentions_everything(cfg in config()) {
+        let nl = generate(cfg).expect("valid config");
+        let text = verilog::write(&nl);
+        prop_assert!(text.contains("module"));
+        prop_assert!(text.contains("endmodule"));
+        // One assign per gate plus one per output port.
+        prop_assert_eq!(
+            text.matches("assign ").count(),
+            nl.stats().gates + nl.outputs().len()
+        );
+    }
+}

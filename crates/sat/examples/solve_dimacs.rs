@@ -1,0 +1,65 @@
+//! Standalone DIMACS front end for the CDCL solver: reads a `.cnf` file,
+//! prints `SAT` with a model (in DIMACS `v`-line format) or `UNSAT`, plus
+//! solver statistics.
+//!
+//! ```text
+//! cargo run --release -p fulllock-sat --example solve_dimacs -- formula.cnf
+//! ```
+//!
+//! With no argument, a built-in phase-transition instance is solved as a
+//! demo.
+
+use std::env;
+use std::error::Error;
+use std::fs;
+use std::time::Instant;
+
+use fulllock_sat::cdcl::{SolveResult, Solver};
+use fulllock_sat::random_sat::{generate, RandomSatConfig};
+use fulllock_sat::Cnf;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let cnf = match env::args().nth(1) {
+        Some(path) => {
+            let text = fs::read_to_string(&path)?;
+            Cnf::from_dimacs(&text)?
+        }
+        None => {
+            eprintln!("no file given; solving a built-in 120-var instance at ratio 4.3");
+            generate(RandomSatConfig::from_ratio(120, 4.3, 3, 42))?
+        }
+    };
+    eprintln!(
+        "c {} variables, {} clauses (ratio {:.2})",
+        cnf.num_vars(),
+        cnf.num_clauses(),
+        cnf.clause_to_variable_ratio()
+    );
+    let start = Instant::now();
+    let mut solver = Solver::from_cnf(&cnf);
+    let result = solver.solve(&[]);
+    let elapsed = start.elapsed();
+    match result {
+        SolveResult::Sat => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for (i, &value) in solver.model().iter().enumerate() {
+                let lit = if value { (i + 1) as i64 } else { -((i + 1) as i64) };
+                line.push_str(&format!(" {lit}"));
+                if line.len() > 72 {
+                    println!("{line}");
+                    line = String::from("v");
+                }
+            }
+            println!("{line} 0");
+        }
+        SolveResult::Unsat => println!("s UNSATISFIABLE"),
+        SolveResult::Unknown => println!("s UNKNOWN"),
+    }
+    let stats = solver.stats();
+    eprintln!(
+        "c {:?} | {} decisions, {} propagations, {} conflicts, {} restarts",
+        elapsed, stats.decisions, stats.propagations, stats.conflicts, stats.restarts
+    );
+    Ok(())
+}

@@ -1,0 +1,1105 @@
+//! A CDCL (conflict-driven clause-learning) SAT solver.
+//!
+//! MiniSAT-family architecture: two-watched-literal propagation, first-UIP
+//! conflict analysis with clause learning, VSIDS decision heuristics with an
+//! indexed activity heap, phase saving, Luby restarts, and activity-based
+//! learnt-clause database reduction. The solver is incremental: clauses may
+//! be added between [`Solver::solve`] calls (the SAT attack grows its miter
+//! formula by two circuit copies per iteration) and solving accepts
+//! assumption literals.
+//!
+//! # Example
+//!
+//! ```
+//! use fulllock_sat::cdcl::{SolveResult, Solver};
+//! use fulllock_sat::Lit;
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause([Lit::positive(a), Lit::positive(b)]);
+//! solver.add_clause([Lit::negative(a)]);
+//! assert_eq!(solver.solve(&[]), SolveResult::Sat);
+//! assert_eq!(solver.model_value(b), Some(true));
+//! ```
+
+use std::time::Instant;
+
+use crate::{Cnf, Lit, Var};
+
+/// Verdict of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A model was found; read it with [`Solver::model_value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// A resource limit ([`SolveLimits`]) was hit first.
+    Unknown,
+}
+
+/// Resource limits for one [`Solver::solve_limited`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveLimits {
+    /// Stop after this many conflicts.
+    pub max_conflicts: Option<u64>,
+    /// Stop once this wall-clock instant passes (checked at restarts and
+    /// every few thousand conflicts, so overshoot is bounded).
+    pub deadline: Option<Instant>,
+}
+
+impl SolveLimits {
+    /// No limits: run to completion.
+    pub fn unlimited() -> SolveLimits {
+        SolveLimits::default()
+    }
+}
+
+/// Cumulative statistics across a solver's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+    /// Conflicts encountered (equals learnt clauses, pre-reduction).
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub deleted_learnts: u64,
+    /// Literals removed from learnt clauses by conflict-clause
+    /// minimization.
+    pub minimized_literals: u64,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: u32,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and the watch scan can skip the clause.
+    blocker: Lit,
+}
+
+/// The CDCL solver. See the [module docs](self) for the feature set.
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    learnt_refs: Vec<u32>,
+    watches: Vec<Vec<Watch>>,
+
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    polarity: Vec<bool>,
+
+    cla_inc: f64,
+    max_learnts: f64,
+
+    ok: bool,
+    model: Vec<bool>,
+    stats: SolverStats,
+
+    // Scratch for conflict analysis.
+    seen: Vec<bool>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            learnt_refs: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: VarHeap::new(),
+            polarity: Vec::new(),
+            cla_inc: 1.0,
+            max_learnts: 0.0,
+            ok: true,
+            model: Vec::new(),
+            stats: SolverStats::default(),
+            seen: Vec::new(),
+        }
+    }
+
+    /// Builds a solver pre-loaded with a formula.
+    pub fn from_cnf(cnf: &Cnf) -> Solver {
+        let mut solver = Solver::new();
+        solver.ensure_vars(cnf.num_vars());
+        for clause in cnf.clauses() {
+            solver.add_clause(clause.iter().copied());
+        }
+        solver
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::new(self.assign.len());
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.insert(v.index(), &self.activity);
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn ensure_vars(&mut self, n: usize) {
+        while self.assign.len() < n {
+            self.new_var();
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of original (problem) clauses added so far, excluding learnt
+    /// clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt && !c.deleted).count()
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Adds a clause, growing the variable space as needed. Returns `false`
+    /// if the formula is now trivially unsatisfiable (an empty clause, or a
+    /// conflict at the root level).
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        let mut clause: Vec<Lit> = lits.into_iter().collect();
+        for &l in &clause {
+            self.ensure_vars(l.var().index() + 1);
+        }
+        // Root-level simplification: drop false literals, detect satisfied
+        // clauses and tautologies.
+        clause.sort_unstable();
+        clause.dedup();
+        let mut simplified = Vec::with_capacity(clause.len());
+        let mut prev: Option<Lit> = None;
+        for &l in &clause {
+            if let Some(p) = prev {
+                if p == !l {
+                    return true; // tautology: contains l and ¬l (adjacent after sort)
+                }
+            }
+            prev = Some(l);
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at root
+                LBool::False => {}          // drop the false literal
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                if !self.enqueue(simplified[0], NO_REASON) {
+                    self.ok = false;
+                    return false;
+                }
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                let cref = self.alloc_clause(simplified, false);
+                self.attach_clause(cref);
+                true
+            }
+        }
+    }
+
+    /// Solves under assumption literals with no resource limits.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, SolveLimits::unlimited())
+    }
+
+    /// Solves under assumption literals and resource limits.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], limits: SolveLimits) -> SolveResult {
+        self.cancel_until(0);
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        for &a in assumptions {
+            self.ensure_vars(a.var().index() + 1);
+        }
+        if self.max_learnts == 0.0 {
+            self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
+        }
+        let conflict_start = self.stats.conflicts;
+        let mut restart_round = 0u64;
+        loop {
+            let budget = 100.0 * luby(2.0, restart_round);
+            restart_round += 1;
+            match self.search(assumptions, budget as u64, &limits, conflict_start) {
+                SearchOutcome::Sat => {
+                    self.model = self
+                        .assign
+                        .iter()
+                        .map(|&a| a == LBool::True)
+                        .collect();
+                    self.cancel_until(0);
+                    return SolveResult::Sat;
+                }
+                SearchOutcome::Unsat => {
+                    self.cancel_until(0);
+                    return SolveResult::Unsat;
+                }
+                SearchOutcome::Restart => {
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+                SearchOutcome::LimitHit => {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+            }
+        }
+    }
+
+    /// The last model's value for a variable (only meaningful right after a
+    /// [`SolveResult::Sat`]); `None` for variables created after that solve.
+    pub fn model_value(&self, var: Var) -> Option<bool> {
+        self.model.get(var.index()).copied()
+    }
+
+    /// The last model as a dense vector (empty before the first SAT).
+    pub fn model(&self) -> &[bool] {
+        &self.model
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn lit_value(&self, l: Lit) -> LBool {
+        match self.assign[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn alloc_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        let cref = self.clauses.len() as u32;
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        if learnt {
+            self.learnt_refs.push(cref);
+        }
+        cref
+    }
+
+    fn attach_clause(&mut self, cref: u32) {
+        let (l0, l1) = {
+            let c = &self.clauses[cref as usize];
+            debug_assert!(c.lits.len() >= 2);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[l0.code()].push(Watch { clause: cref, blocker: l1 });
+        self.watches[l1.code()].push(Watch { clause: cref, blocker: l0 });
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: u32) -> bool {
+        match self.lit_value(lit) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                let v = lit.var().index();
+                self.assign[v] = if lit.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                };
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Propagates all enqueued assignments; returns a conflicting clause
+    /// reference if one arises.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            // Clauses watching `false_lit` must react.
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let watch = watch_list[i];
+                if self.lit_value(watch.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = watch.clause as usize;
+                if self.clauses[cref].deleted {
+                    watch_list.swap_remove(i);
+                    continue;
+                }
+                // Normalize: the false literal goes to slot 1.
+                if self.clauses[cref].lits[0] == false_lit {
+                    self.clauses[cref].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[cref].lits[1], false_lit);
+                let first = self.clauses[cref].lits[0];
+                if self.lit_value(first) == LBool::True {
+                    watch_list[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut moved = false;
+                for k in 2..self.clauses[cref].lits.len() {
+                    let cand = self.clauses[cref].lits[k];
+                    if self.lit_value(cand) != LBool::False {
+                        self.clauses[cref].lits.swap(1, k);
+                        self.watches[cand.code()].push(Watch {
+                            clause: watch.clause,
+                            blocker: first,
+                        });
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: restore the remaining watches and bail.
+                    self.watches[false_lit.code()].append(&mut watch_list);
+                    self.qhead = self.trail.len();
+                    return Some(watch.clause);
+                }
+                let ok = self.enqueue(first, watch.clause);
+                debug_assert!(ok, "undef literal must enqueue");
+                i += 1;
+            }
+            self.watches[false_lit.code()].append(&mut watch_list);
+        }
+        None
+    }
+
+    fn cancel_until(&mut self, target: u32) {
+        while self.decision_level() > target {
+            let lim = self.trail_lim.pop().expect("level > 0 implies a limit");
+            while self.trail.len() > lim {
+                let lit = self.trail.pop().expect("trail at least lim long");
+                let v = lit.var().index();
+                self.polarity[v] = lit.is_positive();
+                self.assign[v] = LBool::Undef;
+                self.reason[v] = NO_REASON;
+                self.heap.insert(v, &self.activity);
+            }
+        }
+        self.qhead = self.trail.len().min(self.qhead);
+        if target == 0 {
+            self.qhead = self.qhead.min(self.trail.len());
+        }
+    }
+
+    fn bump_var(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for &r in &self.learnt_refs {
+                self.clauses[r as usize].activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // slot 0 patched below
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let current = self.decision_level();
+
+        loop {
+            self.bump_clause(confl);
+            let lits: Vec<Lit> = self.clauses[confl as usize].lits.clone();
+            let skip_first = p.is_some();
+            for (k, &q) in lits.iter().enumerate() {
+                if skip_first && k == 0 {
+                    continue;
+                }
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next trail literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            let v = lit.var().index();
+            self.seen[v] = false;
+            counter -= 1;
+            p = Some(lit);
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[v];
+            debug_assert_ne!(confl, NO_REASON, "non-decision literal has a reason");
+        }
+        learnt[0] = !p.expect("loop ran at least once");
+
+        // Conflict-clause minimization (non-recursive / "basic" mode): a
+        // literal is redundant if its reason's other literals are all
+        // already in the clause (seen) or fixed at the root level. The
+        // `seen` flags still mark exactly the learnt literals here.
+        let mut kept = Vec::with_capacity(learnt.len());
+        kept.push(learnt[0]);
+        for &q in &learnt[1..] {
+            let v = q.var().index();
+            let redundant = self.reason[v] != NO_REASON
+                && self.clauses[self.reason[v] as usize]
+                    .lits
+                    .iter()
+                    .all(|r| {
+                        let rv = r.var().index();
+                        rv == v || self.seen[rv] || self.level[rv] == 0
+                    });
+            if redundant {
+                self.stats.minimized_literals += 1;
+                self.seen[v] = false;
+            } else {
+                kept.push(q);
+            }
+        }
+        let mut learnt = kept;
+
+        // Compute backtrack level and position the max-level literal at
+        // slot 1 (so both watches are correct after backjumping).
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        // Clear remaining `seen` flags.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, bt_level)
+    }
+
+    fn pick_branch_lit(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.assign[v] == LBool::Undef {
+                return Some(Lit::with_polarity(Var::new(v), self.polarity[v]));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Sort learnt clause refs by activity ascending; delete the weaker
+        // half, keeping reason clauses (locked) and binary clauses.
+        let mut refs = self.learnt_refs.clone();
+        refs.retain(|&r| !self.clauses[r as usize].deleted);
+        refs.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .expect("activities are finite")
+        });
+        let locked: Vec<u32> = self
+            .trail
+            .iter()
+            .map(|l| self.reason[l.var().index()])
+            .filter(|&r| r != NO_REASON)
+            .collect();
+        let half = refs.len() / 2;
+        for &r in refs.iter().take(half) {
+            let c = &self.clauses[r as usize];
+            if c.lits.len() <= 2 || locked.contains(&r) {
+                continue;
+            }
+            self.clauses[r as usize].deleted = true;
+            self.stats.deleted_learnts += 1;
+        }
+        self.learnt_refs
+            .retain(|&r| !self.clauses[r as usize].deleted);
+        // Watches are cleaned lazily in propagate(); also prune here to
+        // bound memory.
+        for list in &mut self.watches {
+            list.retain(|w| !self.clauses[w.clause as usize].deleted);
+        }
+    }
+
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        conflict_budget: u64,
+        limits: &SolveLimits,
+        conflict_start: u64,
+    ) -> SearchOutcome {
+        let mut conflicts_this_round = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_round += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                let (learnt, bt_level) = self.analyze(confl);
+                self.cancel_until(bt_level);
+                if learnt.len() == 1 {
+                    let ok = self.enqueue(learnt[0], NO_REASON);
+                    debug_assert!(ok, "asserting literal must be undef after backjump");
+                } else {
+                    let asserting = learnt[0];
+                    let cref = self.alloc_clause(learnt, true);
+                    self.attach_clause(cref);
+                    self.bump_clause(cref);
+                    let ok = self.enqueue(asserting, cref);
+                    debug_assert!(ok, "asserting literal must be undef after backjump");
+                }
+                self.var_inc /= 0.95;
+                self.cla_inc /= 0.999;
+                if self.learnt_refs.len() as f64 > self.max_learnts + self.trail.len() as f64 {
+                    self.reduce_db();
+                    self.max_learnts *= 1.1;
+                }
+                if conflicts_this_round.is_multiple_of(4096) {
+                    if let Some(deadline) = limits.deadline {
+                        if Instant::now() >= deadline {
+                            return SearchOutcome::LimitHit;
+                        }
+                    }
+                }
+                if let Some(max) = limits.max_conflicts {
+                    if self.stats.conflicts - conflict_start >= max {
+                        return SearchOutcome::LimitHit;
+                    }
+                }
+                if conflicts_this_round >= conflict_budget {
+                    return SearchOutcome::Restart;
+                }
+            } else {
+                // Deadline check between decisions too (propagation-heavy
+                // instances may rarely conflict).
+                if self.stats.decisions.is_multiple_of(8192) {
+                    if let Some(deadline) = limits.deadline {
+                        if Instant::now() >= deadline {
+                            return SearchOutcome::LimitHit;
+                        }
+                    }
+                }
+                // Assumption handling, then VSIDS decision.
+                let next = if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already implied: open an empty level for it.
+                            self.trail_lim.push(self.trail.len());
+                            continue;
+                        }
+                        LBool::False => return SearchOutcome::Unsat,
+                        LBool::Undef => a,
+                    }
+                } else {
+                    match self.pick_branch_lit() {
+                        Some(l) => {
+                            self.stats.decisions += 1;
+                            l
+                        }
+                        None => return SearchOutcome::Sat,
+                    }
+                };
+                self.trail_lim.push(self.trail.len());
+                let ok = self.enqueue(next, NO_REASON);
+                debug_assert!(ok, "decision literal is undef");
+            }
+        }
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+    LimitHit,
+}
+
+/// The Luby restart sequence 1,1,2,1,1,2,4,… scaled by `y`.
+fn luby(y: f64, mut x: u64) -> f64 {
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    y.powi(seq as i32)
+}
+
+/// An indexed binary max-heap over variable activities.
+#[derive(Debug)]
+struct VarHeap {
+    heap: Vec<usize>,
+    position: Vec<Option<usize>>,
+}
+
+impl VarHeap {
+    fn new() -> VarHeap {
+        VarHeap {
+            heap: Vec::new(),
+            position: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, v: usize, activity: &[f64]) {
+        if self.position.len() <= v {
+            self.position.resize(v + 1, None);
+        }
+        if self.position[v].is_some() {
+            return;
+        }
+        self.position[v] = Some(self.heap.len());
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    fn update(&mut self, v: usize, activity: &[f64]) {
+        if let Some(pos) = self.position.get(v).copied().flatten() {
+            self.sift_up(pos, activity);
+        }
+    }
+
+    fn pop_max(&mut self, activity: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.position[top] = None;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last] = Some(0);
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if activity[self.heap[pos]] <= activity[self.heap[parent]] {
+                break;
+            }
+            self.swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = left + 1;
+            let mut best = pos;
+            if left < self.heap.len() && activity[self.heap[left]] > activity[self.heap[best]] {
+                best = left;
+            }
+            if right < self.heap.len() && activity[self.heap[right]] > activity[self.heap[best]] {
+                best = right;
+            }
+            if best == pos {
+                break;
+            }
+            self.swap(pos, best);
+            pos = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a]] = Some(a);
+        self.position[self.heap[b]] = Some(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_sat::{self, RandomSatConfig};
+    use crate::{dpll, Cnf};
+
+    fn lit(i: i64) -> Lit {
+        Lit::from_dimacs(i)
+    }
+
+    #[test]
+    fn trivial_sat_and_model() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::positive(a), Lit::positive(b)]);
+        s.add_clause([Lit::negative(a)]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.model_value(a), Some(false));
+        assert_eq!(s.model_value(b), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::positive(a)]);
+        assert!(!s.add_clause([Lit::negative(a)]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::positive(a), Lit::negative(a)]);
+        assert_eq!(s.num_clauses(), 0);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        // 4 pigeons, 3 holes.
+        let (p, h) = (4usize, 3usize);
+        let mut s = Solver::new();
+        let var = |i: usize, j: usize| Lit::positive(Var::new(i * h + j));
+        s.ensure_vars(p * h);
+        for i in 0..p {
+            s.add_clause((0..h).map(|j| var(i, j)));
+        }
+        for j in 0..h {
+            for i1 in 0..p {
+                for i2 in i1 + 1..p {
+                    s.add_clause([!var(i1, j), !var(i2, j)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn agrees_with_dpll_on_random_instances() {
+        for seed in 0..30 {
+            let cnf = random_sat::generate(RandomSatConfig {
+                vars: 25,
+                clauses: 107, // near the phase transition: mixed verdicts
+                clause_len: 3,
+                seed,
+            })
+            .unwrap();
+            let reference = dpll::solve(&cnf, None);
+            let mut s = Solver::from_cnf(&cnf);
+            let got = s.solve(&[]);
+            match reference.result {
+                dpll::DpllResult::Sat(_) => {
+                    assert_eq!(got, SolveResult::Sat, "seed {seed}");
+                    assert!(cnf.is_satisfied_by(s.model()), "seed {seed} model check");
+                }
+                dpll::DpllResult::Unsat => assert_eq!(got, SolveResult::Unsat, "seed {seed}"),
+                dpll::DpllResult::Unknown => unreachable!("no budget set"),
+            }
+        }
+    }
+
+    #[test]
+    fn assumptions_flip_verdicts() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::positive(a), Lit::positive(b)]);
+        assert_eq!(s.solve(&[Lit::negative(a)]), SolveResult::Sat);
+        assert_eq!(s.model_value(b), Some(true));
+        assert_eq!(
+            s.solve(&[Lit::negative(a), Lit::negative(b)]),
+            SolveResult::Unsat
+        );
+        // The solver is still usable and SAT without assumptions.
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::positive(a), Lit::positive(b)]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.add_clause([Lit::negative(a)]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.add_clause([Lit::negative(b)]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn conflict_limit_returns_unknown() {
+        let cnf = random_sat::generate(RandomSatConfig {
+            vars: 120,
+            clauses: 516,
+            clause_len: 3,
+            seed: 7,
+        })
+        .unwrap();
+        let mut s = Solver::from_cnf(&cnf);
+        let result = s.solve_limited(
+            &[],
+            SolveLimits {
+                max_conflicts: Some(1),
+                deadline: None,
+            },
+        );
+        // Either it solves within one conflict (unlikely) or reports Unknown.
+        assert_ne!(result, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn deadline_in_the_past_returns_quickly() {
+        let cnf = random_sat::generate(RandomSatConfig {
+            vars: 200,
+            clauses: 860,
+            clause_len: 3,
+            seed: 3,
+        })
+        .unwrap();
+        let mut s = Solver::from_cnf(&cnf);
+        let result = s.solve_limited(
+            &[],
+            SolveLimits {
+                max_conflicts: Some(10),
+                deadline: Some(Instant::now()),
+            },
+        );
+        assert_ne!(result, SolveResult::Unsat);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let seq: Vec<f64> = (0..9).map(|i| luby(2.0, i)).collect();
+        assert_eq!(seq, vec![1.0, 1.0, 2.0, 1.0, 1.0, 2.0, 4.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn duplicate_literals_are_merged() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::positive(a), Lit::positive(a)]);
+        // Merged to a unit clause: `a` is forced.
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.model_value(a), Some(true));
+        assert_eq!(s.solve(&[Lit::negative(a)]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn many_solves_reuse_learnt_clauses() {
+        let cnf = random_sat::generate(RandomSatConfig {
+            vars: 60,
+            clauses: 255,
+            clause_len: 3,
+            seed: 11,
+        })
+        .unwrap();
+        let mut s = Solver::from_cnf(&cnf);
+        let first = s.solve(&[]);
+        let second = s.solve(&[]);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn xor_chain_equivalence_unsat() {
+        // Encode x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, x0 ⊕ x2 = 1: odd cycle, UNSAT.
+        let mut cnf = Cnf::new();
+        let v: Vec<Var> = cnf.new_vars(3);
+        let xor1 = |cnf: &mut Cnf, a: Var, b: Var| {
+            cnf.add_clause([Lit::positive(a), Lit::positive(b)]);
+            cnf.add_clause([Lit::negative(a), Lit::negative(b)]);
+        };
+        xor1(&mut cnf, v[0], v[1]);
+        xor1(&mut cnf, v[1], v[2]);
+        xor1(&mut cnf, v[0], v[2]);
+        let mut s = Solver::from_cnf(&cnf);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn clause_database_reduction_fires_on_long_runs() {
+        // A hard 170-var instance generates thousands of conflicts,
+        // crossing the initial max_learnts threshold.
+        let cnf = random_sat::generate(RandomSatConfig::from_ratio(170, 4.3, 3, 1)).unwrap();
+        let mut s = Solver::from_cnf(&cnf);
+        let result = s.solve_limited(
+            &[],
+            SolveLimits {
+                max_conflicts: Some(20_000),
+                deadline: None,
+            },
+        );
+        assert_ne!(result, SolveResult::Unknown, "instance within budget");
+        assert!(
+            s.stats().deleted_learnts > 0,
+            "expected learnt-clause deletion after {} conflicts",
+            s.stats().conflicts
+        );
+    }
+
+    #[test]
+    fn minimization_fires_and_preserves_verdicts() {
+        let mut minimized_somewhere = false;
+        for seed in 0..10 {
+            let cnf = random_sat::generate(RandomSatConfig {
+                vars: 40,
+                clauses: 172,
+                clause_len: 3,
+                seed,
+            })
+            .unwrap();
+            let reference = dpll::solve(&cnf, None);
+            let mut s = Solver::from_cnf(&cnf);
+            let got = s.solve(&[]);
+            match reference.result {
+                dpll::DpllResult::Sat(_) => {
+                    assert_eq!(got, SolveResult::Sat);
+                    assert!(cnf.is_satisfied_by(s.model()));
+                }
+                dpll::DpllResult::Unsat => assert_eq!(got, SolveResult::Unsat),
+                dpll::DpllResult::Unknown => unreachable!(),
+            }
+            minimized_somewhere |= s.stats().minimized_literals > 0;
+        }
+        assert!(
+            minimized_somewhere,
+            "clause minimization should fire on phase-transition instances"
+        );
+    }
+
+    #[test]
+    fn lit_helper() {
+        let mut s = Solver::new();
+        s.add_clause([lit(3)]);
+        assert_eq!(s.num_vars(), 3);
+    }
+}

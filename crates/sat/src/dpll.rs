@@ -1,0 +1,358 @@
+//! Instrumented recursive DPLL (Algorithm 1 of the paper).
+//!
+//! This is deliberately the *textbook* Davis–Putnam–Logemann–Loveland
+//! procedure — unit propagation, pure-literal elimination, then branching —
+//! with counters on every recursive call, because the paper's hardness
+//! argument (Fig 1) is phrased in terms of the number and depth of DPLL
+//! recursive calls. Use [`crate::cdcl::Solver`] when you just want answers
+//! fast.
+
+use crate::{Cnf, Lit};
+
+/// Effort counters for one [`solve`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DpllStats {
+    /// Total invocations of the DPLL function (the paper's `M`).
+    pub recursive_calls: u64,
+    /// Branches that failed and were undone.
+    pub backtracks: u64,
+    /// Unit-propagation steps taken (line 7 of Algorithm 1).
+    pub unit_propagations: u64,
+    /// Pure-literal eliminations taken (line 11 of Algorithm 1).
+    pub pure_literals: u64,
+    /// Deepest recursion reached.
+    pub max_depth: u32,
+}
+
+/// Result of a [`solve`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DpllResult {
+    /// Satisfiable, with a witness assignment (one value per variable).
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// The call budget was exhausted before an answer was found.
+    Unknown,
+}
+
+impl DpllResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, DpllResult::Sat(_))
+    }
+}
+
+/// Outcome of [`solve`]: the verdict plus effort statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpllOutcome {
+    /// Verdict (and model, when satisfiable).
+    pub result: DpllResult,
+    /// Effort counters.
+    pub stats: DpllStats,
+}
+
+/// Runs DPLL on a formula with a recursive-call budget (`None` for
+/// unlimited).
+///
+/// # Example
+///
+/// ```
+/// use fulllock_sat::{dpll, Cnf, Lit};
+///
+/// let mut cnf = Cnf::new();
+/// let a = cnf.new_var();
+/// cnf.add_clause([Lit::positive(a)]);
+/// let outcome = dpll::solve(&cnf, None);
+/// assert!(outcome.result.is_sat());
+/// assert!(outcome.stats.recursive_calls >= 1);
+/// ```
+pub fn solve(cnf: &Cnf, max_calls: Option<u64>) -> DpllOutcome {
+    let mut engine = Engine {
+        cnf,
+        assign: vec![None; cnf.num_vars()],
+        stats: DpllStats::default(),
+        budget: max_calls,
+        exhausted: false,
+        model: None,
+    };
+    let sat = engine.dpll(0);
+    let result = if engine.exhausted {
+        DpllResult::Unknown
+    } else if sat {
+        DpllResult::Sat(
+            engine
+                .model
+                .expect("SAT verdict always records a model"),
+        )
+    } else {
+        DpllResult::Unsat
+    };
+    DpllOutcome {
+        result,
+        stats: engine.stats,
+    }
+}
+
+struct Engine<'a> {
+    cnf: &'a Cnf,
+    assign: Vec<Option<bool>>,
+    stats: DpllStats,
+    budget: Option<u64>,
+    exhausted: bool,
+    model: Option<Vec<bool>>,
+}
+
+enum ClauseState {
+    Satisfied,
+    Empty,
+    Unit(Lit),
+    Open,
+}
+
+impl Engine<'_> {
+    fn dpll(&mut self, depth: u32) -> bool {
+        self.stats.recursive_calls += 1;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        if let Some(limit) = self.budget {
+            if self.stats.recursive_calls > limit {
+                self.exhausted = true;
+                return false;
+            }
+        }
+
+        // Lines 2-6: scan for empty clauses / full satisfaction, and pick up
+        // a unit clause on the way.
+        let mut all_satisfied = true;
+        let mut unit: Option<Lit> = None;
+        for clause in self.cnf.clauses() {
+            match self.classify(clause) {
+                ClauseState::Empty => return false,
+                ClauseState::Satisfied => {}
+                ClauseState::Unit(l) => {
+                    all_satisfied = false;
+                    if unit.is_none() {
+                        unit = Some(l);
+                    }
+                }
+                ClauseState::Open => all_satisfied = false,
+            }
+        }
+        if all_satisfied {
+            self.record_model();
+            return true;
+        }
+
+        // Lines 7-10: unit propagation.
+        if let Some(l) = unit {
+            self.stats.unit_propagations += 1;
+            return self.assume(l, depth, false);
+        }
+
+        // Lines 11-12: pure-literal elimination.
+        if let Some(l) = self.find_pure_literal() {
+            self.stats.pure_literals += 1;
+            return self.assume(l, depth, false);
+        }
+
+        // Lines 13-16: branch on the first unassigned variable.
+        let var = (0..self.cnf.num_vars())
+            .find(|&v| self.assign[v].is_none())
+            .expect("open clause implies an unassigned variable");
+        let lit = Lit::positive(crate::Var::new(var));
+        if self.assume(lit, depth, true) {
+            return true;
+        }
+        if self.exhausted {
+            return false;
+        }
+        self.assume(!lit, depth, false)
+    }
+
+    /// Assigns `lit`, recurses one level deeper, and undoes the assignment.
+    /// `counts_backtrack` marks first branches whose failure is a backtrack.
+    fn assume(&mut self, lit: Lit, depth: u32, counts_backtrack: bool) -> bool {
+        self.assign[lit.var().index()] = Some(lit.is_positive());
+        let sat = self.dpll(depth + 1);
+        self.assign[lit.var().index()] = None;
+        if !sat && counts_backtrack {
+            self.stats.backtracks += 1;
+        }
+        sat
+    }
+
+    fn classify(&self, clause: &[Lit]) -> ClauseState {
+        let mut unassigned: Option<Lit> = None;
+        let mut unassigned_count = 0usize;
+        for &l in clause {
+            match self.assign[l.var().index()] {
+                Some(value) => {
+                    if l.apply(value) {
+                        return ClauseState::Satisfied;
+                    }
+                }
+                None => {
+                    unassigned_count += 1;
+                    unassigned = Some(l);
+                }
+            }
+        }
+        match unassigned_count {
+            0 => ClauseState::Empty,
+            1 => ClauseState::Unit(unassigned.expect("counted one unassigned literal")),
+            _ => ClauseState::Open,
+        }
+    }
+
+    fn find_pure_literal(&self) -> Option<Lit> {
+        // Polarity census over unsatisfied clauses only.
+        let n = self.cnf.num_vars();
+        let mut pos = vec![false; n];
+        let mut neg = vec![false; n];
+        for clause in self.cnf.clauses() {
+            if matches!(self.classify(clause), ClauseState::Satisfied) {
+                continue;
+            }
+            for &l in clause {
+                if self.assign[l.var().index()].is_none() {
+                    if l.is_positive() {
+                        pos[l.var().index()] = true;
+                    } else {
+                        neg[l.var().index()] = true;
+                    }
+                }
+            }
+        }
+        for v in 0..n {
+            if pos[v] != neg[v] {
+                return Some(Lit::with_polarity(crate::Var::new(v), pos[v]));
+            }
+        }
+        None
+    }
+
+    fn record_model(&mut self) {
+        // Unassigned variables (never constrained) default to false.
+        self.model = Some(
+            self.assign
+                .iter()
+                .map(|a| a.unwrap_or(false))
+                .collect(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_sat::{self, RandomSatConfig};
+
+    fn lit(i: i64) -> Lit {
+        Lit::from_dimacs(i)
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([lit(1)]);
+        let out = solve(&cnf, None);
+        match out.result {
+            DpllResult::Sat(model) => assert!(model[0]),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([lit(1)]);
+        cnf.add_clause([lit(-1)]);
+        assert_eq!(solve(&cnf, None).result, DpllResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let cnf = Cnf::new();
+        assert!(solve(&cnf, None).result.is_sat());
+    }
+
+    #[test]
+    fn model_satisfies_formula() {
+        let cnf = random_sat::generate(RandomSatConfig {
+            vars: 20,
+            clauses: 60, // under-constrained, certainly SAT
+            clause_len: 3,
+            seed: 4,
+        })
+        .unwrap();
+        match solve(&cnf, None).result {
+            DpllResult::Sat(model) => assert!(cnf.is_satisfied_by(&model)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Variables p(i,h): pigeon i in hole h; i in 0..3, h in 0..2.
+        let mut cnf = Cnf::new();
+        let var = |i: usize, h: usize| Lit::positive(crate::Var::new(i * 2 + h));
+        cnf.grow_to(6);
+        for i in 0..3 {
+            cnf.add_clause([var(i, 0), var(i, 1)]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in i + 1..3 {
+                    cnf.add_clause([!var(i, h), !var(j, h)]);
+                }
+            }
+        }
+        let out = solve(&cnf, None);
+        assert_eq!(out.result, DpllResult::Unsat);
+        assert!(out.stats.recursive_calls > 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_unknown() {
+        let cnf = random_sat::generate(RandomSatConfig {
+            vars: 40,
+            clauses: 172,
+            clause_len: 3,
+            seed: 2,
+        })
+        .unwrap();
+        let out = solve(&cnf, Some(3));
+        assert_eq!(out.result, DpllResult::Unknown);
+    }
+
+    #[test]
+    fn unit_propagation_is_counted() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([lit(1)]);
+        cnf.add_clause([lit(-1), lit(2)]);
+        let out = solve(&cnf, None);
+        assert!(out.result.is_sat());
+        assert!(out.stats.unit_propagations >= 2);
+    }
+
+    #[test]
+    fn hard_band_needs_more_calls_than_easy_bands() {
+        // A coarse, seed-averaged version of Fig 1's easy-hard-easy shape:
+        // ratio 4.3 must out-cost ratio 2 and ratio 8 on average.
+        let calls_at = |ratio: f64| -> u64 {
+            (0..5)
+                .map(|seed| {
+                    let cnf = random_sat::generate(RandomSatConfig::from_ratio(
+                        30, ratio, 3, seed,
+                    ))
+                    .unwrap();
+                    solve(&cnf, None).stats.recursive_calls
+                })
+                .sum()
+        };
+        let easy_low = calls_at(2.0);
+        let hard = calls_at(4.3);
+        let easy_high = calls_at(8.0);
+        assert!(hard > easy_low, "hard {hard} <= easy_low {easy_low}");
+        assert!(hard > easy_high, "hard {hard} <= easy_high {easy_high}");
+    }
+}

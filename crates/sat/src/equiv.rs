@@ -1,0 +1,303 @@
+//! SAT-based combinational equivalence checking (CEC).
+//!
+//! Builds a miter over two netlists with shared primary inputs and asks
+//! the CDCL solver whether any input makes their outputs differ. This is
+//! the *formal* counterpart of the sampled functional checks used
+//! elsewhere: [`check`] proves equivalence outright or returns a concrete
+//! counterexample pattern.
+//!
+//! The reproduction uses it to verify that locking with the correct key is
+//! *exactly* functionality-preserving (not just on sampled patterns), and
+//! that keys recovered by attacks are exact.
+
+use fulllock_netlist::Netlist;
+
+use crate::cdcl::{SolveLimits, SolveResult, Solver};
+use crate::tseytin::{encode_gate, encode_into};
+use crate::{Cnf, Lit, SatError, Var};
+
+/// Verdict of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivResult {
+    /// The two netlists compute the same function.
+    Equivalent,
+    /// They differ on this input pattern (one value per primary input).
+    Counterexample(Vec<bool>),
+    /// The solver hit a resource limit first.
+    Unknown,
+}
+
+impl EquivResult {
+    /// Whether equivalence was proven.
+    pub fn is_equivalent(&self) -> bool {
+        *self == EquivResult::Equivalent
+    }
+}
+
+/// Checks whether two acyclic netlists with identical interfaces compute
+/// the same function.
+///
+/// # Errors
+///
+/// Returns [`SatError::BadConfig`] if the input/output counts differ and
+/// propagates encoding errors for cyclic netlists.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_netlist::{GateKind, Netlist};
+/// use fulllock_sat::equiv;
+///
+/// # fn main() -> Result<(), fulllock_sat::SatError> {
+/// // De Morgan: ¬(a ∧ b) ≡ ¬a ∨ ¬b.
+/// let mut lhs = Netlist::new("nand");
+/// let a = lhs.add_input("a");
+/// let b = lhs.add_input("b");
+/// let y = lhs.add_gate(GateKind::Nand, &[a, b]).unwrap();
+/// lhs.mark_output(y);
+///
+/// let mut rhs = Netlist::new("or_of_nots");
+/// let a = rhs.add_input("a");
+/// let b = rhs.add_input("b");
+/// let na = rhs.add_gate(GateKind::Not, &[a]).unwrap();
+/// let nb = rhs.add_gate(GateKind::Not, &[b]).unwrap();
+/// let y = rhs.add_gate(GateKind::Or, &[na, nb]).unwrap();
+/// rhs.mark_output(y);
+///
+/// assert!(equiv::check(&lhs, &rhs, None)?.is_equivalent());
+/// # Ok(())
+/// # }
+/// ```
+pub fn check(a: &Netlist, b: &Netlist, limits: Option<SolveLimits>) -> Result<EquivResult, SatError> {
+    if a.inputs().len() != b.inputs().len() {
+        return Err(SatError::BadConfig(format!(
+            "input counts differ: {} vs {}",
+            a.inputs().len(),
+            b.inputs().len()
+        )));
+    }
+    if a.outputs().len() != b.outputs().len() {
+        return Err(SatError::BadConfig(format!(
+            "output counts differ: {} vs {}",
+            a.outputs().len(),
+            b.outputs().len()
+        )));
+    }
+    if fulllock_netlist::topo::is_cyclic(a) || fulllock_netlist::topo::is_cyclic(b) {
+        return Err(SatError::BadConfig(
+            "equivalence checking requires acyclic netlists".into(),
+        ));
+    }
+
+    let mut cnf = Cnf::new();
+    let inputs: Vec<Var> = a.inputs().iter().map(|_| cnf.new_var()).collect();
+    let vars_a = encode_into(a, &mut cnf, &inputs);
+    let vars_b = encode_into(b, &mut cnf, &inputs);
+
+    let mut diffs: Vec<Lit> = Vec::with_capacity(a.outputs().len());
+    for (&oa, &ob) in a.outputs().iter().zip(b.outputs()) {
+        let d = cnf.new_var();
+        encode_gate(
+            &mut cnf,
+            fulllock_netlist::GateKind::Xor,
+            d,
+            &[vars_a[oa.index()], vars_b[ob.index()]],
+        );
+        diffs.push(Lit::positive(d));
+    }
+    cnf.add_clause(diffs);
+
+    let mut solver = Solver::from_cnf(&cnf);
+    match solver.solve_limited(&[], limits.unwrap_or_default()) {
+        SolveResult::Unsat => Ok(EquivResult::Equivalent),
+        SolveResult::Unknown => Ok(EquivResult::Unknown),
+        SolveResult::Sat => Ok(EquivResult::Counterexample(
+            inputs
+                .iter()
+                .map(|&v| solver.model_value(v).unwrap_or(false))
+                .collect(),
+        )),
+    }
+}
+
+/// Checks a netlist against itself with some inputs tied to constants —
+/// the building block for checking a locked circuit under a fixed key:
+/// `check_under_constants(locked, &[(key_sig_positions, bits)], original)`.
+///
+/// `a_constants` lists (input position in `a`, forced value); the
+/// remaining inputs of `a` are matched positionally with `b`'s inputs.
+///
+/// # Errors
+///
+/// Returns [`SatError::BadConfig`] if the free-input or output counts
+/// differ, or if either netlist is cyclic.
+pub fn check_under_constants(
+    a: &Netlist,
+    a_constants: &[(usize, bool)],
+    b: &Netlist,
+    limits: Option<SolveLimits>,
+) -> Result<EquivResult, SatError> {
+    let constant_positions: Vec<usize> = a_constants.iter().map(|&(p, _)| p).collect();
+    let free_count = a.inputs().len() - a_constants.len();
+    if free_count != b.inputs().len() {
+        return Err(SatError::BadConfig(format!(
+            "free input counts differ: {} vs {}",
+            free_count,
+            b.inputs().len()
+        )));
+    }
+    if a.outputs().len() != b.outputs().len() {
+        return Err(SatError::BadConfig(format!(
+            "output counts differ: {} vs {}",
+            a.outputs().len(),
+            b.outputs().len()
+        )));
+    }
+    if fulllock_netlist::topo::is_cyclic(a) || fulllock_netlist::topo::is_cyclic(b) {
+        return Err(SatError::BadConfig(
+            "equivalence checking requires acyclic netlists".into(),
+        ));
+    }
+
+    let mut cnf = Cnf::new();
+    // Shared variables for b's inputs; fresh (later unit-forced) variables
+    // for a's constant inputs.
+    let shared: Vec<Var> = b.inputs().iter().map(|_| cnf.new_var()).collect();
+    let mut a_inputs: Vec<Var> = Vec::with_capacity(a.inputs().len());
+    let mut next_shared = 0usize;
+    for position in 0..a.inputs().len() {
+        if constant_positions.contains(&position) {
+            a_inputs.push(cnf.new_var());
+        } else {
+            a_inputs.push(shared[next_shared]);
+            next_shared += 1;
+        }
+    }
+    let vars_a = encode_into(a, &mut cnf, &a_inputs);
+    let vars_b = encode_into(b, &mut cnf, &shared);
+    for &(position, value) in a_constants {
+        cnf.add_clause([Lit::with_polarity(a_inputs[position], value)]);
+    }
+
+    let mut diffs: Vec<Lit> = Vec::with_capacity(a.outputs().len());
+    for (&oa, &ob) in a.outputs().iter().zip(b.outputs()) {
+        let d = cnf.new_var();
+        encode_gate(
+            &mut cnf,
+            fulllock_netlist::GateKind::Xor,
+            d,
+            &[vars_a[oa.index()], vars_b[ob.index()]],
+        );
+        diffs.push(Lit::positive(d));
+    }
+    cnf.add_clause(diffs);
+
+    let mut solver = Solver::from_cnf(&cnf);
+    match solver.solve_limited(&[], limits.unwrap_or_default()) {
+        SolveResult::Unsat => Ok(EquivResult::Equivalent),
+        SolveResult::Unknown => Ok(EquivResult::Unknown),
+        SolveResult::Sat => Ok(EquivResult::Counterexample(
+            shared
+                .iter()
+                .map(|&v| solver.model_value(v).unwrap_or(false))
+                .collect(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fulllock_netlist::{benchmarks, GateKind};
+
+    fn not_not(n: usize) -> Netlist {
+        let mut nl = Netlist::new("nn");
+        let a = nl.add_input("a");
+        let mut prev = a;
+        for _ in 0..n {
+            prev = nl.add_gate(GateKind::Not, &[prev]).unwrap();
+        }
+        nl.mark_output(prev);
+        nl
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let buf = {
+            let mut nl = Netlist::new("b");
+            let a = nl.add_input("a");
+            let g = nl.add_gate(GateKind::Buf, &[a]).unwrap();
+            nl.mark_output(g);
+            nl
+        };
+        assert!(check(&not_not(2), &buf, None).unwrap().is_equivalent());
+        // Odd chain is an inverter, not a buffer.
+        match check(&not_not(3), &buf, None).unwrap() {
+            EquivResult::Counterexample(cex) => assert_eq!(cex.len(), 1),
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn benchmark_is_equivalent_to_itself() {
+        let nl = benchmarks::load("c432").unwrap();
+        assert!(check(&nl, &nl, None).unwrap().is_equivalent());
+    }
+
+    #[test]
+    fn different_benchmarks_are_not_equivalent() {
+        // c499 and c1355 stand-ins share the interface (41/32) but are
+        // different random functions.
+        let a = benchmarks::load("c499").unwrap();
+        let b = benchmarks::load("c1355").unwrap();
+        match check(&a, &b, None).unwrap() {
+            EquivResult::Counterexample(cex) => assert_eq!(cex.len(), 41),
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counterexample_actually_differs() {
+        let a = benchmarks::load("c499").unwrap();
+        let b = benchmarks::load("c1355").unwrap();
+        let EquivResult::Counterexample(cex) = check(&a, &b, None).unwrap() else {
+            panic!("expected counterexample");
+        };
+        let sim_a = fulllock_netlist::Simulator::new(&a).unwrap();
+        let sim_b = fulllock_netlist::Simulator::new(&b).unwrap();
+        assert_ne!(sim_a.run(&cex).unwrap(), sim_b.run(&cex).unwrap());
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error() {
+        let a = benchmarks::load("c17").unwrap();
+        let b = benchmarks::load("c432").unwrap();
+        assert!(check(&a, &b, None).is_err());
+    }
+
+    #[test]
+    fn constants_pin_inputs() {
+        // y = MUX(s, a, b) with s forced to 0 is just `a` (as a function
+        // of the remaining inputs a, b).
+        let mut mux = Netlist::new("m");
+        let s = mux.add_input("s");
+        let a = mux.add_input("a");
+        let b = mux.add_input("b");
+        let y = mux.add_gate(GateKind::Mux, &[s, a, b]).unwrap();
+        mux.mark_output(y);
+
+        let mut pass = Netlist::new("p");
+        let a2 = pass.add_input("a");
+        let _b2 = pass.add_input("b");
+        let g = pass.add_gate(GateKind::Buf, &[a2]).unwrap();
+        pass.mark_output(g);
+
+        assert!(check_under_constants(&mux, &[(0, false)], &pass, None)
+            .unwrap()
+            .is_equivalent());
+        assert!(matches!(
+            check_under_constants(&mux, &[(0, true)], &pass, None).unwrap(),
+            EquivResult::Counterexample(_)
+        ));
+    }
+}

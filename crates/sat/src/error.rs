@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced by the SAT tooling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SatError {
+    /// DIMACS text failed to parse.
+    Dimacs {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An encoder input was invalid (propagated from the netlist layer).
+    Netlist(fulllock_netlist::NetlistError),
+    /// A generator was asked for an impossible configuration.
+    BadConfig(String),
+}
+
+impl fmt::Display for SatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SatError::Dimacs { line, message } => {
+                write!(f, "DIMACS parse error at line {line}: {message}")
+            }
+            SatError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SatError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SatError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fulllock_netlist::NetlistError> for SatError {
+    fn from(e: fulllock_netlist::NetlistError) -> Self {
+        SatError::Netlist(e)
+    }
+}

@@ -1,0 +1,54 @@
+//! SAT tooling for the Full-Lock reproduction.
+//!
+//! The paper's central claim is about *SAT instance hardness*: Full-Lock's
+//! PLRs translate (via the Tseytin transformation) into CNF whose
+//! clause/variable ratio sits in the hard 3-SAT band, blowing up the search
+//! effort of each attack iteration. This crate supplies every SAT-side
+//! ingredient:
+//!
+//! * [`Cnf`], [`Lit`], [`Var`] — formulas with DIMACS I/O and the
+//!   clause/variable-ratio statistic ([`Cnf`]);
+//! * [`tseytin`] — netlist → CNF encoding (Table 1 of the paper), with
+//!   shared-input encoding for miter construction;
+//! * [`random_sat`] — fixed-length random k-SAT generation (Fig 1's
+//!   workload);
+//! * [`dpll`] — the instrumented, textbook DPLL of Algorithm 1, counting
+//!   recursive calls;
+//! * [`cdcl`] — a MiniSAT-class CDCL solver (watched literals, 1UIP
+//!   learning, VSIDS, Luby restarts, incremental solving) that powers the
+//!   attacks.
+//!
+//! # Example
+//!
+//! ```
+//! use fulllock_sat::cdcl::{SolveResult, Solver};
+//! use fulllock_sat::random_sat::{generate, RandomSatConfig};
+//!
+//! # fn main() -> Result<(), fulllock_sat::SatError> {
+//! let cnf = generate(RandomSatConfig::from_ratio(40, 3.0, 3, 0))?;
+//! let mut solver = Solver::from_cnf(&cnf);
+//! // Ratio 3 is under-constrained: almost surely satisfiable.
+//! assert_eq!(solver.solve(&[]), SolveResult::Sat);
+//! assert!(cnf.is_satisfied_by(solver.model()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdcl;
+mod cnf;
+pub mod dpll;
+pub mod equiv;
+mod error;
+mod lit;
+pub mod random_sat;
+pub mod tseytin;
+
+pub use cnf::Cnf;
+pub use error::SatError;
+pub use lit::{Lit, Var};
+
+/// Crate-wide result alias.
+pub type Result<T, E = SatError> = std::result::Result<T, E>;

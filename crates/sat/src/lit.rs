@@ -1,0 +1,187 @@
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered densely from 0.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_sat::{Lit, Var};
+///
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(Lit::positive(v).var(), v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable with the given dense index.
+    pub fn new(index: usize) -> Var {
+        Var(u32::try_from(index).expect("more than u32::MAX variables"))
+    }
+
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation, packed as `2·var + sign`.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_sat::{Lit, Var};
+///
+/// let v = Var::new(0);
+/// let p = Lit::positive(v);
+/// assert_eq!(!p, Lit::negative(v));
+/// assert!(p.is_positive());
+/// assert_eq!((!p).var(), v);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn positive(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn negative(var: Var) -> Lit {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// Builds a literal from a variable and a polarity.
+    pub fn with_polarity(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether this is the positive (unnegated) literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense code `2·var + sign`, usable as an array index (e.g. for watch
+    /// lists).
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Inverse of [`Lit::code`].
+    pub fn from_code(code: usize) -> Lit {
+        Lit(u32::try_from(code).expect("literal code out of range"))
+    }
+
+    /// The value this literal takes under an assignment of its variable.
+    pub fn apply(self, var_value: bool) -> bool {
+        var_value == self.is_positive()
+    }
+
+    /// DIMACS encoding: 1-based, negative for negated literals.
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.0 >> 1) + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Parses a DIMACS literal (non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is 0 (the DIMACS clause terminator is not a
+    /// literal).
+    pub fn from_dimacs(value: i64) -> Lit {
+        assert!(value != 0, "0 is the DIMACS clause terminator, not a literal");
+        let var = Var::new(value.unsigned_abs() as usize - 1);
+        Lit::with_polarity(var, value > 0)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.0 >> 1)
+        } else {
+            write!(f, "¬x{}", self.0 >> 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_round_trips() {
+        for i in 0..10 {
+            let v = Var::new(i);
+            let p = Lit::positive(v);
+            let n = Lit::negative(v);
+            assert_eq!(p.var(), v);
+            assert_eq!(n.var(), v);
+            assert!(p.is_positive());
+            assert!(!n.is_positive());
+            assert_eq!(!p, n);
+            assert_eq!(!n, p);
+            assert_eq!(Lit::from_code(p.code()), p);
+        }
+    }
+
+    #[test]
+    fn apply_respects_polarity() {
+        let v = Var::new(0);
+        assert!(Lit::positive(v).apply(true));
+        assert!(!Lit::positive(v).apply(false));
+        assert!(!Lit::negative(v).apply(true));
+        assert!(Lit::negative(v).apply(false));
+    }
+
+    #[test]
+    fn dimacs_round_trips() {
+        for value in [-5i64, -1, 1, 7] {
+            assert_eq!(Lit::from_dimacs(value).to_dimacs(), value);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "terminator")]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn with_polarity() {
+        let v = Var::new(2);
+        assert_eq!(Lit::with_polarity(v, true), Lit::positive(v));
+        assert_eq!(Lit::with_polarity(v, false), Lit::negative(v));
+    }
+}

@@ -1,0 +1,161 @@
+//! Random fixed-length k-SAT generation (the workload of Fig 1).
+//!
+//! Mitchell, Selman & Levesque's classic experiment — reproduced as Fig 1
+//! of the Full-Lock paper — draws clauses of exactly `k` distinct variables
+//! with random polarities and measures DPLL effort as the clause/variable
+//! ratio sweeps through the phase transition (hard band ≈ 3–6, peak ≈ 4.3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Cnf, Lit, SatError, Var};
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomSatConfig {
+    /// Number of variables (≥ `clause_len`).
+    pub vars: usize,
+    /// Number of clauses.
+    pub clauses: usize,
+    /// Literals per clause (`k` of k-SAT; classically 3).
+    pub clause_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomSatConfig {
+    fn default() -> Self {
+        RandomSatConfig {
+            vars: 50,
+            clauses: 215,
+            clause_len: 3,
+            seed: 0,
+        }
+    }
+}
+
+impl RandomSatConfig {
+    /// Convenience constructor from a clause/variable ratio: clause count is
+    /// `round(vars * ratio)`.
+    pub fn from_ratio(vars: usize, ratio: f64, clause_len: usize, seed: u64) -> RandomSatConfig {
+        RandomSatConfig {
+            vars,
+            clauses: (vars as f64 * ratio).round() as usize,
+            clause_len,
+            seed,
+        }
+    }
+}
+
+/// Generates a random k-SAT formula with distinct variables per clause.
+///
+/// # Errors
+///
+/// Returns [`SatError::BadConfig`] when `clause_len` is 0 or exceeds
+/// `vars`.
+///
+/// # Example
+///
+/// ```
+/// use fulllock_sat::random_sat::{generate, RandomSatConfig};
+///
+/// # fn main() -> Result<(), fulllock_sat::SatError> {
+/// let cnf = generate(RandomSatConfig::from_ratio(50, 4.3, 3, 1))?;
+/// assert_eq!(cnf.num_vars(), 50);
+/// assert_eq!(cnf.num_clauses(), 215);
+/// # Ok(())
+/// # }
+/// ```
+pub fn generate(config: RandomSatConfig) -> Result<Cnf, SatError> {
+    let RandomSatConfig {
+        vars,
+        clauses,
+        clause_len,
+        seed,
+    } = config;
+    if clause_len == 0 {
+        return Err(SatError::BadConfig("clause_len must be >= 1".into()));
+    }
+    if clause_len > vars {
+        return Err(SatError::BadConfig(format!(
+            "clause_len ({clause_len}) exceeds vars ({vars})"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cnf = Cnf::new();
+    cnf.grow_to(vars);
+    let mut chosen: Vec<usize> = Vec::with_capacity(clause_len);
+    for _ in 0..clauses {
+        chosen.clear();
+        while chosen.len() < clause_len {
+            let v = rng.gen_range(0..vars);
+            if !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        let lits: Vec<Lit> = chosen
+            .iter()
+            .map(|&v| Lit::with_polarity(Var::new(v), rng.gen_bool(0.5)))
+            .collect();
+        cnf.add_clause(lits);
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let cnf = generate(RandomSatConfig {
+            vars: 30,
+            clauses: 120,
+            clause_len: 3,
+            seed: 9,
+        })
+        .unwrap();
+        assert_eq!(cnf.num_vars(), 30);
+        assert_eq!(cnf.num_clauses(), 120);
+        for clause in cnf.clauses() {
+            assert_eq!(clause.len(), 3);
+            // Distinct variables within a clause.
+            let mut vars: Vec<_> = clause.iter().map(|l| l.var()).collect();
+            vars.sort();
+            vars.dedup();
+            assert_eq!(vars.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = RandomSatConfig::default();
+        assert_eq!(generate(cfg).unwrap(), generate(cfg).unwrap());
+        let other = generate(RandomSatConfig { seed: 1, ..cfg }).unwrap();
+        assert_ne!(generate(cfg).unwrap(), other);
+    }
+
+    #[test]
+    fn from_ratio_rounds() {
+        let cfg = RandomSatConfig::from_ratio(100, 4.3, 3, 0);
+        assert_eq!(cfg.clauses, 430);
+    }
+
+    #[test]
+    fn impossible_configs_error() {
+        assert!(generate(RandomSatConfig {
+            vars: 2,
+            clauses: 1,
+            clause_len: 3,
+            seed: 0
+        })
+        .is_err());
+        assert!(generate(RandomSatConfig {
+            vars: 2,
+            clauses: 1,
+            clause_len: 0,
+            seed: 0
+        })
+        .is_err());
+    }
+}

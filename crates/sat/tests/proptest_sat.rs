@@ -1,0 +1,142 @@
+//! Property-based tests of the SAT kit: solver agreement, DIMACS
+//! round-trips, and Tseytin/equivalence coherence.
+
+use fulllock_netlist::random::{generate, RandomCircuitConfig};
+use fulllock_sat::cdcl::{SolveResult, Solver};
+use fulllock_sat::random_sat::{self, RandomSatConfig};
+use fulllock_sat::{dpll, equiv, Cnf};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CDCL and the reference DPLL agree on verdicts across the phase
+    /// transition, and SAT models check out.
+    #[test]
+    fn cdcl_agrees_with_dpll(vars in 10usize..28, ratio in 2.0f64..7.0, seed in any::<u64>()) {
+        let cnf = random_sat::generate(RandomSatConfig::from_ratio(vars, ratio, 3, seed))
+            .expect("valid config");
+        let reference = dpll::solve(&cnf, None);
+        let mut solver = Solver::from_cnf(&cnf);
+        match (reference.result, solver.solve(&[])) {
+            (dpll::DpllResult::Sat(_), SolveResult::Sat) => {
+                prop_assert!(cnf.is_satisfied_by(solver.model()));
+            }
+            (dpll::DpllResult::Unsat, SolveResult::Unsat) => {}
+            (a, b) => return Err(TestCaseError::fail(format!("disagreement: {a:?} vs {b:?}"))),
+        }
+    }
+
+    /// DIMACS round-trips exactly.
+    #[test]
+    fn dimacs_round_trip(vars in 3usize..20, clauses in 1usize..60, seed in any::<u64>()) {
+        let cnf = random_sat::generate(RandomSatConfig {
+            vars,
+            clauses,
+            clause_len: 3,
+            seed,
+        }).expect("valid config");
+        let text = cnf.to_dimacs();
+        let back = Cnf::from_dimacs(&text).expect("own output parses");
+        prop_assert_eq!(back, cnf);
+    }
+
+    /// Adding the negation of a found model as a clause makes the model
+    /// count drop — repeated, the solver enumerates distinct models.
+    #[test]
+    fn blocking_clauses_enumerate_distinct_models(seed in any::<u64>()) {
+        let cnf = random_sat::generate(RandomSatConfig {
+            vars: 12,
+            clauses: 24, // under-constrained: several models
+            clause_len: 3,
+            seed,
+        }).expect("valid config");
+        let mut solver = Solver::from_cnf(&cnf);
+        let mut seen: Vec<Vec<bool>> = Vec::new();
+        for _ in 0..4 {
+            match solver.solve(&[]) {
+                SolveResult::Sat => {
+                    let model: Vec<bool> = solver.model().to_vec();
+                    prop_assert!(!seen.contains(&model), "model repeated");
+                    // Block this model.
+                    solver.add_clause(model.iter().enumerate().map(|(i, &b)| {
+                        fulllock_sat::Lit::with_polarity(fulllock_sat::Var::new(i), !b)
+                    }));
+                    seen.push(model);
+                }
+                SolveResult::Unsat => break,
+                SolveResult::Unknown => unreachable!("no limits"),
+            }
+        }
+        prop_assert!(!seen.is_empty(), "under-constrained formula must have a model");
+    }
+
+    /// Every generated circuit is equivalent to its own `.bench`
+    /// round-trip (formally, via the CEC).
+    #[test]
+    fn circuits_equivalent_to_their_roundtrip(seed in any::<u64>()) {
+        let nl = generate(RandomCircuitConfig {
+            inputs: 8,
+            outputs: 4,
+            gates: 60,
+            max_fanin: 3,
+            seed,
+        }).expect("valid config");
+        let text = fulllock_netlist::bench_io::write(&nl);
+        let back = fulllock_netlist::bench_io::parse(&text, "rt").expect("parses");
+        prop_assert!(equiv::check(&nl, &back, None).expect("checkable").is_equivalent());
+    }
+
+    /// The logic optimizer is semantics-preserving: optimized circuits are
+    /// formally equivalent to their originals.
+    #[test]
+    fn optimizer_is_equivalence_preserving(seed in any::<u64>()) {
+        let nl = generate(RandomCircuitConfig {
+            inputs: 10,
+            outputs: 5,
+            gates: 100,
+            max_fanin: 4,
+            seed,
+        }).expect("valid config");
+        let optimized = fulllock_netlist::opt::optimize(&nl).expect("acyclic");
+        prop_assert!(optimized.netlist.stats().gates <= nl.stats().gates);
+        prop_assert!(
+            equiv::check(&nl, &optimized.netlist, None)
+                .expect("checkable")
+                .is_equivalent()
+        );
+    }
+
+    /// Mutating one gate kind is (almost always) detected by the CEC with
+    /// a genuine counterexample.
+    #[test]
+    fn cec_counterexamples_are_genuine(seed in any::<u64>()) {
+        let nl = generate(RandomCircuitConfig {
+            inputs: 8,
+            outputs: 4,
+            gates: 50,
+            max_fanin: 3,
+            seed,
+        }).expect("valid config");
+        let mut mutated = nl.clone();
+        // Invert the kind of the first invertible live gate.
+        let target = mutated
+            .gates()
+            .find(|&g| mutated.node(g).gate_kind().and_then(|k| k.invert()).is_some());
+        let Some(g) = target else { return Ok(()) };
+        let inverted = mutated.node(g).gate_kind().unwrap().invert().unwrap();
+        mutated.set_gate_kind(g, inverted).unwrap();
+        match equiv::check(&nl, &mutated, None).expect("checkable") {
+            equiv::EquivResult::Equivalent => {
+                // Possible if the mutated gate is masked everywhere; rare
+                // but legal.
+            }
+            equiv::EquivResult::Counterexample(cex) => {
+                let sim_a = fulllock_netlist::Simulator::new(&nl).unwrap();
+                let sim_b = fulllock_netlist::Simulator::new(&mutated).unwrap();
+                prop_assert_ne!(sim_a.run(&cex).unwrap(), sim_b.run(&cex).unwrap());
+            }
+            equiv::EquivResult::Unknown => unreachable!("no limits"),
+        }
+    }
+}

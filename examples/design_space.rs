@@ -1,0 +1,75 @@
+//! Design-space exploration for a defender: for each CLN topology and
+//! size, how much security (SAT-attack survival, permutation coverage,
+//! key bits) does each unit of PPA overhead buy?
+//!
+//! This is the decision §3.1 of the paper walks through — blocking CLNs
+//! are cheaper per input but need to be enormous before they resist;
+//! the almost non-blocking `LOG_{N,log2(N)-2,1}` reaches resistance at
+//! N=64 for ~2× the per-input cost.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use std::error::Error;
+use std::time::Duration;
+
+use full_lock::attacks::{attack, SatAttackConfig, SimOracle};
+use full_lock::locking::{ClnStructure, ClnTopology};
+use full_lock::bench::cln_testbed;
+use full_lock::tech::Technology;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let tech = Technology::generic_32nm();
+    let budget = Duration::from_secs(3);
+
+    println!(
+        "{:<22} {:>4} {:>7} {:>9} {:>11} {:>11} {:>12}",
+        "topology", "N", "stages", "key bits", "area (um2)", "perms", "SAT (3s)"
+    );
+    for topology in [
+        ClnTopology::Shuffle,
+        ClnTopology::Banyan,
+        ClnTopology::AlmostNonBlocking,
+        ClnTopology::Benes,
+    ] {
+        for n in [4usize, 8, 16] {
+            let structure = ClnStructure::new(topology, n)?;
+            let (host, locked) = cln_testbed(n, topology, 0);
+            let ppa = tech.netlist_ppa(&locked.netlist)?;
+            let perms = if n <= 8 {
+                structure.reachable_permutations().len().to_string()
+            } else {
+                "-".to_string()
+            };
+            let oracle = SimOracle::new(&host)?;
+            let report = attack(
+                &locked,
+                &oracle,
+                SatAttackConfig {
+                    timeout: Some(budget),
+                    ..Default::default()
+                },
+            )?;
+            let verdict = if report.outcome.is_broken() {
+                format!("{:.2}s", report.elapsed.as_secs_f64())
+            } else {
+                "TO".to_string()
+            };
+            println!(
+                "{:<22} {:>4} {:>7} {:>9} {:>11.2} {:>11} {:>12}",
+                topology.name(),
+                n,
+                structure.stages(),
+                locked.key_len(),
+                ppa.area_um2,
+                perms,
+                verdict,
+            );
+        }
+    }
+    println!("\ntrade-off: more stages ⇒ more permutations and a deeper MUX cascade");
+    println!("(harder SAT instances), at linearly more area/power. The paper picks");
+    println!("LOG_{{N,log2(N)-2,1}} as the knee of this curve.");
+    Ok(())
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper (see EXPERIMENTS.md).
+#
+# Usage:
+#   scripts/run_all_experiments.sh [output-file]
+#
+# Scale knobs (see crates/bench/src/lib.rs):
+#   FULLLOCK_TIMEOUT_SECS   per-attack budget, default 10
+#   FULLLOCK_FULL=1         extended sweeps toward the paper's sizes
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-experiments_snapshot.txt}"
+: "${FULLLOCK_TIMEOUT_SECS:=10}"
+export FULLLOCK_TIMEOUT_SECS
+
+cargo build --release -p fulllock-bench
+
+BIN=target/release
+{
+  echo "# Full-Lock experiment snapshot ($(date -u +%Y-%m-%dT%H:%M:%SZ))"
+  echo "# FULLLOCK_TIMEOUT_SECS=$FULLLOCK_TIMEOUT_SECS FULLLOCK_FULL=${FULLLOCK_FULL:-}"
+  for bin in fig1_dpll_hardness table1_tseytin topology_report table2_cln_sat \
+             table3_cln_ppa fig5_stt_lut fig6_insertion_example \
+             table4_fulllock_cycsat table5_plr_sizing fig7_clause_var_ratio \
+             removal_study appsat_study ablation_study; do
+    echo
+    echo "== $bin =="
+    "$BIN/$bin"
+  done
+} | tee "$OUT"
+
+echo
+echo "snapshot written to $OUT"

@@ -1,0 +1,364 @@
+//! `fulllock` — command-line front end for locking, attacking, and
+//! inspecting gate-level netlists.
+//!
+//! ```text
+//! fulllock stats  <circuit.bench>
+//! fulllock lock   <circuit.bench> -o locked.bench [--scheme S] [--plr 16,8]
+//!                 [--cyclic] [--twist P] [--seed N] [--key-out key.txt]
+//! fulllock verify <locked.bench> --oracle <circuit.bench> --key 0110…
+//! fulllock attack <locked.bench> --oracle <circuit.bench> [--timeout SECS]
+//! fulllock export <circuit.bench> --format verilog|bench|dimacs [-o FILE]
+//! ```
+//!
+//! Locked `.bench` files follow the literature's convention: key inputs
+//! are the primary inputs whose names start with `keyinput`.
+
+use std::error::Error;
+use std::fs;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use full_lock::attacks::{attack, AttackOutcome, SatAttackConfig, SimOracle};
+use full_lock::locking::{
+    AntiSat, CrossLock, FullLock, FullLockConfig, Key, LockedCircuit, LockingScheme, LutLock,
+    PlrSpec, Rll, SarLock, WireSelection,
+};
+use full_lock::netlist::{bench_io, topo, verilog, Netlist};
+use full_lock::sat::tseytin;
+use full_lock::tech::Technology;
+
+type CliResult = Result<(), Box<dyn Error>>;
+
+const USAGE: &str = "\
+fulllock — logic locking & SAT-attack toolbox (Full-Lock reproduction)
+
+USAGE:
+  fulllock stats  <circuit.bench>
+  fulllock lock   <circuit.bench> -o <locked.bench> [options]
+  fulllock verify <locked.bench> --oracle <circuit.bench> --key <bits>
+  fulllock attack <locked.bench> --oracle <circuit.bench> [--timeout SECS]
+  fulllock export <circuit.bench> --format <verilog|bench|dimacs> [-o FILE]
+  fulllock optimize <circuit.bench> -o <optimized.bench>
+
+LOCK OPTIONS:
+  --scheme <fulllock|rll|sarlock|antisat|lutlock|crosslock>   (default fulllock)
+  --plr <sizes>     comma-separated CLN sizes, e.g. 16 or 16,8 (fulllock)
+  --bits <n>        key bits / LUT count / crossbar size (other schemes)
+  --cyclic          allow cycle-creating insertion (fulllock)
+  --twist <p>       leading-gate negation probability (default 0.5)
+  --seed <n>        RNG seed (default 0)
+  --key-out <file>  write the correct key (binary string) to a file
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("lock") => cmd_lock(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("attack") => cmd_attack(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
+        Some("optimize") => cmd_optimize(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: positionals + `--flag value` + boolean `--flag`.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String], booleans: &[&str]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let token = &raw[i];
+            if let Some(name) = token.strip_prefix("--") {
+                if booleans.contains(&name) {
+                    flags.push((name.to_string(), None));
+                } else {
+                    let value = raw.get(i + 1).cloned();
+                    if value.is_some() {
+                        i += 1;
+                    }
+                    flags.push((name.to_string(), value));
+                }
+            } else if token == "-o" {
+                let value = raw.get(i + 1).cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push(("out".to_string(), value));
+            } else {
+                positional.push(token.clone());
+            }
+            i += 1;
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+}
+
+fn load_netlist(path: &str) -> Result<Netlist, Box<dyn Error>> {
+    let text = fs::read_to_string(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    Ok(bench_io::parse(&text, name)?)
+}
+
+/// Splits a parsed `.bench` into a [`LockedCircuit`] by the `keyinput`
+/// naming convention (correct key unknown — zero-filled placeholder).
+fn as_locked(netlist: Netlist) -> Result<LockedCircuit, Box<dyn Error>> {
+    let key_inputs: Vec<_> = netlist
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|&i| netlist.signal_name(i).starts_with("keyinput"))
+        .collect();
+    if key_inputs.is_empty() {
+        return Err("no key inputs found (inputs named keyinput*)".into());
+    }
+    let data_inputs: Vec<_> = netlist
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|i| !key_inputs.contains(i))
+        .collect();
+    let placeholder = Key::zeros(key_inputs.len());
+    Ok(LockedCircuit {
+        netlist,
+        data_inputs,
+        key_inputs,
+        correct_key: placeholder,
+    })
+}
+
+fn cmd_stats(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &[]);
+    let path = args.positional.first().ok_or("stats: missing <circuit.bench>")?;
+    let nl = load_netlist(path)?;
+    let stats = nl.stats();
+    println!("{nl}");
+    println!("  cyclic: {}", topo::is_cyclic(&nl));
+    if let Ok(depth) = topo::depth(&nl) {
+        println!("  depth: {depth} levels");
+    }
+    println!("  max fan-in: {}", stats.max_fanin);
+    for (kind, count) in nl.gate_histogram() {
+        println!("  {:>5}: {count}", kind.name());
+    }
+    let keyish = nl
+        .inputs()
+        .iter()
+        .filter(|&&i| nl.signal_name(i).starts_with("keyinput"))
+        .count();
+    if keyish > 0 {
+        println!("  key inputs (keyinput*): {keyish}");
+    }
+    if let Ok(ppa) = Technology::generic_32nm().netlist_ppa(&nl) {
+        println!(
+            "  PPA (generic 32nm model): {:.1} um^2, {:.0} nW, {:.2} ns",
+            ppa.area_um2, ppa.power_nw, ppa.delay_ns
+        );
+    }
+    Ok(())
+}
+
+fn cmd_lock(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &["cyclic"]);
+    let path = args.positional.first().ok_or("lock: missing <circuit.bench>")?;
+    let out = args.flag("out").ok_or("lock: missing -o <locked.bench>")?;
+    let seed: u64 = args.flag("seed").unwrap_or("0").parse()?;
+    let original = load_netlist(path)?;
+
+    let scheme_name = args.flag("scheme").unwrap_or("fulllock");
+    let bits: usize = args.flag("bits").unwrap_or("16").parse()?;
+    let scheme: Box<dyn LockingScheme> = match scheme_name {
+        "fulllock" => {
+            let sizes: Vec<usize> = args
+                .flag("plr")
+                .unwrap_or("16")
+                .split(',')
+                .map(str::parse)
+                .collect::<Result<_, _>>()?;
+            let config = FullLockConfig {
+                plrs: sizes.into_iter().map(PlrSpec::new).collect(),
+                selection: if args.has("cyclic") {
+                    WireSelection::Cyclic
+                } else {
+                    WireSelection::Acyclic
+                },
+                twist_probability: args.flag("twist").unwrap_or("0.5").parse()?,
+                seed,
+            };
+            Box::new(FullLock::new(config))
+        }
+        "rll" => Box::new(Rll::new(bits, seed)),
+        "sarlock" => Box::new(SarLock::new(bits, seed)),
+        "antisat" => Box::new(AntiSat::new(bits, seed)),
+        "lutlock" => Box::new(LutLock::new(bits, seed)),
+        "crosslock" => Box::new(CrossLock::new(bits, seed)),
+        other => return Err(format!("unknown scheme {other:?}").into()),
+    };
+
+    let locked = scheme.lock(&original)?;
+    fs::write(out, bench_io::write(&locked.netlist))?;
+    println!(
+        "locked {} with {}: {} gates (was {}), {} key bits -> {out}",
+        original.name(),
+        scheme.name(),
+        locked.netlist.stats().gates,
+        original.stats().gates,
+        locked.key_len(),
+    );
+    if let Some(key_path) = args.flag("key-out") {
+        fs::write(key_path, format!("{}\n", locked.correct_key))?;
+        println!("correct key written to {key_path}");
+    } else {
+        println!("correct key: {}", locked.correct_key);
+    }
+    Ok(())
+}
+
+fn cmd_verify(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &[]);
+    let path = args.positional.first().ok_or("verify: missing <locked.bench>")?;
+    let oracle_path = args.flag("oracle").ok_or("verify: missing --oracle")?;
+    let key_text = args.flag("key").ok_or("verify: missing --key <bits>")?;
+    let locked = as_locked(load_netlist(path)?)?;
+    let original = load_netlist(oracle_path)?;
+    let key: Key = key_text.trim().parse()?;
+    if key.len() != locked.key_len() {
+        return Err(format!(
+            "key has {} bits, circuit expects {}",
+            key.len(),
+            locked.key_len()
+        )
+        .into());
+    }
+    match locked.prove_key(&key, &original) {
+        Ok(full_lock::sat::equiv::EquivResult::Equivalent) => {
+            println!("PROVEN: the key restores the oracle's function exactly");
+            Ok(())
+        }
+        Ok(full_lock::sat::equiv::EquivResult::Counterexample(cex)) => {
+            let pattern: String = cex.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            Err(format!("key is WRONG: outputs differ on input {pattern}").into())
+        }
+        Ok(full_lock::sat::equiv::EquivResult::Unknown) => {
+            Err("verification inconclusive (resource limit)".into())
+        }
+        Err(e) => Err(format!("formal check unavailable ({e}); try sampled verification").into()),
+    }
+}
+
+fn cmd_attack(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &[]);
+    let path = args.positional.first().ok_or("attack: missing <locked.bench>")?;
+    let oracle_path = args.flag("oracle").ok_or("attack: missing --oracle")?;
+    let timeout: f64 = args.flag("timeout").unwrap_or("60").parse()?;
+    let locked = as_locked(load_netlist(path)?)?;
+    let original = load_netlist(oracle_path)?;
+    let oracle = SimOracle::new(&original)?;
+    println!(
+        "attacking {} ({} key bits, cyclic: {}) with a {timeout}s budget…",
+        locked.netlist.name(),
+        locked.key_len(),
+        topo::is_cyclic(&locked.netlist),
+    );
+    let report = attack(
+        &locked,
+        &oracle,
+        SatAttackConfig {
+            timeout: Some(Duration::from_secs_f64(timeout)),
+            ..Default::default()
+        },
+    )?;
+    match report.outcome {
+        AttackOutcome::KeyRecovered { key, verified } => {
+            println!(
+                "BROKEN in {} iterations / {:?} ({} oracle queries, verified: {verified})",
+                report.iterations, report.elapsed, report.oracle_queries
+            );
+            println!("recovered key: {key}");
+        }
+        AttackOutcome::Timeout => println!(
+            "TIMEOUT after {} iterations / {:?} — the lock held",
+            report.iterations, report.elapsed
+        ),
+        other => println!("attack ended: {other:?} after {} iterations", report.iterations),
+    }
+    println!(
+        "formula: {} vars, {} clauses (mean clause/var ratio {:.2})",
+        report.formula.0, report.formula.1, report.mean_clause_var_ratio
+    );
+    Ok(())
+}
+
+fn cmd_optimize(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &[]);
+    let path = args
+        .positional
+        .first()
+        .ok_or("optimize: missing <circuit.bench>")?;
+    let out = args.flag("out").ok_or("optimize: missing -o <file>")?;
+    let nl = load_netlist(path)?;
+    let optimized = full_lock::netlist::opt::optimize(&nl)?;
+    fs::write(out, bench_io::write(&optimized.netlist))?;
+    println!(
+        "{}: {} -> {} gates ({} shared subexpressions) -> {out}",
+        nl.name(),
+        optimized.stats.gates_before,
+        optimized.stats.gates_after,
+        optimized.stats.deduplicated,
+    );
+    Ok(())
+}
+
+fn cmd_export(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &[]);
+    let path = args.positional.first().ok_or("export: missing <circuit.bench>")?;
+    let format = args.flag("format").ok_or("export: missing --format")?;
+    let nl = load_netlist(path)?;
+    let text = match format {
+        "verilog" => verilog::write(&nl),
+        "bench" => bench_io::write(&nl),
+        "dimacs" => tseytin::encode(&nl).cnf.to_dimacs(),
+        other => return Err(format!("unknown format {other:?}").into()),
+    };
+    match args.flag("out") {
+        Some(out) => {
+            fs::write(out, text)?;
+            println!("wrote {format} to {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the Full-Lock reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and downstream
+//! users can depend on a single package:
+//!
+//! * [`netlist`] — gate-level circuits, `.bench` I/O, simulation, benchmarks;
+//! * [`sat`] — CNF, Tseytin transformation, DPLL, and a CDCL solver;
+//! * [`locking`] — Full-Lock (CLNs + key-programmable LUTs) and baseline
+//!   locking schemes;
+//! * [`attacks`] — SAT / CycSAT / AppSAT / removal / SPS attacks;
+//! * [`tech`] — power/performance/area estimation;
+//! * [`mod@bench`] — experiment-harness helpers (scaling, tables, testbeds).
+//!
+//! A command-line front end ships as the `fulllock` binary
+//! (`cargo run --release --bin fulllock -- --help`).
+//!
+//! See the repository `README.md` for a quickstart and `EXPERIMENTS.md` for
+//! the paper-reproduction harness.
+
+#![forbid(unsafe_code)]
+
+pub use fulllock_attacks as attacks;
+pub use fulllock_bench as bench;
+pub use fulllock_locking as locking;
+pub use fulllock_netlist as netlist;
+pub use fulllock_sat as sat;
+pub use fulllock_tech as tech;

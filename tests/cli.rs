@@ -1,0 +1,171 @@
+//! Integration tests of the `fulllock` command-line binary: the full
+//! lock → verify → attack → export → optimize workflow over real files.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const C17: &str = "\
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fulllock_cli_{tag}_{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fulllock"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+#[test]
+fn help_lists_subcommands() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for sub in ["stats", "lock", "verify", "attack", "export", "optimize"] {
+        assert!(text.contains(sub), "help missing {sub}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_fails() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn stats_reports_shape() {
+    let dir = workdir("stats");
+    let path = dir.join("c17.bench");
+    fs::write(&path, C17).unwrap();
+    let out = run(&["stats", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("5 inputs, 2 outputs, 6 gates"));
+    assert!(text.contains("NAND: 6"));
+}
+
+#[test]
+fn full_lock_attack_verify_flow() {
+    let dir = workdir("flow");
+    let original = dir.join("c17.bench");
+    let locked = dir.join("locked.bench");
+    let key_file = dir.join("key.txt");
+    fs::write(&original, C17).unwrap();
+
+    // Lock with RLL (small enough to attack instantly).
+    let out = run(&[
+        "lock",
+        original.to_str().unwrap(),
+        "-o",
+        locked.to_str().unwrap(),
+        "--scheme",
+        "rll",
+        "--bits",
+        "4",
+        "--seed",
+        "7",
+        "--key-out",
+        key_file.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let key = fs::read_to_string(&key_file).unwrap().trim().to_string();
+    assert_eq!(key.len(), 4);
+
+    // Formal verification of the written key.
+    let out = run(&[
+        "verify",
+        locked.to_str().unwrap(),
+        "--oracle",
+        original.to_str().unwrap(),
+        "--key",
+        &key,
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("PROVEN"));
+
+    // A wrong key must be rejected with a counterexample.
+    let wrong: String = key
+        .chars()
+        .map(|c| if c == '0' { '1' } else { '0' })
+        .collect();
+    let out = run(&[
+        "verify",
+        locked.to_str().unwrap(),
+        "--oracle",
+        original.to_str().unwrap(),
+        "--key",
+        &wrong,
+    ]);
+    assert!(!out.status.success());
+
+    // The SAT attack recovers a working key.
+    let out = run(&[
+        "attack",
+        locked.to_str().unwrap(),
+        "--oracle",
+        original.to_str().unwrap(),
+        "--timeout",
+        "30",
+    ]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("BROKEN"), "{text}");
+    assert!(text.contains("verified: true"));
+}
+
+#[test]
+fn export_formats() {
+    let dir = workdir("export");
+    let original = dir.join("c17.bench");
+    fs::write(&original, C17).unwrap();
+
+    let out = run(&["export", original.to_str().unwrap(), "--format", "verilog"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("module c17"));
+
+    let out = run(&["export", original.to_str().unwrap(), "--format", "dimacs"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).starts_with("p cnf "));
+
+    let out = run(&["export", original.to_str().unwrap(), "--format", "nonsense"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn optimize_shrinks_redundant_logic() {
+    let dir = workdir("opt");
+    let redundant = dir.join("red.bench");
+    // y = NOT(NOT(a)) — optimizes to a plain wire.
+    fs::write(&redundant, "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = NOT(n)\n").unwrap();
+    let out_path = dir.join("opt.bench");
+    let out = run(&[
+        "optimize",
+        redundant.to_str().unwrap(),
+        "-o",
+        out_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("2 -> 0 gates"));
+}

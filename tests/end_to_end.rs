@@ -1,0 +1,152 @@
+//! End-to-end integration tests across all workspace crates: load/generate
+//! → lock → serialize → attack → verify.
+
+use std::time::Duration;
+
+use full_lock::attacks::{attack, AttackOutcome, SatAttackConfig, SimOracle};
+use full_lock::locking::{
+    FullLock, FullLockConfig, Key, LockingScheme, PlrSpec, Rll, WireSelection,
+};
+use full_lock::netlist::{bench_io, benchmarks, topo, Simulator};
+use full_lock::tech::Technology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn lock_attack_verify_pipeline_on_c432() {
+    let original = benchmarks::load("c432").expect("suite benchmark");
+    let locked = Rll::new(16, 1).lock(&original).expect("lockable");
+    let oracle = SimOracle::new(&original).expect("acyclic");
+    let report = attack(&locked, &oracle, SatAttackConfig::default()).expect("interfaces");
+    let AttackOutcome::KeyRecovered { key, verified } = report.outcome else {
+        panic!("RLL must fall to the SAT attack");
+    };
+    assert!(verified);
+    // Functional check, independently of the attack's own verification.
+    let sim = Simulator::new(&original).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..32 {
+        let x: Vec<bool> = (0..original.inputs().len())
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
+        assert_eq!(locked.eval(&x, &key).unwrap(), sim.run(&x).unwrap());
+    }
+}
+
+#[test]
+fn locked_netlist_survives_bench_round_trip() {
+    let original = benchmarks::load("c499").expect("suite benchmark");
+    let locked = FullLock::new(FullLockConfig::single_plr(8))
+        .lock(&original)
+        .expect("lockable");
+    let text = bench_io::write(&locked.netlist);
+    let parsed = bench_io::parse(&text, "roundtrip").expect("own output parses");
+    assert_eq!(parsed.stats(), locked.netlist.stats());
+    // Rebuild the key-input mapping by name and check functionality.
+    let key_inputs: Vec<_> = locked
+        .key_inputs
+        .iter()
+        .map(|&k| {
+            parsed
+                .find_by_name(&locked.netlist.signal_name(k))
+                .expect("key input name preserved")
+        })
+        .collect();
+    let data_inputs: Vec<_> = locked
+        .data_inputs
+        .iter()
+        .map(|&d| {
+            parsed
+                .find_by_name(&locked.netlist.signal_name(d))
+                .expect("data input name preserved")
+        })
+        .collect();
+    let relocked = full_lock::locking::LockedCircuit {
+        netlist: parsed,
+        data_inputs,
+        key_inputs,
+        correct_key: locked.correct_key.clone(),
+    };
+    let sim = Simulator::new(&original).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..16 {
+        let x: Vec<bool> = (0..original.inputs().len())
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
+        assert_eq!(relocked.eval(&x, &relocked.correct_key).unwrap(), sim.run(&x).unwrap());
+    }
+}
+
+#[test]
+fn cyclic_lock_cycsat_pipeline() {
+    let original = benchmarks::load("c880").expect("suite benchmark");
+    let config = FullLockConfig {
+        plrs: vec![PlrSpec::new(4)],
+        selection: WireSelection::Cyclic,
+        twist_probability: 0.5,
+        seed: 5,
+    };
+    let locked = FullLock::new(config).lock(&original).expect("lockable");
+    let oracle = SimOracle::new(&original).expect("acyclic");
+    // A 4×4 PLR falls quickly even with CycSAT preprocessing.
+    let report = attack(
+        &locked,
+        &oracle,
+        SatAttackConfig {
+            timeout: Some(Duration::from_secs(60)),
+            ..Default::default()
+        },
+    )
+    .expect("interfaces");
+    let AttackOutcome::KeyRecovered { key, verified } = report.outcome else {
+        panic!("4x4 cyclic PLR should fall within a minute, got {report:?}");
+    };
+    assert!(verified, "CycSAT key must be functionally correct");
+    // Whether or not the host ended up cyclic, the key must evaluate
+    // correctly under ternary semantics.
+    let sim = Simulator::new(&original).unwrap();
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..16 {
+        let x: Vec<bool> = (0..original.inputs().len())
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
+        let eval = locked.eval_cyclic(&x, &key).unwrap();
+        assert!(eval.all_outputs_known());
+        let got: Vec<bool> = eval.outputs.iter().map(|t| t.to_bool().unwrap()).collect();
+        assert_eq!(got, sim.run(&x).unwrap());
+    }
+    let _ = topo::is_cyclic(&locked.netlist);
+}
+
+#[test]
+fn ppa_overhead_of_locking_is_positive_and_modest() {
+    let tech = Technology::generic_32nm();
+    let original = benchmarks::load("c1908").expect("suite benchmark");
+    let locked = FullLock::new(FullLockConfig::single_plr(16))
+        .lock(&original)
+        .expect("lockable");
+    let before = tech.netlist_ppa(&original).expect("acyclic");
+    let after = tech.netlist_ppa(&locked.netlist).expect("acyclic");
+    assert!(after.area_um2 > before.area_um2);
+    assert!(after.power_nw > before.power_nw);
+    // One 16×16 PLR on a ~900-gate circuit: overhead well under 4x.
+    assert!(
+        after.area_um2 < 4.0 * before.area_um2,
+        "area exploded: {} -> {}",
+        before.area_um2,
+        after.area_um2
+    );
+}
+
+#[test]
+fn umbrella_reexports_are_usable() {
+    // The umbrella crate must expose every layer.
+    let nl = full_lock::netlist::benchmarks::load("c17").unwrap();
+    let mut cnf = full_lock::sat::Cnf::new();
+    let vars: Vec<_> = nl.inputs().iter().map(|_| cnf.new_var()).collect();
+    let _ = full_lock::sat::tseytin::encode_into(&nl, &mut cnf, &vars);
+    assert!(cnf.num_clauses() > 0);
+    let key = Key::zeros(4);
+    assert_eq!(key.len(), 4);
+    let _ = full_lock::tech::Technology::generic_32nm();
+}

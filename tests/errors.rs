@@ -1,0 +1,74 @@
+//! Error-type contract tests (the C-GOOD-ERR checklist): every public
+//! error implements `Display` + `Error`, produces lowercase-ish concise
+//! messages, and is `Send + Sync` for multithreaded harnesses.
+
+use std::error::Error;
+
+use full_lock::attacks::AttackError;
+use full_lock::locking::LockError;
+use full_lock::netlist::NetlistError;
+use full_lock::sat::SatError;
+
+fn assert_well_behaved<E: Error + Send + Sync + 'static>(error: E) {
+    let message = error.to_string();
+    assert!(!message.is_empty());
+    assert!(
+        !message.ends_with('.'),
+        "error messages should not end with punctuation: {message:?}"
+    );
+    let boxed: Box<dyn Error + Send + Sync> = Box::new(error);
+    assert!(boxed.source().is_some() || boxed.source().is_none()); // callable
+}
+
+#[test]
+fn netlist_errors_are_well_behaved() {
+    assert_well_behaved(NetlistError::BadArity { kind: "NOT", got: 3 });
+    assert_well_behaved(NetlistError::UnknownSignal(7));
+    assert_well_behaved(NetlistError::Cyclic { on_cycle: 2 });
+    assert_well_behaved(NetlistError::InputCount { expected: 4, got: 2 });
+    assert_well_behaved(NetlistError::Parse {
+        line: 3,
+        message: "bad token".into(),
+    });
+    assert_well_behaved(NetlistError::DuplicateName("x".into()));
+    assert_well_behaved(NetlistError::UndefinedName("y".into()));
+    assert_well_behaved(NetlistError::BadConfig("nope".into()));
+}
+
+#[test]
+fn sat_errors_are_well_behaved() {
+    assert_well_behaved(SatError::Dimacs {
+        line: 1,
+        message: "bad literal".into(),
+    });
+    assert_well_behaved(SatError::BadConfig("nope".into()));
+    let wrapped = SatError::Netlist(NetlistError::UnknownSignal(1));
+    assert!(wrapped.source().is_some(), "wrapped errors expose a source");
+    assert_well_behaved(wrapped);
+}
+
+#[test]
+fn lock_errors_are_well_behaved() {
+    assert_well_behaved(LockError::BadConfig("nope".into()));
+    assert_well_behaved(LockError::HostTooSmall {
+        needed: 8,
+        available: 3,
+    });
+    assert_well_behaved(LockError::SelectionFailed("stuck".into()));
+    assert_well_behaved(LockError::KeyLength { expected: 4, got: 2 });
+    let wrapped = LockError::Netlist(NetlistError::UnknownSignal(1));
+    assert!(wrapped.source().is_some());
+    assert_well_behaved(wrapped);
+}
+
+#[test]
+fn attack_errors_are_well_behaved() {
+    assert_well_behaved(AttackError::InterfaceMismatch {
+        locked_inputs: 4,
+        oracle_inputs: 5,
+    });
+    assert_well_behaved(AttackError::Unsupported("cyclic".into()));
+    let wrapped = AttackError::Lock(LockError::BadConfig("nope".into()));
+    assert!(wrapped.source().is_some());
+    assert_well_behaved(wrapped);
+}

@@ -1,0 +1,146 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for *any* generated circuit, key, or formula.
+
+use full_lock::locking::{FullLock, FullLockConfig, Key, LockingScheme, PlrSpec, WireSelection};
+use full_lock::netlist::random::{generate, RandomCircuitConfig};
+use full_lock::netlist::{topo, Simulator};
+use full_lock::sat::cdcl::{SolveResult, Solver};
+use full_lock::sat::{tseytin, Cnf};
+use proptest::prelude::*;
+
+fn circuit_config() -> impl Strategy<Value = RandomCircuitConfig> {
+    (4usize..20, 1usize..6, 40usize..150, 2usize..5, any::<u64>()).prop_map(
+        |(inputs, outputs, gates, max_fanin, seed)| RandomCircuitConfig {
+            inputs,
+            outputs: outputs.min(gates),
+            gates,
+            max_fanin,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Tseytin CNF of any generated circuit is satisfied exactly by
+    /// assignments that agree with simulation.
+    #[test]
+    fn tseytin_models_match_simulation(config in circuit_config(), pattern_seed in any::<u64>()) {
+        let nl = generate(config).expect("strategy yields valid configs");
+        let sim = Simulator::new(&nl).expect("generator output is acyclic");
+        let enc = tseytin::encode(&nl);
+
+        // Fix every signal variable to its simulated value (auxiliary
+        // XOR-chain variables stay free): the CNF must be satisfiable.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(pattern_seed);
+        let x: Vec<bool> = (0..nl.inputs().len()).map(|_| rng.gen_bool(0.5)).collect();
+        let values = sim.run_all(&x).expect("sized pattern");
+        let mut assumptions: Vec<full_lock::sat::Lit> = nl
+            .signals()
+            .map(|s| {
+                full_lock::sat::Lit::with_polarity(enc.signal_vars[s.index()], values[s.index()])
+            })
+            .collect();
+        let mut solver = Solver::from_cnf(&enc.cnf);
+        prop_assert_eq!(solver.solve(&assumptions), SolveResult::Sat);
+
+        // Flipping any single gate output must make it unsatisfiable.
+        let gate_ids: Vec<_> = nl.gates().collect();
+        if let Some(&g) = gate_ids.first() {
+            // Inputs come first in the assumption list (signals() order
+            // starts at index 0); find the gate's assumption slot.
+            let slot = g.index();
+            assumptions[slot] = !assumptions[slot];
+            prop_assert_eq!(solver.solve(&assumptions), SolveResult::Unsat);
+        }
+    }
+
+    /// Locking with Full-Lock preserves functionality under the correct
+    /// key for arbitrary hosts, PLR sizes, and seeds.
+    #[test]
+    fn fulllock_correct_key_is_equivalent(
+        host_seed in any::<u64>(),
+        lock_seed in any::<u64>(),
+        size_pow in 2u32..4,
+        pattern_seed in any::<u64>(),
+    ) {
+        let nl = generate(RandomCircuitConfig {
+            inputs: 14,
+            outputs: 6,
+            gates: 150,
+            max_fanin: 3,
+            seed: host_seed,
+        }).expect("valid config");
+        let config = FullLockConfig {
+            plrs: vec![PlrSpec::new(1 << size_pow)],
+            selection: WireSelection::Acyclic,
+            twist_probability: 0.5,
+            seed: lock_seed,
+        };
+        let Ok(locked) = FullLock::new(config).lock(&nl) else {
+            // Some hosts cannot supply enough independent wires; that is a
+            // documented error, not a property violation.
+            return Ok(());
+        };
+        prop_assert!(!topo::is_cyclic(&locked.netlist));
+        let sim = Simulator::new(&nl).expect("acyclic host");
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(pattern_seed);
+        for _ in 0..8 {
+            let x: Vec<bool> = (0..nl.inputs().len()).map(|_| rng.gen_bool(0.5)).collect();
+            prop_assert_eq!(
+                locked.eval(&x, &locked.correct_key).expect("interface sizes"),
+                sim.run(&x).expect("sized pattern")
+            );
+        }
+    }
+
+    /// A solver model of a locked circuit's CNF with the correct key fixed
+    /// agrees with direct evaluation on the outputs.
+    #[test]
+    fn solver_models_agree_with_eval(host_seed in any::<u64>(), x_bits in any::<u16>()) {
+        let nl = generate(RandomCircuitConfig {
+            inputs: 10,
+            outputs: 4,
+            gates: 80,
+            max_fanin: 3,
+            seed: host_seed,
+        }).expect("valid config");
+        let locked = full_lock::locking::Rll::new(6, host_seed)
+            .lock(&nl)
+            .expect("RLL always fits");
+        let mut cnf = Cnf::new();
+        let data: Vec<_> = locked.data_inputs.iter().map(|_| cnf.new_var()).collect();
+        let keys: Vec<_> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
+        let enc = full_lock::attacks::encode_locked(&locked, &mut cnf, &data, &keys);
+        let mut solver = Solver::from_cnf(&cnf);
+        let x: Vec<bool> = (0..10).map(|i| x_bits >> i & 1 == 1).collect();
+        let mut assumptions = Vec::new();
+        for (i, &v) in data.iter().enumerate() {
+            assumptions.push(full_lock::sat::Lit::with_polarity(v, x[i]));
+        }
+        for (i, &v) in keys.iter().enumerate() {
+            assumptions.push(full_lock::sat::Lit::with_polarity(v, locked.correct_key.bits()[i]));
+        }
+        prop_assert_eq!(solver.solve(&assumptions), SolveResult::Sat);
+        let want = locked.eval(&x, &locked.correct_key).expect("interface sizes");
+        for (o, &v) in enc.output_vars.iter().enumerate() {
+            prop_assert_eq!(solver.model_value(v), Some(want[o]));
+        }
+    }
+
+    /// Keys round-trip through flips, and Hamming distance is a metric.
+    #[test]
+    fn key_flip_involution(bits in proptest::collection::vec(any::<bool>(), 1..64), idx in any::<usize>()) {
+        let key = Key::from_bits(bits.clone());
+        let i = idx % key.len();
+        let mut flipped = key.clone();
+        flipped.flip(i);
+        prop_assert_eq!(key.hamming_distance(&flipped), 1);
+        flipped.flip(i);
+        prop_assert_eq!(&flipped, &key);
+        prop_assert_eq!(key.hamming_distance(&key), 0);
+    }
+}
