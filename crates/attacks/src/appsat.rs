@@ -184,7 +184,10 @@ fn probe_error(
                 .eval_cyclic(&x, key)
                 .map(|e| {
                     e.all_outputs_known()
-                        && e.outputs.iter().zip(&want).all(|(t, w)| t.to_bool() == Some(*w))
+                        && e.outputs
+                            .iter()
+                            .zip(&want)
+                            .all(|(t, w)| t.to_bool() == Some(*w))
                 })
                 .unwrap_or(false)
         } else {

@@ -111,8 +111,7 @@ fn edge_condition(
 /// locked netlist is cyclic.
 pub fn add_no_cycle_clauses(locked: &LockedCircuit, cnf: &mut Cnf, key_vars: &[Var]) -> usize {
     let netlist = &locked.netlist;
-    let feedback: HashSet<(SignalId, usize)> =
-        topo::feedback_edges(netlist).into_iter().collect();
+    let feedback: HashSet<(SignalId, usize)> = topo::feedback_edges(netlist).into_iter().collect();
     if feedback.is_empty() {
         return 0;
     }
@@ -154,7 +153,11 @@ pub fn add_no_cycle_clauses(locked: &LockedCircuit, cnf: &mut Cnf, key_vars: &[V
             }
         }
     }
-    debug_assert_eq!(order.len(), netlist.len(), "feedback removal must break all cycles");
+    debug_assert_eq!(
+        order.len(),
+        netlist.len(),
+        "feedback removal must break all cycles"
+    );
 
     for &(head, head_slot) in &feedback {
         let tail = netlist.node(head).fanins()[head_slot];

@@ -183,11 +183,21 @@ pub fn attack(
     // Phase 1: 2-DIPs while they exist.
     loop {
         if out_of_budget(iterations) {
-            return Ok(report(AttackOutcome::budget(&config, iterations), iterations, cleanup_iterations, start));
+            return Ok(report(
+                AttackOutcome::budget(&config, iterations),
+                iterations,
+                cleanup_iterations,
+                start,
+            ));
         }
         match solver.solve_limited(&[act_double], limits) {
             SolveResult::Unknown => {
-                return Ok(report(AttackOutcome::Timeout, iterations, cleanup_iterations, start))
+                return Ok(report(
+                    AttackOutcome::Timeout,
+                    iterations,
+                    cleanup_iterations,
+                    start,
+                ))
             }
             SolveResult::Unsat => break,
             SolveResult::Sat => {
@@ -213,7 +223,12 @@ pub fn attack(
         }
         match solver.solve_limited(&[act_single], limits) {
             SolveResult::Unknown => {
-                return Ok(report(AttackOutcome::Timeout, iterations, cleanup_iterations, start))
+                return Ok(report(
+                    AttackOutcome::Timeout,
+                    iterations,
+                    cleanup_iterations,
+                    start,
+                ))
             }
             SolveResult::Unsat => break,
             SolveResult::Sat => {
@@ -266,7 +281,10 @@ fn verify(locked: &LockedCircuit, oracle: &dyn Oracle, key: &Key) -> bool {
                 .eval_cyclic(&x, key)
                 .map(|e| {
                     e.all_outputs_known()
-                        && e.outputs.iter().zip(&want).all(|(t, w)| t.to_bool() == Some(*w))
+                        && e.outputs
+                            .iter()
+                            .zip(&want)
+                            .all(|(t, w)| t.to_bool() == Some(*w))
                 })
                 .unwrap_or(false)
         } else {
@@ -332,10 +350,7 @@ mod tests {
         let oracle = SimOracle::new(&original).unwrap();
         let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
         assert!(report.outcome.is_broken());
-        assert!(
-            report.iterations >= 1,
-            "expected at least one 2-DIP on RLL"
-        );
+        assert!(report.iterations >= 1, "expected at least one 2-DIP on RLL");
     }
 
     #[test]

@@ -30,8 +30,16 @@ pub fn encode_locked(
     data_vars: &[Var],
     key_vars: &[Var],
 ) -> LockedEncoding {
-    assert_eq!(data_vars.len(), locked.data_inputs.len(), "one var per data input");
-    assert_eq!(key_vars.len(), locked.key_inputs.len(), "one var per key input");
+    assert_eq!(
+        data_vars.len(),
+        locked.data_inputs.len(),
+        "one var per data input"
+    );
+    assert_eq!(
+        key_vars.len(),
+        locked.key_inputs.len(),
+        "one var per key input"
+    );
     // Assemble the netlist-input-order variable vector.
     let mut input_vars: Vec<Var> = Vec::with_capacity(locked.netlist.inputs().len());
     for &sig in locked.netlist.inputs() {

@@ -83,7 +83,7 @@ pub struct AttackReport {
     pub mean_clause_var_ratio: f64,
     /// Final formula size (variables, clauses).
     pub formula: (usize, usize),
-    /// Solver统计 counters accumulated over the run.
+    /// Solver statistics counters accumulated over the run.
     pub solver: SolverStats,
 }
 
@@ -318,7 +318,10 @@ impl<'a> SatAttack<'a> {
                     Err(_) => false,
                 }
             } else {
-                self.locked.eval(&x, key).map(|got| got == want).unwrap_or(false)
+                self.locked
+                    .eval(&x, key)
+                    .map(|got| got == want)
+                    .unwrap_or(false)
             };
             if !ok {
                 return false;
@@ -431,7 +434,11 @@ mod tests {
 
     /// The recovered key must make the locked circuit equivalent to the
     /// oracle (not necessarily equal to the inserted key).
-    fn assert_functionally_correct(original: &Netlist, locked: &fulllock_locking::LockedCircuit, key: &Key) {
+    fn assert_functionally_correct(
+        original: &Netlist,
+        locked: &fulllock_locking::LockedCircuit,
+        key: &Key,
+    ) {
         let sim = Simulator::new(original).unwrap();
         let mut rng = StdRng::seed_from_u64(77);
         for _ in 0..64 {

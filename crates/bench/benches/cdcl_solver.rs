@@ -9,8 +9,7 @@ fn bench_cdcl(c: &mut Criterion) {
     let mut group = c.benchmark_group("cdcl_3sat_ratio4.3");
     for vars in [50usize, 100, 150] {
         group.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, &vars| {
-            let cnf = generate(RandomSatConfig::from_ratio(vars, 4.3, 3, 3))
-                .expect("valid config");
+            let cnf = generate(RandomSatConfig::from_ratio(vars, 4.3, 3, 3)).expect("valid config");
             b.iter(|| {
                 let mut solver = Solver::from_cnf(std::hint::black_box(&cnf));
                 solver.solve(&[])

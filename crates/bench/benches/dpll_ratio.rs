@@ -9,8 +9,7 @@ fn bench_dpll_ratio(c: &mut Criterion) {
     let mut group = c.benchmark_group("dpll_3sat_30vars");
     for ratio in [2.0f64, 3.0, 4.3, 6.0, 8.0] {
         group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &ratio| {
-            let cnf = generate(RandomSatConfig::from_ratio(30, ratio, 3, 7))
-                .expect("valid config");
+            let cnf = generate(RandomSatConfig::from_ratio(30, ratio, 3, 7)).expect("valid config");
             b.iter(|| dpll::solve(std::hint::black_box(&cnf), None));
         });
     }

@@ -13,7 +13,11 @@ fn bench_lock(c: &mut Criterion) {
         let nl = benchmarks::load(name).expect("suite benchmark");
         group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
             let scheme = FullLock::new(FullLockConfig::single_plr(16));
-            b.iter(|| scheme.lock(std::hint::black_box(nl)).expect("lockable host"));
+            b.iter(|| {
+                scheme
+                    .lock(std::hint::black_box(nl))
+                    .expect("lockable host")
+            });
         });
     }
     group.finish();
@@ -26,7 +30,10 @@ fn bench_oracle(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &nl, |b, nl| {
             let sim = Simulator::new(nl).expect("acyclic benchmark");
             let pattern = vec![true; nl.inputs().len()];
-            b.iter(|| sim.run(std::hint::black_box(&pattern)).expect("sized pattern"));
+            b.iter(|| {
+                sim.run(std::hint::black_box(&pattern))
+                    .expect("sized pattern")
+            });
         });
     }
     group.finish();

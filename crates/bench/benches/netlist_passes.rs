@@ -27,8 +27,8 @@ fn bench_equivalence(c: &mut Criterion) {
             &(nl, optimized),
             |b, (a, o)| {
                 b.iter(|| {
-                    let verdict = equiv::check(std::hint::black_box(a), o, None)
-                        .expect("checkable");
+                    let verdict =
+                        equiv::check(std::hint::black_box(a), o, None).expect("checkable");
                     assert!(verdict.is_equivalent());
                 });
             },

@@ -1,0 +1,151 @@
+//! Criterion benchmark of CDCL unit-propagation throughput on a fixed
+//! locked-miter workload, with a machine-readable regression snapshot.
+//!
+//! The workload is the hot loop of every table/figure in the paper: a
+//! Full-Lock miter (two key copies of a locked circuit sharing inputs,
+//! outputs XOR-ed) solved under a fixed conflict budget. Besides the
+//! criterion timing, the bench writes `BENCH_cdcl.json` at the repository
+//! root recording propagations/second so future PRs can detect solver
+//! regressions (`scripts/` or CI can diff the snapshot).
+//!
+//! Run with: `cargo bench -p fulllock-bench --bench propagation`
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fulllock_attacks::encode_locked;
+use fulllock_bench::cln_testbed;
+use fulllock_locking::ClnTopology;
+use fulllock_sat::cdcl::{SolveLimits, SolveResult, Solver};
+use fulllock_sat::{Cnf, Lit, Var};
+
+/// Propagations/second measured at the seed commit (separately-allocated
+/// `Vec<Lit>` clauses, activity-only reduction) on the reference container:
+/// 3.25M props/sec, 1.21 s per 30k-conflict solve on this workload. The
+/// acceptance bar for the arena rewrite is >= 1.5x this number.
+const BASELINE_PROPS_PER_SEC: f64 = 3_250_000.0;
+
+/// Conflict budget per solve: large enough that propagation dominates,
+/// small enough that one measurement stays under a second.
+const CONFLICT_BUDGET: u64 = 30_000;
+
+/// Builds the fixed miter workload: a 16-wire identity host locked with an
+/// almost non-blocking CLN (the paper's hard topology), two key copies
+/// sharing data inputs, outputs forced to differ, plus a batch of asserted
+/// oracle I/O pairs. The I/O pairs replicate a mid-attack solver state —
+/// the first bare-miter solve is trivially SAT, but once both key copies
+/// must agree with the oracle (identity routing) on many patterns, finding
+/// a remaining DIP forces a deep search that exhausts the conflict budget.
+fn miter_workload() -> Cnf {
+    const N: usize = 16;
+    const IO_PAIRS: usize = 24;
+    let (_host, locked) = cln_testbed(N, ClnTopology::AlmostNonBlocking, 0xBEEF);
+    let mut cnf = Cnf::new();
+    let x_vars: Vec<Var> = locked.data_inputs.iter().map(|_| cnf.new_var()).collect();
+    let k1_vars: Vec<Var> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
+    let k2_vars: Vec<Var> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
+    let copy1 = encode_locked(&locked, &mut cnf, &x_vars, &k1_vars);
+    let copy2 = encode_locked(&locked, &mut cnf, &x_vars, &k2_vars);
+    let mut miter_clause = Vec::new();
+    for (&a, &b) in copy1.output_vars.iter().zip(&copy2.output_vars) {
+        let d = cnf.new_var();
+        fulllock_sat::tseytin::encode_gate(&mut cnf, fulllock_netlist::GateKind::Xor, d, &[a, b]);
+        miter_clause.push(Lit::positive(d));
+    }
+    cnf.add_clause(miter_clause);
+
+    // The host is an n-wire identity circuit, so the oracle's response to
+    // any pattern is the pattern itself. Assert IO_PAIRS deterministic
+    // (xorshift-generated) pairs for both key copies, as
+    // `SatAttack::assert_io` would after IO_PAIRS DIP iterations.
+    let mut state = 0x9E37_79B9u64;
+    for _ in 0..IO_PAIRS {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let pattern: Vec<bool> = (0..N).map(|bit| state >> bit & 1 == 1).collect();
+        for key_vars in [&k1_vars, &k2_vars] {
+            let data_vars: Vec<Var> = (0..N).map(|_| cnf.new_var()).collect();
+            let enc = encode_locked(&locked, &mut cnf, &data_vars, key_vars);
+            for (slot, &v) in data_vars.iter().enumerate() {
+                cnf.add_clause([Lit::with_polarity(v, pattern[slot])]);
+            }
+            for (o, &v) in enc.output_vars.iter().enumerate() {
+                cnf.add_clause([Lit::with_polarity(v, pattern[o])]);
+            }
+        }
+    }
+    cnf
+}
+
+/// One measured solve; returns (propagations, seconds).
+fn run_budgeted(cnf: &Cnf) -> (u64, f64) {
+    let mut solver = Solver::from_cnf(cnf);
+    let start = Instant::now();
+    let result = solver.solve_limited(
+        &[],
+        SolveLimits {
+            max_conflicts: Some(CONFLICT_BUDGET),
+            deadline: None,
+        },
+    );
+    let secs = start.elapsed().as_secs_f64();
+    assert_ne!(
+        result,
+        SolveResult::Unsat,
+        "the miter of a keyed circuit must stay satisfiable"
+    );
+    (solver.stats().propagations, secs)
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let cnf = miter_workload();
+    let mut group = c.benchmark_group("propagation_miter16");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::from_parameter(format!("budget{CONFLICT_BUDGET}")),
+        &cnf,
+        |b, cnf| {
+            b.iter(|| run_budgeted(std::hint::black_box(cnf)));
+        },
+    );
+    group.finish();
+
+    // Snapshot pass: a few un-benchmarked runs to compute a stable
+    // propagations/sec figure, written to BENCH_cdcl.json.
+    let mut best_props_per_sec = 0.0f64;
+    let mut last = (0u64, 0.0f64);
+    for _ in 0..3 {
+        let (props, secs) = run_budgeted(&cnf);
+        best_props_per_sec = best_props_per_sec.max(props as f64 / secs);
+        last = (props, secs);
+    }
+    let snapshot_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cdcl.json");
+    let speedup = best_props_per_sec / BASELINE_PROPS_PER_SEC;
+    let json = format!(
+        "{{\n  \"workload\": \"cln16 almost-non-blocking miter, {} conflicts\",\n  \
+         \"formula\": {{ \"vars\": {}, \"clauses\": {} }},\n  \
+         \"propagations\": {},\n  \"seconds\": {:.4},\n  \
+         \"props_per_sec\": {:.0},\n  \
+         \"baseline_props_per_sec\": {:.0},\n  \"speedup_vs_baseline\": {:.2}\n}}\n",
+        CONFLICT_BUDGET,
+        cnf.num_vars(),
+        cnf.num_clauses(),
+        last.0,
+        last.1,
+        best_props_per_sec,
+        BASELINE_PROPS_PER_SEC,
+        speedup,
+    );
+    match std::fs::File::create(snapshot_path) {
+        Ok(mut f) => {
+            let _ = f.write_all(json.as_bytes());
+            println!("propagation snapshot: {best_props_per_sec:.0} props/sec ({speedup:.2}x baseline) -> BENCH_cdcl.json");
+        }
+        Err(e) => eprintln!("could not write {snapshot_path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

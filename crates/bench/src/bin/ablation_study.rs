@@ -16,9 +16,7 @@
 use fulllock_attacks::removal::removal_study;
 use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
 use fulllock_bench::{fmt_attack_time, Scale, Table};
-use fulllock_locking::{
-    corruption, ClnTopology, FullLock, FullLockConfig, PlrSpec, WireSelection,
-};
+use fulllock_locking::{corruption, ClnTopology, FullLock, FullLockConfig, PlrSpec, WireSelection};
 use fulllock_netlist::benchmarks;
 
 struct Variant {
@@ -34,12 +32,48 @@ fn main() {
     let original = benchmarks::load("c432").expect("suite benchmark");
 
     let variants = [
-        Variant { label: "full PLR (paper design)", topology: ClnTopology::AlmostNonBlocking, with_luts: true, with_inverters: true, twist: 0.5 },
-        Variant { label: "- LUTs", topology: ClnTopology::AlmostNonBlocking, with_luts: false, with_inverters: true, twist: 0.5 },
-        Variant { label: "- twisting", topology: ClnTopology::AlmostNonBlocking, with_luts: true, with_inverters: true, twist: 0.0 },
-        Variant { label: "- inverters (and twisting)", topology: ClnTopology::AlmostNonBlocking, with_luts: true, with_inverters: false, twist: 0.0 },
-        Variant { label: "blocking topology", topology: ClnTopology::Shuffle, with_luts: true, with_inverters: true, twist: 0.5 },
-        Variant { label: "bare blocking CLN", topology: ClnTopology::Shuffle, with_luts: false, with_inverters: false, twist: 0.0 },
+        Variant {
+            label: "full PLR (paper design)",
+            topology: ClnTopology::AlmostNonBlocking,
+            with_luts: true,
+            with_inverters: true,
+            twist: 0.5,
+        },
+        Variant {
+            label: "- LUTs",
+            topology: ClnTopology::AlmostNonBlocking,
+            with_luts: false,
+            with_inverters: true,
+            twist: 0.5,
+        },
+        Variant {
+            label: "- twisting",
+            topology: ClnTopology::AlmostNonBlocking,
+            with_luts: true,
+            with_inverters: true,
+            twist: 0.0,
+        },
+        Variant {
+            label: "- inverters (and twisting)",
+            topology: ClnTopology::AlmostNonBlocking,
+            with_luts: true,
+            with_inverters: false,
+            twist: 0.0,
+        },
+        Variant {
+            label: "blocking topology",
+            topology: ClnTopology::Shuffle,
+            with_luts: true,
+            with_inverters: true,
+            twist: 0.5,
+        },
+        Variant {
+            label: "bare blocking CLN",
+            topology: ClnTopology::Shuffle,
+            with_luts: false,
+            with_inverters: false,
+            twist: 0.0,
+        },
     ];
 
     let mut table = Table::new([
@@ -81,10 +115,10 @@ fn main() {
             "TO".to_string()
         };
 
-        let corr = corruption::measure(&locked, &original, 8, 32, 5)
-            .expect("corruption measurement");
-        let removal = removal_study(&locked, &trace, &original, 300, 6)
-            .expect("acyclic removal study");
+        let corr =
+            corruption::measure(&locked, &original, 8, 32, 5).expect("corruption measurement");
+        let removal =
+            removal_study(&locked, &trace, &original, 300, 6).expect("acyclic removal study");
 
         table.row([
             v.label.to_string(),

@@ -13,9 +13,7 @@
 
 use fulllock_attacks::{appsat_attack, AppSatConfig, SatAttackConfig, SimOracle};
 use fulllock_bench::{Scale, Table};
-use fulllock_locking::{
-    corruption, AntiSat, FullLock, FullLockConfig, LockingScheme, SarLock,
-};
+use fulllock_locking::{corruption, AntiSat, FullLock, FullLockConfig, LockingScheme, SarLock};
 use fulllock_netlist::benchmarks;
 
 fn main() {
@@ -38,8 +36,8 @@ fn main() {
     ]);
     for scheme in schemes {
         let locked = scheme.lock(&original).expect("benchmark hosts each scheme");
-        let corr = corruption::measure(&locked, &original, 8, 32, 3)
-            .expect("corruption measurement");
+        let corr =
+            corruption::measure(&locked, &original, 8, 32, 3).expect("corruption measurement");
         let oracle = SimOracle::new(&original).expect("originals are acyclic");
         let report = appsat_attack(
             &locked,

@@ -7,9 +7,7 @@
 //! cargo run --release -p fulllock-bench --bin fig6_insertion_example
 //! ```
 
-use fulllock_locking::{
-    ClnTopology, FullLock, FullLockConfig, PlrSpec, WireSelection,
-};
+use fulllock_locking::{ClnTopology, FullLock, FullLockConfig, PlrSpec, WireSelection};
 use fulllock_netlist::random::{generate, RandomCircuitConfig};
 use fulllock_netlist::{topo, Netlist};
 

@@ -23,8 +23,8 @@ use std::time::Duration;
 use fulllock_attacks::{attack, encode_locked, SatAttackConfig, SimOracle};
 use fulllock_bench::{Scale, Table};
 use fulllock_locking::{
-    AntiSat, CrossLock, FullLock, FullLockConfig, LockedCircuit, LockingScheme, LutLock,
-    PlrSpec, Rll, SarLock, WireSelection,
+    AntiSat, CrossLock, FullLock, FullLockConfig, LockedCircuit, LockingScheme, LutLock, PlrSpec,
+    Rll, SarLock, WireSelection,
 };
 use fulllock_netlist::benchmarks;
 use fulllock_sat::Cnf;
@@ -72,7 +72,13 @@ fn main() {
         let locked = match scheme.lock(&original) {
             Ok(l) => l,
             Err(e) => {
-                table.row([scheme.name(), format!("n/a ({e})"), String::new(), String::new(), String::new()]);
+                table.row([
+                    scheme.name(),
+                    format!("n/a ({e})"),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ]);
                 continue;
             }
         };

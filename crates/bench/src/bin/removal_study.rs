@@ -55,8 +55,7 @@ fn main() {
             .lock_with_trace(&original)
             .expect("benchmark hosts a 16-input PLR");
         let cone = key_logic_cone(&locked).len();
-        let study =
-            removal_study(&locked, &trace, &original, 500, 1).expect("acyclic study");
+        let study = removal_study(&locked, &trace, &original, 500, 1).expect("acyclic study");
         table.row([
             label.to_string(),
             cone.to_string(),

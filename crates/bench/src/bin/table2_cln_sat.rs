@@ -26,7 +26,14 @@ fn main() {
         .collect();
 
     for topology in [ClnTopology::Shuffle, ClnTopology::AlmostNonBlocking] {
-        let mut table = Table::new(["CLN size (N)", "key bits", "SAT iterations", "SAT time (s)"]);
+        let mut table = Table::new([
+            "CLN size (N)",
+            "key bits",
+            "SAT iterations",
+            "SAT time (s)",
+            "props/sec",
+            "mean LBD",
+        ]);
         for &n in &sizes {
             let (host, locked) = cln_testbed(n, topology, 1);
             let oracle = SimOracle::new(&host).expect("identity host is acyclic");
@@ -46,11 +53,14 @@ fn main() {
                 }
                 _ => (format!("{} (TO)", report.iterations), None),
             };
+            let solver = report.solver;
             table.row([
                 n.to_string(),
                 locked.key_len().to_string(),
                 iters,
                 fmt_attack_time(time),
+                format!("{:.2}M", solver.props_per_sec() / 1e6),
+                format!("{:.1}", solver.mean_lbd()),
             ]);
         }
         let title = match topology {

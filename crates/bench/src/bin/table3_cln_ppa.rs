@@ -29,13 +29,48 @@ fn main() {
     let attack_limit = if scale.full { 32 } else { 16 };
 
     let rows = vec![
-        Row { label: "Shuffle (N=32)".into(), n: 32, topology: ClnTopology::Shuffle, paper_resilient: false },
-        Row { label: "LOG_{32,3,1}".into(), n: 32, topology: ClnTopology::AlmostNonBlocking, paper_resilient: false },
-        Row { label: "Shuffle (N=64)".into(), n: 64, topology: ClnTopology::Shuffle, paper_resilient: false },
-        Row { label: "LOG_{64,4,1}".into(), n: 64, topology: ClnTopology::AlmostNonBlocking, paper_resilient: true },
-        Row { label: "Shuffle (N=128)".into(), n: 128, topology: ClnTopology::Shuffle, paper_resilient: false },
-        Row { label: "Shuffle (N=256)".into(), n: 256, topology: ClnTopology::Shuffle, paper_resilient: false },
-        Row { label: "Shuffle (N=512)".into(), n: 512, topology: ClnTopology::Shuffle, paper_resilient: true },
+        Row {
+            label: "Shuffle (N=32)".into(),
+            n: 32,
+            topology: ClnTopology::Shuffle,
+            paper_resilient: false,
+        },
+        Row {
+            label: "LOG_{32,3,1}".into(),
+            n: 32,
+            topology: ClnTopology::AlmostNonBlocking,
+            paper_resilient: false,
+        },
+        Row {
+            label: "Shuffle (N=64)".into(),
+            n: 64,
+            topology: ClnTopology::Shuffle,
+            paper_resilient: false,
+        },
+        Row {
+            label: "LOG_{64,4,1}".into(),
+            n: 64,
+            topology: ClnTopology::AlmostNonBlocking,
+            paper_resilient: true,
+        },
+        Row {
+            label: "Shuffle (N=128)".into(),
+            n: 128,
+            topology: ClnTopology::Shuffle,
+            paper_resilient: false,
+        },
+        Row {
+            label: "Shuffle (N=256)".into(),
+            n: 256,
+            topology: ClnTopology::Shuffle,
+            paper_resilient: false,
+        },
+        Row {
+            label: "Shuffle (N=512)".into(),
+            n: 512,
+            topology: ClnTopology::Shuffle,
+            paper_resilient: true,
+        },
     ];
 
     let mut table = Table::new([
@@ -61,7 +96,11 @@ fn main() {
                 },
             )
             .expect("matching interfaces");
-            if report.outcome.is_broken() { "✗".into() } else { "✓".into() }
+            if report.outcome.is_broken() {
+                "✗".into()
+            } else {
+                "✓".into()
+            }
         } else {
             // Beyond the scaled budget: report the paper's verdict, marked.
             format!("{}*", if row.paper_resilient { "✓" } else { "✗" })

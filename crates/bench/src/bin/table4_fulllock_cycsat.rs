@@ -19,12 +19,30 @@ use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
 use fulllock_bench::{fmt_attack_time, Scale, Table};
 use fulllock_locking::{FullLock, FullLockConfig, LockingScheme, PlrSpec, WireSelection};
 use fulllock_netlist::benchmarks;
+use fulllock_sat::cdcl::SolverStats;
+
+/// Accumulates the counters of `s` into `total` (timing and histogram
+/// buckets add component-wise).
+fn accumulate(total: &mut SolverStats, s: &SolverStats) {
+    total.decisions += s.decisions;
+    total.propagations += s.propagations;
+    total.conflicts += s.conflicts;
+    total.restarts += s.restarts;
+    total.deleted_learnts += s.deleted_learnts;
+    total.minimized_literals += s.minimized_literals;
+    total.reductions += s.reductions;
+    for (t, n) in total.lbd_histogram.iter_mut().zip(s.lbd_histogram) {
+        *t += n;
+    }
+    total.propagate_ns += s.propagate_ns;
+    total.analyze_ns += s.analyze_ns;
+}
 
 fn run_config(
     name: &str,
     sizes: &[usize],
     timeout: Duration,
-) -> (String, Option<Duration>) {
+) -> (String, Option<Duration>, SolverStats) {
     let original = benchmarks::load(name).expect("suite benchmark");
     let config = FullLockConfig {
         plrs: sizes.iter().map(|&s| PlrSpec::new(s)).collect(),
@@ -34,7 +52,7 @@ fn run_config(
     };
     let locked = match FullLock::new(config).lock(&original) {
         Ok(l) => l,
-        Err(e) => return (format!("n/a ({e})"), None),
+        Err(e) => return (format!("n/a ({e})"), None, SolverStats::default()),
     };
     let oracle = SimOracle::new(&original).expect("originals are acyclic");
     let report = attack(
@@ -47,9 +65,13 @@ fn run_config(
     )
     .expect("matching interfaces");
     if report.outcome.is_broken() {
-        (fmt_attack_time(Some(report.elapsed)), Some(report.elapsed))
+        (
+            fmt_attack_time(Some(report.elapsed)),
+            Some(report.elapsed),
+            report.solver,
+        )
     } else {
-        ("TO".to_string(), None)
+        ("TO".to_string(), None, report.solver)
     }
 }
 
@@ -81,6 +103,7 @@ fn main() {
     let mut headers: Vec<String> = vec!["Circuit".into()];
     headers.extend(configs.iter().map(|(l, _)| l.clone()));
     let mut table = Table::new(headers);
+    let mut totals = SolverStats::default();
     for name in circuits {
         let mut cells: Vec<String> = vec![name.to_string()];
         let mut previous_to = false;
@@ -91,7 +114,8 @@ fn main() {
                 cells.push("TO".into());
                 continue;
             }
-            let (cell, elapsed) = run_config(name, sizes, scale.timeout);
+            let (cell, elapsed, solver) = run_config(name, sizes, scale.timeout);
+            accumulate(&mut totals, &solver);
             previous_to = elapsed.is_none() && cell == "TO";
             cells.push(cell);
         }
@@ -101,6 +125,13 @@ fn main() {
         "Table 4: CycSAT time (s) on Full-Lock, random (cyclic) insertion — timeout {}s (paper: 2e6 s)",
         scale.timeout.as_secs_f64()
     ));
+    println!(
+        "\nsolver totals: {} conflicts, {} propagations at {:.2}M props/sec, mean learnt LBD {:.1}",
+        totals.conflicts,
+        totals.propagations,
+        totals.props_per_sec() / 1e6,
+        totals.mean_lbd(),
+    );
     println!("\npaper shape: every circuit falls under a single small PLR, slows by");
     println!("orders of magnitude with each added/enlarged PLR, and times out for");
     println!("all circuits at 3 PLRs of the large size.");

@@ -23,7 +23,11 @@ use fulllock_locking::{
 use fulllock_netlist::{benchmarks, Netlist};
 
 /// Attacks `locked`; returns true if it survived (TO) within `timeout`.
-fn survives(original: &Netlist, locked: &fulllock_locking::LockedCircuit, timeout: Duration) -> bool {
+fn survives(
+    original: &Netlist,
+    locked: &fulllock_locking::LockedCircuit,
+    timeout: Duration,
+) -> bool {
     let oracle = SimOracle::new(original).expect("originals are acyclic");
     let report = attack(
         locked,

@@ -22,7 +22,13 @@ fn main() {
     ];
 
     let mut table = Table::new([
-        "Topology", "N", "Stages", "SwBs", "Key bits", "Reachable perms", "of N!",
+        "Topology",
+        "N",
+        "Stages",
+        "SwBs",
+        "Key bits",
+        "Reachable perms",
+        "of N!",
     ]);
     for n in [4usize, 8] {
         for topology in topologies {
@@ -62,7 +68,11 @@ fn main() {
     let almost64 = ClnStructure::log_nmp_switch_count(64, 4, 1).expect("valid size");
     let strict64 = ClnStructure::log_nmp_switch_count(64, 3, 6).expect("valid size");
     let mut nmp = Table::new(["Network (N=64)", "SwBs", "vs blocking"]);
-    nmp.row(["blocking (banyan)".to_string(), blocking64.to_string(), "1.0x".into()]);
+    nmp.row([
+        "blocking (banyan)".to_string(),
+        blocking64.to_string(),
+        "1.0x".into(),
+    ]);
     nmp.row([
         "LOG_{64,4,1} (almost non-blocking)".to_string(),
         almost64.to_string(),

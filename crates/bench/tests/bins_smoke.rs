@@ -20,7 +20,10 @@ fn assert_contains(bin: &str, timeout_secs: &str, needles: &[&str]) {
     );
     let text = String::from_utf8_lossy(&out.stdout);
     for needle in needles {
-        assert!(text.contains(needle), "{bin} output missing {needle:?}:\n{text}");
+        assert!(
+            text.contains(needle),
+            "{bin} output missing {needle:?}:\n{text}"
+        );
     }
 }
 

@@ -572,13 +572,24 @@ mod tests {
         // Blocking: log2 N stages; almost non-blocking: 2·log2(N)-2;
         // Beneš: 2·log2(N)-1.
         let n = 16;
-        assert_eq!(ClnStructure::new(ClnTopology::Shuffle, n).unwrap().stages(), 4);
-        assert_eq!(ClnStructure::new(ClnTopology::Banyan, n).unwrap().stages(), 4);
         assert_eq!(
-            ClnStructure::new(ClnTopology::AlmostNonBlocking, n).unwrap().stages(),
+            ClnStructure::new(ClnTopology::Shuffle, n).unwrap().stages(),
+            4
+        );
+        assert_eq!(
+            ClnStructure::new(ClnTopology::Banyan, n).unwrap().stages(),
+            4
+        );
+        assert_eq!(
+            ClnStructure::new(ClnTopology::AlmostNonBlocking, n)
+                .unwrap()
+                .stages(),
             6
         );
-        assert_eq!(ClnStructure::new(ClnTopology::Benes, n).unwrap().stages(), 7);
+        assert_eq!(
+            ClnStructure::new(ClnTopology::Benes, n).unwrap().stages(),
+            7
+        );
     }
 
     #[test]
@@ -674,8 +685,7 @@ mod tests {
             let structure = ClnStructure::new(topology, n).unwrap();
             let mut nl = Netlist::new("cln");
             let inputs: Vec<_> = (0..n).map(|i| nl.add_input(format!("in{i}"))).collect();
-            let inst =
-                ClnInstance::instantiate(&mut nl, &structure, &inputs, "key").unwrap();
+            let inst = ClnInstance::instantiate(&mut nl, &structure, &inputs, "key").unwrap();
             for &o in &inst.outputs {
                 nl.mark_output(o);
             }

@@ -273,7 +273,9 @@ impl FullLock {
                         continue;
                     }
                     let node = nl.node(g);
-                    let Some(kind) = node.gate_kind() else { continue };
+                    let Some(kind) = node.gate_kind() else {
+                        continue;
+                    };
                     let arity = node.fanins().len();
                     if arity == 0 || arity > MAX_LUT_INPUTS {
                         continue;
@@ -307,7 +309,9 @@ impl FullLock {
             key_inputs,
             correct_key: Key::from_bits(key_bits),
         };
-        locked.netlist.set_name(format!("{}_fulllock", original.name()));
+        locked
+            .netlist
+            .set_name(format!("{}_fulllock", original.name()));
         let remap = locked.sweep_with_remap();
         let remap_sig = |s: SignalId| remap[s.index()].expect("traced signals stay live");
         for plr in &mut trace.plrs {
@@ -513,7 +517,10 @@ mod tests {
         }
         // Full-Lock is a high-corruption scheme; random keys should
         // corrupt the vast majority of patterns.
-        assert!(corrupted > trials / 2, "only {corrupted}/{trials} corrupted");
+        assert!(
+            corrupted > trials / 2,
+            "only {corrupted}/{trials} corrupted"
+        );
     }
 
     #[test]

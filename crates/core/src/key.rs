@@ -262,11 +262,7 @@ impl LockedCircuit {
         let free_positions: Vec<usize> = (0..self.netlist.inputs().len())
             .filter(|p| !key_positions.contains(p))
             .collect();
-        let expected: Vec<usize> = self
-            .data_inputs
-            .iter()
-            .map(|&d| position_of(d))
-            .collect();
+        let expected: Vec<usize> = self.data_inputs.iter().map(|&d| position_of(d)).collect();
         if free_positions != expected {
             return Err(LockError::BadConfig(
                 "data inputs are not in original order; sampled verification only".into(),
@@ -293,9 +289,8 @@ impl LockedCircuit {
     /// insertion mode cannot be resynthesized by the acyclic pass).
     pub fn optimize(&mut self) -> Result<fulllock_netlist::opt::OptStats> {
         let optimized = fulllock_netlist::opt::optimize(&self.netlist)?;
-        let remap_sig = |s: SignalId| {
-            optimized.remap[s.index()].expect("primary inputs survive optimization")
-        };
+        let remap_sig =
+            |s: SignalId| optimized.remap[s.index()].expect("primary inputs survive optimization");
         self.data_inputs = self.data_inputs.iter().map(|&s| remap_sig(s)).collect();
         self.key_inputs = self.key_inputs.iter().map(|&s| remap_sig(s)).collect();
         self.netlist = optimized.netlist;
@@ -307,8 +302,7 @@ impl LockedCircuit {
     /// traces) can follow along.
     pub fn sweep_with_remap(&mut self) -> Vec<Option<SignalId>> {
         let (swept, remap) = self.netlist.sweep();
-        let remap_sig =
-            |s: SignalId| remap[s.index()].expect("primary inputs survive sweeping");
+        let remap_sig = |s: SignalId| remap[s.index()].expect("primary inputs survive sweeping");
         self.data_inputs = self.data_inputs.iter().map(|&s| remap_sig(s)).collect();
         self.key_inputs = self.key_inputs.iter().map(|&s| remap_sig(s)).collect();
         self.netlist = swept;
@@ -384,7 +378,10 @@ mod tests {
         let lc = xor_locked();
         assert!(matches!(
             lc.eval(&[true], &Key::zeros(2)),
-            Err(LockError::KeyLength { expected: 1, got: 2 })
+            Err(LockError::KeyLength {
+                expected: 1,
+                got: 2
+            })
         ));
     }
 
@@ -407,7 +404,10 @@ mod tests {
         assert_eq!(stats.gates_before, before);
         assert!(stats.gates_after <= before);
         // Still provably equivalent under the correct key.
-        assert!(locked.prove_key(&correct, &original).unwrap().is_equivalent());
+        assert!(locked
+            .prove_key(&correct, &original)
+            .unwrap()
+            .is_equivalent());
     }
 
     #[test]

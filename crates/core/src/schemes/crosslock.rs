@@ -117,7 +117,9 @@ impl LockingScheme for CrossLock {
             key_inputs,
             correct_key: Key::from_bits(key_bits),
         };
-        locked.netlist.set_name(format!("{}_crosslock", original.name()));
+        locked
+            .netlist
+            .set_name(format!("{}_crosslock", original.name()));
         locked.sweep();
         Ok(locked)
     }

@@ -171,10 +171,7 @@ mod tests {
         // The heuristic's whole point: impact-placed key gates corrupt
         // more output bits than random placement (allow a small epsilon of
         // sampling noise).
-        assert!(
-            fll_err + 0.02 >= rll_err,
-            "FLL {fll_err} vs RLL {rll_err}"
-        );
+        assert!(fll_err + 0.02 >= rll_err, "FLL {fll_err} vs RLL {rll_err}");
     }
 
     #[test]

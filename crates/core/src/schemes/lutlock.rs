@@ -88,7 +88,9 @@ impl LockingScheme for LutLock {
             key_inputs,
             correct_key: Key::from_bits(key_bits),
         };
-        locked.netlist.set_name(format!("{}_lutlock", original.name()));
+        locked
+            .netlist
+            .set_name(format!("{}_lutlock", original.name()));
         locked.sweep();
         Ok(locked)
     }

@@ -62,8 +62,7 @@ impl LockingScheme for SarLock {
 
         // Hidden pattern C = the correct key.
         let c: Vec<bool> = (0..m).map(|_| rng.gen_bool(0.5)).collect();
-        let key_inputs: Vec<SignalId> =
-            (0..m)
+        let key_inputs: Vec<SignalId> = (0..m)
             .map(|i| nl.add_input(format!("keyinput{}", nonce + i)))
             .collect();
 
@@ -178,7 +177,10 @@ mod tests {
     fn too_many_key_bits_for_host() {
         assert!(matches!(
             SarLock::new(6, 0).lock(&host()),
-            Err(LockError::HostTooSmall { needed: 6, available: 5 })
+            Err(LockError::HostTooSmall {
+                needed: 6,
+                available: 5
+            })
         ));
     }
 

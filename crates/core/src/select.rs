@@ -106,9 +106,7 @@ pub fn select_wires(
                     // Everything reachable from `cand` (descendants) and
                     // everything reaching it (ancestors) would close a loop
                     // through the shared CLN.
-                    mark_reachable(&mut forbidden, cand, |s| {
-                        fanouts[s.index()].iter().copied()
-                    });
+                    mark_reachable(&mut forbidden, cand, |s| fanouts[s.index()].iter().copied());
                     mark_reachable(&mut forbidden, cand, |s| {
                         netlist.node(s).fanins().iter().copied()
                     });
@@ -262,8 +260,18 @@ mod tests {
         nl.mark_output(g);
         let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(
-            select_wires(&nl, 4, WireSelection::Cyclic, nl.len(), &HashSet::new(), &mut rng),
-            Err(LockError::HostTooSmall { needed: 4, available: 1 })
+            select_wires(
+                &nl,
+                4,
+                WireSelection::Cyclic,
+                nl.len(),
+                &HashSet::new(),
+                &mut rng
+            ),
+            Err(LockError::HostTooSmall {
+                needed: 4,
+                available: 1
+            })
         ));
     }
 
@@ -278,7 +286,14 @@ mod tests {
         nl.mark_output(prev);
         let mut rng = StdRng::seed_from_u64(0);
         assert!(matches!(
-            select_wires(&nl, 2, WireSelection::Acyclic, nl.len(), &HashSet::new(), &mut rng),
+            select_wires(
+                &nl,
+                2,
+                WireSelection::Acyclic,
+                nl.len(),
+                &HashSet::new(),
+                &mut rng
+            ),
             Err(LockError::SelectionFailed(_))
         ));
     }

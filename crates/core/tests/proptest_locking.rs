@@ -23,7 +23,11 @@ fn host(seed: u64) -> Netlist {
     .expect("valid config")
 }
 
-fn check_roundtrip(original: &Netlist, scheme: &dyn LockingScheme, samples: usize) -> Result<(), TestCaseError> {
+fn check_roundtrip(
+    original: &Netlist,
+    scheme: &dyn LockingScheme,
+    samples: usize,
+) -> Result<(), TestCaseError> {
     let Ok(locked) = scheme.lock(original) else {
         return Ok(()); // host too small for this configuration: documented error
     };

@@ -354,7 +354,9 @@ y = MUX(s, a, b)
     fn constant_cells_round_trip() {
         let mut nl = Netlist::new("c");
         let a = nl.add_input("a");
-        let zero = nl.add_named_gate(crate::GateKind::Const0, &[], "zero").unwrap();
+        let zero = nl
+            .add_named_gate(crate::GateKind::Const0, &[], "zero")
+            .unwrap();
         let y = nl.add_gate(crate::GateKind::Or, &[a, zero]).unwrap();
         nl.mark_output(y);
         let text = write(&nl);

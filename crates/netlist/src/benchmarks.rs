@@ -54,20 +54,104 @@ G23 = NAND(G16, G19)
 ";
 
 const SUITE: [BenchmarkInfo; 14] = [
-    BenchmarkInfo { name: "c17", gates: 6, inputs: 5, outputs: 2, synthetic: false },
-    BenchmarkInfo { name: "c432", gates: 160, inputs: 36, outputs: 7, synthetic: true },
-    BenchmarkInfo { name: "c499", gates: 202, inputs: 41, outputs: 32, synthetic: true },
-    BenchmarkInfo { name: "c880", gates: 386, inputs: 60, outputs: 26, synthetic: true },
-    BenchmarkInfo { name: "c1355", gates: 546, inputs: 41, outputs: 32, synthetic: true },
-    BenchmarkInfo { name: "c1908", gates: 880, inputs: 33, outputs: 25, synthetic: true },
-    BenchmarkInfo { name: "c2670", gates: 1193, inputs: 157, outputs: 64, synthetic: true },
-    BenchmarkInfo { name: "c3540", gates: 1669, inputs: 50, outputs: 22, synthetic: true },
-    BenchmarkInfo { name: "c5315", gates: 2307, inputs: 178, outputs: 123, synthetic: true },
-    BenchmarkInfo { name: "c7552", gates: 3512, inputs: 206, outputs: 107, synthetic: true },
-    BenchmarkInfo { name: "apex2", gates: 610, inputs: 39, outputs: 3, synthetic: true },
-    BenchmarkInfo { name: "apex4", gates: 5360, inputs: 10, outputs: 19, synthetic: true },
-    BenchmarkInfo { name: "i4", gates: 338, inputs: 192, outputs: 6, synthetic: true },
-    BenchmarkInfo { name: "i7", gates: 1315, inputs: 199, outputs: 67, synthetic: true },
+    BenchmarkInfo {
+        name: "c17",
+        gates: 6,
+        inputs: 5,
+        outputs: 2,
+        synthetic: false,
+    },
+    BenchmarkInfo {
+        name: "c432",
+        gates: 160,
+        inputs: 36,
+        outputs: 7,
+        synthetic: true,
+    },
+    BenchmarkInfo {
+        name: "c499",
+        gates: 202,
+        inputs: 41,
+        outputs: 32,
+        synthetic: true,
+    },
+    BenchmarkInfo {
+        name: "c880",
+        gates: 386,
+        inputs: 60,
+        outputs: 26,
+        synthetic: true,
+    },
+    BenchmarkInfo {
+        name: "c1355",
+        gates: 546,
+        inputs: 41,
+        outputs: 32,
+        synthetic: true,
+    },
+    BenchmarkInfo {
+        name: "c1908",
+        gates: 880,
+        inputs: 33,
+        outputs: 25,
+        synthetic: true,
+    },
+    BenchmarkInfo {
+        name: "c2670",
+        gates: 1193,
+        inputs: 157,
+        outputs: 64,
+        synthetic: true,
+    },
+    BenchmarkInfo {
+        name: "c3540",
+        gates: 1669,
+        inputs: 50,
+        outputs: 22,
+        synthetic: true,
+    },
+    BenchmarkInfo {
+        name: "c5315",
+        gates: 2307,
+        inputs: 178,
+        outputs: 123,
+        synthetic: true,
+    },
+    BenchmarkInfo {
+        name: "c7552",
+        gates: 3512,
+        inputs: 206,
+        outputs: 107,
+        synthetic: true,
+    },
+    BenchmarkInfo {
+        name: "apex2",
+        gates: 610,
+        inputs: 39,
+        outputs: 3,
+        synthetic: true,
+    },
+    BenchmarkInfo {
+        name: "apex4",
+        gates: 5360,
+        inputs: 10,
+        outputs: 19,
+        synthetic: true,
+    },
+    BenchmarkInfo {
+        name: "i4",
+        gates: 338,
+        inputs: 192,
+        outputs: 6,
+        synthetic: true,
+    },
+    BenchmarkInfo {
+        name: "i7",
+        gates: 1315,
+        inputs: 199,
+        outputs: 67,
+        synthetic: true,
+    },
 ];
 
 /// All benchmark circuits of the paper's evaluation, in Table 5 order
@@ -103,8 +187,8 @@ pub fn info(name: &str) -> Option<BenchmarkInfo> {
 /// # }
 /// ```
 pub fn load(name: &str) -> Result<Netlist> {
-    let info = info(name)
-        .ok_or_else(|| NetlistError::BadConfig(format!("unknown benchmark {name:?}")))?;
+    let info =
+        info(name).ok_or_else(|| NetlistError::BadConfig(format!("unknown benchmark {name:?}")))?;
     if !info.synthetic {
         let mut nl = bench_io::parse(C17_BENCH, "c17")?;
         nl.set_name("c17");

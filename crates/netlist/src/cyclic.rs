@@ -69,7 +69,11 @@ pub fn eval_trit(kind: GateKind, inputs: &[Trit]) -> Trit {
             for &t in inputs {
                 match t {
                     Trit::Zero => {
-                        return if kind == GateKind::And { Trit::Zero } else { Trit::One }
+                        return if kind == GateKind::And {
+                            Trit::Zero
+                        } else {
+                            Trit::One
+                        }
                     }
                     Trit::X => any_x = true,
                     Trit::One => {}
@@ -88,7 +92,11 @@ pub fn eval_trit(kind: GateKind, inputs: &[Trit]) -> Trit {
             for &t in inputs {
                 match t {
                     Trit::One => {
-                        return if kind == GateKind::Or { Trit::One } else { Trit::Zero }
+                        return if kind == GateKind::Or {
+                            Trit::One
+                        } else {
+                            Trit::Zero
+                        }
                     }
                     Trit::X => any_x = true,
                     Trit::Zero => {}
@@ -335,7 +343,10 @@ mod tests {
         let sim = CyclicSimulator::new(&nl);
         assert!(matches!(
             sim.run(&[]),
-            Err(NetlistError::InputCount { expected: 1, got: 0 })
+            Err(NetlistError::InputCount {
+                expected: 1,
+                got: 0
+            })
         ));
     }
 }

@@ -53,7 +53,10 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::UnknownSignal(id) => write!(f, "unknown signal id {id}"),
             NetlistError::Cyclic { on_cycle } => {
-                write!(f, "netlist has a combinational cycle through signal {on_cycle}")
+                write!(
+                    f,
+                    "netlist has a combinational cycle through signal {on_cycle}"
+                )
             }
             NetlistError::InputCount { expected, got } => {
                 write!(f, "expected {expected} input values, got {got}")

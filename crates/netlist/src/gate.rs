@@ -245,12 +245,27 @@ mod tests {
     #[test]
     fn two_input_truth_tables_match_table_1() {
         // Rows ordered (A,B) = (0,0),(1,0),(0,1),(1,1).
-        assert_eq!(truth_table(GateKind::And, 2), vec![false, false, false, true]);
-        assert_eq!(truth_table(GateKind::Nand, 2), vec![true, true, true, false]);
+        assert_eq!(
+            truth_table(GateKind::And, 2),
+            vec![false, false, false, true]
+        );
+        assert_eq!(
+            truth_table(GateKind::Nand, 2),
+            vec![true, true, true, false]
+        );
         assert_eq!(truth_table(GateKind::Or, 2), vec![false, true, true, true]);
-        assert_eq!(truth_table(GateKind::Nor, 2), vec![true, false, false, false]);
-        assert_eq!(truth_table(GateKind::Xor, 2), vec![false, true, true, false]);
-        assert_eq!(truth_table(GateKind::Xnor, 2), vec![true, false, false, true]);
+        assert_eq!(
+            truth_table(GateKind::Nor, 2),
+            vec![true, false, false, false]
+        );
+        assert_eq!(
+            truth_table(GateKind::Xor, 2),
+            vec![false, true, true, false]
+        );
+        assert_eq!(
+            truth_table(GateKind::Xnor, 2),
+            vec![true, false, false, true]
+        );
     }
 
     #[test]

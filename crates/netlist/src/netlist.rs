@@ -263,7 +263,10 @@ impl Netlist {
         self.check_signal(new_fanin)?;
         let node = &mut self.nodes[gate.index()];
         if node.is_input() {
-            return Err(NetlistError::BadArity { kind: "INPUT", got: 0 });
+            return Err(NetlistError::BadArity {
+                kind: "INPUT",
+                got: 0,
+            });
         }
         if slot >= node.fanins.len() {
             return Err(NetlistError::UnknownSignal(slot as u32));
@@ -286,7 +289,10 @@ impl Netlist {
         self.check_signal(gate)?;
         let node = &mut self.nodes[gate.index()];
         if node.is_input() {
-            return Err(NetlistError::BadArity { kind: "INPUT", got: 0 });
+            return Err(NetlistError::BadArity {
+                kind: "INPUT",
+                got: 0,
+            });
         }
         if !kind.accepts_arity(node.fanins.len()) {
             return Err(NetlistError::BadArity {
@@ -368,7 +374,8 @@ impl Netlist {
 
     /// Iterates over all gate signals (skipping inputs) in creation order.
     pub fn gates(&self) -> impl Iterator<Item = SignalId> + '_ {
-        self.signals().filter(|&s| !self.nodes[s.index()].is_input())
+        self.signals()
+            .filter(|&s| !self.nodes[s.index()].is_input())
     }
 
     /// The primary inputs, in declaration order.
@@ -400,7 +407,8 @@ impl Netlist {
 
     /// Looks a signal up by name (linear scan; build a map for bulk lookups).
     pub fn find_by_name(&self, name: &str) -> Option<SignalId> {
-        self.signals().find(|&s| self.nodes[s.index()].name() == Some(name))
+        self.signals()
+            .find(|&s| self.nodes[s.index()].name() == Some(name))
     }
 
     /// A printable name for a signal: its assigned name if any, otherwise a
@@ -442,12 +450,7 @@ impl Netlist {
             inputs: self.inputs.len(),
             outputs: self.outputs.len(),
             gates: self.nodes.len() - self.inputs.len(),
-            max_fanin: self
-                .nodes
-                .iter()
-                .map(|n| n.fanins.len())
-                .max()
-                .unwrap_or(0),
+            max_fanin: self.nodes.iter().map(|n| n.fanins.len()).max().unwrap_or(0),
         }
     }
 
@@ -551,7 +554,9 @@ impl Netlist {
             remap[s.index()] = Some(new_id);
         }
         for s in self.signals() {
-            let Some(new_id) = remap[s.index()] else { continue };
+            let Some(new_id) = remap[s.index()] else {
+                continue;
+            };
             let fanins: Vec<SignalId> = self.nodes[s.index()]
                 .fanins()
                 .iter()
@@ -616,11 +621,17 @@ mod tests {
         let a = nl.add_input("a");
         assert_eq!(
             nl.add_gate(GateKind::Not, &[a, a]),
-            Err(NetlistError::BadArity { kind: "NOT", got: 2 })
+            Err(NetlistError::BadArity {
+                kind: "NOT",
+                got: 2
+            })
         );
         assert_eq!(
             nl.add_gate(GateKind::Mux, &[a]),
-            Err(NetlistError::BadArity { kind: "MUX", got: 1 })
+            Err(NetlistError::BadArity {
+                kind: "MUX",
+                got: 1
+            })
         );
     }
 

@@ -79,7 +79,9 @@ pub fn optimize(netlist: &Netlist) -> Result<Optimized> {
     }
     for old in order {
         let node = netlist.node(old);
-        let Some(kind) = node.gate_kind() else { continue };
+        let Some(kind) = node.gate_kind() else {
+            continue;
+        };
         let fanins: Vec<SignalId> = node
             .fanins()
             .iter()
@@ -89,9 +91,7 @@ pub fn optimize(netlist: &Netlist) -> Result<Optimized> {
         remap[old.index()] = Some(new);
         // Carry names over when the replacement is an unnamed fresh gate.
         if let Some(name) = node.name() {
-            if !builder.netlist.node(new).is_input()
-                && builder.netlist.node(new).name().is_none()
-            {
+            if !builder.netlist.node(new).is_input() && builder.netlist.node(new).name().is_none() {
                 builder.netlist.set_signal_name(new, name)?;
             }
         }
@@ -143,7 +143,11 @@ impl Builder {
     }
 
     fn constant(&mut self, value: bool) -> Result<SignalId> {
-        let kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+        let kind = if value {
+            GateKind::Const1
+        } else {
+            GateKind::Const0
+        };
         self.hashed(kind, Vec::new())
     }
 
@@ -168,7 +172,12 @@ impl Builder {
     fn hashed(&mut self, kind: GateKind, mut fanins: Vec<SignalId>) -> Result<SignalId> {
         if matches!(
             kind,
-            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor | GateKind::Xor | GateKind::Xnor
+            GateKind::And
+                | GateKind::Nand
+                | GateKind::Or
+                | GateKind::Nor
+                | GateKind::Xor
+                | GateKind::Xnor
         ) {
             fanins.sort_unstable();
         }
@@ -290,7 +299,14 @@ impl Builder {
         match kept.len() {
             0 => self.finish_const(false, invert),
             1 => self.finish_wire(kept[0], invert),
-            _ => self.hashed(if invert { GateKind::Xnor } else { GateKind::Xor }, kept),
+            _ => self.hashed(
+                if invert {
+                    GateKind::Xnor
+                } else {
+                    GateKind::Xor
+                },
+                kept,
+            ),
         }
     }
 
@@ -302,8 +318,11 @@ impl Builder {
         if a == b {
             return Ok(a);
         }
-        match (self.constants.get(&a).copied(), self.constants.get(&b).copied()) {
-            (Some(false), Some(true)) => return Ok(s),       // s ? 1 : 0 ≡ s
+        match (
+            self.constants.get(&a).copied(),
+            self.constants.get(&b).copied(),
+        ) {
+            (Some(false), Some(true)) => return Ok(s), // s ? 1 : 0 ≡ s
             (Some(true), Some(false)) => return self.not(s), // s ? 0 : 1 ≡ ¬s
             (Some(false), None) => {
                 // s ? b : 0  ≡  s ∧ b
@@ -390,10 +409,7 @@ mod tests {
         nl.mark_output(g);
         let opt = optimize(&nl).unwrap();
         let out = opt.netlist.outputs()[0];
-        assert_eq!(
-            opt.netlist.node(out).gate_kind(),
-            Some(GateKind::Const0)
-        );
+        assert_eq!(opt.netlist.node(out).gate_kind(), Some(GateKind::Const0));
     }
 
     #[test]

@@ -46,7 +46,9 @@ pub fn static_probabilities(netlist: &Netlist) -> Result<Vec<f64>> {
     let mut prob = vec![0.5f64; netlist.len()];
     for s in order {
         let node = netlist.node(s);
-        let Some(kind) = node.gate_kind() else { continue };
+        let Some(kind) = node.gate_kind() else {
+            continue;
+        };
         let p: Vec<f64> = node.fanins().iter().map(|f| prob[f.index()]).collect();
         prob[s.index()] = match kind {
             GateKind::Const0 => 0.0,

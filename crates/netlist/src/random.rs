@@ -100,10 +100,7 @@ pub fn generate(config: RandomCircuitConfig) -> Result<Netlist> {
 /// # Errors
 ///
 /// Same as [`generate`].
-pub fn generate_with_profile(
-    config: RandomCircuitConfig,
-    profile: GateProfile,
-) -> Result<Netlist> {
+pub fn generate_with_profile(config: RandomCircuitConfig, profile: GateProfile) -> Result<Netlist> {
     let RandomCircuitConfig {
         inputs,
         outputs,
@@ -133,9 +130,7 @@ pub fn generate_with_profile(
 
     // Phase 1: sample kinds and arities, then widen if the fan-in capacity
     // cannot absorb every signal that needs a reader.
-    let mut kinds: Vec<GateKind> = (0..gates)
-        .map(|_| random_kind(&mut rng, profile))
-        .collect();
+    let mut kinds: Vec<GateKind> = (0..gates).map(|_| random_kind(&mut rng, profile)).collect();
     let mut arities: Vec<usize> = kinds
         .iter()
         .map(|k| match k {
@@ -176,7 +171,9 @@ pub fn generate_with_profile(
 
     // Phase 2: create nodes, then wire fan-ins from the last gate backwards.
     let mut nl = Netlist::new(format!("random_{seed}"));
-    let pis: Vec<_> = (0..inputs).map(|i| nl.add_input(format!("pi{i}"))).collect();
+    let pis: Vec<_> = (0..inputs)
+        .map(|i| nl.add_input(format!("pi{i}")))
+        .collect();
     let mut gate_ids = Vec::with_capacity(gates);
     for g in 0..gates {
         let id = nl.add_deferred_gate(kinds[g], arities[g])?;
@@ -384,7 +381,11 @@ mod tests {
         assert!(generate(RandomCircuitConfig { inputs: 0, ..base }).is_err());
         assert!(generate(RandomCircuitConfig { outputs: 0, ..base }).is_err());
         assert!(generate(RandomCircuitConfig { gates: 0, ..base }).is_err());
-        assert!(generate(RandomCircuitConfig { max_fanin: 1, ..base }).is_err());
+        assert!(generate(RandomCircuitConfig {
+            max_fanin: 1,
+            ..base
+        })
+        .is_err());
         assert!(generate(RandomCircuitConfig {
             outputs: 200,
             gates: 100,
@@ -412,6 +413,9 @@ mod tests {
             seed: 5,
         })
         .unwrap();
-        assert!(topo::depth(&nl).unwrap() >= 5, "generator should build depth");
+        assert!(
+            topo::depth(&nl).unwrap() >= 5,
+            "generator should build depth"
+        );
     }
 }

@@ -103,9 +103,7 @@ impl<'a> Simulator<'a> {
     ///
     /// Returns [`NetlistError::InputCount`] if the pattern length is wrong.
     pub fn run_u64(&self, inputs: &[u64]) -> Result<Vec<u64>> {
-        Ok(self
-            .run_all_u64(inputs)?
-            .outputs)
+        Ok(self.run_all_u64(inputs)?.outputs)
     }
 
     /// 64-way variant of [`Simulator::run_all`]; also returns output words.
@@ -196,7 +194,10 @@ mod tests {
         let sim = Simulator::new(&nl).unwrap();
         assert!(matches!(
             sim.run(&[true]),
-            Err(NetlistError::InputCount { expected: 3, got: 1 })
+            Err(NetlistError::InputCount {
+                expected: 3,
+                got: 1
+            })
         ));
     }
 

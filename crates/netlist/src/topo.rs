@@ -283,10 +283,7 @@ mod tests {
     fn cycle_is_detected() {
         let nl = ring();
         assert!(is_cyclic(&nl));
-        assert!(matches!(
-            topo_order(&nl),
-            Err(NetlistError::Cyclic { .. })
-        ));
+        assert!(matches!(topo_order(&nl), Err(NetlistError::Cyclic { .. })));
     }
 
     #[test]

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             println!("s SATISFIABLE");
             let mut line = String::from("v");
             for (i, &value) in solver.model().iter().enumerate() {
-                let lit = if value { (i + 1) as i64 } else { -((i + 1) as i64) };
+                let lit = if value {
+                    (i + 1) as i64
+                } else {
+                    -((i + 1) as i64)
+                };
                 line.push_str(&format!(" {lit}"));
                 if line.len() > 72 {
                     println!("{line}");

@@ -1,0 +1,150 @@
+//! First-UIP conflict analysis, conflict-clause minimization, and LBD
+//! ("literal block distance") computation.
+//!
+//! LBD is the number of distinct decision levels among a clause's literals
+//! (Audemard & Simon's "glue"). Low-LBD clauses chain propagations across
+//! few levels and are empirically the ones worth keeping; the learnt-DB
+//! reduction in `mod.rs` keeps glue ≤ 2 clauses forever and evicts
+//! worst-glue first.
+
+use crate::{Lit, Var};
+
+use super::clause_db::{CRef, CREF_UNDEF};
+use super::Solver;
+
+impl Solver {
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first, max-level literal second), the backtrack level, and
+    /// the learnt clause's LBD.
+    pub(super) fn analyze(&mut self, mut confl: CRef) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(Var::new(0))]; // slot 0 patched below
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let current = self.decision_level();
+
+        loop {
+            self.bump_clause(confl);
+            // Glucose-style refresh: a learnt clause met during analysis
+            // may have a lower LBD under the current assignment than when
+            // it was learnt — remember the improvement so reduction ranks
+            // it more favourably.
+            if self.db.is_learnt(confl) {
+                let lbd = self.clause_lbd(confl);
+                if lbd < self.db.lbd(confl) {
+                    self.db.set_lbd(confl, lbd);
+                }
+            }
+            // When resolving on a reason clause, slot 0 holds the literal
+            // being resolved away; skip it.
+            let start = usize::from(p.is_some());
+            for k in start..self.db.size(confl) {
+                let q = self.db.lit(confl, k);
+                let v = q.var().index();
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(v);
+                    if self.level[v] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next trail literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[index];
+            let v = lit.var().index();
+            self.seen[v] = false;
+            counter -= 1;
+            p = Some(lit);
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[v];
+            debug_assert_ne!(confl, CREF_UNDEF, "non-decision literal has a reason");
+        }
+        learnt[0] = !p.expect("loop ran at least once");
+
+        // Conflict-clause minimization (non-recursive / "basic" mode): a
+        // literal is redundant if its reason's other literals are all
+        // already in the clause (seen) or fixed at the root level. The
+        // `seen` flags still mark exactly the learnt literals here.
+        let mut kept = Vec::with_capacity(learnt.len());
+        kept.push(learnt[0]);
+        let mut minimized = 0u64;
+        for &q in &learnt[1..] {
+            let v = q.var().index();
+            let r = self.reason[v];
+            let redundant = r != CREF_UNDEF
+                && self.db.lits(r).all(|l| {
+                    let rv = l.var().index();
+                    rv == v || self.seen[rv] || self.level[rv] == 0
+                });
+            if redundant {
+                minimized += 1;
+                self.seen[v] = false;
+            } else {
+                kept.push(q);
+            }
+        }
+        self.stats.minimized_literals += minimized;
+        let mut learnt = kept;
+
+        // Compute backtrack level and position the max-level literal at
+        // slot 1 (so both watches are correct after backjumping).
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        let lbd = self.lbd_of(&learnt);
+        // Clear remaining `seen` flags.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, bt_level, lbd)
+    }
+
+    /// LBD of a literal slice under the current assignment.
+    pub(super) fn lbd_of(&mut self, lits: &[Lit]) -> u32 {
+        self.level_stamp += 1;
+        let stamp = self.level_stamp;
+        let mut lbd = 0;
+        for &l in lits {
+            let lev = self.level[l.var().index()] as usize;
+            if self.level_seen[lev] != stamp {
+                self.level_seen[lev] = stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
+    /// LBD of a stored clause under the current assignment.
+    fn clause_lbd(&mut self, c: CRef) -> u32 {
+        self.level_stamp += 1;
+        let stamp = self.level_stamp;
+        let mut lbd = 0;
+        for k in 0..self.db.size(c) {
+            let lev = self.level[self.db.lit(c, k).var().index()] as usize;
+            if self.level_seen[lev] != stamp {
+                self.level_seen[lev] = stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+}

@@ -1,0 +1,126 @@
+//! The VSIDS decision heap: an indexed binary max-heap over variable
+//! activities.
+
+/// An indexed binary max-heap over variable activities.
+#[derive(Debug, Default)]
+pub(crate) struct VarHeap {
+    heap: Vec<usize>,
+    position: Vec<Option<usize>>,
+}
+
+impl VarHeap {
+    pub(crate) fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    pub(crate) fn insert(&mut self, v: usize, activity: &[f64]) {
+        if self.position.len() <= v {
+            self.position.resize(v + 1, None);
+        }
+        if self.position[v].is_some() {
+            return;
+        }
+        self.position[v] = Some(self.heap.len());
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    pub(crate) fn update(&mut self, v: usize, activity: &[f64]) {
+        if let Some(pos) = self.position.get(v).copied().flatten() {
+            self.sift_up(pos, activity);
+        }
+    }
+
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<usize> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.position[top] = None;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last] = Some(0);
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if activity[self.heap[pos]] <= activity[self.heap[parent]] {
+                break;
+            }
+            self.swap(pos, parent);
+            pos = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * pos + 1;
+            let right = left + 1;
+            let mut best = pos;
+            if left < self.heap.len() && activity[self.heap[left]] > activity[self.heap[best]] {
+                best = left;
+            }
+            if right < self.heap.len() && activity[self.heap[right]] > activity[self.heap[best]] {
+                best = right;
+            }
+            if best == pos {
+                break;
+            }
+            self.swap(pos, best);
+            pos = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.position[self.heap[a]] = Some(a);
+        self.position[self.heap[b]] = Some(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = [0.5, 3.0, 1.0, 2.0];
+        let mut heap = VarHeap::new();
+        for v in 0..4 {
+            heap.insert(v, &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop_max(&activity)).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn reinsert_after_pop_is_allowed_and_deduplicated() {
+        let activity = [1.0, 2.0];
+        let mut heap = VarHeap::new();
+        heap.insert(0, &activity);
+        heap.insert(1, &activity);
+        heap.insert(1, &activity); // duplicate: ignored
+        assert_eq!(heap.pop_max(&activity), Some(1));
+        heap.insert(1, &activity);
+        assert_eq!(heap.pop_max(&activity), Some(1));
+        assert_eq!(heap.pop_max(&activity), Some(0));
+        assert_eq!(heap.pop_max(&activity), None);
+    }
+
+    #[test]
+    fn update_moves_bumped_variable_up() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarHeap::new();
+        for v in 0..3 {
+            heap.insert(v, &activity);
+        }
+        activity[0] = 10.0;
+        heap.update(0, &activity);
+        assert_eq!(heap.pop_max(&activity), Some(0));
+    }
+}

@@ -156,13 +156,14 @@ impl Cnf {
                         message: "expected `p cnf <vars> <clauses>`".into(),
                     });
                 }
-                let vars: usize = parts
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| SatError::Dimacs {
-                        line: line_no,
-                        message: "missing variable count".into(),
-                    })?;
+                let vars: usize =
+                    parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| SatError::Dimacs {
+                            line: line_no,
+                            message: "missing variable count".into(),
+                        })?;
                 declared_vars = Some(vars);
                 continue;
             }

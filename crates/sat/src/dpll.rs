@@ -79,11 +79,7 @@ pub fn solve(cnf: &Cnf, max_calls: Option<u64>) -> DpllOutcome {
     let result = if engine.exhausted {
         DpllResult::Unknown
     } else if sat {
-        DpllResult::Sat(
-            engine
-                .model
-                .expect("SAT verdict always records a model"),
-        )
+        DpllResult::Sat(engine.model.expect("SAT verdict always records a model"))
     } else {
         DpllResult::Unsat
     };
@@ -232,12 +228,7 @@ impl Engine<'_> {
 
     fn record_model(&mut self) {
         // Unassigned variables (never constrained) default to false.
-        self.model = Some(
-            self.assign
-                .iter()
-                .map(|a| a.unwrap_or(false))
-                .collect(),
-        );
+        self.model = Some(self.assign.iter().map(|a| a.unwrap_or(false)).collect());
     }
 }
 
@@ -341,10 +332,8 @@ mod tests {
         let calls_at = |ratio: f64| -> u64 {
             (0..5)
                 .map(|seed| {
-                    let cnf = random_sat::generate(RandomSatConfig::from_ratio(
-                        30, ratio, 3, seed,
-                    ))
-                    .unwrap();
+                    let cnf = random_sat::generate(RandomSatConfig::from_ratio(30, ratio, 3, seed))
+                        .unwrap();
                     solve(&cnf, None).stats.recursive_calls
                 })
                 .sum()

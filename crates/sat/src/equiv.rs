@@ -68,7 +68,11 @@ impl EquivResult {
 /// # Ok(())
 /// # }
 /// ```
-pub fn check(a: &Netlist, b: &Netlist, limits: Option<SolveLimits>) -> Result<EquivResult, SatError> {
+pub fn check(
+    a: &Netlist,
+    b: &Netlist,
+    limits: Option<SolveLimits>,
+) -> Result<EquivResult, SatError> {
     if a.inputs().len() != b.inputs().len() {
         return Err(SatError::BadConfig(format!(
             "input counts differ: {} vs {}",

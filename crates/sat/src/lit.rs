@@ -112,7 +112,10 @@ impl Lit {
     /// Panics if `value` is 0 (the DIMACS clause terminator is not a
     /// literal).
     pub fn from_dimacs(value: i64) -> Lit {
-        assert!(value != 0, "0 is the DIMACS clause terminator, not a literal");
+        assert!(
+            value != 0,
+            "0 is the DIMACS clause terminator, not a literal"
+        );
         let var = Var::new(value.unsigned_abs() as usize - 1);
         Lit::with_polarity(var, value > 0)
     }

@@ -84,7 +84,11 @@ pub fn encode_into(netlist: &Netlist, cnf: &mut Cnf, input_vars: &[Var]) -> Vec<
         let node = netlist.node(g);
         let kind = node.gate_kind().expect("gates() yields only gates");
         let out = signal_vars[g.index()];
-        let ins: Vec<Var> = node.fanins().iter().map(|f| signal_vars[f.index()]).collect();
+        let ins: Vec<Var> = node
+            .fanins()
+            .iter()
+            .map(|f| signal_vars[f.index()])
+            .collect();
         encode_gate(cnf, kind, out, &ins);
     }
     signal_vars

@@ -4,7 +4,7 @@
 use fulllock_netlist::random::{generate, RandomCircuitConfig};
 use fulllock_sat::cdcl::{SolveResult, Solver};
 use fulllock_sat::random_sat::{self, RandomSatConfig};
-use fulllock_sat::{dpll, equiv, Cnf};
+use fulllock_sat::{dpll, equiv, Cnf, Lit, Var};
 use proptest::prelude::*;
 
 proptest! {
@@ -24,6 +24,64 @@ proptest! {
             }
             (dpll::DpllResult::Unsat, SolveResult::Unsat) => {}
             (a, b) => return Err(TestCaseError::fail(format!("disagreement: {a:?} vs {b:?}"))),
+        }
+    }
+
+    /// Incremental solving under assumptions matches DPLL on the formula
+    /// augmented with the assumptions as unit clauses — across several
+    /// rounds on the SAME solver, so learnt clauses from one assumption
+    /// set must never corrupt verdicts under another.
+    #[test]
+    fn incremental_assumption_solves_agree_with_dpll(
+        vars in 10usize..22,
+        ratio in 3.0f64..5.5,
+        seed in any::<u64>(),
+        picks in any::<u64>(),
+    ) {
+        let cnf = random_sat::generate(RandomSatConfig::from_ratio(vars, ratio, 3, seed))
+            .expect("valid config");
+        let mut solver = Solver::from_cnf(&cnf);
+        for round in 0..3u32 {
+            let mut assumptions: Vec<Lit> = (0..3u32)
+                .map(|i| {
+                    let bits = picks.rotate_right(round * 17 + i * 5);
+                    let v = (bits >> 1) as usize % vars;
+                    Lit::with_polarity(Var::new(v), bits & 1 == 1)
+                })
+                .collect();
+            // Two assumptions on one variable may contradict; keep one.
+            assumptions.sort_unstable_by_key(|l| l.var().index());
+            assumptions.dedup_by_key(|l| l.var().index());
+            let got = solver.solve(&assumptions);
+            let mut augmented = cnf.clone();
+            for &a in &assumptions {
+                augmented.add_clause([a]);
+            }
+            let reference = dpll::solve(&augmented, None);
+            match (reference.result, got) {
+                (dpll::DpllResult::Sat(_), SolveResult::Sat) => {
+                    prop_assert!(
+                        augmented.is_satisfied_by(solver.model()),
+                        "model violates formula or assumptions (round {round})"
+                    );
+                }
+                (dpll::DpllResult::Unsat, SolveResult::Unsat) => {}
+                (a, b) => {
+                    return Err(TestCaseError::fail(format!(
+                        "round {round} disagreement: {a:?} vs {b:?}"
+                    )))
+                }
+            }
+        }
+        // Assumptions must not leak: the unconstrained verdict still
+        // matches the reference afterwards.
+        let reference = dpll::solve(&cnf, None);
+        match (reference.result, solver.solve(&[])) {
+            (dpll::DpllResult::Sat(_), SolveResult::Sat) => {
+                prop_assert!(cnf.is_satisfied_by(solver.model()));
+            }
+            (dpll::DpllResult::Unsat, SolveResult::Unsat) => {}
+            (a, b) => return Err(TestCaseError::fail(format!("final disagreement: {a:?} vs {b:?}"))),
         }
     }
 

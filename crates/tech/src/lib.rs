@@ -85,11 +85,31 @@ impl Technology {
     /// paper (see the [crate docs](self)).
     pub fn generic_32nm() -> Technology {
         Technology {
-            inv_cost: CellCost { area_um2: 0.015, power_nw: 0.3, delay_ns: 0.010 },
-            nand_cost: CellCost { area_um2: 0.022, power_nw: 0.5, delay_ns: 0.018 },
-            and_cost: CellCost { area_um2: 0.028, power_nw: 0.6, delay_ns: 0.025 },
-            xor_cost: CellCost { area_um2: 0.025, power_nw: 1.0, delay_ns: 0.020 },
-            mux_cost: CellCost { area_um2: 0.040, power_nw: 1.8, delay_ns: 0.035 },
+            inv_cost: CellCost {
+                area_um2: 0.015,
+                power_nw: 0.3,
+                delay_ns: 0.010,
+            },
+            nand_cost: CellCost {
+                area_um2: 0.022,
+                power_nw: 0.5,
+                delay_ns: 0.018,
+            },
+            and_cost: CellCost {
+                area_um2: 0.028,
+                power_nw: 0.6,
+                delay_ns: 0.025,
+            },
+            xor_cost: CellCost {
+                area_um2: 0.025,
+                power_nw: 1.0,
+                delay_ns: 0.020,
+            },
+            mux_cost: CellCost {
+                area_um2: 0.040,
+                power_nw: 1.8,
+                delay_ns: 0.035,
+            },
             wide_factor: 0.6,
             path_overhead_ns: 0.545,
         }
@@ -167,7 +187,9 @@ impl Technology {
         let mut max_arrival = 0.0f64;
         for s in order {
             let node = netlist.node(s);
-            let Some(kind) = node.gate_kind() else { continue };
+            let Some(kind) = node.gate_kind() else {
+                continue;
+            };
             let cost = self.gate_cost(kind, node.fanins().len());
             area += cost.area_um2;
             power += cost.power_nw;
@@ -236,9 +258,7 @@ mod tests {
         let nand = tech.gate_cost(GateKind::Nand, 2);
         assert_eq!(ppa.gates, 2);
         assert!((ppa.area_um2 - 2.0 * nand.area_um2).abs() < 1e-12);
-        assert!(
-            (ppa.delay_ns - (2.0 * nand.delay_ns + tech.path_overhead_ns())).abs() < 1e-12
-        );
+        assert!((ppa.delay_ns - (2.0 * nand.delay_ns + tech.path_overhead_ns())).abs() < 1e-12);
     }
 
     #[test]

@@ -15,8 +15,8 @@ use std::error::Error;
 use std::time::Duration;
 
 use full_lock::attacks::{attack, SatAttackConfig, SimOracle};
-use full_lock::locking::{ClnStructure, ClnTopology};
 use full_lock::bench::cln_testbed;
+use full_lock::locking::{ClnStructure, ClnTopology};
 use full_lock::tech::Technology;
 
 fn main() -> Result<(), Box<dyn Error>> {

@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         stats.gates_before, stats.gates_after
     );
     let verdict = locked.prove_key(&correct, &original)?;
-    println!("correct-key proof after resynthesis: {}", describe(&verdict));
+    println!(
+        "correct-key proof after resynthesis: {}",
+        describe(&verdict)
+    );
     assert!(verdict.is_equivalent());
 
     // 5. Keys are plain bit strings: parse, compare, measure distance.

@@ -162,7 +162,10 @@ fn as_locked(netlist: Netlist) -> Result<LockedCircuit, Box<dyn Error>> {
 
 fn cmd_stats(raw: &[String]) -> CliResult {
     let args = Args::parse(raw, &[]);
-    let path = args.positional.first().ok_or("stats: missing <circuit.bench>")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("stats: missing <circuit.bench>")?;
     let nl = load_netlist(path)?;
     let stats = nl.stats();
     println!("{nl}");
@@ -193,7 +196,10 @@ fn cmd_stats(raw: &[String]) -> CliResult {
 
 fn cmd_lock(raw: &[String]) -> CliResult {
     let args = Args::parse(raw, &["cyclic"]);
-    let path = args.positional.first().ok_or("lock: missing <circuit.bench>")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("lock: missing <circuit.bench>")?;
     let out = args.flag("out").ok_or("lock: missing -o <locked.bench>")?;
     let seed: u64 = args.flag("seed").unwrap_or("0").parse()?;
     let original = load_netlist(path)?;
@@ -249,7 +255,10 @@ fn cmd_lock(raw: &[String]) -> CliResult {
 
 fn cmd_verify(raw: &[String]) -> CliResult {
     let args = Args::parse(raw, &[]);
-    let path = args.positional.first().ok_or("verify: missing <locked.bench>")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("verify: missing <locked.bench>")?;
     let oracle_path = args.flag("oracle").ok_or("verify: missing --oracle")?;
     let key_text = args.flag("key").ok_or("verify: missing --key <bits>")?;
     let locked = as_locked(load_netlist(path)?)?;
@@ -281,7 +290,10 @@ fn cmd_verify(raw: &[String]) -> CliResult {
 
 fn cmd_attack(raw: &[String]) -> CliResult {
     let args = Args::parse(raw, &[]);
-    let path = args.positional.first().ok_or("attack: missing <locked.bench>")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("attack: missing <locked.bench>")?;
     let oracle_path = args.flag("oracle").ok_or("attack: missing --oracle")?;
     let timeout: f64 = args.flag("timeout").unwrap_or("60").parse()?;
     let locked = as_locked(load_netlist(path)?)?;
@@ -313,7 +325,10 @@ fn cmd_attack(raw: &[String]) -> CliResult {
             "TIMEOUT after {} iterations / {:?} — the lock held",
             report.iterations, report.elapsed
         ),
-        other => println!("attack ended: {other:?} after {} iterations", report.iterations),
+        other => println!(
+            "attack ended: {other:?} after {} iterations",
+            report.iterations
+        ),
     }
     println!(
         "formula: {} vars, {} clauses (mean clause/var ratio {:.2})",
@@ -344,7 +359,10 @@ fn cmd_optimize(raw: &[String]) -> CliResult {
 
 fn cmd_export(raw: &[String]) -> CliResult {
     let args = Args::parse(raw, &[]);
-    let path = args.positional.first().ok_or("export: missing <circuit.bench>")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("export: missing <circuit.bench>")?;
     let format = args.flag("format").ok_or("export: missing --format")?;
     let nl = load_netlist(path)?;
     let text = match format {

@@ -89,7 +89,11 @@ fn full_lock_attack_verify_flow() {
         "--key-out",
         key_file.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let key = fs::read_to_string(&key_file).unwrap().trim().to_string();
     assert_eq!(key.len(), 4);
 
@@ -102,7 +106,11 @@ fn full_lock_attack_verify_flow() {
         "--key",
         &key,
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("PROVEN"));
 
     // A wrong key must be rejected with a counterexample.
@@ -166,6 +174,10 @@ fn optimize_shrinks_redundant_logic() {
         "-o",
         out_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("2 -> 0 gates"));
 }

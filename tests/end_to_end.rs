@@ -73,7 +73,10 @@ fn locked_netlist_survives_bench_round_trip() {
         let x: Vec<bool> = (0..original.inputs().len())
             .map(|_| rng.gen_bool(0.5))
             .collect();
-        assert_eq!(relocked.eval(&x, &relocked.correct_key).unwrap(), sim.run(&x).unwrap());
+        assert_eq!(
+            relocked.eval(&x, &relocked.correct_key).unwrap(),
+            sim.run(&x).unwrap()
+        );
     }
 }
 

@@ -22,10 +22,16 @@ fn assert_well_behaved<E: Error + Send + Sync + 'static>(error: E) {
 
 #[test]
 fn netlist_errors_are_well_behaved() {
-    assert_well_behaved(NetlistError::BadArity { kind: "NOT", got: 3 });
+    assert_well_behaved(NetlistError::BadArity {
+        kind: "NOT",
+        got: 3,
+    });
     assert_well_behaved(NetlistError::UnknownSignal(7));
     assert_well_behaved(NetlistError::Cyclic { on_cycle: 2 });
-    assert_well_behaved(NetlistError::InputCount { expected: 4, got: 2 });
+    assert_well_behaved(NetlistError::InputCount {
+        expected: 4,
+        got: 2,
+    });
     assert_well_behaved(NetlistError::Parse {
         line: 3,
         message: "bad token".into(),
@@ -55,7 +61,10 @@ fn lock_errors_are_well_behaved() {
         available: 3,
     });
     assert_well_behaved(LockError::SelectionFailed("stuck".into()));
-    assert_well_behaved(LockError::KeyLength { expected: 4, got: 2 });
+    assert_well_behaved(LockError::KeyLength {
+        expected: 4,
+        got: 2,
+    });
     let wrapped = LockError::Netlist(NetlistError::UnknownSignal(1));
     assert!(wrapped.source().is_some());
     assert_well_behaved(wrapped);

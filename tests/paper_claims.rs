@@ -9,8 +9,8 @@ use full_lock::attacks::{
 };
 use full_lock::bench::cln_testbed;
 use full_lock::locking::{
-    corruption, AntiSat, ClnTopology, FullLock, FullLockConfig, LockingScheme, PlrSpec,
-    SarLock, WireSelection,
+    corruption, AntiSat, ClnTopology, FullLock, FullLockConfig, LockingScheme, PlrSpec, SarLock,
+    WireSelection,
 };
 use full_lock::netlist::benchmarks;
 use full_lock::sat::dpll;
@@ -32,8 +32,14 @@ fn claim_fig1_hard_band_exists() {
     let easy_low = median_calls(2.0);
     let hard = median_calls(4.5);
     let easy_high = median_calls(8.0);
-    assert!(hard > 2 * easy_low, "hard {hard} vs under-constrained {easy_low}");
-    assert!(hard > easy_high, "hard {hard} vs over-constrained {easy_high}");
+    assert!(
+        hard > 2 * easy_low,
+        "hard {hard} vs under-constrained {easy_low}"
+    );
+    assert!(
+        hard > easy_high,
+        "hard {hard} vs over-constrained {easy_high}"
+    );
 }
 
 /// Table 2: almost non-blocking CLNs are much harder than blocking CLNs
@@ -75,10 +81,7 @@ fn claim_table2_exponential_growth() {
     };
     let t8 = time_for(8);
     let t32 = time_for(32);
-    assert!(
-        t32 > 5 * t8,
-        "N=32 ({t32:?}) should dwarf N=8 ({t8:?})"
-    );
+    assert!(t32 > 5 * t8, "N=32 ({t32:?}) should dwarf N=8 ({t8:?})");
 }
 
 /// §2/§4.2: Full-Lock corrupts heavily; SARLock barely corrupts.

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no network access and no crates.io cache, so the
+//! workspace vendors the slice of criterion it uses: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`BenchmarkId`], [`Bencher::iter`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology (simplified relative to upstream): each benchmark is warmed
+//! up briefly, then timed over `sample_size` samples whose per-sample
+//! iteration count is calibrated so a sample takes roughly a millisecond.
+//! The mean, minimum, and maximum per-iteration times are printed in a
+//! `name/param  time: [..]` line, mirroring criterion's output shape.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a closure outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_benchmark(id, 20, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a closure under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.0), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Passed to benchmark closures; call [`Bencher::iter`] with the code under
+/// test.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Measurement>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    iters_total: u64,
+}
+
+impl Bencher {
+    /// Times the closure; the measured mean/min/max per call are reported
+    /// by the harness after the benchmark closure returns.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count giving samples
+        // of at least ~1 ms (or a single call if one call exceeds that).
+        let warmup_start = Instant::now();
+        std::hint::black_box(f());
+        let first = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(1).as_nanos() / first.as_nanos()).max(1) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut iters_total = 0u64;
+        let budget = Duration::from_secs(3);
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            let sample = start.elapsed() / per_sample.max(1) as u32;
+            total += sample;
+            min = min.min(sample);
+            max = max.max(sample);
+            iters_total += per_sample;
+            if run_start.elapsed() > budget {
+                break;
+            }
+        }
+        let samples = (iters_total / per_sample).max(1) as u32;
+        self.result = Some(Measurement {
+            mean: total / samples,
+            min,
+            max,
+            iters_total,
+        });
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        sample_size,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(m) => println!(
+            "{label:<40} time: [{} {} {}]  ({} iters)",
+            fmt_duration(m.min),
+            fmt_duration(m.mean),
+            fmt_duration(m.max),
+            m.iters_total
+        ),
+        None => println!("{label:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion_main!`.
+/// Command-line arguments (cargo passes `--bench`) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_measures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5);
+        let mut runs = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n * 1000).sum::<u64>()
+            });
+        });
+        group.finish();
+        assert!(runs > 0, "benchmark closure never executed");
+    }
+
+    #[test]
+    fn ids_format_as_expected() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("c432").0, "c432");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.00 s");
+    }
+}

@@ -1,0 +1,168 @@
+//! The runner's support types: configuration, failure reporting, and the
+//! deterministic per-test generator.
+
+use std::fmt;
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Generated cases per test function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    /// Fails the case with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError {
+            reason: reason.into(),
+        }
+    }
+
+    /// Alias of [`TestCaseError::fail`] (upstream distinguishes
+    /// rejection from failure; this stand-in does not).
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::fail(reason)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic generator backing strategy sampling: xoshiro256++ seeded
+/// (via SplitMix64) from the test's name, so every run of a given test
+/// replays the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Generator for the named test.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name gives a stable, well-mixed seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::seeded(h)
+    }
+
+    /// Generator from an explicit seed.
+    pub fn seeded(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform draw from [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("foo");
+        let mut b = TestRng::for_test("foo");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("bar");
+        let _ = c.next_u64(); // different name, different stream (overwhelmingly)
+    }
+
+    #[test]
+    fn range_strategies_stay_in_bounds() {
+        let mut rng = TestRng::for_test("bounds");
+        for _ in 0..500 {
+            let x = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&x));
+            let y = (2.0f64..7.0).generate(&mut rng);
+            assert!((2.0..7.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn tuple_and_map_compose() {
+        let strat = (1usize..5, 10u32..20).prop_map(|(a, b)| a + b as usize);
+        let mut rng = TestRng::for_test("compose");
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((11..25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let strat = crate::collection::vec(crate::strategy::any::<bool>(), 1..64);
+        let mut rng = TestRng::for_test("vecs");
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..64).contains(&v.len()));
+        }
+    }
+
+    // The macro itself, exercised end to end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_and_asserts(a in 1usize..10, flag in any::<bool>()) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a, a + 1);
+            let _ = flag;
+        }
+    }
+}
