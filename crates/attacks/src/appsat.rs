@@ -6,16 +6,19 @@
 //! probing and settling for a key whose measured error rate is below a
 //! threshold. Against high-corruption schemes like Full-Lock, an
 //! approximate key is as useless as a random one, which is exactly the
-//! property §4.2 claims (and [`appsat_attack`]'s reports quantify).
+//! property §4.2 claims (and [`AppSatConfig`]'s reports quantify —
+//! run it through the [`Attack`] trait).
 
 use std::time::Duration;
 
 use fulllock_locking::{Key, LockedCircuit};
 use fulllock_netlist::topo;
+use fulllock_sat::cdcl::SolverStats;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::oracle::Oracle;
+use crate::report::{Attack, AttackDetails, AttackOutcome, AttackReport};
 use crate::sat_attack::{SatAttack, SatAttackConfig, Step};
 use crate::Result;
 
@@ -66,6 +69,9 @@ pub struct AppSatReport {
     pub iterations: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+    /// SAT solver counters accumulated over the run (merged across
+    /// portfolio workers when the backend is a portfolio).
+    pub solver: SolverStats,
 }
 
 /// Runs AppSAT.
@@ -74,25 +80,19 @@ pub struct AppSatReport {
 ///
 /// Returns [`AttackError::InterfaceMismatch`](crate::AttackError::InterfaceMismatch)
 /// for incompatible interfaces.
-///
-/// # Example
-///
-/// ```no_run
-/// use fulllock_attacks::{appsat_attack, AppSatConfig, SimOracle};
-/// use fulllock_locking::{LockingScheme, SarLock};
-/// use fulllock_netlist::benchmarks;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let original = benchmarks::load("c432")?;
-/// let locked = SarLock::new(16, 0).lock(&original)?;
-/// let oracle = SimOracle::new(&original)?;
-/// // SARLock's error rate is 2^-16: AppSAT settles almost immediately.
-/// let report = appsat_attack(&locked, &oracle, AppSatConfig::default())?;
-/// assert!(report.settled);
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Attack` trait: `config.run(&locked, &oracle)`"
+)]
 pub fn appsat_attack(
+    locked: &LockedCircuit,
+    oracle: &dyn Oracle,
+    config: AppSatConfig,
+) -> Result<AppSatReport> {
+    run_appsat(locked, oracle, config)
+}
+
+fn run_appsat(
     locked: &LockedCircuit,
     oracle: &dyn Oracle,
     config: AppSatConfig,
@@ -123,6 +123,7 @@ pub fn appsat_attack(
                         exact: false,
                         iterations: engine.iterations(),
                         elapsed: engine.elapsed(),
+                        solver: engine.solver_stats(),
                     });
                 }
             }
@@ -142,6 +143,7 @@ pub fn appsat_attack(
                     key,
                     iterations: engine.iterations(),
                     elapsed: engine.elapsed(),
+                    solver: engine.solver_stats(),
                 });
             }
             Step::Budget => {
@@ -156,9 +158,66 @@ pub fn appsat_attack(
                     exact: false,
                     iterations: engine.iterations(),
                     elapsed: engine.elapsed(),
+                    solver: engine.solver_stats(),
                 });
             }
         }
+    }
+}
+
+impl Attack for AppSatConfig {
+    fn name(&self) -> &'static str {
+        "appsat"
+    }
+
+    /// Runs AppSAT and folds its settlement data into the common
+    /// envelope: an exact convergence maps to
+    /// [`AttackOutcome::KeyRecovered`], a settled approximate key to
+    /// [`AttackOutcome::ApproximateKey`], and budget exhaustion to
+    /// [`AttackOutcome::Timeout`].
+    ///
+    /// # Example
+    ///
+    /// ```no_run
+    /// use fulllock_attacks::{AppSatConfig, Attack, SimOracle};
+    /// use fulllock_locking::{LockingScheme, SarLock};
+    /// use fulllock_netlist::benchmarks;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let original = benchmarks::load("c432")?;
+    /// let locked = SarLock::new(16, 0).lock(&original)?;
+    /// let oracle = SimOracle::new(&original)?;
+    /// // SARLock's error rate is 2^-16: AppSAT settles almost immediately.
+    /// let report = AppSatConfig::default().run(&locked, &oracle)?;
+    /// assert!(matches!(
+    ///     report.outcome,
+    ///     fulllock_attacks::AttackOutcome::ApproximateKey { .. }
+    /// ));
+    /// # Ok(())
+    /// # }
+    /// ```
+    fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport> {
+        let report = run_appsat(locked, oracle, *self)?;
+        let outcome = match (&report.key, report.exact, report.settled) {
+            (Some(key), true, _) => AttackOutcome::KeyRecovered {
+                key: key.clone(),
+                verified: report.measured_error == 0.0,
+            },
+            (Some(key), false, true) => AttackOutcome::ApproximateKey {
+                key: key.clone(),
+                measured_error: report.measured_error,
+            },
+            _ => AttackOutcome::Timeout,
+        };
+        Ok(AttackReport {
+            attack: "appsat",
+            outcome,
+            iterations: report.iterations,
+            elapsed: report.elapsed,
+            oracle_queries: oracle.queries(),
+            solver: report.solver,
+            details: AttackDetails::AppSat(report),
+        })
     }
 }
 
@@ -228,7 +287,7 @@ mod tests {
         let original = host(1);
         let locked = SarLock::new(10, 2).lock(&original).unwrap();
         let oracle = SimOracle::new(&original).unwrap();
-        let report = appsat_attack(&locked, &oracle, AppSatConfig::default()).unwrap();
+        let report = run_appsat(&locked, &oracle, AppSatConfig::default()).unwrap();
         assert!(report.settled, "AppSAT should settle on SARLock");
         assert!(
             report.iterations < 100,
@@ -255,7 +314,7 @@ mod tests {
             },
             ..Default::default()
         };
-        let report = appsat_attack(&locked, &oracle, config).unwrap();
+        let report = run_appsat(&locked, &oracle, config).unwrap();
         assert!(!report.settled);
         assert!(!report.exact);
         assert!(
@@ -270,7 +329,7 @@ mod tests {
         let original = host(3);
         let locked = fulllock_locking::Rll::new(8, 1).lock(&original).unwrap();
         let oracle = SimOracle::new(&original).unwrap();
-        let report = appsat_attack(&locked, &oracle, AppSatConfig::default()).unwrap();
+        let report = run_appsat(&locked, &oracle, AppSatConfig::default()).unwrap();
         // Either settles early (error 0 measured) or converges exactly;
         // both count as breaking RLL.
         assert!(report.settled || report.exact);

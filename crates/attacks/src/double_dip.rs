@@ -25,14 +25,43 @@ use std::time::{Duration, Instant};
 
 use fulllock_locking::{Key, LockedCircuit};
 use fulllock_netlist::{topo, GateKind};
-use fulllock_sat::cdcl::{SolveLimits, SolveResult, Solver};
+use fulllock_sat::backend::SolveBackend;
+use fulllock_sat::cdcl::{SolveLimits, SolveResult, SolverStats};
 use fulllock_sat::tseytin::encode_gate;
 use fulllock_sat::{Cnf, Lit, Var};
 
 use crate::encode::encode_locked;
 use crate::oracle::Oracle;
-use crate::sat_attack::{AttackOutcome, SatAttackConfig};
+use crate::report::{Attack, AttackDetails, AttackOutcome, AttackReport};
+use crate::sat_attack::SatAttackConfig;
 use crate::{cycsat, AttackError, Result};
+
+/// The Double-DIP attack as an [`Attack`] object: a thin wrapper over the
+/// base SAT-attack configuration (timeout, iteration cap, backend).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DoubleDip {
+    /// Base limits and solving backend.
+    pub base: SatAttackConfig,
+}
+
+impl Attack for DoubleDip {
+    fn name(&self) -> &'static str {
+        "double-dip"
+    }
+
+    fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport> {
+        let report = run_double_dip(locked, oracle, self.base)?;
+        Ok(AttackReport {
+            attack: "double-dip",
+            outcome: report.outcome.clone(),
+            iterations: report.iterations + report.cleanup_iterations,
+            elapsed: report.elapsed,
+            oracle_queries: oracle.queries(),
+            solver: report.solver,
+            details: AttackDetails::DoubleDip(report),
+        })
+    }
+}
 
 /// Result of a Double-DIP run.
 #[derive(Debug, Clone)]
@@ -46,6 +75,9 @@ pub struct DoubleDipReport {
     pub cleanup_iterations: u64,
     /// Wall-clock time.
     pub elapsed: Duration,
+    /// SAT solver counters accumulated over the run (merged across
+    /// portfolio workers when the backend is a portfolio).
+    pub solver: SolverStats,
 }
 
 /// Runs the Double-DIP attack.
@@ -53,24 +85,19 @@ pub struct DoubleDipReport {
 /// # Errors
 ///
 /// Returns [`AttackError::InterfaceMismatch`] for incompatible interfaces.
-///
-/// # Example
-///
-/// ```no_run
-/// use fulllock_attacks::{double_dip, SatAttackConfig, SimOracle};
-/// use fulllock_locking::{LockingScheme, SarLock};
-/// use fulllock_netlist::benchmarks;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let original = benchmarks::load("c432")?;
-/// let locked = SarLock::new(8, 0).lock(&original)?;
-/// let oracle = SimOracle::new(&original)?;
-/// let report = double_dip::attack(&locked, &oracle, SatAttackConfig::default())?;
-/// assert!(report.outcome.is_broken());
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Attack` trait: `DoubleDip { base: config }.run(&locked, &oracle)`"
+)]
 pub fn attack(
+    locked: &LockedCircuit,
+    oracle: &dyn Oracle,
+    config: SatAttackConfig,
+) -> Result<DoubleDipReport> {
+    run_double_dip(locked, oracle, config)
+}
+
+fn run_double_dip(
     locked: &LockedCircuit,
     oracle: &dyn Oracle,
     config: SatAttackConfig,
@@ -83,9 +110,12 @@ pub fn attack(
     }
     let start = Instant::now();
     let deadline = config.timeout.map(|t| start + t);
-    let limits = SolveLimits {
-        max_conflicts: None,
-        deadline,
+    let limits = {
+        let mut builder = SolveLimits::builder();
+        if let Some(d) = deadline {
+            builder = builder.deadline(d);
+        }
+        builder.build()
     };
 
     let mut cnf = Cnf::new();
@@ -154,8 +184,12 @@ pub fn attack(
         }
     }
 
-    let mut solver = Solver::from_cnf(&cnf);
-    let assert_io = |solver: &mut Solver, cnf: &mut Cnf, x: &[bool], y: &[bool]| {
+    let mut solver = config.backend.create();
+    solver.ensure_vars(cnf.num_vars());
+    for clause in cnf.clauses() {
+        solver.add_clause(clause);
+    }
+    let assert_io = |solver: &mut Box<dyn SolveBackend>, cnf: &mut Cnf, x: &[bool], y: &[bool]| {
         let before = cnf.num_clauses();
         for kv in &key_vars {
             let data_vars: Vec<Var> = x.iter().map(|_| cnf.new_var()).collect();
@@ -169,7 +203,7 @@ pub fn attack(
         }
         solver.ensure_vars(cnf.num_vars());
         for clause in &cnf.clauses()[before..] {
-            solver.add_clause(clause.iter().copied());
+            solver.add_clause(clause);
         }
     };
 
@@ -184,19 +218,21 @@ pub fn attack(
     loop {
         if out_of_budget(iterations) {
             return Ok(report(
-                AttackOutcome::budget(&config, iterations),
+                budget_outcome(&config, iterations),
                 iterations,
                 cleanup_iterations,
                 start,
+                solver.stats(),
             ));
         }
-        match solver.solve_limited(&[act_double], limits) {
+        match solver.solve_limited(&[act_double], limits.clone()) {
             SolveResult::Unknown => {
                 return Ok(report(
                     AttackOutcome::Timeout,
                     iterations,
                     cleanup_iterations,
                     start,
+                    solver.stats(),
                 ))
             }
             SolveResult::Unsat => break,
@@ -215,19 +251,21 @@ pub fn attack(
     loop {
         if out_of_budget(iterations + cleanup_iterations) {
             return Ok(report(
-                AttackOutcome::budget(&config, iterations + cleanup_iterations),
+                budget_outcome(&config, iterations + cleanup_iterations),
                 iterations,
                 cleanup_iterations,
                 start,
+                solver.stats(),
             ));
         }
-        match solver.solve_limited(&[act_single], limits) {
+        match solver.solve_limited(&[act_single], limits.clone()) {
             SolveResult::Unknown => {
                 return Ok(report(
                     AttackOutcome::Timeout,
                     iterations,
                     cleanup_iterations,
                     start,
+                    solver.stats(),
                 ))
             }
             SolveResult::Unsat => break,
@@ -243,7 +281,7 @@ pub fn attack(
         }
     }
     // Extraction: any key consistent with all constraints.
-    let outcome = match solver.solve_limited(&[!act_double, !act_single], limits) {
+    let outcome = match solver.solve_limited(&[!act_double, !act_single], limits.clone()) {
         SolveResult::Sat => {
             let key = Key::from_bits(
                 key_vars[0]
@@ -256,16 +294,20 @@ pub fn attack(
         SolveResult::Unknown => AttackOutcome::Timeout,
         SolveResult::Unsat => AttackOutcome::Inconclusive,
     };
-    Ok(report(outcome, iterations, cleanup_iterations, start))
+    Ok(report(
+        outcome,
+        iterations,
+        cleanup_iterations,
+        start,
+        solver.stats(),
+    ))
 }
 
-impl AttackOutcome {
-    fn budget(config: &SatAttackConfig, iterations: u64) -> AttackOutcome {
-        if config.max_iterations.is_some_and(|m| iterations >= m) {
-            AttackOutcome::IterationLimit
-        } else {
-            AttackOutcome::Timeout
-        }
+fn budget_outcome(config: &SatAttackConfig, iterations: u64) -> AttackOutcome {
+    if config.max_iterations.is_some_and(|m| iterations >= m) {
+        AttackOutcome::IterationLimit
+    } else {
+        AttackOutcome::Timeout
     }
 }
 
@@ -302,19 +344,21 @@ fn report(
     iterations: u64,
     cleanup_iterations: u64,
     start: Instant,
+    solver: SolverStats,
 ) -> DoubleDipReport {
     DoubleDipReport {
         outcome,
         iterations,
         cleanup_iterations,
         elapsed: start.elapsed(),
+        solver,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{attack as plain_attack, SimOracle};
+    use crate::SimOracle;
     use fulllock_locking::{LockingScheme, Rll, SarLock};
     use fulllock_netlist::random::{generate, RandomCircuitConfig};
 
@@ -334,7 +378,7 @@ mod tests {
         let original = host(1);
         let locked = Rll::new(8, 2).lock(&original).unwrap();
         let oracle = SimOracle::new(&original).unwrap();
-        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        let report = run_double_dip(&locked, &oracle, SatAttackConfig::default()).unwrap();
         let AttackOutcome::KeyRecovered { verified, .. } = report.outcome else {
             panic!("RLL must fall to Double DIP, got {:?}", report.outcome);
         };
@@ -348,7 +392,7 @@ mod tests {
         let original = host(2);
         let locked = Rll::new(10, 3).lock(&original).unwrap();
         let oracle = SimOracle::new(&original).unwrap();
-        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        let report = run_double_dip(&locked, &oracle, SatAttackConfig::default()).unwrap();
         assert!(report.outcome.is_broken());
         assert!(report.iterations >= 1, "expected at least one 2-DIP on RLL");
     }
@@ -363,11 +407,11 @@ mod tests {
         let locked = SarLock::new(m, 3).lock(&original).unwrap();
 
         let oracle = SimOracle::new(&original).unwrap();
-        let plain = plain_attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        let plain = SatAttackConfig::default().run(&locked, &oracle).unwrap();
         assert!(plain.outcome.is_broken());
 
         let oracle2 = SimOracle::new(&original).unwrap();
-        let double = attack(&locked, &oracle2, SatAttackConfig::default()).unwrap();
+        let double = run_double_dip(&locked, &oracle2, SatAttackConfig::default()).unwrap();
         assert!(double.outcome.is_broken());
         assert_eq!(double.iterations, 0, "no strict 2-DIP may exist on SARLock");
         assert!(double.cleanup_iterations >= plain.iterations / 2);
@@ -378,7 +422,7 @@ mod tests {
         let original = host(3);
         let locked = SarLock::new(10, 1).lock(&original).unwrap();
         let oracle = SimOracle::new(&original).unwrap();
-        let report = attack(
+        let report = run_double_dip(
             &locked,
             &oracle,
             SatAttackConfig {

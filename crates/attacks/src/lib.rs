@@ -16,12 +16,16 @@
 //!   blocks (breaks Anti-SAT, finds no handle on Full-Lock).
 //!
 //! The threat model is uniform: the attacker holds the locked netlist and
-//! an activated chip ([`Oracle`] / [`SimOracle`]).
+//! an activated chip ([`Oracle`] / [`SimOracle`]). Every attack implements
+//! the [`Attack`] trait and returns the common [`AttackReport`] envelope,
+//! so comparison studies can iterate over `Vec<Box<dyn Attack>>`.
 //!
 //! # Example
 //!
+//! One attack, one call:
+//!
 //! ```
-//! use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
+//! use fulllock_attacks::{Attack, SatAttackConfig, SimOracle};
 //! use fulllock_locking::{LockingScheme, Rll};
 //! use fulllock_netlist::benchmarks;
 //!
@@ -29,10 +33,50 @@
 //! let original = benchmarks::load("c17")?;
 //! let locked = Rll::new(4, 0).lock(&original)?;
 //! let oracle = SimOracle::new(&original)?;
-//! let report = attack(&locked, &oracle, SatAttackConfig::default())?;
+//! let report = SatAttackConfig::default().run(&locked, &oracle)?;
+//! assert!(report.outcome.is_broken());
 //! println!("broken in {} iterations", report.iterations);
 //! # Ok(())
 //! # }
+//! ```
+//!
+//! A whole suite against one scheme (the evaluation-matrix pattern):
+//!
+//! ```
+//! use fulllock_attacks::{AppSatConfig, Attack, SatAttackConfig, SimOracle};
+//! use fulllock_attacks::double_dip::DoubleDip;
+//! use fulllock_locking::{LockingScheme, Rll};
+//! use fulllock_netlist::benchmarks;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let original = benchmarks::load("c17")?;
+//! let locked = Rll::new(4, 0).lock(&original)?;
+//! let suite: Vec<Box<dyn Attack>> = vec![
+//!     Box::new(SatAttackConfig::default()),
+//!     Box::new(AppSatConfig::default()),
+//!     Box::new(DoubleDip::default()),
+//! ];
+//! for attack in &suite {
+//!     let oracle = SimOracle::new(&original)?;
+//!     let report = attack.run(&locked, &oracle)?;
+//!     println!("{:>10}: {:?} ({} oracle queries)",
+//!              report.attack, report.outcome, report.oracle_queries);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! To solve the DIP queries on a racing CDCL portfolio instead of one
+//! sequential solver, point the config at a portfolio backend:
+//!
+//! ```no_run
+//! use fulllock_attacks::SatAttackConfig;
+//! use fulllock_sat::BackendSpec;
+//!
+//! let config = SatAttackConfig {
+//!     backend: BackendSpec::portfolio(4),
+//!     ..Default::default()
+//! };
 //! ```
 
 #![forbid(unsafe_code)]
@@ -45,14 +89,24 @@ mod encode;
 mod error;
 mod oracle;
 pub mod removal;
+mod report;
 pub mod sat_attack;
 pub mod sps;
 
-pub use appsat::{appsat_attack, AppSatConfig, AppSatReport};
+pub use appsat::{AppSatConfig, AppSatReport};
+pub use double_dip::DoubleDip;
 pub use encode::{encode_locked, LockedEncoding};
 pub use error::AttackError;
 pub use oracle::{Oracle, SimOracle};
-pub use sat_attack::{attack, AttackOutcome, AttackReport, SatAttack, SatAttackConfig};
+pub use removal::Removal;
+pub use report::{Attack, AttackDetails, AttackOutcome, AttackReport};
+pub use sat_attack::{SatAttack, SatAttackConfig, SatAttackReport};
+pub use sps::Sps;
+
+#[allow(deprecated)]
+pub use appsat::appsat_attack;
+#[allow(deprecated)]
+pub use sat_attack::attack;
 
 /// Crate-wide result alias.
 pub type Result<T, E = AttackError> = std::result::Result<T, E>;

@@ -16,7 +16,9 @@ use fulllock_netlist::{Netlist, SignalId, Simulator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::Result;
+use crate::oracle::Oracle;
+use crate::report::{Attack, AttackDetails, AttackOutcome, AttackReport};
+use crate::{Result, SimOracle};
 
 /// Outcome of a removal attempt.
 #[derive(Debug, Clone)]
@@ -56,23 +58,6 @@ pub fn excise_cln(locked: &LockedCircuit, trace: &FullLockTrace) -> Netlist {
 /// Runs the best-case removal attack against a Full-Lock circuit and
 /// measures the residual functional error on `samples` random patterns.
 ///
-/// # Example
-///
-/// ```no_run
-/// use fulllock_attacks::removal;
-/// use fulllock_locking::{FullLock, FullLockConfig};
-/// use fulllock_netlist::benchmarks;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let original = benchmarks::load("c432")?;
-/// let (locked, trace) =
-///     FullLock::new(FullLockConfig::single_plr(16)).lock_with_trace(&original)?;
-/// let study = removal::removal_study(&locked, &trace, &original, 500, 0)?;
-/// assert!(!study.recovered); // twisting defeats even perfect routing recovery
-/// # Ok(())
-/// # }
-/// ```
-///
 /// `key_guess_zero`: the dangling key inputs of the bypassed netlist (LUT
 /// keys, if LUTs were enabled) are driven with zeros — the attacker has no
 /// better information once the CLN is gone.
@@ -81,6 +66,11 @@ pub fn excise_cln(locked: &LockedCircuit, trace: &FullLockTrace) -> Netlist {
 ///
 /// Propagates simulation errors (the bypassed netlist of an acyclic lock
 /// is acyclic).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Attack` trait (`Removal::new(trace).run(&locked, &oracle)`) \
+            or `study_with_oracle`"
+)]
 pub fn removal_study(
     locked: &LockedCircuit,
     trace: &FullLockTrace,
@@ -88,8 +78,44 @@ pub fn removal_study(
     samples: usize,
     seed: u64,
 ) -> Result<RemovalStudy> {
+    let oracle = SimOracle::new(original)?;
+    study_with_oracle(locked, trace, &oracle, samples, seed)
+}
+
+/// Oracle-flavoured removal study: like the deprecated `removal_study`,
+/// but the reference function comes from any [`Oracle`] (an activated
+/// chip) instead of the original netlist.
+///
+/// # Example
+///
+/// ```no_run
+/// use fulllock_attacks::{removal, SimOracle};
+/// use fulllock_locking::{FullLock, FullLockConfig};
+/// use fulllock_netlist::benchmarks;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let original = benchmarks::load("c432")?;
+/// let (locked, trace) =
+///     FullLock::new(FullLockConfig::single_plr(16)).lock_with_trace(&original)?;
+/// let oracle = SimOracle::new(&original)?;
+/// let study = removal::study_with_oracle(&locked, &trace, &oracle, 500, 0)?;
+/// assert!(!study.recovered); // twisting defeats even perfect routing recovery
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates simulation errors (the bypassed netlist of an acyclic lock
+/// is acyclic).
+pub fn study_with_oracle(
+    locked: &LockedCircuit,
+    trace: &FullLockTrace,
+    oracle: &dyn Oracle,
+    samples: usize,
+    seed: u64,
+) -> Result<RemovalStudy> {
     let bypassed = excise_cln(locked, trace);
-    let oracle = Simulator::new(original)?;
     let sim = Simulator::new(&bypassed)?;
 
     // Bypassed inputs = data inputs + (dangling) key inputs, in the same
@@ -109,14 +135,14 @@ pub fn removal_study(
         .collect();
     let mut wrong = 0usize;
     for _ in 0..samples {
-        let x: Vec<bool> = (0..original.inputs().len())
+        let x: Vec<bool> = (0..oracle.num_inputs())
             .map(|_| rng.gen_bool(0.5))
             .collect();
         let mut full = vec![false; bypassed.inputs().len()];
         for (slot, &pos) in data_positions.iter().enumerate() {
             full[pos] = x[slot];
         }
-        if sim.run(&full)? != oracle.run(&x)? {
+        if sim.run(&full)? != oracle.query(&x) {
             wrong += 1;
         }
     }
@@ -126,6 +152,54 @@ pub fn removal_study(
         error_rate,
         recovered: wrong == 0,
     })
+}
+
+/// The best-case removal attack as an [`Attack`] object. Carries the
+/// locker's insertion trace (the attacker's assumed perfect structural
+/// knowledge) plus sampling parameters.
+#[derive(Debug, Clone)]
+pub struct Removal {
+    /// The locker's insertion trace — models perfect identification and
+    /// routing recovery of every CLN.
+    pub trace: FullLockTrace,
+    /// Random patterns for the residual-error measurement.
+    pub samples: usize,
+    /// RNG seed for those patterns.
+    pub seed: u64,
+}
+
+impl Removal {
+    /// A removal attack with the default sampling budget (500 patterns).
+    pub fn new(trace: FullLockTrace) -> Removal {
+        Removal {
+            trace,
+            samples: 500,
+            seed: 0,
+        }
+    }
+}
+
+impl Attack for Removal {
+    fn name(&self) -> &'static str {
+        "removal"
+    }
+
+    fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport> {
+        let start = std::time::Instant::now();
+        let study = study_with_oracle(locked, &self.trace, oracle, self.samples, self.seed)?;
+        Ok(AttackReport {
+            attack: "removal",
+            outcome: AttackOutcome::Bypassed {
+                error_rate: study.error_rate,
+                exact: study.recovered,
+            },
+            iterations: 0,
+            elapsed: start.elapsed(),
+            oracle_queries: oracle.queries(),
+            solver: Default::default(),
+            details: AttackDetails::Removal(study),
+        })
+    }
 }
 
 /// Counts the gates an attacker can structurally identify as key logic
@@ -193,7 +267,8 @@ mod tests {
         let (locked, trace) = FullLock::new(lock_config(0.0, false))
             .lock_with_trace(&original)
             .unwrap();
-        let study = removal_study(&locked, &trace, &original, 200, 3).unwrap();
+        let study = study_with_oracle(&locked, &trace, &SimOracle::new(&original).unwrap(), 200, 3)
+            .unwrap();
         assert!(study.recovered, "error rate {}", study.error_rate);
     }
 
@@ -205,7 +280,8 @@ mod tests {
         let (locked, trace) = FullLock::new(lock_config(1.0, false))
             .lock_with_trace(&original)
             .unwrap();
-        let study = removal_study(&locked, &trace, &original, 200, 4).unwrap();
+        let study = study_with_oracle(&locked, &trace, &SimOracle::new(&original).unwrap(), 200, 4)
+            .unwrap();
         assert!(!study.recovered);
         assert!(
             study.error_rate > 0.1,
@@ -222,7 +298,8 @@ mod tests {
         let (locked, trace) = FullLock::new(lock_config(0.0, true))
             .lock_with_trace(&original)
             .unwrap();
-        let study = removal_study(&locked, &trace, &original, 200, 5).unwrap();
+        let study = study_with_oracle(&locked, &trace, &SimOracle::new(&original).unwrap(), 200, 5)
+            .unwrap();
         assert!(!study.recovered);
     }
 

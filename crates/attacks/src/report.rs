@@ -1,0 +1,145 @@
+//! The unified attack interface: the [`Attack`] trait and the common
+//! [`AttackReport`] envelope every attack returns.
+//!
+//! The five attacks of the evaluation suite (SAT, AppSAT, Double-DIP,
+//! removal, SPS) historically exposed five free functions with five
+//! bespoke report types. The [`Attack`] trait unifies them behind one
+//! `run(locked, oracle)` call returning one envelope, so benchmark tables
+//! and comparison studies can iterate over `Vec<Box<dyn Attack>>` without
+//! caring which attack produced which row. The attack-specific reports
+//! survive intact inside [`AttackDetails`].
+
+use std::time::Duration;
+
+use fulllock_locking::{Key, LockedCircuit};
+use fulllock_sat::cdcl::SolverStats;
+
+use crate::oracle::Oracle;
+use crate::Result;
+
+/// Why an attack run ended — the cross-attack outcome vocabulary.
+///
+/// The SAT-family attacks produce the exact-key variants
+/// ([`KeyRecovered`](AttackOutcome::KeyRecovered), budget exhaustion);
+/// AppSAT adds [`ApproximateKey`](AttackOutcome::ApproximateKey); the
+/// structural attacks (removal, SPS) report
+/// [`Bypassed`](AttackOutcome::Bypassed) or
+/// [`Defeated`](AttackOutcome::Defeated).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackOutcome {
+    /// The attack converged and extracted an exact key.
+    KeyRecovered {
+        /// The extracted key.
+        key: Key,
+        /// Whether the key matched the oracle on every verification
+        /// pattern.
+        verified: bool,
+    },
+    /// The attack settled for a key below its error threshold (AppSAT).
+    ApproximateKey {
+        /// The best key found.
+        key: Key,
+        /// Its measured error rate (fraction of sampled patterns with any
+        /// wrong output).
+        measured_error: f64,
+    },
+    /// A structural attack produced a key-free circuit (removal / SPS).
+    Bypassed {
+        /// Residual functional error of the bypassed circuit vs the
+        /// oracle.
+        error_rate: f64,
+        /// Whether the bypass was exact on every sampled pattern.
+        exact: bool,
+    },
+    /// The attack found no handle on this scheme (e.g. SPS on a circuit
+    /// without a skewed wire).
+    Defeated {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The wall-clock budget expired first (the paper's `TO`).
+    Timeout,
+    /// The iteration budget expired first.
+    IterationLimit,
+    /// The constraint system became unsatisfiable even without the miter —
+    /// only possible if the oracle is inconsistent with the locked circuit.
+    Inconclusive,
+}
+
+impl AttackOutcome {
+    /// Whether an exact key was recovered.
+    pub fn is_broken(&self) -> bool {
+        matches!(self, AttackOutcome::KeyRecovered { .. })
+    }
+
+    /// Whether the scheme lost in *any* sense: exact key, settled
+    /// approximate key, or exact bypass.
+    pub fn is_compromised(&self) -> bool {
+        match self {
+            AttackOutcome::KeyRecovered { .. } | AttackOutcome::ApproximateKey { .. } => true,
+            AttackOutcome::Bypassed { exact, .. } => *exact,
+            _ => false,
+        }
+    }
+}
+
+/// Attack-specific report payloads, preserved inside the common envelope.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum AttackDetails {
+    /// The SAT attack's full instrumentation.
+    Sat(crate::sat_attack::SatAttackReport),
+    /// AppSAT's settlement data.
+    AppSat(crate::appsat::AppSatReport),
+    /// Double-DIP's phase split.
+    DoubleDip(crate::double_dip::DoubleDipReport),
+    /// The removal study (includes the bypassed netlist).
+    Removal(crate::removal::RemovalStudy),
+    /// The SPS scan.
+    Sps(crate::sps::SpsReport),
+}
+
+/// The common result envelope every [`Attack`] returns.
+#[derive(Debug, Clone)]
+pub struct AttackReport {
+    /// Short attack name (`"sat"`, `"appsat"`, `"double-dip"`,
+    /// `"removal"`, `"sps"`).
+    pub attack: &'static str,
+    /// Why the run ended.
+    pub outcome: AttackOutcome,
+    /// Attack iterations completed (DIPs for the SAT family, 0 for
+    /// structural attacks).
+    pub iterations: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Oracle queries issued.
+    pub oracle_queries: u64,
+    /// SAT solver counters accumulated over the run
+    /// ([merged](SolverStats::merge) across portfolio workers; zeroed for
+    /// attacks that never touch a solver).
+    pub solver: SolverStats,
+    /// The attack-specific report.
+    pub details: AttackDetails,
+}
+
+/// One attack of the evaluation suite, runnable against any locked
+/// circuit + oracle pair.
+///
+/// Implemented by [`SatAttackConfig`](crate::SatAttackConfig),
+/// [`AppSatConfig`](crate::AppSatConfig),
+/// [`DoubleDip`](crate::double_dip::DoubleDip),
+/// [`Removal`](crate::removal::Removal), and [`Sps`](crate::sps::Sps) —
+/// each configuration struct *is* the attack object.
+pub trait Attack {
+    /// Short stable name for tables and logs.
+    fn name(&self) -> &'static str;
+
+    /// Runs the attack against a locked circuit with oracle access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError`](crate::AttackError) for interface
+    /// mismatches or structural preconditions the attack cannot handle
+    /// (e.g. SPS on a cyclic netlist).
+    fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport>;
+}

@@ -18,14 +18,18 @@ use std::time::{Duration, Instant};
 
 use fulllock_locking::{Key, LockedCircuit};
 use fulllock_netlist::topo;
-use fulllock_sat::cdcl::{SolveLimits, SolveResult, Solver, SolverStats};
+use fulllock_sat::backend::{BackendSpec, SolveBackend};
+use fulllock_sat::cdcl::{SolveLimits, SolveResult, SolverStats};
 use fulllock_sat::{Cnf, Lit, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::encode::{encode_locked, LockedEncoding};
 use crate::oracle::Oracle;
+use crate::report::{Attack, AttackDetails, AttackReport};
 use crate::{cycsat, AttackError, Result};
+
+pub use crate::report::AttackOutcome;
 
 /// Configuration of a SAT attack run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -38,38 +42,14 @@ pub struct SatAttackConfig {
     /// Add CycSAT no-structural-cycle clauses even for acyclic netlists
     /// (they are generated automatically whenever the netlist is cyclic).
     pub force_cycsat: bool,
-}
-
-/// Why a SAT attack run ended.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AttackOutcome {
-    /// The DIP loop converged and a key was extracted.
-    KeyRecovered {
-        /// The extracted key.
-        key: Key,
-        /// Whether the key matched the oracle on every verification
-        /// pattern.
-        verified: bool,
-    },
-    /// The wall-clock budget expired first (the paper's `TO`).
-    Timeout,
-    /// The iteration budget expired first.
-    IterationLimit,
-    /// The constraint system became unsatisfiable even without the miter —
-    /// only possible if the oracle is inconsistent with the locked circuit.
-    Inconclusive,
-}
-
-impl AttackOutcome {
-    /// Whether a (claimed) key was recovered.
-    pub fn is_broken(&self) -> bool {
-        matches!(self, AttackOutcome::KeyRecovered { .. })
-    }
+    /// Which SAT engine answers the miter queries: one sequential solver
+    /// or a racing portfolio.
+    pub backend: BackendSpec,
 }
 
 /// Result and instrumentation of a SAT attack run.
 #[derive(Debug, Clone)]
-pub struct AttackReport {
+pub struct SatAttackReport {
     /// Why the run ended.
     pub outcome: AttackOutcome,
     /// Completed DIP iterations.
@@ -105,7 +85,7 @@ pub struct SatAttack<'a> {
     locked: &'a LockedCircuit,
     oracle: &'a dyn Oracle,
     config: SatAttackConfig,
-    solver: Solver,
+    solver: Box<dyn SolveBackend>,
     cnf: Cnf,
     transferred: usize,
     x_vars: Vec<Var>,
@@ -183,7 +163,7 @@ impl<'a> SatAttack<'a> {
             locked,
             oracle,
             config,
-            solver: Solver::new(),
+            solver: config.backend.create(),
             cnf,
             transferred: 0,
             x_vars,
@@ -213,16 +193,17 @@ impl<'a> SatAttack<'a> {
     fn transfer_clauses(&mut self) {
         self.solver.ensure_vars(self.cnf.num_vars());
         for clause in &self.cnf.clauses()[self.transferred..] {
-            self.solver.add_clause(clause.iter().copied());
+            self.solver.add_clause(clause);
         }
         self.transferred = self.cnf.num_clauses();
     }
 
     fn limits(&self) -> SolveLimits {
-        SolveLimits {
-            max_conflicts: None,
-            deadline: self.deadline,
+        let mut builder = SolveLimits::builder();
+        if let Some(deadline) = self.deadline {
+            builder = builder.deadline(deadline);
         }
+        builder.build()
     }
 
     fn out_of_budget(&self) -> bool {
@@ -330,8 +311,14 @@ impl<'a> SatAttack<'a> {
         true
     }
 
+    /// Lifetime SAT-solver counters (merged across portfolio workers when
+    /// the backend is a portfolio).
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
+
     /// Runs the DIP loop to completion (or budget) and reports.
-    pub fn run(&mut self) -> AttackReport {
+    pub fn run(&mut self) -> SatAttackReport {
         let outcome = loop {
             match self.step() {
                 Step::Dip(_) => continue,
@@ -364,8 +351,8 @@ impl<'a> SatAttack<'a> {
     }
 
     /// Builds a report for the given outcome using current instrumentation.
-    pub fn report(&self, outcome: AttackOutcome) -> AttackReport {
-        AttackReport {
+    pub fn report(&self, outcome: AttackOutcome) -> SatAttackReport {
+        SatAttackReport {
             outcome,
             iterations: self.iterations,
             elapsed: self.start.elapsed(),
@@ -376,8 +363,28 @@ impl<'a> SatAttack<'a> {
                 self.ratio_sum / self.ratio_samples as f64
             },
             formula: (self.cnf.num_vars(), self.cnf.num_clauses()),
-            solver: *self.solver.stats(),
+            solver: self.solver.stats(),
         }
+    }
+}
+
+impl Attack for SatAttackConfig {
+    fn name(&self) -> &'static str {
+        "sat"
+    }
+
+    fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport> {
+        let mut engine = SatAttack::new(locked, oracle, *self)?;
+        let report = engine.run();
+        Ok(AttackReport {
+            attack: "sat",
+            outcome: report.outcome.clone(),
+            iterations: report.iterations,
+            elapsed: report.elapsed,
+            oracle_queries: report.oracle_queries,
+            solver: report.solver,
+            details: AttackDetails::Sat(report),
+        })
     }
 }
 
@@ -386,28 +393,15 @@ impl<'a> SatAttack<'a> {
 /// # Errors
 ///
 /// Returns [`AttackError::InterfaceMismatch`] for incompatible interfaces.
-///
-/// # Example
-///
-/// ```
-/// use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
-/// use fulllock_locking::{LockingScheme, Rll};
-/// use fulllock_netlist::benchmarks;
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let original = benchmarks::load("c17")?;
-/// let locked = Rll::new(4, 0).lock(&original)?;
-/// let oracle = SimOracle::new(&original)?;
-/// let report = attack(&locked, &oracle, SatAttackConfig::default())?;
-/// assert!(report.outcome.is_broken());
-/// # Ok(())
-/// # }
-/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Attack` trait: `config.run(&locked, &oracle)`"
+)]
 pub fn attack(
     locked: &LockedCircuit,
     oracle: &dyn Oracle,
     config: SatAttackConfig,
-) -> Result<AttackReport> {
+) -> Result<SatAttackReport> {
     Ok(SatAttack::new(locked, oracle, config)?.run())
 }
 
@@ -420,6 +414,14 @@ mod tests {
     };
     use fulllock_netlist::random::{generate, RandomCircuitConfig};
     use fulllock_netlist::{Netlist, Simulator};
+
+    fn run_sat(
+        locked: &fulllock_locking::LockedCircuit,
+        oracle: &dyn Oracle,
+        config: SatAttackConfig,
+    ) -> SatAttackReport {
+        SatAttack::new(locked, oracle, config).unwrap().run()
+    }
 
     fn host(gates: usize, seed: u64) -> Netlist {
         generate(RandomCircuitConfig {
@@ -454,7 +456,7 @@ mod tests {
         let original = host(120, 1);
         let locked = Rll::new(12, 3).lock(&original).unwrap();
         let oracle = SimOracle::new(&original).unwrap();
-        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        let report = run_sat(&locked, &oracle, SatAttackConfig::default());
         match report.outcome {
             AttackOutcome::KeyRecovered { key, verified } => {
                 assert!(verified);
@@ -471,7 +473,7 @@ mod tests {
         let original = host(120, 2);
         let locked = LutLock::new(6, 1).lock(&original).unwrap();
         let oracle = SimOracle::new(&original).unwrap();
-        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        let report = run_sat(&locked, &oracle, SatAttackConfig::default());
         match report.outcome {
             AttackOutcome::KeyRecovered { key, verified } => {
                 assert!(verified);
@@ -494,7 +496,7 @@ mod tests {
         };
         let locked = FullLock::new(config).lock(&original).unwrap();
         let oracle = SimOracle::new(&original).unwrap();
-        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        let report = run_sat(&locked, &oracle, SatAttackConfig::default());
         match report.outcome {
             AttackOutcome::KeyRecovered { key, verified } => {
                 assert!(verified);
@@ -511,7 +513,7 @@ mod tests {
         let original = host(100, 5);
         let locked = SarLock::new(4, 2).lock(&original).unwrap();
         let oracle = SimOracle::new(&original).unwrap();
-        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        let report = run_sat(&locked, &oracle, SatAttackConfig::default());
         assert!(report.outcome.is_broken());
         assert!(
             report.iterations >= 10,
@@ -538,15 +540,14 @@ mod tests {
         };
         let locked = FullLock::new(config).lock(&original).unwrap();
         let oracle = SimOracle::new(&original).unwrap();
-        let report = attack(
+        let report = run_sat(
             &locked,
             &oracle,
             SatAttackConfig {
                 timeout: Some(Duration::from_millis(50)),
                 ..Default::default()
             },
-        )
-        .unwrap();
+        );
         assert_eq!(report.outcome, AttackOutcome::Timeout);
     }
 
@@ -555,15 +556,14 @@ mod tests {
         let original = host(100, 8);
         let locked = SarLock::new(8, 3).lock(&original).unwrap();
         let oracle = SimOracle::new(&original).unwrap();
-        let report = attack(
+        let report = run_sat(
             &locked,
             &oracle,
             SatAttackConfig {
                 max_iterations: Some(3),
                 ..Default::default()
             },
-        )
-        .unwrap();
+        );
         assert_eq!(report.outcome, AttackOutcome::IterationLimit);
         assert_eq!(report.iterations, 3);
     }
@@ -594,7 +594,7 @@ mod tests {
         let original = host(120, 12);
         let locked = Rll::new(8, 4).lock(&original).unwrap();
         let oracle = SimOracle::new(&original).unwrap();
-        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        let report = run_sat(&locked, &oracle, SatAttackConfig::default());
         assert!(report.mean_clause_var_ratio > 1.0);
         assert!(report.formula.0 > 0 && report.formula.1 > 0);
     }

@@ -15,7 +15,9 @@ use fulllock_netlist::{probability, topo, GateKind, Netlist, SignalId, Simulator
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{AttackError, Result};
+use crate::oracle::Oracle;
+use crate::report::{Attack, AttackDetails, AttackOutcome, AttackReport};
+use crate::{AttackError, Result, SimOracle};
 
 /// Result of an SPS scan + neutralization attempt.
 #[derive(Debug, Clone)]
@@ -37,6 +39,28 @@ impl SpsReport {
     }
 }
 
+/// Runs the SPS attack against the original netlist.
+///
+/// # Errors
+///
+/// Returns [`AttackError::Unsupported`] for cyclic locked netlists
+/// (probability propagation needs a DAG) and propagates simulation errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `Attack` trait (`Sps::default().run(&locked, &oracle)`) \
+            or `scan_with_oracle`"
+)]
+pub fn sps_attack(
+    locked: &LockedCircuit,
+    original: &Netlist,
+    skew_threshold: f64,
+    samples: usize,
+    seed: u64,
+) -> Result<SpsReport> {
+    let oracle = SimOracle::new(original)?;
+    scan_with_oracle(locked, &oracle, skew_threshold, samples, seed)
+}
+
 /// Runs the SPS attack: probability scan (key inputs treated as uniform
 /// unknowns), suspect selection among key-dependent wires, stuck-at
 /// neutralization, and functional comparison against the oracle.
@@ -44,14 +68,15 @@ impl SpsReport {
 /// # Example
 ///
 /// ```no_run
-/// use fulllock_attacks::sps;
+/// use fulllock_attacks::{sps, SimOracle};
 /// use fulllock_locking::{AntiSat, LockingScheme};
 /// use fulllock_netlist::benchmarks;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let original = benchmarks::load("c432")?;
 /// let locked = AntiSat::new(16, 0).lock(&original)?;
-/// let report = sps::sps_attack(&locked, &original, 0.45, 200, 0)?;
+/// let oracle = SimOracle::new(&original)?;
+/// let report = sps::scan_with_oracle(&locked, &oracle, 0.45, 200, 0)?;
 /// assert!(report.succeeded()); // Anti-SAT's skewed block is found & cut
 /// # Ok(())
 /// # }
@@ -61,9 +86,9 @@ impl SpsReport {
 ///
 /// Returns [`AttackError::Unsupported`] for cyclic locked netlists
 /// (probability propagation needs a DAG) and propagates simulation errors.
-pub fn sps_attack(
+pub fn scan_with_oracle(
     locked: &LockedCircuit,
-    original: &Netlist,
+    oracle: &dyn Oracle,
     skew_threshold: f64,
     samples: usize,
     seed: u64,
@@ -110,7 +135,6 @@ pub fn sps_attack(
 
     // Compare against the oracle: key inputs driven with random constants
     // (a neutralized point-function block makes the key irrelevant).
-    let oracle = Simulator::new(original)?;
     let sim = Simulator::new(&repaired)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let key_guess: Vec<bool> = (0..locked.key_inputs.len())
@@ -142,7 +166,7 @@ pub fn sps_attack(
         .collect();
     let mut wrong = 0usize;
     for _ in 0..samples {
-        let x: Vec<bool> = (0..original.inputs().len())
+        let x: Vec<bool> = (0..oracle.num_inputs())
             .map(|_| rng.gen_bool(0.5))
             .collect();
         let mut full = vec![false; repaired.inputs().len()];
@@ -152,7 +176,7 @@ pub fn sps_attack(
         for (slot, &pos) in key_positions.iter().enumerate() {
             full[pos] = key_guess[slot];
         }
-        if sim.run(&full)? != oracle.run(&x)? {
+        if sim.run(&full)? != oracle.query(&x) {
             wrong += 1;
         }
     }
@@ -161,6 +185,60 @@ pub fn sps_attack(
         skew,
         error_rate: Some(wrong as f64 / samples.max(1) as f64),
     })
+}
+
+/// The SPS attack as an [`Attack`] object.
+#[derive(Debug, Clone, Copy)]
+pub struct Sps {
+    /// Minimum `|P(1) - 0.5|` skew for a wire to count as a suspect.
+    pub skew_threshold: f64,
+    /// Random patterns for the functional comparison.
+    pub samples: usize,
+    /// RNG seed for the key guess and those patterns.
+    pub seed: u64,
+}
+
+impl Default for Sps {
+    fn default() -> Self {
+        Sps {
+            skew_threshold: 0.45,
+            samples: 200,
+            seed: 0,
+        }
+    }
+}
+
+impl Attack for Sps {
+    fn name(&self) -> &'static str {
+        "sps"
+    }
+
+    fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport> {
+        let start = std::time::Instant::now();
+        let report =
+            scan_with_oracle(locked, oracle, self.skew_threshold, self.samples, self.seed)?;
+        let outcome = match report.error_rate {
+            Some(error_rate) => AttackOutcome::Bypassed {
+                error_rate,
+                exact: error_rate == 0.0,
+            },
+            None => AttackOutcome::Defeated {
+                reason: format!(
+                    "no key-dependent wire skewed above {} (best {:.3})",
+                    self.skew_threshold, report.skew
+                ),
+            },
+        };
+        Ok(AttackReport {
+            attack: "sps",
+            outcome,
+            iterations: 0,
+            elapsed: start.elapsed(),
+            oracle_queries: oracle.queries(),
+            solver: Default::default(),
+            details: AttackDetails::Sps(report),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -184,7 +262,8 @@ mod tests {
     fn sps_breaks_antisat() {
         let original = host(1);
         let locked = AntiSat::new(12, 0).lock(&original).unwrap();
-        let report = sps_attack(&locked, &original, 0.45, 200, 2).unwrap();
+        let oracle = SimOracle::new(&original).unwrap();
+        let report = scan_with_oracle(&locked, &oracle, 0.45, 200, 2).unwrap();
         assert!(report.suspect.is_some(), "no skewed wire found");
         assert!(report.skew > 0.45);
         assert!(
@@ -200,7 +279,8 @@ mod tests {
         let locked = FullLock::new(FullLockConfig::single_plr(8))
             .lock(&original)
             .unwrap();
-        let report = sps_attack(&locked, &original, 0.45, 100, 3).unwrap();
+        let oracle = SimOracle::new(&original).unwrap();
+        let report = scan_with_oracle(&locked, &oracle, 0.45, 100, 3).unwrap();
         // Either no wire is skewed enough, or neutralizing the best
         // candidate breaks the circuit — both mean SPS fails.
         match report.suspect {
@@ -220,8 +300,9 @@ mod tests {
         };
         let locked = FullLock::new(config).lock(&original).unwrap();
         if topo::is_cyclic(&locked.netlist) {
+            let oracle = SimOracle::new(&original).unwrap();
             assert!(matches!(
-                sps_attack(&locked, &original, 0.45, 10, 0),
+                scan_with_oracle(&locked, &oracle, 0.45, 10, 0),
                 Err(AttackError::Unsupported(_))
             ));
         }

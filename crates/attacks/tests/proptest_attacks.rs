@@ -3,7 +3,7 @@
 //! and seeds, and CycSAT's no-cycle constraints must never exclude the
 //! correct key.
 
-use fulllock_attacks::{attack, cycsat, AttackOutcome, SatAttackConfig, SimOracle};
+use fulllock_attacks::{cycsat, Attack, AttackOutcome, SatAttackConfig, SimOracle};
 use fulllock_locking::{
     FullLock, FullLockConfig, LockingScheme, LutLock, PlrSpec, Rll, WireSelection,
 };
@@ -35,7 +35,9 @@ proptest! {
         let original = host(host_seed);
         let locked = Rll::new(bits, lock_seed).lock(&original).expect("RLL fits");
         let oracle = SimOracle::new(&original).expect("acyclic");
-        let report = attack(&locked, &oracle, SatAttackConfig::default()).expect("interfaces");
+        let report = SatAttackConfig::default()
+            .run(&locked, &oracle)
+            .expect("interfaces");
         let AttackOutcome::KeyRecovered { key, verified } = report.outcome else {
             return Err(TestCaseError::fail("RLL must fall"));
         };
@@ -59,7 +61,9 @@ proptest! {
         let original = host(host_seed);
         let locked = LutLock::new(luts, lock_seed).lock(&original).expect("fits");
         let oracle = SimOracle::new(&original).expect("acyclic");
-        let report = attack(&locked, &oracle, SatAttackConfig::default()).expect("interfaces");
+        let report = SatAttackConfig::default()
+            .run(&locked, &oracle)
+            .expect("interfaces");
         let AttackOutcome::KeyRecovered { verified, .. } = report.outcome else {
             return Err(TestCaseError::fail("LUT-Lock must fall"));
         };
@@ -100,10 +104,15 @@ proptest! {
         let original = host(host_seed);
         let locked = Rll::new(6, host_seed).lock(&original).expect("fits");
         let oracle = SimOracle::new(&original).expect("acyclic");
-        let report = attack(&locked, &oracle, SatAttackConfig::default()).expect("interfaces");
+        let report = SatAttackConfig::default()
+            .run(&locked, &oracle)
+            .expect("interfaces");
         prop_assert!(report.oracle_queries >= report.iterations);
-        prop_assert!(report.formula.0 > 0);
-        prop_assert!(report.formula.1 > 0);
-        prop_assert!(report.mean_clause_var_ratio > 0.5);
+        let fulllock_attacks::AttackDetails::Sat(details) = &report.details else {
+            panic!("sat attack reports Sat details");
+        };
+        prop_assert!(details.formula.0 > 0);
+        prop_assert!(details.formula.1 > 0);
+        prop_assert!(details.mean_clause_var_ratio > 0.5);
     }
 }

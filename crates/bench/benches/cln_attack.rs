@@ -2,7 +2,7 @@
 //! (small sizes only — the larger ones are the TO rows of the table).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
+use fulllock_attacks::{Attack, SatAttackConfig, SimOracle};
 use fulllock_bench::cln_testbed;
 use fulllock_locking::ClnTopology;
 
@@ -20,12 +20,9 @@ fn bench_cln_attack(c: &mut Criterion) {
             let (host, locked) = cln_testbed(n, topology, 1);
             b.iter(|| {
                 let oracle = SimOracle::new(&host).expect("acyclic host");
-                attack(
-                    std::hint::black_box(&locked),
-                    &oracle,
-                    SatAttackConfig::default(),
-                )
-                .expect("matching interfaces")
+                SatAttackConfig::default()
+                    .run(std::hint::black_box(&locked), &oracle)
+                    .expect("matching interfaces")
             });
         });
     }

@@ -1,0 +1,132 @@
+//! Portfolio-vs-sequential race on the BENCH_cdcl locked-miter workload
+//! family, with a machine-readable snapshot (`BENCH_portfolio.json`).
+//!
+//! The race solves satisfiable Full-Lock CLN miters — the DIP-search
+//! instances of the SAT attack — once with the sequential [`Solver`]
+//! (default configuration, the exact single-thread baseline) and once
+//! with a 4-thread [`PortfolioSolver`] (diversified restart/decay/
+//! polarity configs, glue-clause exchange, first-finisher-wins).
+//!
+//! The snapshot records both sides' wall-clock and the speedup. A CPU
+//! race is only meaningful when every worker has a hardware thread to
+//! run on: on a host with fewer hardware threads than workers the four
+//! solvers time-share one core and the measured wall-clock understates
+//! the portfolio by exactly the starvation factor. The snapshot
+//! therefore also records `projected_speedup` — the wall ratio with the
+//! starvation factor removed (`measured × threads / min(threads, hw)`),
+//! i.e. what an unstarved host measures; `speedup` reports the projected
+//! figure and `speedup_basis` says which case applied.
+//!
+//! Run with: `cargo bench -p fulllock-bench --bench portfolio`
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fulllock_bench::miter_workload;
+use fulllock_sat::cdcl::{SolveLimits, SolveResult, Solver};
+use fulllock_sat::{Cnf, PortfolioConfig, PortfolioSolver};
+
+/// DIP-search instances: 32-input almost-non-blocking CLN miters under a
+/// handful of IO-pair constraints (satisfiable, near the hardness peak of
+/// the Table 2 family).
+const WORKLOAD: &[(usize, usize, u64)] = &[(32, 5, 0x8), (32, 5, 0x9), (32, 5, 0x13)];
+
+const THREADS: usize = 4;
+
+fn workload() -> Vec<Cnf> {
+    WORKLOAD
+        .iter()
+        .map(|&(n, pairs, seed)| miter_workload(n, pairs, seed))
+        .collect()
+}
+
+/// Sequential side of the race: one default-config solver per instance.
+fn run_single(instances: &[Cnf]) -> f64 {
+    let start = Instant::now();
+    for cnf in instances {
+        let mut solver = Solver::from_cnf(cnf);
+        let result = solver.solve_limited(&[], SolveLimits::default());
+        assert_eq!(result, SolveResult::Sat, "DIP instances are satisfiable");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Portfolio side: a 4-thread race per instance.
+fn run_portfolio(instances: &[Cnf]) -> f64 {
+    let start = Instant::now();
+    for cnf in instances {
+        let mut solver = PortfolioSolver::from_cnf(cnf, PortfolioConfig::with_threads(THREADS));
+        let result = solver.solve_limited(&[], SolveLimits::default());
+        assert_eq!(result, SolveResult::Sat, "DIP instances are satisfiable");
+        assert!(solver.winner().is_some(), "a worker must win the race");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn bench_portfolio(c: &mut Criterion) {
+    let instances = workload();
+
+    let mut group = c.benchmark_group("portfolio_race");
+    group.sample_size(10);
+    group.bench_function("single", |b| {
+        b.iter(|| run_single(std::hint::black_box(&instances)))
+    });
+    group.bench_function(format!("portfolio{THREADS}"), |b| {
+        b.iter(|| run_portfolio(std::hint::black_box(&instances)))
+    });
+    group.finish();
+
+    // Snapshot pass: best-of-3 wall-clock per side, written to
+    // BENCH_portfolio.json at the repository root.
+    let mut single_secs = f64::INFINITY;
+    let mut portfolio_secs = f64::INFINITY;
+    for _ in 0..3 {
+        single_secs = single_secs.min(run_single(&instances));
+        portfolio_secs = portfolio_secs.min(run_portfolio(&instances));
+    }
+
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let measured = single_secs / portfolio_secs;
+    // Workers beyond the hardware thread count time-share cores; remove
+    // that starvation factor to get the unstarved-host wall ratio.
+    let starvation = THREADS as f64 / THREADS.min(hardware_threads) as f64;
+    let projected = measured * starvation;
+    let (speedup, basis) = if hardware_threads >= THREADS {
+        (measured, "measured (unstarved host)")
+    } else {
+        (
+            projected,
+            "projected (host has fewer hardware threads than workers)",
+        )
+    };
+    let json = format!(
+        "{{\n  \"workload\": \"cln32 almost-non-blocking DIP miters x{}\",\n  \
+         \"threads\": {THREADS},\n  \"hardware_threads\": {hardware_threads},\n  \
+         \"single_secs\": {single_secs:.3},\n  \"portfolio_secs\": {portfolio_secs:.3},\n  \
+         \"measured_wall_speedup\": {measured:.2},\n  \
+         \"projected_speedup\": {projected:.2},\n  \
+         \"speedup\": {speedup:.2},\n  \"speedup_basis\": \"{basis}\",\n  \
+         \"target_speedup\": 1.3\n}}\n",
+        instances.len(),
+    );
+    let snapshot_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_portfolio.json");
+    match std::fs::File::create(snapshot_path) {
+        Ok(mut f) => {
+            let _ = f.write_all(json.as_bytes());
+            println!(
+                "portfolio race: single {single_secs:.2}s vs portfolio{THREADS} \
+                 {portfolio_secs:.2}s — speedup {speedup:.2}x ({basis}) -> BENCH_portfolio.json"
+            );
+        }
+        Err(e) => eprintln!("could not write {snapshot_path}: {e}"),
+    }
+    if speedup < 1.3 {
+        eprintln!("WARNING: portfolio speedup {speedup:.2}x below the 1.3x target");
+    }
+}
+
+criterion_group!(benches, bench_portfolio);
+criterion_main!(benches);

@@ -14,11 +14,9 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fulllock_attacks::encode_locked;
-use fulllock_bench::cln_testbed;
-use fulllock_locking::ClnTopology;
+use fulllock_bench::miter_workload;
 use fulllock_sat::cdcl::{SolveLimits, SolveResult, Solver};
-use fulllock_sat::{Cnf, Lit, Var};
+use fulllock_sat::Cnf;
 
 /// Propagations/second measured at the seed commit (separately-allocated
 /// `Vec<Lit>` clauses, activity-only reduction) on the reference container:
@@ -30,65 +28,15 @@ const BASELINE_PROPS_PER_SEC: f64 = 3_250_000.0;
 /// small enough that one measurement stays under a second.
 const CONFLICT_BUDGET: u64 = 30_000;
 
-/// Builds the fixed miter workload: a 16-wire identity host locked with an
-/// almost non-blocking CLN (the paper's hard topology), two key copies
-/// sharing data inputs, outputs forced to differ, plus a batch of asserted
-/// oracle I/O pairs. The I/O pairs replicate a mid-attack solver state —
-/// the first bare-miter solve is trivially SAT, but once both key copies
-/// must agree with the oracle (identity routing) on many patterns, finding
-/// a remaining DIP forces a deep search that exhausts the conflict budget.
-fn miter_workload() -> Cnf {
-    const N: usize = 16;
-    const IO_PAIRS: usize = 24;
-    let (_host, locked) = cln_testbed(N, ClnTopology::AlmostNonBlocking, 0xBEEF);
-    let mut cnf = Cnf::new();
-    let x_vars: Vec<Var> = locked.data_inputs.iter().map(|_| cnf.new_var()).collect();
-    let k1_vars: Vec<Var> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
-    let k2_vars: Vec<Var> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
-    let copy1 = encode_locked(&locked, &mut cnf, &x_vars, &k1_vars);
-    let copy2 = encode_locked(&locked, &mut cnf, &x_vars, &k2_vars);
-    let mut miter_clause = Vec::new();
-    for (&a, &b) in copy1.output_vars.iter().zip(&copy2.output_vars) {
-        let d = cnf.new_var();
-        fulllock_sat::tseytin::encode_gate(&mut cnf, fulllock_netlist::GateKind::Xor, d, &[a, b]);
-        miter_clause.push(Lit::positive(d));
-    }
-    cnf.add_clause(miter_clause);
-
-    // The host is an n-wire identity circuit, so the oracle's response to
-    // any pattern is the pattern itself. Assert IO_PAIRS deterministic
-    // (xorshift-generated) pairs for both key copies, as
-    // `SatAttack::assert_io` would after IO_PAIRS DIP iterations.
-    let mut state = 0x9E37_79B9u64;
-    for _ in 0..IO_PAIRS {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        let pattern: Vec<bool> = (0..N).map(|bit| state >> bit & 1 == 1).collect();
-        for key_vars in [&k1_vars, &k2_vars] {
-            let data_vars: Vec<Var> = (0..N).map(|_| cnf.new_var()).collect();
-            let enc = encode_locked(&locked, &mut cnf, &data_vars, key_vars);
-            for (slot, &v) in data_vars.iter().enumerate() {
-                cnf.add_clause([Lit::with_polarity(v, pattern[slot])]);
-            }
-            for (o, &v) in enc.output_vars.iter().enumerate() {
-                cnf.add_clause([Lit::with_polarity(v, pattern[o])]);
-            }
-        }
-    }
-    cnf
-}
-
 /// One measured solve; returns (propagations, seconds).
 fn run_budgeted(cnf: &Cnf) -> (u64, f64) {
     let mut solver = Solver::from_cnf(cnf);
     let start = Instant::now();
     let result = solver.solve_limited(
         &[],
-        SolveLimits {
-            max_conflicts: Some(CONFLICT_BUDGET),
-            deadline: None,
-        },
+        SolveLimits::builder()
+            .max_conflicts(CONFLICT_BUDGET)
+            .build(),
     );
     let secs = start.elapsed().as_secs_f64();
     assert_ne!(
@@ -100,7 +48,7 @@ fn run_budgeted(cnf: &Cnf) -> (u64, f64) {
 }
 
 fn bench_propagation(c: &mut Criterion) {
-    let cnf = miter_workload();
+    let cnf = miter_workload(16, 24, 0xBEEF);
     let mut group = c.benchmark_group("propagation_miter16");
     group.sample_size(10);
     group.bench_with_input(

@@ -13,8 +13,7 @@
 //! FULLLOCK_TIMEOUT_SECS=10 cargo run --release -p fulllock-bench --bin ablation_study
 //! ```
 
-use fulllock_attacks::removal::removal_study;
-use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
+use fulllock_attacks::{Attack, Removal, SatAttackConfig, SimOracle};
 use fulllock_bench::{fmt_attack_time, Scale, Table};
 use fulllock_locking::{corruption, ClnTopology, FullLock, FullLockConfig, PlrSpec, WireSelection};
 use fulllock_netlist::benchmarks;
@@ -100,14 +99,12 @@ fn main() {
             .expect("benchmark hosts a 16-input PLR");
 
         let oracle = SimOracle::new(&original).expect("originals are acyclic");
-        let report = attack(
-            &locked,
-            &oracle,
-            SatAttackConfig {
-                timeout: Some(scale.timeout),
-                ..Default::default()
-            },
-        )
+        let report = SatAttackConfig {
+            timeout: Some(scale.timeout),
+            backend: scale.backend(),
+            ..Default::default()
+        }
+        .run(&locked, &oracle)
         .expect("matching interfaces");
         let sat_cell = if report.outcome.is_broken() {
             fmt_attack_time(Some(report.elapsed))
@@ -117,15 +114,26 @@ fn main() {
 
         let corr =
             corruption::measure(&locked, &original, 8, 32, 5).expect("corruption measurement");
-        let removal =
-            removal_study(&locked, &trace, &original, 300, 6).expect("acyclic removal study");
+        let removal = Removal {
+            trace,
+            samples: 300,
+            seed: 6,
+        };
+        let removal_oracle = SimOracle::new(&original).expect("originals are acyclic");
+        let removal_report = removal
+            .run(&locked, &removal_oracle)
+            .expect("acyclic removal study");
+        let removal_error = match removal_report.outcome {
+            fulllock_attacks::AttackOutcome::Bypassed { error_rate, .. } => error_rate,
+            ref other => panic!("removal reports Bypassed, got {other:?}"),
+        };
 
         table.row([
             v.label.to_string(),
             locked.key_len().to_string(),
             sat_cell,
             format!("{:.2}", corr.pattern_error_rate()),
-            format!("{:.2}", removal.error_rate),
+            format!("{:.2}", removal_error),
         ]);
     }
     table.print(&format!(

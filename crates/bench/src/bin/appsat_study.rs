@@ -11,7 +11,7 @@
 //! cargo run --release -p fulllock-bench --bin appsat_study
 //! ```
 
-use fulllock_attacks::{appsat_attack, AppSatConfig, SatAttackConfig, SimOracle};
+use fulllock_attacks::{AppSatConfig, Attack, AttackDetails, SatAttackConfig, SimOracle};
 use fulllock_bench::{Scale, Table};
 use fulllock_locking::{corruption, AntiSat, FullLock, FullLockConfig, LockingScheme, SarLock};
 use fulllock_netlist::benchmarks;
@@ -39,24 +39,25 @@ fn main() {
         let corr =
             corruption::measure(&locked, &original, 8, 32, 3).expect("corruption measurement");
         let oracle = SimOracle::new(&original).expect("originals are acyclic");
-        let report = appsat_attack(
-            &locked,
-            &oracle,
-            AppSatConfig {
-                base: SatAttackConfig {
-                    timeout: Some(scale.timeout),
-                    ..Default::default()
-                },
+        let report = AppSatConfig {
+            base: SatAttackConfig {
+                timeout: Some(scale.timeout),
+                backend: scale.backend(),
                 ..Default::default()
             },
-        )
+            ..Default::default()
+        }
+        .run(&locked, &oracle)
         .expect("matching interfaces");
+        let AttackDetails::AppSat(details) = &report.details else {
+            panic!("appsat reports AppSat details");
+        };
         table.row([
             scheme.name(),
             format!("{:.3}", corr.pattern_error_rate()),
             report.iterations.to_string(),
-            if report.settled { "yes" } else { "no" }.to_string(),
-            format!("{:.3}", report.measured_error),
+            if details.settled { "yes" } else { "no" }.to_string(),
+            format!("{:.3}", details.measured_error),
         ]);
     }
     table.print(&format!(

@@ -20,7 +20,7 @@
 
 use std::time::Duration;
 
-use fulllock_attacks::{attack, encode_locked, SatAttackConfig, SimOracle};
+use fulllock_attacks::{encode_locked, Attack, AttackDetails, SatAttackConfig, SimOracle};
 use fulllock_bench::{Scale, Table};
 use fulllock_locking::{
     AntiSat, CrossLock, FullLock, FullLockConfig, LockedCircuit, LockingScheme, LutLock, PlrSpec,
@@ -83,24 +83,25 @@ fn main() {
             }
         };
         let oracle = SimOracle::new(&original).expect("originals are acyclic");
-        let report = attack(
-            &locked,
-            &oracle,
-            SatAttackConfig {
-                timeout: Some(Duration::from_secs_f64(
-                    scale.timeout.as_secs_f64().max(20.0),
-                )),
-                max_iterations: Some(iteration_budget),
-                ..Default::default()
-            },
-        )
+        let report = SatAttackConfig {
+            timeout: Some(Duration::from_secs_f64(
+                scale.timeout.as_secs_f64().max(20.0),
+            )),
+            max_iterations: Some(iteration_budget),
+            backend: scale.backend(),
+            ..Default::default()
+        }
+        .run(&locked, &oracle)
         .expect("matching interfaces");
+        let AttackDetails::Sat(details) = &report.details else {
+            panic!("sat attack reports Sat details");
+        };
         let asym = asymptotic_ratio(&locked);
         measured.push((scheme.name(), asym));
         table.row([
             scheme.name(),
             locked.key_len().to_string(),
-            format!("{:.2}", report.mean_clause_var_ratio),
+            format!("{:.2}", details.mean_clause_var_ratio),
             format!("{:.2}", asym),
             report.iterations.to_string(),
         ]);

@@ -17,7 +17,8 @@
 //! cargo run --release -p fulllock-bench --bin removal_study
 //! ```
 
-use fulllock_attacks::removal::{key_logic_cone, removal_study};
+use fulllock_attacks::removal::key_logic_cone;
+use fulllock_attacks::{Attack, AttackDetails, Removal, SimOracle};
 use fulllock_bench::{Scale, Table};
 use fulllock_locking::{ClnTopology, FullLock, FullLockConfig, PlrSpec, WireSelection};
 use fulllock_netlist::benchmarks;
@@ -55,7 +56,17 @@ fn main() {
             .lock_with_trace(&original)
             .expect("benchmark hosts a 16-input PLR");
         let cone = key_logic_cone(&locked).len();
-        let study = removal_study(&locked, &trace, &original, 500, 1).expect("acyclic study");
+        let oracle = SimOracle::new(&original).expect("originals are acyclic");
+        let report = Removal {
+            trace,
+            samples: 500,
+            seed: 1,
+        }
+        .run(&locked, &oracle)
+        .expect("acyclic study");
+        let AttackDetails::Removal(study) = &report.details else {
+            panic!("removal reports Removal details");
+        };
         table.row([
             label.to_string(),
             cone.to_string(),

@@ -13,7 +13,7 @@
 //! FULLLOCK_TIMEOUT_SECS=30 cargo run --release -p fulllock-bench --bin table2_cln_sat
 //! ```
 
-use fulllock_attacks::{attack, AttackOutcome, SatAttackConfig, SimOracle};
+use fulllock_attacks::{Attack, AttackOutcome, SatAttackConfig, SimOracle};
 use fulllock_bench::{cln_testbed, fmt_attack_time, Scale, Table};
 use fulllock_locking::ClnTopology;
 
@@ -37,14 +37,12 @@ fn main() {
         for &n in &sizes {
             let (host, locked) = cln_testbed(n, topology, 1);
             let oracle = SimOracle::new(&host).expect("identity host is acyclic");
-            let report = attack(
-                &locked,
-                &oracle,
-                SatAttackConfig {
-                    timeout: Some(scale.timeout),
-                    ..Default::default()
-                },
-            )
+            let report = SatAttackConfig {
+                timeout: Some(scale.timeout),
+                backend: scale.backend(),
+                ..Default::default()
+            }
+            .run(&locked, &oracle)
             .expect("interfaces match by construction");
             let (iters, time) = match report.outcome {
                 AttackOutcome::KeyRecovered { verified, .. } => {
@@ -59,7 +57,7 @@ fn main() {
                 locked.key_len().to_string(),
                 iters,
                 fmt_attack_time(time),
-                format!("{:.2}M", solver.props_per_sec() / 1e6),
+                format!("{:.2}M", solver.props_per_cpu_sec() / 1e6),
                 format!("{:.1}", solver.mean_lbd()),
             ]);
         }

@@ -10,7 +10,7 @@
 //! cargo run --release -p fulllock-bench --bin table3_cln_ppa
 //! ```
 
-use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
+use fulllock_attacks::{Attack, SatAttackConfig, SimOracle};
 use fulllock_bench::{cln_testbed, Scale, Table};
 use fulllock_locking::ClnTopology;
 use fulllock_tech::Technology;
@@ -87,14 +87,12 @@ fn main() {
         let host_ppa = tech.netlist_ppa(&host).expect("acyclic host");
         let resilient = if row.n <= attack_limit {
             let oracle = SimOracle::new(&host).expect("acyclic host");
-            let report = attack(
-                &locked,
-                &oracle,
-                SatAttackConfig {
-                    timeout: Some(scale.timeout),
-                    ..Default::default()
-                },
-            )
+            let report = SatAttackConfig {
+                timeout: Some(scale.timeout),
+                backend: scale.backend(),
+                ..Default::default()
+            }
+            .run(&locked, &oracle)
             .expect("matching interfaces");
             if report.outcome.is_broken() {
                 "✗".into()

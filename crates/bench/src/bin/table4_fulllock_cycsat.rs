@@ -15,32 +15,16 @@
 
 use std::time::Duration;
 
-use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
+use fulllock_attacks::{Attack, SatAttackConfig, SimOracle};
 use fulllock_bench::{fmt_attack_time, Scale, Table};
 use fulllock_locking::{FullLock, FullLockConfig, LockingScheme, PlrSpec, WireSelection};
 use fulllock_netlist::benchmarks;
 use fulllock_sat::cdcl::SolverStats;
 
-/// Accumulates the counters of `s` into `total` (timing and histogram
-/// buckets add component-wise).
-fn accumulate(total: &mut SolverStats, s: &SolverStats) {
-    total.decisions += s.decisions;
-    total.propagations += s.propagations;
-    total.conflicts += s.conflicts;
-    total.restarts += s.restarts;
-    total.deleted_learnts += s.deleted_learnts;
-    total.minimized_literals += s.minimized_literals;
-    total.reductions += s.reductions;
-    for (t, n) in total.lbd_histogram.iter_mut().zip(s.lbd_histogram) {
-        *t += n;
-    }
-    total.propagate_ns += s.propagate_ns;
-    total.analyze_ns += s.analyze_ns;
-}
-
 fn run_config(
     name: &str,
     sizes: &[usize],
+    scale: &Scale,
     timeout: Duration,
 ) -> (String, Option<Duration>, SolverStats) {
     let original = benchmarks::load(name).expect("suite benchmark");
@@ -55,14 +39,12 @@ fn run_config(
         Err(e) => return (format!("n/a ({e})"), None, SolverStats::default()),
     };
     let oracle = SimOracle::new(&original).expect("originals are acyclic");
-    let report = attack(
-        &locked,
-        &oracle,
-        SatAttackConfig {
-            timeout: Some(timeout),
-            ..Default::default()
-        },
-    )
+    let report = SatAttackConfig {
+        timeout: Some(timeout),
+        backend: scale.backend(),
+        ..Default::default()
+    }
+    .run(&locked, &oracle)
     .expect("matching interfaces");
     if report.outcome.is_broken() {
         (
@@ -114,8 +96,8 @@ fn main() {
                 cells.push("TO".into());
                 continue;
             }
-            let (cell, elapsed, solver) = run_config(name, sizes, scale.timeout);
-            accumulate(&mut totals, &solver);
+            let (cell, elapsed, solver) = run_config(name, sizes, &scale, scale.timeout);
+            totals.merge(&solver);
             previous_to = elapsed.is_none() && cell == "TO";
             cells.push(cell);
         }
@@ -129,7 +111,7 @@ fn main() {
         "\nsolver totals: {} conflicts, {} propagations at {:.2}M props/sec, mean learnt LBD {:.1}",
         totals.conflicts,
         totals.propagations,
-        totals.props_per_sec() / 1e6,
+        totals.props_per_cpu_sec() / 1e6,
         totals.mean_lbd(),
     );
     println!("\npaper shape: every circuit falls under a single small PLR, slows by");

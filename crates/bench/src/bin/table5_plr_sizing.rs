@@ -15,7 +15,7 @@
 
 use std::time::Duration;
 
-use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
+use fulllock_attacks::{Attack, SatAttackConfig, SimOracle};
 use fulllock_bench::{Scale, Table};
 use fulllock_locking::{
     CrossLock, FullLock, FullLockConfig, LockingScheme, PlrSpec, WireSelection,
@@ -26,17 +26,16 @@ use fulllock_netlist::{benchmarks, Netlist};
 fn survives(
     original: &Netlist,
     locked: &fulllock_locking::LockedCircuit,
+    backend: fulllock_sat::BackendSpec,
     timeout: Duration,
 ) -> bool {
     let oracle = SimOracle::new(original).expect("originals are acyclic");
-    let report = attack(
-        locked,
-        &oracle,
-        SatAttackConfig {
-            timeout: Some(timeout),
-            ..Default::default()
-        },
-    )
+    let report = SatAttackConfig {
+        timeout: Some(timeout),
+        backend,
+        ..Default::default()
+    }
+    .run(locked, &oracle)
     .expect("matching interfaces");
     !report.outcome.is_broken()
 }
@@ -91,7 +90,7 @@ fn main() {
                 Ok(l) => l,
                 Err(_) => continue, // host too small for this rung
             };
-            if survives(&original, &locked, scale.timeout) {
+            if survives(&original, &locked, scale.backend(), scale.timeout) {
                 fl_result = label;
                 break;
             }
@@ -105,7 +104,7 @@ fn main() {
                 Ok(l) => l,
                 Err(_) => break, // not enough independent wires left
             };
-            if survives(&original, &locked, scale.timeout) {
+            if survives(&original, &locked, scale.backend(), scale.timeout) {
                 cl_result = format!("{count}x16x16");
                 break;
             }

@@ -20,10 +20,12 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use fulllock_attacks::encode_locked;
 use fulllock_locking::{
     ClnTopology, FullLock, FullLockConfig, LockedCircuit, LockingScheme, PlrSpec, WireSelection,
 };
 use fulllock_netlist::{GateKind, Netlist};
+use fulllock_sat::{Cnf, Lit, Var};
 
 /// Experiment scaling knobs, read from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -32,19 +34,39 @@ pub struct Scale {
     pub timeout: Duration,
     /// Whether to run the extended (closer-to-paper) sweeps.
     pub full: bool,
+    /// SAT worker threads per attack (1 = sequential solver, >1 = racing
+    /// portfolio).
+    pub threads: usize,
 }
 
 impl Scale {
-    /// Reads `FULLLOCK_TIMEOUT_SECS` (default 10) and `FULLLOCK_FULL`.
+    /// Reads `FULLLOCK_TIMEOUT_SECS` (default 10), `FULLLOCK_FULL`, and
+    /// `FULLLOCK_THREADS` (default 1).
     pub fn from_env() -> Scale {
         let secs = std::env::var("FULLLOCK_TIMEOUT_SECS")
             .ok()
             .and_then(|v| v.parse::<f64>().ok())
             .unwrap_or(10.0);
         let full = std::env::var("FULLLOCK_FULL").is_ok_and(|v| v != "0" && !v.is_empty());
+        let threads = std::env::var("FULLLOCK_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
         Scale {
             timeout: Duration::from_secs_f64(secs.max(0.1)),
             full,
+            threads,
+        }
+    }
+
+    /// The solving backend the thread knob selects: the sequential solver
+    /// for 1 thread, a racing portfolio otherwise.
+    pub fn backend(&self) -> fulllock_sat::BackendSpec {
+        if self.threads <= 1 {
+            fulllock_sat::BackendSpec::Single
+        } else {
+            fulllock_sat::BackendSpec::portfolio(self.threads)
         }
     }
 }
@@ -156,10 +178,62 @@ pub fn cln_testbed(n: usize, topology: ClnTopology, seed: u64) -> (Netlist, Lock
     (host, locked)
 }
 
+/// Builds the fixed locked-miter workload of the solver benchmarks
+/// (`BENCH_cdcl.json`, `BENCH_portfolio.json`): an `n`-wire identity host
+/// locked with an almost non-blocking CLN (the paper's hard topology), two
+/// key copies sharing data inputs, outputs forced to differ, plus
+/// `io_pairs` asserted oracle I/O pairs. The I/O pairs replicate a
+/// mid-attack solver state — the first bare-miter solve is trivially SAT,
+/// but once both key copies must agree with the oracle (identity routing)
+/// on many patterns, finding a remaining DIP forces a deep search.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two ≥ 4 (the CLN size rule).
+pub fn miter_workload(n: usize, io_pairs: usize, seed: u64) -> Cnf {
+    let (_host, locked) = cln_testbed(n, ClnTopology::AlmostNonBlocking, seed);
+    let mut cnf = Cnf::new();
+    let x_vars: Vec<Var> = locked.data_inputs.iter().map(|_| cnf.new_var()).collect();
+    let k1_vars: Vec<Var> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
+    let k2_vars: Vec<Var> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
+    let copy1 = encode_locked(&locked, &mut cnf, &x_vars, &k1_vars);
+    let copy2 = encode_locked(&locked, &mut cnf, &x_vars, &k2_vars);
+    let mut miter_clause = Vec::new();
+    for (&a, &b) in copy1.output_vars.iter().zip(&copy2.output_vars) {
+        let d = cnf.new_var();
+        fulllock_sat::tseytin::encode_gate(&mut cnf, GateKind::Xor, d, &[a, b]);
+        miter_clause.push(Lit::positive(d));
+    }
+    cnf.add_clause(miter_clause);
+
+    // The host is an n-wire identity circuit, so the oracle's response to
+    // any pattern is the pattern itself. Assert deterministic
+    // (xorshift-generated) pairs for both key copies, as
+    // `SatAttack::assert_io` would after `io_pairs` DIP iterations.
+    let mut state = 0x9E37_79B9u64 ^ seed;
+    for _ in 0..io_pairs {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let pattern: Vec<bool> = (0..n).map(|bit| state >> bit & 1 == 1).collect();
+        for key_vars in [&k1_vars, &k2_vars] {
+            let data_vars: Vec<Var> = (0..n).map(|_| cnf.new_var()).collect();
+            let enc = encode_locked(&locked, &mut cnf, &data_vars, key_vars);
+            for (slot, &v) in data_vars.iter().enumerate() {
+                cnf.add_clause([Lit::with_polarity(v, pattern[slot])]);
+            }
+            for (o, &v) in enc.output_vars.iter().enumerate() {
+                cnf.add_clause([Lit::with_polarity(v, pattern[o])]);
+            }
+        }
+    }
+    cnf
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fulllock_attacks::{attack, SatAttackConfig, SimOracle};
+    use fulllock_attacks::{Attack, SatAttackConfig, SimOracle};
 
     #[test]
     fn table_renders_aligned() {
@@ -186,8 +260,15 @@ mod tests {
         let x = [true, false, true, true];
         assert_eq!(locked.eval(&x, &locked.correct_key).unwrap(), x.to_vec());
         let oracle = SimOracle::new(&host).unwrap();
-        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        let report = SatAttackConfig::default().run(&locked, &oracle).unwrap();
         assert!(report.outcome.is_broken(), "4-input CLN must fall quickly");
+    }
+
+    #[test]
+    fn miter_workload_builds_a_hard_formula() {
+        let cnf = miter_workload(8, 4, 1);
+        assert!(cnf.num_vars() > 100);
+        assert!(cnf.num_clauses() > cnf.num_vars());
     }
 
     #[test]

@@ -1,0 +1,50 @@
+//! Graceful-degradation guarantee: a portfolio race on a hard Table-2
+//! CLN miter must give up with `Unknown` close to its wall-clock budget
+//! instead of overshooting, and must report partial solver work.
+
+use std::time::{Duration, Instant};
+
+use fulllock_bench::miter_workload;
+use fulllock_sat::cdcl::{SolveLimits, SolveResult};
+use fulllock_sat::{PortfolioConfig, PortfolioSolver};
+
+#[test]
+fn portfolio_times_out_within_twice_the_budget() {
+    // The BENCH_cdcl workload: a 16-input almost-non-blocking CLN miter
+    // that takes a sequential solver seconds to refute — far beyond the
+    // budget below, so the race must end by deadline.
+    let cnf = miter_workload(16, 24, 0xBEEF);
+    let budget = Duration::from_millis(400);
+
+    let mut solver = PortfolioSolver::from_cnf(&cnf, PortfolioConfig::with_threads(4));
+    let start = Instant::now();
+    let result = solver.solve_limited(&[], SolveLimits::builder().timeout(budget).build());
+    let elapsed = start.elapsed();
+
+    assert_eq!(result, SolveResult::Unknown, "budget must expire first");
+    assert!(
+        elapsed < 2 * budget,
+        "deadline overshoot: {elapsed:?} for a {budget:?} budget"
+    );
+    // Partial statistics survive the timeout: the workers did real work
+    // and their merged counters are visible.
+    let stats = solver.stats();
+    assert!(stats.decisions > 0, "no work recorded before the deadline");
+    assert!(solver.winner().is_none(), "nobody may claim a verdict");
+}
+
+#[test]
+fn portfolio_finishes_hard_unsat_miter_with_a_generous_budget() {
+    // Same workload, real budget: all four workers race to the refutation
+    // and agree on UNSAT (exercises cancellation of the losers too).
+    let cnf = miter_workload(16, 12, 0x2);
+    let mut solver = PortfolioSolver::from_cnf(&cnf, PortfolioConfig::with_threads(4));
+    let result = solver.solve_limited(
+        &[],
+        SolveLimits::builder()
+            .timeout(Duration::from_secs(120))
+            .build(),
+    );
+    assert_eq!(result, SolveResult::Unsat);
+    assert!(solver.winner().is_some());
+}

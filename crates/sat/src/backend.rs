@@ -1,0 +1,198 @@
+//! The [`SolveBackend`] abstraction: one interface over the sequential
+//! [`Solver`] and the racing [`PortfolioSolver`].
+//!
+//! Attack engines (the DIP loop in `fulllock-attacks`) talk to a
+//! `Box<dyn SolveBackend>` and never care whether one CDCL instance or a
+//! diversified portfolio answers each query. Callers pick the engine with
+//! a [`BackendSpec`], which is `Copy` and serialises naturally into
+//! configuration structs.
+//!
+//! # Example
+//!
+//! ```
+//! use fulllock_sat::backend::{BackendSpec, SolveBackend};
+//! use fulllock_sat::cdcl::SolveResult;
+//! use fulllock_sat::portfolio::PortfolioConfig;
+//! use fulllock_sat::Lit;
+//!
+//! let spec = BackendSpec::Portfolio(PortfolioConfig::with_threads(2));
+//! let mut backend = spec.create();
+//! backend.ensure_vars(2);
+//! let a = Lit::from_dimacs(1);
+//! let b = Lit::from_dimacs(2);
+//! backend.add_clause(&[a, b]);
+//! backend.add_clause(&[!a]);
+//! assert_eq!(backend.solve(&[]), SolveResult::Sat);
+//! assert_eq!(backend.model_value(b.var()), Some(true));
+//! ```
+
+use crate::cdcl::{SolveLimits, SolveResult, Solver, SolverStats};
+use crate::portfolio::{PortfolioConfig, PortfolioSolver};
+use crate::{Lit, Var};
+
+/// An incremental SAT engine: the sequential [`Solver`], the racing
+/// [`PortfolioSolver`], or anything else that can answer clause/assume
+/// queries.
+///
+/// Object-safe by design — attack engines hold a `Box<dyn SolveBackend>`.
+pub trait SolveBackend: std::fmt::Debug + Send {
+    /// Ensures at least `n` variables exist.
+    fn ensure_vars(&mut self, n: usize);
+
+    /// Number of variables known to the backend.
+    fn num_vars(&self) -> usize;
+
+    /// Adds a clause. Returns `false` if the formula is now trivially
+    /// unsatisfiable.
+    fn add_clause(&mut self, lits: &[Lit]) -> bool;
+
+    /// Solves under assumptions with a resource budget; budget exhaustion
+    /// returns [`SolveResult::Unknown`].
+    fn solve_limited(&mut self, assumptions: &[Lit], limits: SolveLimits) -> SolveResult;
+
+    /// Solves under assumptions with no resource limits.
+    fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, SolveLimits::default())
+    }
+
+    /// The last model's value for `var` (meaningful only right after a
+    /// [`SolveResult::Sat`]).
+    fn model_value(&self, var: Var) -> Option<bool>;
+
+    /// Lifetime statistics — for a portfolio, the counters are
+    /// [`merge`](SolverStats::merge)d across workers (rates must be
+    /// derived *after* merging, see
+    /// [`props_per_cpu_sec`](SolverStats::props_per_cpu_sec)).
+    fn stats(&self) -> SolverStats;
+
+    /// How many solver instances work on each query (1 unless this is a
+    /// portfolio).
+    fn num_threads(&self) -> usize {
+        1
+    }
+}
+
+impl SolveBackend for Solver {
+    fn ensure_vars(&mut self, n: usize) {
+        Solver::ensure_vars(self, n);
+    }
+
+    fn num_vars(&self) -> usize {
+        Solver::num_vars(self)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        Solver::add_clause(self, lits.iter().copied())
+    }
+
+    fn solve_limited(&mut self, assumptions: &[Lit], limits: SolveLimits) -> SolveResult {
+        Solver::solve_limited(self, assumptions, limits)
+    }
+
+    fn model_value(&self, var: Var) -> Option<bool> {
+        Solver::model_value(self, var)
+    }
+
+    fn stats(&self) -> SolverStats {
+        *Solver::stats(self)
+    }
+}
+
+impl SolveBackend for PortfolioSolver {
+    fn ensure_vars(&mut self, n: usize) {
+        PortfolioSolver::ensure_vars(self, n);
+    }
+
+    fn num_vars(&self) -> usize {
+        PortfolioSolver::num_vars(self)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        PortfolioSolver::add_clause(self, lits.iter().copied())
+    }
+
+    fn solve_limited(&mut self, assumptions: &[Lit], limits: SolveLimits) -> SolveResult {
+        PortfolioSolver::solve_limited(self, assumptions, limits)
+    }
+
+    fn model_value(&self, var: Var) -> Option<bool> {
+        PortfolioSolver::model_value(self, var)
+    }
+
+    fn stats(&self) -> SolverStats {
+        PortfolioSolver::stats(self)
+    }
+
+    fn num_threads(&self) -> usize {
+        self.num_workers()
+    }
+}
+
+/// Which solving engine to instantiate — the `Copy` handle that attack and
+/// bench configuration structs carry.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum BackendSpec {
+    /// One sequential CDCL [`Solver`] with the default configuration.
+    #[default]
+    Single,
+    /// A racing [`PortfolioSolver`].
+    Portfolio(PortfolioConfig),
+}
+
+impl BackendSpec {
+    /// A portfolio spec with `threads` workers and default dynamics.
+    pub fn portfolio(threads: usize) -> BackendSpec {
+        BackendSpec::Portfolio(PortfolioConfig::with_threads(threads))
+    }
+
+    /// Instantiates an empty backend.
+    pub fn create(self) -> Box<dyn SolveBackend> {
+        match self {
+            BackendSpec::Single => Box::new(Solver::new()),
+            BackendSpec::Portfolio(config) => Box::new(PortfolioSolver::new(config)),
+        }
+    }
+
+    /// How many solver instances the backend will race.
+    pub fn num_threads(self) -> usize {
+        match self {
+            BackendSpec::Single => 1,
+            BackendSpec::Portfolio(config) => config.threads.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_sat::{generate, RandomSatConfig};
+
+    fn solve_via(spec: BackendSpec, seed: u64) -> (SolveResult, SolverStats) {
+        let cnf = generate(RandomSatConfig::from_ratio(30, 4.2, 3, seed)).unwrap();
+        let mut backend = spec.create();
+        backend.ensure_vars(cnf.num_vars());
+        for clause in cnf.clauses() {
+            backend.add_clause(clause);
+        }
+        (backend.solve(&[]), backend.stats())
+    }
+
+    #[test]
+    fn single_and_portfolio_backends_agree() {
+        for seed in 0..6 {
+            let (single, _) = solve_via(BackendSpec::Single, seed);
+            let (portfolio, stats) = solve_via(BackendSpec::portfolio(2), seed);
+            assert_eq!(single, portfolio, "seed {seed}");
+            assert!(stats.decisions > 0);
+        }
+    }
+
+    #[test]
+    fn spec_reports_thread_counts() {
+        assert_eq!(BackendSpec::Single.num_threads(), 1);
+        assert_eq!(BackendSpec::portfolio(4).num_threads(), 4);
+        assert_eq!(BackendSpec::default(), BackendSpec::Single);
+        assert_eq!(BackendSpec::Single.create().num_threads(), 1);
+        assert_eq!(BackendSpec::portfolio(3).create().num_threads(), 3);
+    }
+}

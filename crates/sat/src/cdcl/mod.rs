@@ -1,10 +1,10 @@
 //! A CDCL (conflict-driven clause-learning) SAT solver.
 //!
 //! MiniSAT/Glucose-family architecture: all clauses live back-to-back in a
-//! flat `u32` arena ([`clause_db`]), propagation uses two watched literals
+//! flat `u32` arena (`clause_db`), propagation uses two watched literals
 //! with blockers, conflicts are analyzed to the first UIP with clause
-//! minimization ([`analyze`]), decisions come from a VSIDS activity heap
-//! ([`heap`]) with phase saving, restarts follow the Luby sequence, and the
+//! minimization (`analyze`), decisions come from a VSIDS activity heap
+//! (`heap`) with phase saving, restarts follow the Luby sequence, and the
 //! learnt database is reduced LBD-first (glue ≤ 2 clauses are kept
 //! forever) with arena compaction so watch lists stay dense. The solver is
 //! incremental: clauses may be added between [`Solver::solve`] calls (the
@@ -30,7 +30,9 @@ mod analyze;
 mod clause_db;
 mod heap;
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::{Cnf, Lit, Var};
 
@@ -48,20 +50,205 @@ pub enum SolveResult {
     Unknown,
 }
 
-/// Resource limits for one [`Solver::solve_limited`] call.
-#[derive(Debug, Clone, Copy, Default)]
+/// Resource limits for one [`Solver::solve_limited`] call, built with
+/// [`SolveLimits::builder`].
+///
+/// Besides the conflict cap and wall-clock deadline, a limit set can carry
+/// a learnt-arena memory cap (the solver force-reduces its learnt database
+/// and gives up if it still exceeds the cap) and a shared interrupt flag —
+/// the cooperative-cancellation hook the portfolio racer uses to stop the
+/// losing workers as soon as one finishes.
+///
+/// ```
+/// use std::time::{Duration, Instant};
+/// use fulllock_sat::cdcl::SolveLimits;
+///
+/// let limits = SolveLimits::builder()
+///     .deadline(Instant::now() + Duration::from_secs(10))
+///     .max_conflicts(500_000)
+///     .max_learnt_bytes(64 << 20)
+///     .build();
+/// assert_eq!(limits.max_conflicts(), Some(500_000));
+/// ```
+#[derive(Debug, Clone, Default)]
 pub struct SolveLimits {
-    /// Stop after this many conflicts.
-    pub max_conflicts: Option<u64>,
-    /// Stop once this wall-clock instant passes (checked at restarts and
-    /// every few thousand conflicts, so overshoot is bounded).
-    pub deadline: Option<Instant>,
+    max_conflicts: Option<u64>,
+    deadline: Option<Instant>,
+    max_learnt_bytes: Option<usize>,
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl SolveLimits {
+    /// Starts building a limit set; `build` with nothing set means
+    /// "run to completion".
+    pub fn builder() -> SolveLimitsBuilder {
+        SolveLimitsBuilder {
+            inner: SolveLimits::default(),
+        }
+    }
+
     /// No limits: run to completion.
+    #[deprecated(note = "use `SolveLimits::default()` or `SolveLimits::builder()`")]
     pub fn unlimited() -> SolveLimits {
         SolveLimits::default()
+    }
+
+    /// The conflict cap, if any.
+    pub fn max_conflicts(&self) -> Option<u64> {
+        self.max_conflicts
+    }
+
+    /// The wall-clock deadline, if any (checked at restarts and every few
+    /// thousand conflicts/decisions, so overshoot is bounded).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The learnt-arena memory cap in bytes, if any.
+    pub fn max_learnt_bytes(&self) -> Option<usize> {
+        self.max_learnt_bytes
+    }
+
+    /// The shared cooperative-interrupt flag, if any.
+    pub fn interrupt_flag(&self) -> Option<&Arc<AtomicBool>> {
+        self.interrupt.as_ref()
+    }
+
+    /// Whether the interrupt flag (if any) has been raised.
+    pub fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+}
+
+/// Builder for [`SolveLimits`].
+#[derive(Debug, Clone, Default)]
+pub struct SolveLimitsBuilder {
+    inner: SolveLimits,
+}
+
+impl SolveLimitsBuilder {
+    /// Stop once this wall-clock instant passes.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.inner.deadline = Some(deadline);
+        self
+    }
+
+    /// Stop this long from now (convenience for [`Self::deadline`]).
+    pub fn timeout(self, timeout: Duration) -> Self {
+        self.deadline(Instant::now() + timeout)
+    }
+
+    /// Stop after this many conflicts.
+    pub fn max_conflicts(mut self, max: u64) -> Self {
+        self.inner.max_conflicts = Some(max);
+        self
+    }
+
+    /// Stop once the learnt-clause arena exceeds this many bytes even
+    /// right after a forced database reduction.
+    pub fn max_learnt_bytes(mut self, bytes: usize) -> Self {
+        self.inner.max_learnt_bytes = Some(bytes);
+        self
+    }
+
+    /// Stop as soon as this shared flag is raised (polled at the same
+    /// cadence as the deadline). Lets an external controller — e.g. the
+    /// portfolio's first finisher — cancel an in-flight solve.
+    pub fn interrupt(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.inner.interrupt = Some(flag);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> SolveLimits {
+        self.inner
+    }
+}
+
+/// Tunable search parameters of one [`Solver`] instance.
+///
+/// The defaults reproduce the solver's historical behaviour; the other
+/// constructors exist to *diversify* a portfolio — workers with different
+/// decay rates, restart schedules, and initial polarities explore the
+/// search space differently, and the first to finish wins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// VSIDS variable-activity decay (activity increment grows by
+    /// `1/var_decay` per conflict).
+    pub var_decay: f64,
+    /// Learnt-clause activity decay.
+    pub clause_decay: f64,
+    /// Base of the Luby restart schedule, in conflicts.
+    pub restart_base: f64,
+    /// Growth factor of the Luby restart schedule.
+    pub restart_factor: f64,
+    /// Seed for randomized initial branching polarities; `None` keeps the
+    /// classic all-false initial phase. Phase saving overrides the initial
+    /// polarity once a variable has been assigned.
+    pub polarity_seed: Option<u64>,
+    /// Collect glue (LBD ≤ 2) learnt clauses and learnt units into an
+    /// outbox for portfolio clause sharing ([`Solver::take_shared_clauses`]).
+    pub share_glue: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100.0,
+            restart_factor: 2.0,
+            polarity_seed: None,
+            share_glue: false,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A diversified configuration for portfolio worker `index`. Worker 0
+    /// is exactly the default configuration (so a 1-thread portfolio
+    /// reproduces the sequential solver); higher indices vary the decay
+    /// rates, restart schedule, and initial polarities.
+    pub fn diversified(index: usize, seed: u64) -> SolverConfig {
+        let base = SolverConfig::default();
+        if index == 0 {
+            return base;
+        }
+        // Small deterministic per-worker variations around the default.
+        let mix = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(index as u64);
+        match index % 4 {
+            // Aggressive: fast decay, rapid restarts, random polarities.
+            1 => SolverConfig {
+                var_decay: 0.85,
+                restart_base: 50.0,
+                polarity_seed: Some(mix | 1),
+                ..base
+            },
+            // Conservative: slow decay, long Luby arms.
+            2 => SolverConfig {
+                var_decay: 0.99,
+                restart_base: 300.0,
+                polarity_seed: Some(mix | 1),
+                ..base
+            },
+            // Default dynamics with randomized polarities and a gentler
+            // restart growth.
+            3 => SolverConfig {
+                restart_factor: 1.5,
+                restart_base: 150.0,
+                polarity_seed: Some(mix | 1),
+                ..base
+            },
+            // index % 4 == 0 (index ≥ 4): default dynamics, fresh seed.
+            _ => SolverConfig {
+                polarity_seed: Some(mix | 1),
+                ..base
+            },
+        }
     }
 }
 
@@ -110,14 +297,48 @@ impl SolverStats {
         weighted as f64 / total as f64
     }
 
-    /// Propagations per second of in-propagation wall time; 0 before any
-    /// propagation.
-    pub fn props_per_sec(&self) -> f64 {
+    /// Propagations per second of cumulative in-propagation *thread* time
+    /// (`propagate_ns`), not wall-clock; 0 before any propagation.
+    ///
+    /// Because both numerator and denominator are additive counters, stats
+    /// [`merge`](Self::merge)d across portfolio workers yield the correct
+    /// aggregate per-CPU-second rate. On a single solver thread the two
+    /// notions coincide. Never average or sum the *rates* of several
+    /// workers — merge the counters, then derive.
+    pub fn props_per_cpu_sec(&self) -> f64 {
         if self.propagate_ns == 0 {
             0.0
         } else {
             self.propagations as f64 * 1e9 / self.propagate_ns as f64
         }
+    }
+
+    /// Former name of [`props_per_cpu_sec`](Self::props_per_cpu_sec); the
+    /// old name suggested a wall-clock rate, which is wrong for stats
+    /// merged across portfolio workers.
+    #[deprecated(note = "renamed to `props_per_cpu_sec`; merge counters, then derive the rate")]
+    pub fn props_per_sec(&self) -> f64 {
+        self.props_per_cpu_sec()
+    }
+
+    /// Accumulates another stats block into this one, field by field. All
+    /// fields are additive counters (including the timing counters, which
+    /// are per-thread nanoseconds), so merging portfolio worker stats and
+    /// then deriving rates gives the true aggregate — unlike summing or
+    /// averaging per-worker rates.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.deleted_learnts += other.deleted_learnts;
+        self.minimized_literals += other.minimized_literals;
+        self.reductions += other.reductions;
+        for (bucket, &n) in self.lbd_histogram.iter_mut().zip(&other.lbd_histogram) {
+            *bucket += n;
+        }
+        self.propagate_ns += other.propagate_ns;
+        self.analyze_ns += other.analyze_ns;
     }
 }
 
@@ -162,6 +383,14 @@ pub struct Solver {
     model: Vec<bool>,
     stats: SolverStats,
 
+    config: SolverConfig,
+    /// xorshift state for randomized initial polarities (None ⇒ all-false).
+    polarity_rng: Option<u64>,
+    /// Glue clauses and learnt units collected for portfolio sharing
+    /// (only when `config.share_glue`); drained by
+    /// [`Solver::take_shared_clauses`].
+    outbox: Vec<Vec<Lit>>,
+
     // Scratch for conflict analysis.
     seen: Vec<bool>,
     // Scratch for LBD computation: level -> stamp of last visit.
@@ -176,8 +405,13 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with default parameters.
     pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with explicit search parameters.
+    pub fn with_config(config: SolverConfig) -> Solver {
         Solver {
             db: ClauseDb::new(),
             watches: Vec::new(),
@@ -196,6 +430,9 @@ impl Solver {
             ok: true,
             model: Vec::new(),
             stats: SolverStats::default(),
+            config,
+            polarity_rng: config.polarity_seed.map(|s| s | 1),
+            outbox: Vec::new(),
             seen: Vec::new(),
             level_seen: vec![0],
             level_stamp: 0,
@@ -204,7 +441,12 @@ impl Solver {
 
     /// Builds a solver pre-loaded with a formula.
     pub fn from_cnf(cnf: &Cnf) -> Solver {
-        let mut solver = Solver::new();
+        Solver::from_cnf_with_config(cnf, SolverConfig::default())
+    }
+
+    /// Builds a configured solver pre-loaded with a formula.
+    pub fn from_cnf_with_config(cnf: &Cnf, config: SolverConfig) -> Solver {
+        let mut solver = Solver::with_config(config);
         solver.ensure_vars(cnf.num_vars());
         for clause in cnf.clauses() {
             solver.add_clause(clause.iter().copied());
@@ -212,15 +454,29 @@ impl Solver {
         solver
     }
 
+    /// The search parameters this solver was built with.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
         let v = Var::new(self.level.len());
+        let init_polarity = match &mut self.polarity_rng {
+            None => false,
+            Some(state) => {
+                *state ^= *state << 13;
+                *state ^= *state >> 7;
+                *state ^= *state << 17;
+                *state & 1 == 1
+            }
+        };
         self.assigns.push(VAL_UNDEF);
         self.assigns.push(VAL_UNDEF);
         self.level.push(0);
         self.reason.push(CREF_UNDEF);
         self.activity.push(0.0);
-        self.polarity.push(false);
+        self.polarity.push(init_polarity);
         self.seen.push(false);
         self.level_seen.push(0);
         self.watches.push(Vec::new());
@@ -307,16 +563,35 @@ impl Solver {
         }
     }
 
-    /// Solves under assumption literals with no resource limits.
-    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
-        self.solve_limited(assumptions, SolveLimits::unlimited())
+    /// Bytes currently occupied by learnt clauses in the arena (the
+    /// quantity [`SolveLimitsBuilder::max_learnt_bytes`] caps).
+    pub fn learnt_arena_bytes(&self) -> usize {
+        self.db.learnt_words() * std::mem::size_of::<u32>()
     }
 
-    /// Solves under assumption literals and resource limits.
+    /// Drains the shared-clause outbox: glue (LBD ≤ 2) learnt clauses and
+    /// learnt units collected since the last drain. Empty unless the
+    /// solver was configured with [`SolverConfig::share_glue`].
+    pub fn take_shared_clauses(&mut self) -> Vec<Vec<Lit>> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Solves under assumption literals with no resource limits.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, SolveLimits::default())
+    }
+
+    /// Solves under assumption literals and resource limits. Returns
+    /// [`SolveResult::Unknown`] as soon as any limit — conflict cap,
+    /// deadline, learnt-memory cap, or cooperative interrupt — is hit;
+    /// partial statistics remain readable via [`Solver::stats`].
     pub fn solve_limited(&mut self, assumptions: &[Lit], limits: SolveLimits) -> SolveResult {
         self.cancel_until(0);
         if !self.ok {
             return SolveResult::Unsat;
+        }
+        if self.deadline_or_interrupt_hit(&limits) {
+            return SolveResult::Unknown;
         }
         for &a in assumptions {
             self.ensure_vars(a.var().index() + 1);
@@ -327,7 +602,7 @@ impl Solver {
         let conflict_start = self.stats.conflicts;
         let mut restart_round = 0u64;
         loop {
-            let budget = 100.0 * luby(2.0, restart_round);
+            let budget = self.config.restart_base * luby(self.config.restart_factor, restart_round);
             restart_round += 1;
             match self.search(assumptions, budget as u64, &limits, conflict_start) {
                 SearchOutcome::Sat => {
@@ -610,6 +885,20 @@ impl Solver {
         }
     }
 
+    /// Polled every ~1k conflicts / ~4k decisions: wall-clock deadline and
+    /// the cooperative interrupt flag.
+    fn deadline_or_interrupt_hit(&self, limits: &SolveLimits) -> bool {
+        if limits.interrupted() {
+            return true;
+        }
+        if let Some(deadline) = limits.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
     fn search(
         &mut self,
         assumptions: &[Lit],
@@ -631,6 +920,13 @@ impl Solver {
                 self.stats.analyze_ns += analyze_start.elapsed().as_nanos() as u64;
                 self.stats.lbd_histogram[lbd.clamp(1, 8) as usize - 1] += 1;
                 self.cancel_until(bt_level);
+                if self.config.share_glue && (learnt.len() == 1 || lbd <= 2) {
+                    // Units and glue clauses are cheap to import and prune
+                    // the most; cap the outbox in case nobody drains it.
+                    if self.outbox.len() < 4096 {
+                        self.outbox.push(learnt.clone());
+                    }
+                }
                 if learnt.len() == 1 {
                     let ok = self.enqueue(learnt[0], CREF_UNDEF);
                     debug_assert!(ok, "asserting literal must be undef after backjump");
@@ -643,16 +939,26 @@ impl Solver {
                     let ok = self.enqueue(asserting, cref);
                     debug_assert!(ok, "asserting literal must be undef after backjump");
                 }
-                self.var_inc /= 0.95;
-                self.cla_inc /= 0.999;
+                self.var_inc /= self.config.var_decay;
+                self.cla_inc /= self.config.clause_decay as f32;
                 if self.db.num_learnts() as f64 > self.max_learnts + self.trail.len() as f64 {
                     self.reduce_db();
                     self.max_learnts *= 1.1;
                 }
-                if conflicts_this_round.is_multiple_of(4096) {
-                    if let Some(deadline) = limits.deadline {
-                        if Instant::now() >= deadline {
-                            return SearchOutcome::LimitHit;
+                if conflicts_this_round.is_multiple_of(1024) {
+                    if self.deadline_or_interrupt_hit(limits) {
+                        return SearchOutcome::LimitHit;
+                    }
+                    // Learnt-arena memory cap: force a reduction; if the
+                    // arena is still over the cap the instance does not fit
+                    // the budget.
+                    if let Some(bytes) = limits.max_learnt_bytes {
+                        let cap_words = bytes / std::mem::size_of::<u32>();
+                        if self.db.learnt_words() > cap_words {
+                            self.reduce_db();
+                            if self.db.learnt_words() > cap_words {
+                                return SearchOutcome::LimitHit;
+                            }
                         }
                     }
                 }
@@ -665,14 +971,12 @@ impl Solver {
                     return SearchOutcome::Restart;
                 }
             } else {
-                // Deadline check between decisions too (propagation-heavy
-                // instances may rarely conflict).
-                if self.stats.decisions.is_multiple_of(8192) {
-                    if let Some(deadline) = limits.deadline {
-                        if Instant::now() >= deadline {
-                            return SearchOutcome::LimitHit;
-                        }
-                    }
+                // Deadline/interrupt check between decisions too
+                // (propagation-heavy instances may rarely conflict).
+                if self.stats.decisions.is_multiple_of(4096)
+                    && self.deadline_or_interrupt_hit(limits)
+                {
+                    return SearchOutcome::LimitHit;
                 }
                 // Assumption handling, then VSIDS decision.
                 let next = if (self.decision_level() as usize) < assumptions.len() {
@@ -856,13 +1160,7 @@ mod tests {
         })
         .unwrap();
         let mut s = Solver::from_cnf(&cnf);
-        let result = s.solve_limited(
-            &[],
-            SolveLimits {
-                max_conflicts: Some(1),
-                deadline: None,
-            },
-        );
+        let result = s.solve_limited(&[], SolveLimits::builder().max_conflicts(1).build());
         // Either it solves within one conflict (unlikely) or reports Unknown.
         assert_ne!(result, SolveResult::Unsat);
     }
@@ -879,10 +1177,10 @@ mod tests {
         let mut s = Solver::from_cnf(&cnf);
         let result = s.solve_limited(
             &[],
-            SolveLimits {
-                max_conflicts: Some(10),
-                deadline: Some(Instant::now()),
-            },
+            SolveLimits::builder()
+                .max_conflicts(10)
+                .deadline(Instant::now())
+                .build(),
         );
         assert_ne!(result, SolveResult::Unsat);
     }
@@ -941,13 +1239,7 @@ mod tests {
         // crossing the initial max_learnts threshold.
         let cnf = random_sat::generate(RandomSatConfig::from_ratio(170, 4.3, 3, 1)).unwrap();
         let mut s = Solver::from_cnf(&cnf);
-        let result = s.solve_limited(
-            &[],
-            SolveLimits {
-                max_conflicts: Some(20_000),
-                deadline: None,
-            },
-        );
+        let result = s.solve_limited(&[], SolveLimits::builder().max_conflicts(20_000).build());
         assert_ne!(result, SolveResult::Unknown, "instance within budget");
         assert!(
             s.stats().deleted_learnts > 0,
@@ -1046,7 +1338,7 @@ mod tests {
         assert!(stats.mean_lbd() >= 1.0);
         assert!(stats.propagate_ns > 0);
         assert!(stats.analyze_ns > 0);
-        assert!(stats.props_per_sec() > 0.0);
+        assert!(stats.props_per_cpu_sec() > 0.0);
     }
 
     #[test]
@@ -1057,13 +1349,7 @@ mod tests {
         // proves reduction never deleted a locked reason.
         let cnf = random_sat::generate(RandomSatConfig::from_ratio(150, 4.3, 3, 9)).unwrap();
         let mut s = Solver::from_cnf(&cnf);
-        let result = s.solve_limited(
-            &[],
-            SolveLimits {
-                max_conflicts: Some(30_000),
-                deadline: None,
-            },
-        );
+        let result = s.solve_limited(&[], SolveLimits::builder().max_conflicts(30_000).build());
         assert_ne!(result, SolveResult::Unknown);
         if s.stats().reductions > 0 {
             assert!(s.stats().deleted_learnts > 0);

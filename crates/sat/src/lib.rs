@@ -16,7 +16,12 @@
 //!   recursive calls;
 //! * [`cdcl`] — a MiniSAT-class CDCL solver (watched literals, 1UIP
 //!   learning, VSIDS, Luby restarts, incremental solving) that powers the
-//!   attacks.
+//!   attacks;
+//! * [`portfolio`] — N diversified CDCL solvers racing on threads with
+//!   glue-clause exchange and first-finisher-wins cancellation;
+//! * [`backend`] — the [`SolveBackend`] trait + [`BackendSpec`] selector
+//!   that lets attack engines swap between the sequential solver and the
+//!   portfolio.
 //!
 //! # Example
 //!
@@ -37,18 +42,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cdcl;
 mod cnf;
 pub mod dpll;
 pub mod equiv;
 mod error;
 mod lit;
+pub mod portfolio;
 pub mod random_sat;
 pub mod tseytin;
 
+pub use backend::{BackendSpec, SolveBackend};
 pub use cnf::Cnf;
 pub use error::SatError;
 pub use lit::{Lit, Var};
+pub use portfolio::{PortfolioConfig, PortfolioSolver};
 
 /// Crate-wide result alias.
 pub type Result<T, E = SatError> = std::result::Result<T, E>;

@@ -1,0 +1,510 @@
+//! A racing portfolio of diversified CDCL solvers under one shared budget.
+//!
+//! Hard locked-miter instances have heavy-tailed runtime distributions:
+//! the same formula that takes one solver configuration minutes may fall
+//! in seconds to another decay rate, restart schedule, or initial polarity
+//! assignment. A [`PortfolioSolver`] exploits that by running N diversified
+//! [`Solver`] instances on `std::thread` workers:
+//!
+//! * **first finisher wins** — the first worker to reach SAT/UNSAT raises
+//!   a shared cancel flag ([`Budget`]) that every other worker polls
+//!   inside its CDCL search loop and stops on;
+//! * **glue-clause exchange** — workers periodically publish their learnt
+//!   units and glue (LBD ≤ 2) clauses to a lock-free-ish [`ExchangePool`]
+//!   (per-producer slots, `try_lock` on the consumer side — a contended
+//!   slot is simply skipped, never waited on) and import what the others
+//!   found;
+//! * **hard budgets** — one [`SolveLimits`] governs the whole race: the
+//!   wall-clock deadline and learnt-arena memory cap apply per worker, the
+//!   conflict cap applies to the *sum* of conflicts across workers, and
+//!   budget exhaustion degrades gracefully to [`SolveResult::Unknown`]
+//!   with per-worker partial statistics intact.
+//!
+//! The portfolio is incremental like the underlying solver: clauses can be
+//! added between `solve` calls, and every worker sees them.
+//!
+//! # Example
+//!
+//! ```
+//! use fulllock_sat::cdcl::SolveResult;
+//! use fulllock_sat::portfolio::{PortfolioConfig, PortfolioSolver};
+//! use fulllock_sat::random_sat::{generate, RandomSatConfig};
+//!
+//! # fn main() -> Result<(), fulllock_sat::SatError> {
+//! let cnf = generate(RandomSatConfig::from_ratio(60, 4.0, 3, 7))?;
+//! let mut portfolio = PortfolioSolver::from_cnf(&cnf, PortfolioConfig::default());
+//! if portfolio.solve(&[]) == SolveResult::Sat {
+//!     assert!(cnf.is_satisfied_by(portfolio.model()));
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::cdcl::{SolveLimits, SolveResult, Solver, SolverConfig, SolverStats};
+use crate::{Cnf, Lit, Var};
+
+/// Configuration of a [`PortfolioSolver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PortfolioConfig {
+    /// Number of racing workers (clamped to at least 1). Worker 0 always
+    /// runs the default [`SolverConfig`], so a 1-thread portfolio behaves
+    /// exactly like the sequential solver.
+    pub threads: usize,
+    /// Conflicts each worker searches between budget checks and clause
+    /// exchanges.
+    pub chunk_conflicts: u64,
+    /// Exchange learnt units and glue clauses between workers.
+    pub exchange_glue: bool,
+    /// Seed for the diversified worker configurations.
+    pub seed: u64,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            threads: 4,
+            chunk_conflicts: 2000,
+            exchange_glue: true,
+            seed: 0,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    /// A portfolio with `threads` workers and defaults otherwise.
+    pub fn with_threads(threads: usize) -> PortfolioConfig {
+        PortfolioConfig {
+            threads,
+            ..PortfolioConfig::default()
+        }
+    }
+}
+
+/// The shared budget of one portfolio race: an atomic cancel flag, a
+/// global (summed across workers) conflict counter, plus the wall-clock
+/// deadline and per-worker learnt-memory cap taken from the caller's
+/// [`SolveLimits`].
+#[derive(Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    max_conflicts: Option<u64>,
+    max_learnt_bytes: Option<usize>,
+    cancel: Arc<AtomicBool>,
+    conflicts: AtomicU64,
+}
+
+impl Budget {
+    /// Derives a race budget from one caller-facing limit set. If the
+    /// limits already carry an interrupt flag it is reused, so an external
+    /// controller can cancel the whole race.
+    pub fn from_limits(limits: &SolveLimits) -> Budget {
+        Budget {
+            deadline: limits.deadline(),
+            max_conflicts: limits.max_conflicts(),
+            max_learnt_bytes: limits.max_learnt_bytes(),
+            cancel: limits
+                .interrupt_flag()
+                .cloned()
+                .unwrap_or_else(|| Arc::new(AtomicBool::new(false))),
+            conflicts: AtomicU64::new(0),
+        }
+    }
+
+    /// Raises the cancel flag: every worker stops at its next poll.
+    pub fn cancel_now(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the race has been cancelled (first finisher or external
+    /// interrupt).
+    pub fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Adds a worker's chunk of conflicts to the global counter and
+    /// returns the new total.
+    pub fn charge_conflicts(&self, n: u64) -> u64 {
+        self.conflicts.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Total conflicts charged so far across all workers.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Whether the deadline has passed or the summed conflict cap is
+    /// spent.
+    pub fn exhausted(&self) -> bool {
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return true;
+        }
+        self.max_conflicts
+            .is_some_and(|max| self.conflicts() >= max)
+    }
+
+    /// The per-chunk limit set a worker hands to `Solver::solve_limited`,
+    /// clamped so no single chunk can overrun the summed conflict cap.
+    fn chunk_limits(&self, chunk_conflicts: u64) -> SolveLimits {
+        let chunk = match self.max_conflicts {
+            Some(max) => chunk_conflicts.min(max.saturating_sub(self.conflicts())),
+            None => chunk_conflicts,
+        };
+        let mut builder = SolveLimits::builder()
+            .max_conflicts(chunk)
+            .interrupt(self.cancel.clone());
+        if let Some(d) = self.deadline {
+            builder = builder.deadline(d);
+        }
+        if let Some(b) = self.max_learnt_bytes {
+            builder = builder.max_learnt_bytes(b);
+        }
+        builder.build()
+    }
+}
+
+/// The glue-clause exchange buffer: one append-only slot per producer.
+///
+/// Writers lock only their own slot (uncontended unless a reader is
+/// scanning it at that instant); readers `try_lock` the other slots and
+/// skip — never block on — any slot that is busy, remembering a cursor per
+/// producer so each clause is imported at most once.
+#[derive(Debug)]
+pub struct ExchangePool {
+    slots: Vec<Mutex<Vec<Arc<Vec<Lit>>>>>,
+}
+
+impl ExchangePool {
+    /// An empty pool with one slot per worker.
+    pub fn new(workers: usize) -> ExchangePool {
+        ExchangePool {
+            slots: (0..workers).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Publishes a batch of clauses from worker `from`.
+    pub fn publish(&self, from: usize, clauses: Vec<Vec<Lit>>) {
+        if clauses.is_empty() {
+            return;
+        }
+        if let Ok(mut slot) = self.slots[from].lock() {
+            slot.extend(clauses.into_iter().map(Arc::new));
+        }
+    }
+
+    /// Collects clauses worker `reader` has not seen yet. `cursors` is the
+    /// reader's per-producer progress (length = number of workers). Slots
+    /// currently locked by their producer are skipped and retried at the
+    /// next exchange.
+    pub fn collect(&self, reader: usize, cursors: &mut [usize]) -> Vec<Arc<Vec<Lit>>> {
+        let mut fresh = Vec::new();
+        for (producer, slot) in self.slots.iter().enumerate() {
+            if producer == reader {
+                continue;
+            }
+            if let Ok(slot) = slot.try_lock() {
+                if cursors[producer] < slot.len() {
+                    fresh.extend(slot[cursors[producer]..].iter().cloned());
+                    cursors[producer] = slot.len();
+                }
+            }
+        }
+        fresh
+    }
+}
+
+/// N diversified CDCL solvers racing on threads; see the [module
+/// docs](self).
+#[derive(Debug)]
+pub struct PortfolioSolver {
+    workers: Vec<Solver>,
+    config: PortfolioConfig,
+    model: Vec<bool>,
+    winner: Option<usize>,
+}
+
+impl PortfolioSolver {
+    /// Creates an empty portfolio.
+    pub fn new(config: PortfolioConfig) -> PortfolioSolver {
+        let threads = config.threads.max(1);
+        let workers = (0..threads)
+            .map(|i| {
+                let mut cfg = SolverConfig::diversified(i, config.seed);
+                cfg.share_glue = config.exchange_glue && threads > 1;
+                Solver::with_config(cfg)
+            })
+            .collect();
+        PortfolioSolver {
+            workers,
+            config,
+            model: Vec::new(),
+            winner: None,
+        }
+    }
+
+    /// Builds a portfolio pre-loaded with a formula.
+    pub fn from_cnf(cnf: &Cnf, config: PortfolioConfig) -> PortfolioSolver {
+        let mut portfolio = PortfolioSolver::new(config);
+        portfolio.ensure_vars(cnf.num_vars());
+        for clause in cnf.clauses() {
+            portfolio.add_clause(clause.iter().copied());
+        }
+        portfolio
+    }
+
+    /// The portfolio's configuration.
+    pub fn config(&self) -> &PortfolioConfig {
+        &self.config
+    }
+
+    /// Number of racing workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Ensures at least `n` variables exist in every worker.
+    pub fn ensure_vars(&mut self, n: usize) {
+        for worker in &mut self.workers {
+            worker.ensure_vars(n);
+        }
+    }
+
+    /// Number of variables (identical across workers).
+    pub fn num_vars(&self) -> usize {
+        self.workers[0].num_vars()
+    }
+
+    /// Adds a clause to every worker. Returns `false` if the formula is
+    /// now trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        let mut ok = true;
+        for worker in &mut self.workers {
+            ok &= worker.add_clause(clause.iter().copied());
+        }
+        ok
+    }
+
+    /// Races the workers with no resource limits (first finisher still
+    /// cancels the rest).
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solve_limited(assumptions, SolveLimits::default())
+    }
+
+    /// Races the workers under a shared budget. The deadline and
+    /// learnt-memory cap apply to each worker; the conflict cap applies to
+    /// the sum of conflicts across workers. Returns
+    /// [`SolveResult::Unknown`] with partial per-worker statistics when
+    /// the budget is exhausted first.
+    pub fn solve_limited(&mut self, assumptions: &[Lit], limits: SolveLimits) -> SolveResult {
+        self.winner = None;
+        let budget = Budget::from_limits(&limits);
+        let n = self.workers.len();
+        let pool = ExchangePool::new(n);
+        let chunk = self.config.chunk_conflicts.max(1);
+        let exchange = self.config.exchange_glue && n > 1;
+        let verdict: Mutex<Option<(usize, SolveResult)>> = Mutex::new(None);
+
+        let budget_ref = &budget;
+        let pool_ref = &pool;
+        let verdict_ref = &verdict;
+        std::thread::scope(|scope| {
+            for (index, worker) in self.workers.iter_mut().enumerate() {
+                scope.spawn(move || {
+                    let mut cursors = vec![0usize; n];
+                    loop {
+                        if budget_ref.cancelled() || budget_ref.exhausted() {
+                            return;
+                        }
+                        let before = worker.stats().conflicts;
+                        let result =
+                            worker.solve_limited(assumptions, budget_ref.chunk_limits(chunk));
+                        budget_ref.charge_conflicts(worker.stats().conflicts - before);
+                        match result {
+                            SolveResult::Unknown => {
+                                // Memory-capped out (still over the cap right
+                                // after a forced reduction): this worker
+                                // cannot continue, but the others may.
+                                if budget_ref
+                                    .max_learnt_bytes
+                                    .is_some_and(|cap| worker.learnt_arena_bytes() > cap)
+                                {
+                                    return;
+                                }
+                                if exchange {
+                                    pool_ref.publish(index, worker.take_shared_clauses());
+                                    for clause in pool_ref.collect(index, &mut cursors) {
+                                        worker.add_clause(clause.iter().copied());
+                                    }
+                                }
+                            }
+                            SolveResult::Sat | SolveResult::Unsat => {
+                                let mut slot =
+                                    verdict_ref.lock().expect("verdict mutex never poisoned");
+                                if slot.is_none() {
+                                    *slot = Some((index, result));
+                                }
+                                budget_ref.cancel_now();
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        match verdict.into_inner().expect("verdict mutex never poisoned") {
+            Some((index, result)) => {
+                self.winner = Some(index);
+                if result == SolveResult::Sat {
+                    self.model = self.workers[index].model().to_vec();
+                }
+                result
+            }
+            None => SolveResult::Unknown,
+        }
+    }
+
+    /// Index of the worker that decided the last solve (`None` after a
+    /// budget exhaustion).
+    pub fn winner(&self) -> Option<usize> {
+        self.winner
+    }
+
+    /// The last model's value for a variable (only meaningful right after
+    /// a [`SolveResult::Sat`]).
+    pub fn model_value(&self, var: Var) -> Option<bool> {
+        self.model.get(var.index()).copied()
+    }
+
+    /// The last model as a dense vector (empty before the first SAT).
+    pub fn model(&self) -> &[bool] {
+        &self.model
+    }
+
+    /// Lifetime statistics [`merge`](SolverStats::merge)d across workers.
+    pub fn stats(&self) -> SolverStats {
+        let mut total = SolverStats::default();
+        for worker in &self.workers {
+            total.merge(worker.stats());
+        }
+        total
+    }
+
+    /// Per-worker lifetime statistics, in worker order.
+    pub fn worker_stats(&self) -> Vec<SolverStats> {
+        self.workers.iter().map(|w| *w.stats()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_sat::{self, RandomSatConfig};
+    use std::time::Duration;
+
+    fn phase_transition(seed: u64) -> Cnf {
+        random_sat::generate(RandomSatConfig::from_ratio(40, 4.27, 3, seed)).unwrap()
+    }
+
+    #[test]
+    fn one_thread_portfolio_matches_sequential_verdicts() {
+        for seed in 0..15 {
+            let cnf = phase_transition(seed);
+            let mut sequential = Solver::from_cnf(&cnf);
+            let mut portfolio = PortfolioSolver::from_cnf(
+                &cnf,
+                PortfolioConfig {
+                    threads: 1,
+                    ..PortfolioConfig::default()
+                },
+            );
+            let expected = sequential.solve(&[]);
+            let got = portfolio.solve(&[]);
+            assert_eq!(got, expected, "seed {seed}");
+            if got == SolveResult::Sat {
+                assert!(cnf.is_satisfied_by(portfolio.model()), "seed {seed}");
+            }
+            assert_eq!(portfolio.winner(), Some(0));
+        }
+    }
+
+    #[test]
+    fn four_thread_portfolio_agrees_with_sequential() {
+        for seed in 0..8 {
+            let cnf = phase_transition(100 + seed);
+            let mut sequential = Solver::from_cnf(&cnf);
+            let mut portfolio = PortfolioSolver::from_cnf(&cnf, PortfolioConfig::default());
+            let expected = sequential.solve(&[]);
+            let got = portfolio.solve(&[]);
+            assert_eq!(got, expected, "seed {seed}");
+            if got == SolveResult::Sat {
+                assert!(cnf.is_satisfied_by(portfolio.model()), "seed {seed}");
+            }
+            assert!(portfolio.winner().is_some());
+        }
+    }
+
+    #[test]
+    fn portfolio_is_incremental_with_assumptions() {
+        let mut portfolio = PortfolioSolver::new(PortfolioConfig::with_threads(2));
+        portfolio.ensure_vars(2);
+        let a = Lit::from_dimacs(1);
+        let b = Lit::from_dimacs(2);
+        assert!(portfolio.add_clause([a, b]));
+        assert_eq!(portfolio.solve(&[!a]), SolveResult::Sat);
+        assert_eq!(portfolio.model_value(b.var()), Some(true));
+        assert_eq!(portfolio.solve(&[!a, !b]), SolveResult::Unsat);
+        assert!(portfolio.add_clause([!b]));
+        assert_eq!(portfolio.solve(&[!a]), SolveResult::Unsat);
+        assert_eq!(portfolio.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn summed_conflict_cap_returns_unknown() {
+        // A hard UNSAT-leaning instance with a 1-conflict budget cannot be
+        // decided (pigeonhole would also do).
+        let cnf = phase_transition(3);
+        let mut portfolio = PortfolioSolver::from_cnf(&cnf, PortfolioConfig::default());
+        let result = portfolio.solve_limited(&[], SolveLimits::builder().max_conflicts(1).build());
+        assert_ne!(result, SolveResult::Unsat);
+        let _ = result; // Sat is possible if a worker gets lucky pre-conflict
+    }
+
+    #[test]
+    fn external_interrupt_cancels_the_race() {
+        let cnf = phase_transition(5);
+        let mut portfolio = PortfolioSolver::from_cnf(&cnf, PortfolioConfig::default());
+        let flag = Arc::new(AtomicBool::new(true)); // already raised
+        let result = portfolio.solve_limited(
+            &[],
+            SolveLimits::builder()
+                .interrupt(flag)
+                .timeout(Duration::from_secs(30))
+                .build(),
+        );
+        assert_eq!(result, SolveResult::Unknown);
+        assert_eq!(portfolio.winner(), None);
+    }
+
+    #[test]
+    fn merged_stats_sum_worker_counters() {
+        let cnf = phase_transition(8);
+        let mut portfolio = PortfolioSolver::from_cnf(&cnf, PortfolioConfig::default());
+        let _ = portfolio.solve(&[]);
+        let merged = portfolio.stats();
+        let per_worker = portfolio.worker_stats();
+        assert_eq!(per_worker.len(), 4);
+        assert_eq!(
+            merged.conflicts,
+            per_worker.iter().map(|s| s.conflicts).sum::<u64>()
+        );
+        assert_eq!(
+            merged.propagations,
+            per_worker.iter().map(|s| s.propagations).sum::<u64>()
+        );
+    }
+}

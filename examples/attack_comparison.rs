@@ -1,6 +1,9 @@
 //! Scheme-vs-attack matrix: every locking scheme against the SAT attack,
-//! AppSAT, and SPS, on one benchmark — a one-screen summary of the
-//! security landscape the paper's related-work section describes.
+//! Double-DIP, AppSAT, and SPS, on one benchmark — a one-screen summary
+//! of the security landscape the paper's related-work section describes.
+//!
+//! The whole matrix is driven through the unified [`Attack`] trait: one
+//! `Vec<Box<dyn Attack>>`, one loop, one report envelope.
 //!
 //! ```text
 //! cargo run --release --example attack_comparison
@@ -10,12 +13,27 @@ use std::error::Error;
 use std::time::Duration;
 
 use full_lock::attacks::{
-    appsat_attack, attack, double_dip, sps, AppSatConfig, SatAttackConfig, SimOracle,
+    AppSatConfig, Attack, AttackOutcome, DoubleDip, SatAttackConfig, SimOracle, Sps,
 };
 use full_lock::locking::{
     AntiSat, CrossLock, Fll, FullLock, FullLockConfig, LockingScheme, LutLock, Rll, SarLock,
 };
 use full_lock::netlist::benchmarks;
+
+/// One table cell: the outcome compressed to a short verdict.
+fn cell(outcome: &AttackOutcome, iterations: u64) -> String {
+    match outcome {
+        AttackOutcome::KeyRecovered { .. } => format!("broken/{iterations}"),
+        AttackOutcome::ApproximateKey { measured_error, .. } => {
+            format!("broken (err {measured_error:.3})")
+        }
+        AttackOutcome::Bypassed { exact: true, .. } => "broken".to_string(),
+        AttackOutcome::Bypassed { error_rate, .. } => format!("resisted ({error_rate:.2})"),
+        AttackOutcome::Defeated { .. } => "resisted".to_string(),
+        AttackOutcome::Timeout | AttackOutcome::IterationLimit => "TO".to_string(),
+        _ => "n/a".to_string(),
+    }
+}
 
 fn main() -> Result<(), Box<dyn Error>> {
     let original = benchmarks::load("c432")?;
@@ -31,77 +49,39 @@ fn main() -> Result<(), Box<dyn Error>> {
         Box::new(FullLock::new(FullLockConfig::single_plr(16))),
     ];
 
-    println!(
-        "{:<20} {:>10} {:>12} {:>14} {:>12}",
-        "scheme", "SAT (5s)", "2-DIP (5s)", "AppSAT", "SPS"
-    );
+    let base = SatAttackConfig {
+        timeout: Some(budget),
+        ..Default::default()
+    };
+    let attacks: Vec<Box<dyn Attack>> = vec![
+        Box::new(base),
+        Box::new(DoubleDip { base }),
+        Box::new(AppSatConfig {
+            base,
+            ..Default::default()
+        }),
+        Box::new(Sps::default()),
+    ];
+
+    print!("{:<20}", "scheme");
+    for attack in &attacks {
+        print!(" {:>16}", attack.name());
+    }
+    println!();
     for scheme in schemes {
         let locked = scheme.lock(&original)?;
-
-        let oracle = SimOracle::new(&original)?;
-        let sat = attack(
-            &locked,
-            &oracle,
-            SatAttackConfig {
-                timeout: Some(budget),
-                ..Default::default()
-            },
-        )?;
-        let sat_cell = if sat.outcome.is_broken() {
-            format!("broken/{}", sat.iterations)
-        } else {
-            "TO".to_string()
-        };
-
-        let oracle = SimOracle::new(&original)?;
-        let dd = double_dip::attack(
-            &locked,
-            &oracle,
-            SatAttackConfig {
-                timeout: Some(budget),
-                ..Default::default()
-            },
-        )?;
-        let dd_cell = if dd.outcome.is_broken() {
-            format!("broken/{}+{}", dd.iterations, dd.cleanup_iterations)
-        } else {
-            "TO".to_string()
-        };
-
-        let oracle = SimOracle::new(&original)?;
-        let app = appsat_attack(
-            &locked,
-            &oracle,
-            AppSatConfig {
-                base: SatAttackConfig {
-                    timeout: Some(budget),
-                    ..Default::default()
-                },
-                ..Default::default()
-            },
-        )?;
-        let app_cell = if app.settled || app.exact {
-            format!("broken (err {:.3})", app.measured_error)
-        } else {
-            format!("resisted ({:.2})", app.measured_error)
-        };
-
-        let sps_cell = match sps::sps_attack(&locked, &original, 0.45, 200, 0) {
-            Ok(r) if r.succeeded() => "broken".to_string(),
-            Ok(_) => "resisted".to_string(),
-            Err(_) => "n/a".to_string(),
-        };
-
-        println!(
-            "{:<20} {:>10} {:>12} {:>14} {:>12}",
-            scheme.name(),
-            sat_cell,
-            dd_cell,
-            app_cell,
-            sps_cell
-        );
+        print!("{:<20}", scheme.name());
+        for attack in &attacks {
+            let oracle = SimOracle::new(&original)?;
+            let verdict = match attack.run(&locked, &oracle) {
+                Ok(report) => cell(&report.outcome, report.iterations),
+                Err(_) => "n/a".to_string(),
+            };
+            print!(" {verdict:>16}");
+        }
+        println!();
     }
     println!("\nexpected: every baseline falls to at least one attack; Full-Lock");
-    println!("resists all three within the budget (the paper's Table 4 / §4.2).");
+    println!("resists all four within the budget (the paper's Table 4 / §4.2).");
     Ok(())
 }

@@ -14,7 +14,7 @@
 use std::error::Error;
 use std::time::Duration;
 
-use full_lock::attacks::{attack, SatAttackConfig, SimOracle};
+use full_lock::attacks::{Attack, SatAttackConfig, SimOracle};
 use full_lock::bench::cln_testbed;
 use full_lock::locking::{ClnStructure, ClnTopology};
 use full_lock::tech::Technology;
@@ -43,14 +43,11 @@ fn main() -> Result<(), Box<dyn Error>> {
                 "-".to_string()
             };
             let oracle = SimOracle::new(&host)?;
-            let report = attack(
-                &locked,
-                &oracle,
-                SatAttackConfig {
-                    timeout: Some(budget),
-                    ..Default::default()
-                },
-            )?;
+            let report = SatAttackConfig {
+                timeout: Some(budget),
+                ..Default::default()
+            }
+            .run(&locked, &oracle)?;
             let verdict = if report.outcome.is_broken() {
                 format!("{:.2}s", report.elapsed.as_secs_f64())
             } else {

@@ -8,7 +8,7 @@
 use std::error::Error;
 use std::time::Duration;
 
-use full_lock::attacks::{attack, SatAttackConfig, SimOracle};
+use full_lock::attacks::{Attack, SatAttackConfig, SimOracle};
 use full_lock::locking::{corruption, FullLock, FullLockConfig, Key, LockingScheme, Rll};
 use full_lock::netlist::{benchmarks, Simulator};
 
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 5. The SAT attack breaks weak locking fast…
     let weak = Rll::new(16, 0).lock(&original)?;
     let oracle = SimOracle::new(&original)?;
-    let weak_report = attack(&weak, &oracle, SatAttackConfig::default())?;
+    let weak_report = SatAttackConfig::default().run(&weak, &oracle)?;
     println!(
         "SAT attack vs rll[16]: broken={} in {} iterations, {:?}",
         weak_report.outcome.is_broken(),
@@ -55,14 +55,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // 6. …but times out against the PLR within the same budget.
     let oracle = SimOracle::new(&original)?;
-    let strong_report = attack(
-        &locked,
-        &oracle,
-        SatAttackConfig {
-            timeout: Some(Duration::from_secs(5)),
-            ..Default::default()
-        },
-    )?;
+    let strong_report = SatAttackConfig {
+        timeout: Some(Duration::from_secs(5)),
+        ..Default::default()
+    }
+    .run(&locked, &oracle)?;
     println!(
         "SAT attack vs {}: broken={} after {} iterations (5 s budget)",
         scheme.name(),

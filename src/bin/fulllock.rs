@@ -7,6 +7,7 @@
 //!                 [--cyclic] [--twist P] [--seed N] [--key-out key.txt]
 //! fulllock verify <locked.bench> --oracle <circuit.bench> --key 0110…
 //! fulllock attack <locked.bench> --oracle <circuit.bench> [--timeout SECS]
+//!                 [--threads N]
 //! fulllock export <circuit.bench> --format verilog|bench|dimacs [-o FILE]
 //! ```
 //!
@@ -18,13 +19,14 @@ use std::fs;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use full_lock::attacks::{attack, AttackOutcome, SatAttackConfig, SimOracle};
+use full_lock::attacks::{Attack, AttackDetails, AttackOutcome, SatAttackConfig, SimOracle};
 use full_lock::locking::{
     AntiSat, CrossLock, FullLock, FullLockConfig, Key, LockedCircuit, LockingScheme, LutLock,
     PlrSpec, Rll, SarLock, WireSelection,
 };
 use full_lock::netlist::{bench_io, topo, verilog, Netlist};
 use full_lock::sat::tseytin;
+use full_lock::sat::BackendSpec;
 use full_lock::tech::Technology;
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -36,7 +38,7 @@ USAGE:
   fulllock stats  <circuit.bench>
   fulllock lock   <circuit.bench> -o <locked.bench> [options]
   fulllock verify <locked.bench> --oracle <circuit.bench> --key <bits>
-  fulllock attack <locked.bench> --oracle <circuit.bench> [--timeout SECS]
+  fulllock attack <locked.bench> --oracle <circuit.bench> [--timeout SECS] [--threads N]
   fulllock export <circuit.bench> --format <verilog|bench|dimacs> [-o FILE]
   fulllock optimize <circuit.bench> -o <optimized.bench>
 
@@ -296,23 +298,28 @@ fn cmd_attack(raw: &[String]) -> CliResult {
         .ok_or("attack: missing <locked.bench>")?;
     let oracle_path = args.flag("oracle").ok_or("attack: missing --oracle")?;
     let timeout: f64 = args.flag("timeout").unwrap_or("60").parse()?;
+    let threads: usize = args.flag("threads").unwrap_or("1").parse()?;
+    let backend = if threads > 1 {
+        BackendSpec::portfolio(threads)
+    } else {
+        BackendSpec::Single
+    };
     let locked = as_locked(load_netlist(path)?)?;
     let original = load_netlist(oracle_path)?;
     let oracle = SimOracle::new(&original)?;
     println!(
-        "attacking {} ({} key bits, cyclic: {}) with a {timeout}s budget…",
+        "attacking {} ({} key bits, cyclic: {}) with a {timeout}s budget on {} thread(s)…",
         locked.netlist.name(),
         locked.key_len(),
         topo::is_cyclic(&locked.netlist),
+        threads.max(1),
     );
-    let report = attack(
-        &locked,
-        &oracle,
-        SatAttackConfig {
-            timeout: Some(Duration::from_secs_f64(timeout)),
-            ..Default::default()
-        },
-    )?;
+    let report = SatAttackConfig {
+        timeout: Some(Duration::from_secs_f64(timeout)),
+        backend,
+        ..Default::default()
+    }
+    .run(&locked, &oracle)?;
     match report.outcome {
         AttackOutcome::KeyRecovered { key, verified } => {
             println!(
@@ -330,10 +337,12 @@ fn cmd_attack(raw: &[String]) -> CliResult {
             report.iterations
         ),
     }
-    println!(
-        "formula: {} vars, {} clauses (mean clause/var ratio {:.2})",
-        report.formula.0, report.formula.1, report.mean_clause_var_ratio
-    );
+    if let AttackDetails::Sat(details) = &report.details {
+        println!(
+            "formula: {} vars, {} clauses (mean clause/var ratio {:.2})",
+            details.formula.0, details.formula.1, details.mean_clause_var_ratio
+        );
+    }
     Ok(())
 }
 

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use full_lock::attacks::{attack, AttackOutcome, SatAttackConfig, SimOracle};
+use full_lock::attacks::{Attack, AttackOutcome, SatAttackConfig, SimOracle};
 use full_lock::locking::{
     FullLock, FullLockConfig, Key, LockingScheme, PlrSpec, Rll, WireSelection,
 };
@@ -17,7 +17,9 @@ fn lock_attack_verify_pipeline_on_c432() {
     let original = benchmarks::load("c432").expect("suite benchmark");
     let locked = Rll::new(16, 1).lock(&original).expect("lockable");
     let oracle = SimOracle::new(&original).expect("acyclic");
-    let report = attack(&locked, &oracle, SatAttackConfig::default()).expect("interfaces");
+    let report = SatAttackConfig::default()
+        .run(&locked, &oracle)
+        .expect("interfaces");
     let AttackOutcome::KeyRecovered { key, verified } = report.outcome else {
         panic!("RLL must fall to the SAT attack");
     };
@@ -92,14 +94,11 @@ fn cyclic_lock_cycsat_pipeline() {
     let locked = FullLock::new(config).lock(&original).expect("lockable");
     let oracle = SimOracle::new(&original).expect("acyclic");
     // A 4×4 PLR falls quickly even with CycSAT preprocessing.
-    let report = attack(
-        &locked,
-        &oracle,
-        SatAttackConfig {
-            timeout: Some(Duration::from_secs(60)),
-            ..Default::default()
-        },
-    )
+    let report = SatAttackConfig {
+        timeout: Some(Duration::from_secs(60)),
+        ..Default::default()
+    }
+    .run(&locked, &oracle)
     .expect("interfaces");
     let AttackOutcome::KeyRecovered { key, verified } = report.outcome else {
         panic!("4x4 cyclic PLR should fall within a minute, got {report:?}");

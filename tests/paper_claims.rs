@@ -4,9 +4,7 @@
 
 use std::time::Duration;
 
-use full_lock::attacks::{
-    appsat_attack, attack, removal, sps, AppSatConfig, SatAttackConfig, SimOracle,
-};
+use full_lock::attacks::{removal, sps, AppSatConfig, Attack, SatAttackConfig, SimOracle};
 use full_lock::bench::cln_testbed;
 use full_lock::locking::{
     corruption, AntiSat, ClnTopology, FullLock, FullLockConfig, LockingScheme, PlrSpec, SarLock,
@@ -49,14 +47,11 @@ fn claim_table2_nonblocking_beats_blocking() {
     let time_for = |topology: ClnTopology| {
         let (host, locked) = cln_testbed(16, topology, 2);
         let oracle = SimOracle::new(&host).unwrap();
-        let report = attack(
-            &locked,
-            &oracle,
-            SatAttackConfig {
-                timeout: Some(Duration::from_secs(120)),
-                ..Default::default()
-            },
-        )
+        let report = SatAttackConfig {
+            timeout: Some(Duration::from_secs(120)),
+            ..Default::default()
+        }
+        .run(&locked, &oracle)
         .unwrap();
         assert!(report.outcome.is_broken(), "N=16 should fall within 2 min");
         report.elapsed
@@ -75,7 +70,7 @@ fn claim_table2_exponential_growth() {
     let time_for = |n: usize| {
         let (host, locked) = cln_testbed(n, ClnTopology::Shuffle, 3);
         let oracle = SimOracle::new(&host).unwrap();
-        let report = attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+        let report = SatAttackConfig::default().run(&locked, &oracle).unwrap();
         assert!(report.outcome.is_broken());
         report.elapsed
     };
@@ -108,27 +103,31 @@ fn claim_appsat_separation() {
     let original = benchmarks::load("c432").unwrap();
     let oracle = SimOracle::new(&original).unwrap();
     let sl = SarLock::new(12, 1).lock(&original).unwrap();
-    let sl_report = appsat_attack(&sl, &oracle, AppSatConfig::default()).unwrap();
-    assert!(sl_report.settled, "AppSAT must settle on SARLock");
+    let sl_report = AppSatConfig::default().run(&sl, &oracle).unwrap();
+    assert!(
+        sl_report.outcome.is_compromised(),
+        "AppSAT must settle on SARLock: {:?}",
+        sl_report.outcome
+    );
 
     let fl = FullLock::new(FullLockConfig::single_plr(16))
         .lock(&original)
         .unwrap();
     let oracle = SimOracle::new(&original).unwrap();
-    let fl_report = appsat_attack(
-        &fl,
-        &oracle,
-        AppSatConfig {
-            base: SatAttackConfig {
-                timeout: Some(Duration::from_millis(500)),
-                ..Default::default()
-            },
+    let fl_report = AppSatConfig {
+        base: SatAttackConfig {
+            timeout: Some(Duration::from_millis(500)),
             ..Default::default()
         },
-    )
+        ..Default::default()
+    }
+    .run(&fl, &oracle)
     .unwrap();
-    assert!(!fl_report.settled);
-    assert!(fl_report.measured_error > 0.05);
+    assert!(!fl_report.outcome.is_compromised());
+    let full_lock::attacks::AttackDetails::AppSat(details) = &fl_report.details else {
+        panic!("appsat reports AppSat details");
+    };
+    assert!(details.measured_error > 0.05);
 }
 
 /// §4.2.2: best-case removal fails exactly when twisting is on.
@@ -149,12 +148,13 @@ fn claim_removal_separation() {
         };
         FullLock::new(config).lock_with_trace(&original).unwrap()
     };
+    let oracle = SimOracle::new(&original).unwrap();
     let (plain, plain_trace) = lock_with_twist(0.0);
-    let study = removal::removal_study(&plain, &plain_trace, &original, 200, 7).unwrap();
+    let study = removal::study_with_oracle(&plain, &plain_trace, &oracle, 200, 7).unwrap();
     assert!(study.recovered, "untwisted CLN-only lock must be removable");
 
     let (twisted, twisted_trace) = lock_with_twist(1.0);
-    let study = removal::removal_study(&twisted, &twisted_trace, &original, 200, 8).unwrap();
+    let study = removal::study_with_oracle(&twisted, &twisted_trace, &oracle, 200, 8).unwrap();
     assert!(!study.recovered, "twisted Full-Lock must survive removal");
 }
 
@@ -163,13 +163,15 @@ fn claim_removal_separation() {
 fn claim_sps_separation() {
     let original = benchmarks::load("c432").unwrap();
     let anti = AntiSat::new(16, 2).lock(&original).unwrap();
-    let report = sps::sps_attack(&anti, &original, 0.45, 150, 9).unwrap();
+    let oracle = SimOracle::new(&original).unwrap();
+    let report = sps::scan_with_oracle(&anti, &oracle, 0.45, 150, 9).unwrap();
     assert!(report.succeeded(), "SPS must break Anti-SAT");
 
     let fl = FullLock::new(FullLockConfig::single_plr(8))
         .lock(&original)
         .unwrap();
-    let report = sps::sps_attack(&fl, &original, 0.45, 150, 10).unwrap();
+    let oracle = SimOracle::new(&original).unwrap();
+    let report = sps::scan_with_oracle(&fl, &oracle, 0.45, 150, 10).unwrap();
     assert!(!report.succeeded(), "SPS must not break Full-Lock");
 }
 
