@@ -98,25 +98,45 @@ fn run_appsat(
     config: AppSatConfig,
 ) -> Result<AppSatReport> {
     let mut engine = SatAttack::new(locked, oracle, config.base)?;
+    engine.set_checkpoint_label("appsat");
+    Ok(drive_appsat(&mut engine, locked, oracle, config))
+}
+
+/// The AppSAT loop over a pre-built engine (fresh or resumed from a
+/// checkpoint — the engine-level I/O log covers DIPs *and* reinforcement
+/// queries, so a restored engine carries both back).
+fn drive_appsat(
+    engine: &mut SatAttack<'_>,
+    locked: &LockedCircuit,
+    oracle: &dyn Oracle,
+    config: AppSatConfig,
+) -> AppSatReport {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut best: Option<(Key, f64)> = None;
 
     loop {
         // A settlement probe runs before the first DIP too: point-function
         // schemes are approximately broken by *any* consistent key.
-        if engine.iterations() % config.probe_interval == 0 {
+        if engine.iterations().is_multiple_of(config.probe_interval) {
             if let Some(key) = engine.extract_key() {
                 let (error, mismatches) =
                     probe_error(locked, oracle, &key, config.probe_samples, &mut rng);
                 // AppSAT reinforcement: failed probes become constraints.
+                let reinforced = !mismatches.is_empty();
                 for (x, y) in mismatches {
                     engine.assert_io(&x, &y);
                 }
                 if best.as_ref().is_none_or(|(_, e)| error < *e) {
+                    engine.set_candidate_key(key.clone());
                     best = Some((key.clone(), error));
                 }
+                if reinforced {
+                    // Persist the reinforcement constraints too — they cost
+                    // oracle queries, same as DIPs.
+                    engine.checkpoint_now();
+                }
                 if error <= config.error_threshold {
-                    return Ok(AppSatReport {
+                    return AppSatReport {
                         key: Some(key),
                         measured_error: error,
                         settled: true,
@@ -124,7 +144,7 @@ fn run_appsat(
                         iterations: engine.iterations(),
                         elapsed: engine.elapsed(),
                         solver: engine.solver_stats(),
-                    });
+                    };
                 }
             }
         }
@@ -136,7 +156,7 @@ fn run_appsat(
                     Some(k) => probe_error(locked, oracle, k, config.probe_samples, &mut rng),
                     None => (1.0, Vec::new()),
                 };
-                return Ok(AppSatReport {
+                return AppSatReport {
                     settled: error <= config.error_threshold,
                     exact: key.is_some(),
                     measured_error: error,
@@ -144,14 +164,17 @@ fn run_appsat(
                     iterations: engine.iterations(),
                     elapsed: engine.elapsed(),
                     solver: engine.solver_stats(),
-                });
+                };
             }
             Step::Budget => {
                 let (key, error) = match best {
                     Some((k, e)) => (Some(k), e),
-                    None => (None, 1.0),
+                    // A resumed run may not have re-probed yet; fall back
+                    // to the checkpoint's candidate key with unknown
+                    // (pessimistic) error.
+                    None => (engine.candidate_key().cloned(), 1.0),
                 };
-                return Ok(AppSatReport {
+                return AppSatReport {
                     key,
                     measured_error: error,
                     settled: false,
@@ -159,7 +182,7 @@ fn run_appsat(
                     iterations: engine.iterations(),
                     elapsed: engine.elapsed(),
                     solver: engine.solver_stats(),
-                });
+                };
             }
         }
     }
@@ -197,27 +220,58 @@ impl Attack for AppSatConfig {
     /// # }
     /// ```
     fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport> {
-        let report = run_appsat(locked, oracle, *self)?;
-        let outcome = match (&report.key, report.exact, report.settled) {
-            (Some(key), true, _) => AttackOutcome::KeyRecovered {
-                key: key.clone(),
-                verified: report.measured_error == 0.0,
-            },
-            (Some(key), false, true) => AttackOutcome::ApproximateKey {
-                key: key.clone(),
-                measured_error: report.measured_error,
-            },
-            _ => AttackOutcome::Timeout,
-        };
-        Ok(AttackReport {
-            attack: "appsat",
-            outcome,
-            iterations: report.iterations,
-            elapsed: report.elapsed,
-            oracle_queries: oracle.queries(),
-            solver: report.solver,
-            details: AttackDetails::AppSat(report),
-        })
+        let mut engine = SatAttack::new(locked, oracle, self.base)?;
+        engine.set_checkpoint_label("appsat");
+        Ok(envelope(&mut engine, locked, oracle, *self))
+    }
+
+    fn run_checkpointed(
+        &self,
+        locked: &LockedCircuit,
+        oracle: &dyn Oracle,
+        checkpoint: &std::path::Path,
+        resume: bool,
+    ) -> Result<AttackReport> {
+        let mut engine = SatAttack::new(locked, oracle, self.base)?;
+        engine.set_checkpoint_label("appsat");
+        if resume && checkpoint.exists() {
+            let snapshot = crate::checkpoint::AttackCheckpoint::load(checkpoint)?;
+            engine.restore(&snapshot)?;
+        }
+        engine.set_checkpoint(checkpoint);
+        Ok(envelope(&mut engine, locked, oracle, *self))
+    }
+}
+
+/// Drives the AppSAT loop and folds its settlement data into the common
+/// envelope, capturing the fault-tolerance record.
+fn envelope(
+    engine: &mut SatAttack<'_>,
+    locked: &LockedCircuit,
+    oracle: &dyn Oracle,
+    config: AppSatConfig,
+) -> AttackReport {
+    let report = drive_appsat(engine, locked, oracle, config);
+    let outcome = match (&report.key, report.exact, report.settled) {
+        (Some(key), true, _) => AttackOutcome::KeyRecovered {
+            key: key.clone(),
+            verified: report.measured_error == 0.0,
+        },
+        (Some(key), false, true) => AttackOutcome::ApproximateKey {
+            key: key.clone(),
+            measured_error: report.measured_error,
+        },
+        _ => AttackOutcome::Timeout,
+    };
+    AttackReport {
+        attack: "appsat",
+        outcome,
+        iterations: report.iterations,
+        elapsed: report.elapsed,
+        oracle_queries: engine.oracle_queries(),
+        solver: report.solver,
+        resilience: engine.resilience(),
+        details: AttackDetails::AppSat(report),
     }
 }
 

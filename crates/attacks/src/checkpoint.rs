@@ -1,0 +1,500 @@
+//! Crash-safe checkpointing of oracle-guided attack runs.
+//!
+//! A Full-Lock attack on a production-sized netlist is a long-lived job:
+//! hours of DIP iterations against a physical oracle, any of which can be
+//! cut short by a crash, an OOM kill, or a cluster pre-emption. Every DIP
+//! is paid for with a real oracle query, so losing the accumulated
+//! constraints means re-buying them. This module makes runs resumable:
+//!
+//! * [`AttackCheckpoint`] captures everything a DIP loop needs to pick up
+//!   where it stopped — the observed I/O pairs (the *semantic* state; the
+//!   CNF is re-derived from them on resume, so the file stays small and
+//!   version-independent of the encoder), iteration counters, the phase
+//!   (for Double-DIP's two-phase loop), the best candidate key, and the
+//!   cumulative instrumentation (elapsed time, oracle queries, solver
+//!   counters);
+//! * [`AttackCheckpoint::save`] writes atomically — serialize to
+//!   `<path>.tmp`, `sync_all`, then `rename` — so a crash mid-write leaves
+//!   the previous checkpoint intact, never a torn file;
+//! * [`AttackCheckpoint::load`] validates the version and (via
+//!   [`AttackCheckpoint::validate_for`]) the attack name and interface
+//!   widths, so a checkpoint can never silently resume against the wrong
+//!   netlist.
+//!
+//! The on-disk format is versioned JSON ([`CHECKPOINT_VERSION`]); bit
+//! vectors are `"0101"` strings (index 0 first). See `DESIGN.md` for the
+//! schema.
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use fulllock_locking::Key;
+use fulllock_sat::cdcl::SolverStats;
+
+use crate::json::Json;
+use crate::{AttackError, Result};
+
+/// Version tag written into every checkpoint file; loading any other
+/// version fails rather than guessing.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// One observed oracle I/O pair (the unit of progress of a DIP loop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoPair {
+    /// Data-input pattern queried.
+    pub inputs: Vec<bool>,
+    /// Oracle response.
+    pub outputs: Vec<bool>,
+}
+
+/// A resumable snapshot of an oracle-guided attack run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackCheckpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// Attack name (`"sat"`, `"appsat"`, `"double-dip"`); a checkpoint
+    /// only resumes the attack that wrote it.
+    pub attack: String,
+    /// Data-input width of the locked circuit (resume-time validation).
+    pub data_bits: usize,
+    /// Key width of the locked circuit (resume-time validation).
+    pub key_bits: usize,
+    /// Loop phase: 0 for single-phase DIP loops; Double-DIP uses 1
+    /// (2-DIP phase) and 2 (plain-DIP clean-up).
+    pub phase: u64,
+    /// Completed primary-loop iterations.
+    pub iterations: u64,
+    /// Completed clean-up iterations (Double-DIP only; 0 otherwise).
+    pub cleanup_iterations: u64,
+    /// Best candidate key at snapshot time, if the attack tracked one
+    /// (AppSAT's settling key; `None` for the exact attacks mid-loop).
+    pub candidate_key: Option<Key>,
+    /// Sum of per-iteration clause/variable ratios (Fig 7 instrumentation).
+    pub ratio_sum: f64,
+    /// Number of ratio samples.
+    pub ratio_samples: u64,
+    /// Wall-clock time spent before the snapshot (cumulative across
+    /// resumes).
+    pub elapsed: Duration,
+    /// Oracle queries issued before the snapshot (cumulative).
+    pub oracle_queries: u64,
+    /// Solver counters accumulated before the snapshot (cumulative).
+    pub solver: SolverStats,
+    /// Every observed I/O pair, in assertion order — replaying these
+    /// through the attack's constraint encoder reproduces the formula
+    /// without touching the oracle.
+    pub io_pairs: Vec<IoPair>,
+}
+
+impl AttackCheckpoint {
+    /// An empty snapshot for the named attack (counters zero, no pairs).
+    pub fn new(attack: &str, data_bits: usize, key_bits: usize) -> AttackCheckpoint {
+        AttackCheckpoint {
+            version: CHECKPOINT_VERSION,
+            attack: attack.to_string(),
+            data_bits,
+            key_bits,
+            phase: 0,
+            iterations: 0,
+            cleanup_iterations: 0,
+            candidate_key: None,
+            ratio_sum: 0.0,
+            ratio_samples: 0,
+            elapsed: Duration::ZERO,
+            oracle_queries: 0,
+            solver: SolverStats::default(),
+            io_pairs: Vec::new(),
+        }
+    }
+
+    /// Checks this snapshot can resume the named attack on a circuit with
+    /// the given interface widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::CheckpointFormat`] (with an empty path) on
+    /// any mismatch.
+    pub fn validate_for(&self, attack: &str, data_bits: usize, key_bits: usize) -> Result<()> {
+        let complain = |message: String| {
+            Err(AttackError::CheckpointFormat {
+                path: PathBuf::new(),
+                message,
+            })
+        };
+        if self.attack != attack {
+            return complain(format!(
+                "checkpoint was written by attack {:?}, not {attack:?}",
+                self.attack
+            ));
+        }
+        if self.data_bits != data_bits || self.key_bits != key_bits {
+            return complain(format!(
+                "checkpoint interface is {}x{} (data x key bits) but the circuit is {data_bits}x{key_bits}",
+                self.data_bits, self.key_bits
+            ));
+        }
+        for (i, pair) in self.io_pairs.iter().enumerate() {
+            if pair.inputs.len() != data_bits {
+                return complain(format!(
+                    "io pair {i} has {} input bits, expected {data_bits}",
+                    pair.inputs.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes to the versioned JSON text format.
+    pub fn to_json(&self) -> String {
+        let stats = &self.solver;
+        let solver = Json::Object(vec![
+            ("decisions".into(), Json::Int(stats.decisions)),
+            ("propagations".into(), Json::Int(stats.propagations)),
+            ("conflicts".into(), Json::Int(stats.conflicts)),
+            ("restarts".into(), Json::Int(stats.restarts)),
+            ("deleted_learnts".into(), Json::Int(stats.deleted_learnts)),
+            (
+                "minimized_literals".into(),
+                Json::Int(stats.minimized_literals),
+            ),
+            ("reductions".into(), Json::Int(stats.reductions)),
+            (
+                "lbd_histogram".into(),
+                Json::Array(stats.lbd_histogram.iter().map(|&n| Json::Int(n)).collect()),
+            ),
+            ("propagate_ns".into(), Json::Int(stats.propagate_ns)),
+            ("analyze_ns".into(), Json::Int(stats.analyze_ns)),
+            ("worker_panics".into(), Json::Int(stats.worker_panics)),
+        ]);
+        let pairs = Json::Array(
+            self.io_pairs
+                .iter()
+                .map(|pair| {
+                    Json::Object(vec![
+                        ("x".into(), Json::Str(bits_to_string(&pair.inputs))),
+                        ("y".into(), Json::Str(bits_to_string(&pair.outputs))),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Object(vec![
+            ("version".into(), Json::Int(self.version)),
+            ("attack".into(), Json::Str(self.attack.clone())),
+            ("data_bits".into(), Json::Int(self.data_bits as u64)),
+            ("key_bits".into(), Json::Int(self.key_bits as u64)),
+            ("phase".into(), Json::Int(self.phase)),
+            ("iterations".into(), Json::Int(self.iterations)),
+            (
+                "cleanup_iterations".into(),
+                Json::Int(self.cleanup_iterations),
+            ),
+            (
+                "candidate_key".into(),
+                match &self.candidate_key {
+                    Some(key) => Json::Str(key.to_string()),
+                    None => Json::Null,
+                },
+            ),
+            ("ratio_sum".into(), Json::Float(self.ratio_sum)),
+            ("ratio_samples".into(), Json::Int(self.ratio_samples)),
+            (
+                "elapsed_secs".into(),
+                Json::Float(self.elapsed.as_secs_f64()),
+            ),
+            ("oracle_queries".into(), Json::Int(self.oracle_queries)),
+            ("solver".into(), solver),
+            ("io_pairs".into(), pairs),
+        ])
+        .to_text()
+    }
+
+    /// Parses the JSON text format, validating the version tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::CheckpointFormat`] (with an empty path — the
+    /// file-level [`load`](Self::load) fills it in) on malformed text or
+    /// an unsupported version.
+    pub fn from_json(text: &str) -> Result<AttackCheckpoint> {
+        parse_checkpoint(text).map_err(|message| AttackError::CheckpointFormat {
+            path: PathBuf::new(),
+            message,
+        })
+    }
+
+    /// Atomically writes the checkpoint: serialize to `<path>.tmp`, sync,
+    /// rename over `path`. A crash at any point leaves either the old
+    /// complete checkpoint or the new complete checkpoint — never a torn
+    /// file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::CheckpointIo`] on any filesystem failure.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        use std::io::Write as _;
+        let io_err = |message: String| AttackError::CheckpointIo {
+            path: path.to_path_buf(),
+            message,
+        };
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let text = self.to_json();
+        let mut file =
+            std::fs::File::create(&tmp).map_err(|e| io_err(format!("create temp file: {e}")))?;
+        file.write_all(text.as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .map_err(|e| io_err(format!("write temp file: {e}")))?;
+        file.sync_all()
+            .map_err(|e| io_err(format!("sync temp file: {e}")))?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| io_err(format!("rename into place: {e}")))
+    }
+
+    /// Loads and parses a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::CheckpointIo`] if the file cannot be read and
+    /// [`AttackError::CheckpointFormat`] if its contents are invalid.
+    pub fn load(path: &Path) -> Result<AttackCheckpoint> {
+        let text = std::fs::read_to_string(path).map_err(|e| AttackError::CheckpointIo {
+            path: path.to_path_buf(),
+            message: format!("read: {e}"),
+        })?;
+        AttackCheckpoint::from_json(&text).map_err(|e| match e {
+            AttackError::CheckpointFormat { message, .. } => AttackError::CheckpointFormat {
+                path: path.to_path_buf(),
+                message,
+            },
+            other => other,
+        })
+    }
+}
+
+/// Renders bits as a `"0101"` string, index 0 first.
+fn bits_to_string(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+/// Parses a `"0101"` string back into bits.
+fn string_to_bits(s: &str) -> Result<Vec<bool>, String> {
+    s.chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("invalid bit character {other:?}")),
+        })
+        .collect()
+}
+
+fn parse_checkpoint(text: &str) -> std::result::Result<AttackCheckpoint, String> {
+    let root = Json::parse(text)?;
+    let field = |name: &str| {
+        root.get(name)
+            .ok_or_else(|| format!("missing field {name:?}"))
+    };
+    let int_field = |name: &str| {
+        field(name)?
+            .as_u64()
+            .ok_or_else(|| format!("field {name:?} must be an unsigned integer"))
+    };
+
+    let version = int_field("version")?;
+    if version != CHECKPOINT_VERSION {
+        return Err(format!(
+            "unsupported checkpoint version {version} (this build reads version {CHECKPOINT_VERSION})"
+        ));
+    }
+    let attack = field("attack")?
+        .as_str()
+        .ok_or("field \"attack\" must be a string")?
+        .to_string();
+    let candidate_key = match field("candidate_key")? {
+        Json::Null => None,
+        Json::Str(s) => Some(
+            s.parse::<Key>()
+                .map_err(|e| format!("invalid candidate_key: {e}"))?,
+        ),
+        _ => return Err("field \"candidate_key\" must be a bit string or null".to_string()),
+    };
+    let ratio_sum = field("ratio_sum")?
+        .as_f64()
+        .ok_or("field \"ratio_sum\" must be a number")?;
+    let elapsed_secs = field("elapsed_secs")?
+        .as_f64()
+        .ok_or("field \"elapsed_secs\" must be a number")?;
+    if !elapsed_secs.is_finite() || elapsed_secs < 0.0 {
+        return Err(format!(
+            "field \"elapsed_secs\" out of range: {elapsed_secs}"
+        ));
+    }
+
+    let stats_json = field("solver")?;
+    let stat = |name: &str| {
+        stats_json
+            .get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("solver field {name:?} must be an unsigned integer"))
+    };
+    let mut lbd_histogram = [0u64; 8];
+    let hist = stats_json
+        .get("lbd_histogram")
+        .and_then(Json::as_array)
+        .ok_or("solver field \"lbd_histogram\" must be an array")?;
+    if hist.len() != lbd_histogram.len() {
+        return Err(format!(
+            "solver field \"lbd_histogram\" must have {} buckets",
+            lbd_histogram.len()
+        ));
+    }
+    for (bucket, value) in lbd_histogram.iter_mut().zip(hist) {
+        *bucket = value
+            .as_u64()
+            .ok_or("lbd_histogram buckets must be unsigned integers")?;
+    }
+    let solver = SolverStats {
+        decisions: stat("decisions")?,
+        propagations: stat("propagations")?,
+        conflicts: stat("conflicts")?,
+        restarts: stat("restarts")?,
+        deleted_learnts: stat("deleted_learnts")?,
+        minimized_literals: stat("minimized_literals")?,
+        reductions: stat("reductions")?,
+        lbd_histogram,
+        propagate_ns: stat("propagate_ns")?,
+        analyze_ns: stat("analyze_ns")?,
+        worker_panics: stat("worker_panics")?,
+    };
+
+    let pairs_json = field("io_pairs")?
+        .as_array()
+        .ok_or("field \"io_pairs\" must be an array")?;
+    let mut io_pairs = Vec::with_capacity(pairs_json.len());
+    for (i, pair) in pairs_json.iter().enumerate() {
+        let coord = |name: &str| {
+            pair.get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("io pair {i} is missing bit string {name:?}"))
+        };
+        io_pairs.push(IoPair {
+            inputs: string_to_bits(coord("x")?)?,
+            outputs: string_to_bits(coord("y")?)?,
+        });
+    }
+
+    Ok(AttackCheckpoint {
+        version,
+        attack,
+        data_bits: int_field("data_bits")? as usize,
+        key_bits: int_field("key_bits")? as usize,
+        phase: int_field("phase")?,
+        iterations: int_field("iterations")?,
+        cleanup_iterations: int_field("cleanup_iterations")?,
+        candidate_key,
+        ratio_sum,
+        ratio_samples: int_field("ratio_samples")?,
+        elapsed: Duration::from_secs_f64(elapsed_secs),
+        oracle_queries: int_field("oracle_queries")?,
+        solver,
+        io_pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AttackCheckpoint {
+        let mut cp = AttackCheckpoint::new("sat", 4, 3);
+        cp.iterations = 7;
+        cp.phase = 0;
+        cp.candidate_key = Some(Key::from_bits([true, false, true]));
+        cp.ratio_sum = 13.625;
+        cp.ratio_samples = 7;
+        cp.elapsed = Duration::from_millis(1250);
+        cp.oracle_queries = 9;
+        cp.solver.conflicts = 123;
+        cp.solver.lbd_histogram[2] = 45;
+        cp.solver.worker_panics = 1;
+        cp.io_pairs = vec![
+            IoPair {
+                inputs: vec![true, false, false, true],
+                outputs: vec![false, true],
+            },
+            IoPair {
+                inputs: vec![false, false, true, true],
+                outputs: vec![true, true],
+            },
+        ];
+        cp
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let cp = sample();
+        let back = AttackCheckpoint::from_json(&cp.to_json()).expect("round trip");
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn null_candidate_key_round_trips() {
+        let mut cp = sample();
+        cp.candidate_key = None;
+        let back = AttackCheckpoint::from_json(&cp.to_json()).expect("round trip");
+        assert_eq!(back.candidate_key, None);
+    }
+
+    #[test]
+    fn save_load_round_trips_and_is_atomic() {
+        let dir = std::env::temp_dir().join(format!("fulllock-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("attack.ckpt");
+        let cp = sample();
+        cp.save(&path).expect("save");
+        // No temp residue after a successful save.
+        assert!(!path.with_extension("ckpt.tmp").exists());
+        let back = AttackCheckpoint::load(&path).expect("load");
+        assert_eq!(back, cp);
+        // Overwrite with a newer snapshot: still one coherent file.
+        let mut newer = cp.clone();
+        newer.iterations = 8;
+        newer.save(&path).expect("second save");
+        assert_eq!(AttackCheckpoint::load(&path).expect("reload").iterations, 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let text = sample()
+            .to_json()
+            .replace("\"version\":1", "\"version\":99");
+        let err = AttackCheckpoint::from_json(&text).expect_err("must reject");
+        assert!(matches!(err, AttackError::CheckpointFormat { .. }), "{err}");
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn malformed_text_is_rejected_with_context() {
+        for bad in ["", "{}", "not json", "{\"version\":1}"] {
+            let err = AttackCheckpoint::from_json(bad).expect_err(bad);
+            assert!(matches!(err, AttackError::CheckpointFormat { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn validate_for_checks_attack_and_interface() {
+        let cp = sample();
+        assert!(cp.validate_for("sat", 4, 3).is_ok());
+        assert!(cp.validate_for("appsat", 4, 3).is_err());
+        assert!(cp.validate_for("sat", 5, 3).is_err());
+        assert!(cp.validate_for("sat", 4, 2).is_err());
+    }
+
+    #[test]
+    fn load_of_missing_file_is_an_io_error() {
+        let err =
+            AttackCheckpoint::load(Path::new("/nonexistent/fulllock.ckpt")).expect_err("must fail");
+        assert!(matches!(err, AttackError::CheckpointIo { .. }), "{err}");
+    }
+}

@@ -21,6 +21,7 @@
 //! Full-Lock the attack buys nothing either way: iterations were never
 //! the bottleneck.
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use fulllock_locking::{Key, LockedCircuit};
@@ -30,11 +31,17 @@ use fulllock_sat::cdcl::{SolveLimits, SolveResult, SolverStats};
 use fulllock_sat::tseytin::encode_gate;
 use fulllock_sat::{Cnf, Lit, Var};
 
+use crate::checkpoint::{AttackCheckpoint, IoPair};
 use crate::encode::encode_locked;
 use crate::oracle::Oracle;
-use crate::report::{Attack, AttackDetails, AttackOutcome, AttackReport};
+use crate::report::{Attack, AttackDetails, AttackOutcome, AttackReport, RunResilience};
 use crate::sat_attack::SatAttackConfig;
 use crate::{cycsat, AttackError, Result};
+
+/// Double-DIP's phase tags in checkpoint files: 1 = 2-DIP search, 2 =
+/// plain-DIP clean-up.
+const PHASE_DOUBLE: u64 = 1;
+const PHASE_CLEANUP: u64 = 2;
 
 /// The Double-DIP attack as an [`Attack`] object: a thin wrapper over the
 /// base SAT-attack configuration (timeout, iteration cap, backend).
@@ -50,16 +57,34 @@ impl Attack for DoubleDip {
     }
 
     fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport> {
-        let report = run_double_dip(locked, oracle, self.base)?;
-        Ok(AttackReport {
-            attack: "double-dip",
-            outcome: report.outcome.clone(),
-            iterations: report.iterations + report.cleanup_iterations,
-            elapsed: report.elapsed,
-            oracle_queries: oracle.queries(),
-            solver: report.solver,
-            details: AttackDetails::DoubleDip(report),
-        })
+        let (report, resilience, queries) =
+            run_double_dip_checkpointed(locked, oracle, self.base, None, false)?;
+        Ok(envelope(report, resilience, queries))
+    }
+
+    fn run_checkpointed(
+        &self,
+        locked: &LockedCircuit,
+        oracle: &dyn Oracle,
+        checkpoint: &Path,
+        resume: bool,
+    ) -> Result<AttackReport> {
+        let (report, resilience, queries) =
+            run_double_dip_checkpointed(locked, oracle, self.base, Some(checkpoint), resume)?;
+        Ok(envelope(report, resilience, queries))
+    }
+}
+
+fn envelope(report: DoubleDipReport, resilience: RunResilience, queries: u64) -> AttackReport {
+    AttackReport {
+        attack: "double-dip",
+        outcome: report.outcome.clone(),
+        iterations: report.iterations + report.cleanup_iterations,
+        elapsed: report.elapsed,
+        oracle_queries: queries,
+        solver: report.solver,
+        resilience,
+        details: AttackDetails::DoubleDip(report),
     }
 }
 
@@ -102,6 +127,109 @@ fn run_double_dip(
     oracle: &dyn Oracle,
     config: SatAttackConfig,
 ) -> Result<DoubleDipReport> {
+    run_double_dip_checkpointed(locked, oracle, config, None, false).map(|(report, ..)| report)
+}
+
+/// Checkpoint bookkeeping of one Double-DIP run: where snapshots go, what
+/// was restored, and the cumulative instrumentation carried across
+/// resumes.
+struct CkptCtl {
+    path: Option<PathBuf>,
+    written: u64,
+    failures: u64,
+    resumed_from: Option<u64>,
+    prior_elapsed: Duration,
+    prior_solver: SolverStats,
+    io_log: Vec<IoPair>,
+}
+
+impl CkptCtl {
+    fn new(path: Option<&Path>) -> CkptCtl {
+        CkptCtl {
+            path: path.map(Path::to_path_buf),
+            written: 0,
+            failures: 0,
+            resumed_from: None,
+            prior_elapsed: Duration::ZERO,
+            prior_solver: SolverStats::default(),
+            io_log: Vec::new(),
+        }
+    }
+
+    /// Best-effort atomic snapshot write (a failed write is counted, not
+    /// fatal).
+    #[allow(clippy::too_many_arguments)]
+    fn save(
+        &mut self,
+        locked: &LockedCircuit,
+        phase: u64,
+        iterations: u64,
+        cleanup_iterations: u64,
+        start: Instant,
+        oracle_queries: u64,
+        stats: SolverStats,
+    ) {
+        let Some(path) = self.path.clone() else {
+            return;
+        };
+        let mut cp = AttackCheckpoint::new(
+            "double-dip",
+            locked.data_inputs.len(),
+            locked.key_inputs.len(),
+        );
+        cp.phase = phase;
+        cp.iterations = iterations;
+        cp.cleanup_iterations = cleanup_iterations;
+        cp.elapsed = self.prior_elapsed + start.elapsed();
+        cp.oracle_queries = oracle_queries;
+        let mut merged = self.prior_solver;
+        merged.merge(&stats);
+        cp.solver = merged;
+        cp.io_pairs = self.io_log.clone();
+        match cp.save(&path) {
+            Ok(()) => self.written += 1,
+            Err(_) => self.failures += 1,
+        }
+    }
+}
+
+/// Assembles the report + resilience + cumulative-oracle-queries triple at
+/// any exit point.
+fn finish(
+    outcome: AttackOutcome,
+    iterations: u64,
+    cleanup_iterations: u64,
+    start: Instant,
+    oracle_queries: u64,
+    solver: &dyn SolveBackend,
+    ctl: &CkptCtl,
+) -> (DoubleDipReport, RunResilience, u64) {
+    let mut stats = ctl.prior_solver;
+    stats.merge(&solver.stats());
+    let report = DoubleDipReport {
+        outcome,
+        iterations,
+        cleanup_iterations,
+        elapsed: ctl.prior_elapsed + start.elapsed(),
+        solver: stats,
+    };
+    let resilience = RunResilience {
+        worker_panics: stats.worker_panics,
+        worker_failures: solver.worker_failures(),
+        resumed_from: ctl.resumed_from,
+        checkpoints_written: ctl.written,
+        checkpoint_failures: ctl.failures,
+    };
+    (report, resilience, oracle_queries)
+}
+
+fn run_double_dip_checkpointed(
+    locked: &LockedCircuit,
+    oracle: &dyn Oracle,
+    config: SatAttackConfig,
+    checkpoint: Option<&Path>,
+    resume: bool,
+) -> Result<(DoubleDipReport, RunResilience, u64)> {
     if oracle.num_inputs() != locked.data_inputs.len() {
         return Err(AttackError::InterfaceMismatch {
             locked_inputs: locked.data_inputs.len(),
@@ -209,33 +337,70 @@ fn run_double_dip(
 
     let mut iterations = 0u64;
     let mut cleanup_iterations = 0u64;
+    let mut ctl = CkptCtl::new(checkpoint);
+    let mut skip_double_phase = false;
+    let oracle_baseline = oracle.queries();
+    let mut prior_queries = 0u64;
+    if resume {
+        if let Some(path) = checkpoint.filter(|p| p.exists()) {
+            let cp = AttackCheckpoint::load(path)?;
+            cp.validate_for(
+                "double-dip",
+                locked.data_inputs.len(),
+                locked.key_inputs.len(),
+            )?;
+            // Replay the recorded I/O pairs — re-deriving every constraint
+            // without an oracle query — and adopt the snapshot's position
+            // in the two-phase loop.
+            for pair in &cp.io_pairs {
+                assert_io(&mut solver, &mut cnf, &pair.inputs, &pair.outputs);
+            }
+            ctl.io_log = cp.io_pairs;
+            iterations = cp.iterations;
+            cleanup_iterations = cp.cleanup_iterations;
+            skip_double_phase = cp.phase >= PHASE_CLEANUP;
+            ctl.prior_elapsed = cp.elapsed;
+            ctl.prior_solver = cp.solver;
+            prior_queries = cp.oracle_queries;
+            ctl.resumed_from = Some(cp.iterations + cp.cleanup_iterations);
+        }
+    }
+    // Cumulative oracle queries across resumes: the restored count plus
+    // the delta this process has issued.
+    let total_queries = || prior_queries + (oracle.queries() - oracle_baseline);
     let out_of_budget = |iterations: u64| {
         deadline.is_some_and(|d| Instant::now() >= d)
             || config.max_iterations.is_some_and(|m| iterations >= m)
     };
 
-    // Phase 1: 2-DIPs while they exist.
-    loop {
+    // Phase 1: 2-DIPs while they exist (skipped when resuming a snapshot
+    // that had already entered the clean-up phase).
+    while !skip_double_phase {
         if out_of_budget(iterations) {
-            return Ok(report(
+            return Ok(finish(
                 budget_outcome(&config, iterations),
                 iterations,
                 cleanup_iterations,
                 start,
-                solver.stats(),
+                total_queries(),
+                solver.as_ref(),
+                &ctl,
             ));
         }
         match solver.solve_limited(&[act_double], limits.clone()) {
             SolveResult::Unknown => {
-                return Ok(report(
+                return Ok(finish(
                     AttackOutcome::Timeout,
                     iterations,
                     cleanup_iterations,
                     start,
-                    solver.stats(),
+                    total_queries(),
+                    solver.as_ref(),
+                    &ctl,
                 ))
             }
-            SolveResult::Unsat => break,
+            // No 2-DIP left: advance into the clean-up phase.
+            SolveResult::Unsat => skip_double_phase = true,
             SolveResult::Sat => {
                 let x: Vec<bool> = x_vars
                     .iter()
@@ -243,29 +408,46 @@ fn run_double_dip(
                     .collect();
                 let y = oracle.query(&x);
                 assert_io(&mut solver, &mut cnf, &x, &y);
+                ctl.io_log.push(IoPair {
+                    inputs: x,
+                    outputs: y,
+                });
                 iterations += 1;
+                ctl.save(
+                    locked,
+                    PHASE_DOUBLE,
+                    iterations,
+                    cleanup_iterations,
+                    start,
+                    total_queries(),
+                    solver.stats(),
+                );
             }
         }
     }
     // Phase 2: plain DIPs until convergence.
     loop {
         if out_of_budget(iterations + cleanup_iterations) {
-            return Ok(report(
+            return Ok(finish(
                 budget_outcome(&config, iterations + cleanup_iterations),
                 iterations,
                 cleanup_iterations,
                 start,
-                solver.stats(),
+                total_queries(),
+                solver.as_ref(),
+                &ctl,
             ));
         }
         match solver.solve_limited(&[act_single], limits.clone()) {
             SolveResult::Unknown => {
-                return Ok(report(
+                return Ok(finish(
                     AttackOutcome::Timeout,
                     iterations,
                     cleanup_iterations,
                     start,
-                    solver.stats(),
+                    total_queries(),
+                    solver.as_ref(),
+                    &ctl,
                 ))
             }
             SolveResult::Unsat => break,
@@ -276,10 +458,34 @@ fn run_double_dip(
                     .collect();
                 let y = oracle.query(&x);
                 assert_io(&mut solver, &mut cnf, &x, &y);
+                ctl.io_log.push(IoPair {
+                    inputs: x,
+                    outputs: y,
+                });
                 cleanup_iterations += 1;
+                ctl.save(
+                    locked,
+                    PHASE_CLEANUP,
+                    iterations,
+                    cleanup_iterations,
+                    start,
+                    total_queries(),
+                    solver.stats(),
+                );
             }
         }
     }
+    // A snapshot at the phase boundary: a crash during a long clean-up
+    // phase must not fall back into the 2-DIP phase on resume.
+    ctl.save(
+        locked,
+        PHASE_CLEANUP,
+        iterations,
+        cleanup_iterations,
+        start,
+        total_queries(),
+        solver.stats(),
+    );
     // Extraction: any key consistent with all constraints.
     let outcome = match solver.solve_limited(&[!act_double, !act_single], limits.clone()) {
         SolveResult::Sat => {
@@ -294,12 +500,14 @@ fn run_double_dip(
         SolveResult::Unknown => AttackOutcome::Timeout,
         SolveResult::Unsat => AttackOutcome::Inconclusive,
     };
-    Ok(report(
+    Ok(finish(
         outcome,
         iterations,
         cleanup_iterations,
         start,
-        solver.stats(),
+        total_queries(),
+        solver.as_ref(),
+        &ctl,
     ))
 }
 
@@ -337,22 +545,6 @@ fn verify(locked: &LockedCircuit, oracle: &dyn Oracle, key: &Key) -> bool {
         }
     }
     true
-}
-
-fn report(
-    outcome: AttackOutcome,
-    iterations: u64,
-    cleanup_iterations: u64,
-    start: Instant,
-    solver: SolverStats,
-) -> DoubleDipReport {
-    DoubleDipReport {
-        outcome,
-        iterations,
-        cleanup_iterations,
-        elapsed: start.elapsed(),
-        solver,
-    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,21 @@ pub enum AttackError {
     Netlist(fulllock_netlist::NetlistError),
     /// Propagated locking-layer error.
     Lock(fulllock_locking::LockError),
+    /// A checkpoint file could not be read or written.
+    CheckpointIo {
+        /// Checkpoint path.
+        path: std::path::PathBuf,
+        /// Underlying I/O failure.
+        message: String,
+    },
+    /// A checkpoint file parsed but its contents are invalid or
+    /// incompatible with the attack / circuit being resumed.
+    CheckpointFormat {
+        /// Checkpoint path (empty when the text never came from a file).
+        path: std::path::PathBuf,
+        /// What is wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for AttackError {
@@ -32,6 +47,16 @@ impl fmt::Display for AttackError {
             AttackError::Unsupported(msg) => write!(f, "unsupported attack input: {msg}"),
             AttackError::Netlist(e) => write!(f, "netlist error: {e}"),
             AttackError::Lock(e) => write!(f, "locking error: {e}"),
+            AttackError::CheckpointIo { path, message } => {
+                write!(f, "checkpoint I/O error at {}: {message}", path.display())
+            }
+            AttackError::CheckpointFormat { path, message } => {
+                if path.as_os_str().is_empty() {
+                    write!(f, "invalid checkpoint: {message}")
+                } else {
+                    write!(f, "invalid checkpoint {}: {message}", path.display())
+                }
+            }
         }
     }
 }

@@ -81,12 +81,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod appsat;
+pub mod checkpoint;
 pub mod cycsat;
 pub mod double_dip;
 mod encode;
 mod error;
+mod json;
 mod oracle;
 pub mod removal;
 mod report;
@@ -94,12 +97,13 @@ pub mod sat_attack;
 pub mod sps;
 
 pub use appsat::{AppSatConfig, AppSatReport};
+pub use checkpoint::{AttackCheckpoint, IoPair, CHECKPOINT_VERSION};
 pub use double_dip::DoubleDip;
 pub use encode::{encode_locked, LockedEncoding};
 pub use error::AttackError;
 pub use oracle::{Oracle, SimOracle};
 pub use removal::Removal;
-pub use report::{Attack, AttackDetails, AttackOutcome, AttackReport};
+pub use report::{Attack, AttackDetails, AttackOutcome, AttackReport, RunResilience};
 pub use sat_attack::{SatAttack, SatAttackConfig, SatAttackReport};
 pub use sps::Sps;
 

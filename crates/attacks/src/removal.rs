@@ -197,6 +197,7 @@ impl Attack for Removal {
             elapsed: start.elapsed(),
             oracle_queries: oracle.queries(),
             solver: Default::default(),
+            resilience: Default::default(),
             details: AttackDetails::Removal(study),
         })
     }

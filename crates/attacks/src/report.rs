@@ -9,13 +9,14 @@
 //! caring which attack produced which row. The attack-specific reports
 //! survive intact inside [`AttackDetails`].
 
+use std::path::Path;
 use std::time::Duration;
 
 use fulllock_locking::{Key, LockedCircuit};
 use fulllock_sat::cdcl::SolverStats;
 
 use crate::oracle::Oracle;
-use crate::Result;
+use crate::{AttackError, Result};
 
 /// Why an attack run ended — the cross-attack outcome vocabulary.
 ///
@@ -99,6 +100,37 @@ pub enum AttackDetails {
     Sps(crate::sps::SpsReport),
 }
 
+/// How a run weathered faults and interruptions: worker drop-outs the
+/// solver isolated, and checkpoint activity when the run was
+/// checkpointed. All-zeros ([`Default`]) for an undisturbed,
+/// un-checkpointed run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunResilience {
+    /// Portfolio workers that panicked and were isolated while the run's
+    /// solves were in flight (the race continued on the survivors).
+    pub worker_panics: u64,
+    /// Human-readable worker drop-out records (panics, stalls, memory-cap
+    /// retirements), in observation order.
+    pub worker_failures: Vec<String>,
+    /// Iteration count restored from a checkpoint, when the run resumed
+    /// (`None` for a fresh run).
+    pub resumed_from: Option<u64>,
+    /// Checkpoint snapshots successfully written during the run.
+    pub checkpoints_written: u64,
+    /// Best-effort checkpoint writes that failed; the run continued, so a
+    /// non-zero value means the on-disk snapshot lags the reported
+    /// progress.
+    pub checkpoint_failures: u64,
+}
+
+impl RunResilience {
+    /// Whether anything noteworthy happened (a fault was absorbed or a
+    /// checkpoint was involved).
+    pub fn is_eventful(&self) -> bool {
+        *self != RunResilience::default()
+    }
+}
+
 /// The common result envelope every [`Attack`] returns.
 #[derive(Debug, Clone)]
 pub struct AttackReport {
@@ -118,6 +150,9 @@ pub struct AttackReport {
     /// ([merged](SolverStats::merge) across portfolio workers; zeroed for
     /// attacks that never touch a solver).
     pub solver: SolverStats,
+    /// Fault-tolerance record of the run (worker drop-outs, checkpoint
+    /// activity).
+    pub resilience: RunResilience,
     /// The attack-specific report.
     pub details: AttackDetails,
 }
@@ -142,4 +177,53 @@ pub trait Attack {
     /// mismatches or structural preconditions the attack cannot handle
     /// (e.g. SPS on a cyclic netlist).
     fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport>;
+
+    /// Runs the attack with crash-safe checkpointing: after each completed
+    /// iteration a snapshot is written atomically to `checkpoint` (see
+    /// [`AttackCheckpoint`](crate::checkpoint::AttackCheckpoint)). With
+    /// `resume` set and an existing checkpoint file, the run restores the
+    /// snapshot first — re-deriving its constraints without repeating the
+    /// completed iterations' oracle queries; with `resume` set and no file
+    /// present, the run starts fresh (so a restart script can always pass
+    /// `resume = true`).
+    ///
+    /// The default implementation rejects the call: only the oracle-guided
+    /// DIP-loop attacks (SAT, AppSAT, Double-DIP) override it.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run`](Attack::run) returns, plus
+    /// [`AttackError::CheckpointIo`] /
+    /// [`AttackError::CheckpointFormat`] for unreadable or incompatible
+    /// checkpoints, and [`AttackError::Unsupported`] from attacks without
+    /// checkpoint support.
+    fn run_checkpointed(
+        &self,
+        locked: &LockedCircuit,
+        oracle: &dyn Oracle,
+        checkpoint: &Path,
+        resume: bool,
+    ) -> Result<AttackReport> {
+        let _ = (locked, oracle, checkpoint, resume);
+        Err(AttackError::Unsupported(format!(
+            "attack {:?} does not support checkpointing",
+            self.name()
+        )))
+    }
+
+    /// Resumes a previously checkpointed run from `checkpoint` (shorthand
+    /// for [`run_checkpointed`](Attack::run_checkpointed) with
+    /// `resume = true`).
+    ///
+    /// # Errors
+    ///
+    /// See [`run_checkpointed`](Attack::run_checkpointed).
+    fn resume(
+        &self,
+        locked: &LockedCircuit,
+        oracle: &dyn Oracle,
+        checkpoint: &Path,
+    ) -> Result<AttackReport> {
+        self.run_checkpointed(locked, oracle, checkpoint, true)
+    }
 }

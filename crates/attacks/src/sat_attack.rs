@@ -14,6 +14,7 @@
 //! (Tables 2 and 4), wall-clock time with a timeout, and the
 //! clause/variable ratio of the growing formula (Fig 7).
 
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use fulllock_locking::{Key, LockedCircuit};
@@ -24,9 +25,10 @@ use fulllock_sat::{Cnf, Lit, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::checkpoint::{AttackCheckpoint, IoPair};
 use crate::encode::{encode_locked, LockedEncoding};
 use crate::oracle::Oracle;
-use crate::report::{Attack, AttackDetails, AttackReport};
+use crate::report::{Attack, AttackDetails, AttackReport, RunResilience};
 use crate::{cycsat, AttackError, Result};
 
 pub use crate::report::AttackOutcome;
@@ -97,6 +99,30 @@ pub struct SatAttack<'a> {
     iterations: u64,
     ratio_sum: f64,
     ratio_samples: u64,
+    /// Every asserted I/O pair, in order — the semantic state a checkpoint
+    /// persists (the CNF is re-derived from these on resume).
+    io_log: Vec<IoPair>,
+    /// Where to write snapshots after each DIP; `None` disables
+    /// checkpointing.
+    checkpoint_path: Option<PathBuf>,
+    checkpoints_written: u64,
+    checkpoint_failures: u64,
+    /// Best candidate key known so far (set by AppSAT's probes; persisted
+    /// in checkpoints).
+    candidate_key: Option<Key>,
+    /// Attack name written into (and required of) checkpoints: `"sat"`
+    /// unless a wrapping attack (AppSAT) relabels the engine.
+    checkpoint_label: &'static str,
+    /// Instrumentation restored from a checkpoint: the pre-crash run's
+    /// elapsed time, oracle queries, and solver counters, folded into
+    /// reports.
+    prior_elapsed: Duration,
+    prior_oracle_queries: u64,
+    prior_solver: SolverStats,
+    /// Oracle query count at engine construction — the shared oracle may
+    /// have served earlier runs in this process.
+    oracle_baseline: u64,
+    resumed_from: Option<u64>,
 }
 
 impl std::fmt::Debug for SatAttack<'_> {
@@ -175,19 +201,168 @@ impl<'a> SatAttack<'a> {
             iterations: 0,
             ratio_sum: 0.0,
             ratio_samples: 0,
+            io_log: Vec::new(),
+            checkpoint_path: None,
+            checkpoints_written: 0,
+            checkpoint_failures: 0,
+            candidate_key: None,
+            checkpoint_label: "sat",
+            prior_elapsed: Duration::ZERO,
+            prior_oracle_queries: 0,
+            prior_solver: SolverStats::default(),
+            oracle_baseline: oracle.queries(),
+            resumed_from: None,
         };
         attack.transfer_clauses();
         Ok(attack)
     }
 
-    /// Completed DIP iterations so far.
+    /// Builds the engine and restores a previously saved checkpoint: the
+    /// recorded I/O pairs are re-asserted (re-deriving the constraint
+    /// formula without a single oracle query) and the iteration counters
+    /// and cumulative instrumentation pick up where the snapshot left
+    /// off. The engine keeps checkpointing to the same path.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`new`](Self::new) returns, plus
+    /// [`AttackError::CheckpointIo`] / [`AttackError::CheckpointFormat`]
+    /// for an unreadable or incompatible checkpoint file.
+    pub fn resume(
+        locked: &'a LockedCircuit,
+        oracle: &'a dyn Oracle,
+        config: SatAttackConfig,
+        path: &Path,
+    ) -> Result<SatAttack<'a>> {
+        let snapshot = AttackCheckpoint::load(path)?;
+        let mut engine = SatAttack::new(locked, oracle, config)?;
+        engine.restore(&snapshot)?;
+        engine.set_checkpoint(path);
+        Ok(engine)
+    }
+
+    /// Enables crash-safe checkpointing: after every completed DIP a
+    /// snapshot is written atomically to `path` (best effort — a failed
+    /// write is counted, not fatal).
+    pub fn set_checkpoint(&mut self, path: impl Into<PathBuf>) {
+        self.checkpoint_path = Some(path.into());
+    }
+
+    /// Relabels the attack name written into (and required of)
+    /// checkpoints. A wrapping attack that drives this engine (AppSAT)
+    /// sets its own name so its checkpoints never resume a different
+    /// attack. Must be called before [`restore`](Self::restore).
+    pub fn set_checkpoint_label(&mut self, label: &'static str) {
+        self.checkpoint_label = label;
+    }
+
+    /// Restores a loaded snapshot into this (fresh) engine. Validates the
+    /// attack name and interface widths, replays the recorded I/O pairs
+    /// through [`assert_io`](Self::assert_io) (no oracle queries), and
+    /// adopts the snapshot's counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::CheckpointFormat`] for an incompatible
+    /// snapshot.
+    pub fn restore(&mut self, snapshot: &AttackCheckpoint) -> Result<()> {
+        snapshot.validate_for(
+            self.checkpoint_label,
+            self.locked.data_inputs.len(),
+            self.locked.key_inputs.len(),
+        )?;
+        for pair in &snapshot.io_pairs {
+            self.assert_io(&pair.inputs, &pair.outputs);
+        }
+        self.iterations = snapshot.iterations;
+        self.ratio_sum = snapshot.ratio_sum;
+        self.ratio_samples = snapshot.ratio_samples;
+        self.prior_elapsed = snapshot.elapsed;
+        self.prior_oracle_queries = snapshot.oracle_queries;
+        self.prior_solver = snapshot.solver;
+        self.candidate_key = snapshot.candidate_key.clone();
+        self.resumed_from = Some(snapshot.iterations);
+        Ok(())
+    }
+
+    /// Completed DIP iterations so far (including iterations restored from
+    /// a checkpoint).
     pub fn iterations(&self) -> u64 {
         self.iterations
     }
 
-    /// Elapsed wall-clock time since construction.
+    /// Elapsed wall-clock time, including time restored from a checkpoint.
     pub fn elapsed(&self) -> Duration {
-        self.start.elapsed()
+        self.prior_elapsed + self.start.elapsed()
+    }
+
+    /// Oracle queries attributable to this run: queries issued since
+    /// construction plus queries restored from a checkpoint.
+    pub fn oracle_queries(&self) -> u64 {
+        self.prior_oracle_queries + (self.oracle.queries() - self.oracle_baseline)
+    }
+
+    /// The iteration count this engine resumed from, if it was restored
+    /// from a checkpoint.
+    pub fn resumed_from(&self) -> Option<u64> {
+        self.resumed_from
+    }
+
+    /// Records the best candidate key known so far (persisted in
+    /// checkpoints; AppSAT updates it after each settlement probe).
+    pub fn set_candidate_key(&mut self, key: Key) {
+        self.candidate_key = Some(key);
+    }
+
+    /// The best candidate key known so far (possibly restored from a
+    /// checkpoint).
+    pub fn candidate_key(&self) -> Option<&Key> {
+        self.candidate_key.as_ref()
+    }
+
+    /// Builds a resumable snapshot of the current loop state.
+    pub fn snapshot(&self) -> AttackCheckpoint {
+        let mut cp = AttackCheckpoint::new(
+            self.checkpoint_label,
+            self.locked.data_inputs.len(),
+            self.locked.key_inputs.len(),
+        );
+        cp.iterations = self.iterations;
+        cp.candidate_key = self.candidate_key.clone();
+        cp.ratio_sum = self.ratio_sum;
+        cp.ratio_samples = self.ratio_samples;
+        cp.elapsed = self.elapsed();
+        cp.oracle_queries = self.oracle_queries();
+        cp.solver = self.solver_stats();
+        cp.io_pairs = self.io_log.clone();
+        cp
+    }
+
+    /// Writes a snapshot to the configured checkpoint path now (no-op
+    /// without [`set_checkpoint`](Self::set_checkpoint)). Best effort: a
+    /// failed write increments the failure counter and the run continues —
+    /// losing a snapshot must never kill an attack that is making
+    /// progress.
+    pub fn checkpoint_now(&mut self) {
+        let Some(path) = self.checkpoint_path.clone() else {
+            return;
+        };
+        match self.snapshot().save(&path) {
+            Ok(()) => self.checkpoints_written += 1,
+            Err(_) => self.checkpoint_failures += 1,
+        }
+    }
+
+    /// Fault-tolerance record of the run so far: isolated worker panics,
+    /// checkpoint activity, and the resume origin.
+    pub fn resilience(&self) -> RunResilience {
+        RunResilience {
+            worker_panics: self.solver_stats().worker_panics,
+            worker_failures: self.solver.worker_failures(),
+            resumed_from: self.resumed_from,
+            checkpoints_written: self.checkpoints_written,
+            checkpoint_failures: self.checkpoint_failures,
+        }
     }
 
     fn transfer_clauses(&mut self) {
@@ -239,14 +414,20 @@ impl<'a> SatAttack<'a> {
                 self.iterations += 1;
                 self.ratio_sum += self.cnf.clause_to_variable_ratio();
                 self.ratio_samples += 1;
+                self.checkpoint_now();
                 Step::Dip(dip)
             }
         }
     }
 
     /// Asserts an observed I/O pair for both key copies (also used by
-    /// AppSAT for its random-query reinforcement).
+    /// AppSAT for its random-query reinforcement). Every pair is recorded
+    /// in the checkpoint I/O log.
     pub fn assert_io(&mut self, inputs: &[bool], outputs: &[bool]) {
+        self.io_log.push(IoPair {
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+        });
         for key_vars in [self.k1_vars.clone(), self.k2_vars.clone()] {
             let data_vars: Vec<Var> = inputs.iter().map(|_| self.cnf.new_var()).collect();
             let enc: LockedEncoding =
@@ -312,9 +493,12 @@ impl<'a> SatAttack<'a> {
     }
 
     /// Lifetime SAT-solver counters (merged across portfolio workers when
-    /// the backend is a portfolio).
+    /// the backend is a portfolio, and including counters restored from a
+    /// checkpoint).
     pub fn solver_stats(&self) -> SolverStats {
-        self.solver.stats()
+        let mut stats = self.prior_solver;
+        stats.merge(&self.solver.stats());
+        stats
     }
 
     /// Runs the DIP loop to completion (or budget) and reports.
@@ -355,15 +539,15 @@ impl<'a> SatAttack<'a> {
         SatAttackReport {
             outcome,
             iterations: self.iterations,
-            elapsed: self.start.elapsed(),
-            oracle_queries: self.oracle.queries(),
+            elapsed: self.elapsed(),
+            oracle_queries: self.oracle_queries(),
             mean_clause_var_ratio: if self.ratio_samples == 0 {
                 self.cnf.clause_to_variable_ratio()
             } else {
                 self.ratio_sum / self.ratio_samples as f64
             },
             formula: (self.cnf.num_vars(), self.cnf.num_clauses()),
-            solver: self.solver.stats(),
+            solver: self.solver_stats(),
         }
     }
 }
@@ -375,16 +559,40 @@ impl Attack for SatAttackConfig {
 
     fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport> {
         let mut engine = SatAttack::new(locked, oracle, *self)?;
-        let report = engine.run();
-        Ok(AttackReport {
-            attack: "sat",
-            outcome: report.outcome.clone(),
-            iterations: report.iterations,
-            elapsed: report.elapsed,
-            oracle_queries: report.oracle_queries,
-            solver: report.solver,
-            details: AttackDetails::Sat(report),
-        })
+        Ok(envelope(&mut engine))
+    }
+
+    fn run_checkpointed(
+        &self,
+        locked: &LockedCircuit,
+        oracle: &dyn Oracle,
+        checkpoint: &Path,
+        resume: bool,
+    ) -> Result<AttackReport> {
+        let mut engine = if resume && checkpoint.exists() {
+            SatAttack::resume(locked, oracle, *self, checkpoint)?
+        } else {
+            let mut engine = SatAttack::new(locked, oracle, *self)?;
+            engine.set_checkpoint(checkpoint);
+            engine
+        };
+        Ok(envelope(&mut engine))
+    }
+}
+
+/// Runs the engine's DIP loop and folds the result into the common
+/// envelope, capturing the fault-tolerance record.
+fn envelope(engine: &mut SatAttack<'_>) -> AttackReport {
+    let report = engine.run();
+    AttackReport {
+        attack: "sat",
+        outcome: report.outcome.clone(),
+        iterations: report.iterations,
+        elapsed: report.elapsed,
+        oracle_queries: report.oracle_queries,
+        solver: report.solver,
+        resilience: engine.resilience(),
+        details: AttackDetails::Sat(report),
     }
 }
 

@@ -236,6 +236,7 @@ impl Attack for Sps {
             elapsed: start.elapsed(),
             oracle_queries: oracle.queries(),
             solver: Default::default(),
+            resilience: Default::default(),
             details: AttackDetails::Sps(report),
         })
     }

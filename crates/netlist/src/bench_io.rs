@@ -208,7 +208,11 @@ pub fn write(netlist: &Netlist) -> String {
     }
     for g in netlist.gates() {
         let node = netlist.node(g);
-        let kind = node.gate_kind().expect("gates() yields only gates");
+        // gates() yields only gate nodes; skip defensively rather than
+        // panic if that invariant is ever violated.
+        let Some(kind) = node.gate_kind() else {
+            continue;
+        };
         let fanins: Vec<String> = node
             .fanins()
             .iter()

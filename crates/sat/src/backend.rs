@@ -70,6 +70,13 @@ pub trait SolveBackend: std::fmt::Debug + Send {
     fn num_threads(&self) -> usize {
         1
     }
+
+    /// Human-readable records of workers that dropped out of solves
+    /// (panicked, stalled, retired on a memory cap). Empty for a
+    /// sequential solver and for an undisturbed portfolio.
+    fn worker_failures(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 impl SolveBackend for Solver {
@@ -125,6 +132,13 @@ impl SolveBackend for PortfolioSolver {
 
     fn num_threads(&self) -> usize {
         self.num_workers()
+    }
+
+    fn worker_failures(&self) -> Vec<String> {
+        self.failures()
+            .iter()
+            .map(|f| format!("worker {} {}", f.worker, f.reason))
+            .collect()
     }
 }
 

@@ -278,6 +278,10 @@ pub struct SolverStats {
     pub propagate_ns: u64,
     /// Wall-clock nanoseconds spent inside conflict analysis.
     pub analyze_ns: u64,
+    /// Portfolio workers that panicked and were isolated during solves
+    /// contributing to these stats. Always 0 for a sequential solver; set
+    /// by [`PortfolioSolver::stats`](crate::portfolio::PortfolioSolver::stats).
+    pub worker_panics: u64,
 }
 
 impl SolverStats {
@@ -339,6 +343,7 @@ impl SolverStats {
         }
         self.propagate_ns += other.propagate_ns;
         self.analyze_ns += other.analyze_ns;
+        self.worker_panics += other.worker_panics;
     }
 }
 

@@ -15,6 +15,13 @@ pub enum SatError {
     Netlist(fulllock_netlist::NetlistError),
     /// A generator was asked for an impossible configuration.
     BadConfig(String),
+    /// A `FULLLOCK_FAILPOINTS` fault-plan spec failed to parse.
+    FaultSpec {
+        /// The offending spec fragment.
+        spec: String,
+        /// Description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for SatError {
@@ -25,6 +32,9 @@ impl fmt::Display for SatError {
             }
             SatError::Netlist(e) => write!(f, "netlist error: {e}"),
             SatError::BadConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SatError::FaultSpec { spec, message } => {
+                write!(f, "invalid failpoint spec {spec:?}: {message}")
+            }
         }
     }
 }

@@ -1,0 +1,484 @@
+//! Deterministic fault injection ("failpoints") for chaos testing.
+//!
+//! A production attack run is a long-lived multi-threaded job: portfolio
+//! workers race for hours, exchange learnt clauses, and share one budget.
+//! The only way to *test* that a worker panic, a lost mailbox delivery, or
+//! a spurious budget trip degrades the run gracefully — instead of taking
+//! the whole attack down — is to inject those faults on purpose, at named
+//! program points, deterministically.
+//!
+//! This module provides exactly that:
+//!
+//! * a [`FaultPlan`] — an ordered set of [`Failpoint`]s, built
+//!   programmatically or parsed from the `FULLLOCK_FAILPOINTS` environment
+//!   variable;
+//! * named fault *sites* compiled into the portfolio runtime (see the
+//!   [`site`] constants) that call [`evaluate`] with a context index
+//!   (usually the worker id);
+//! * a process-global plan registry: [`install`] / [`clear`] for tests,
+//!   with the environment plan as the fallback.
+//!
+//! # Zero cost without the feature
+//!
+//! The plan types and the spec parser are always available (so tooling can
+//! validate specs anywhere), but [`evaluate`] only consults the registry
+//! when the crate is built with the `failpoints` feature. Without it,
+//! `evaluate` is a `const`-foldable `None` and every site disappears from
+//! the optimized build.
+//!
+//! # Spec grammar
+//!
+//! ```text
+//! plan   := point (';' point)*
+//! point  := name ['#' index] '=' action ['@' skip] ['x' limit]
+//! action := panic | drop | corrupt | trigger | delay:<millis>
+//! ```
+//!
+//! `#index` restricts the point to one context index (e.g. worker 1);
+//! `@skip` ignores the first `skip` matching evaluations; `xlimit` fires at
+//! most `limit` times. Example:
+//!
+//! ```text
+//! FULLLOCK_FAILPOINTS="portfolio.worker.panic#1=panic x1"   # (spaces not allowed)
+//! FULLLOCK_FAILPOINTS="portfolio.worker.panic#1=panicx1;portfolio.exchange.publish=corrupt@2"
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use fulllock_sat::faults::{FaultAction, FaultPlan};
+//!
+//! let plan: FaultPlan = "portfolio.worker.panic#1=panicx1".parse().unwrap();
+//! assert_eq!(plan.points().len(), 1);
+//! assert_eq!(plan.points()[0].action, FaultAction::Panic);
+//! assert_eq!(plan.points()[0].index, Some(1));
+//! assert_eq!(plan.points()[0].limit, Some(1));
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::AtomicU64;
+#[cfg(feature = "failpoints")]
+use std::sync::atomic::Ordering;
+#[cfg(feature = "failpoints")]
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+
+use crate::SatError;
+
+/// The named fault sites compiled into the solver runtime.
+pub mod site {
+    /// Evaluated at the top of every portfolio worker chunk with the
+    /// worker index. `panic` kills the worker; `trigger` makes it stall
+    /// (return without a verdict).
+    pub const WORKER_CHUNK: &str = "portfolio.worker.panic";
+    /// Evaluated when a worker publishes learnt clauses, with the producer
+    /// index. `drop` loses the batch, `delay:<ms>` delays it, `corrupt`
+    /// mangles every clause (duplicated literals + a tautological pair).
+    pub const EXCHANGE_PUBLISH: &str = "portfolio.exchange.publish";
+    /// Evaluated when a worker imports foreign clauses, with the reader
+    /// index. `drop` discards the delivery (the clauses are lost for this
+    /// reader, not retried).
+    pub const EXCHANGE_IMPORT: &str = "portfolio.exchange.import";
+    /// Evaluated inside the shared budget's exhaustion check (context
+    /// index 0). `trigger` reports the budget spuriously exhausted, so the
+    /// whole race degrades to `Unknown` with partial stats.
+    pub const BUDGET_EXHAUSTED: &str = "portfolio.budget.exhausted";
+}
+
+/// What happens when a failpoint fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic at the site (worker sites only — the portfolio must contain
+    /// it).
+    Panic,
+    /// Drop the payload (a clause batch, a delivery).
+    Drop,
+    /// Corrupt the payload (tautological / duplicated glue clauses).
+    Corrupt,
+    /// Trip the site's condition spuriously (budget exhaustion, worker
+    /// stall).
+    Trigger,
+    /// Sleep this many milliseconds before proceeding.
+    DelayMs(u64),
+}
+
+impl fmt::Display for FaultAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultAction::Panic => write!(f, "panic"),
+            FaultAction::Drop => write!(f, "drop"),
+            FaultAction::Corrupt => write!(f, "corrupt"),
+            FaultAction::Trigger => write!(f, "trigger"),
+            FaultAction::DelayMs(ms) => write!(f, "delay:{ms}"),
+        }
+    }
+}
+
+/// One armed fault: a site name, an optional context-index filter, an
+/// action, and fire-count bookkeeping.
+#[derive(Debug)]
+pub struct Failpoint {
+    /// Site name (one of the [`site`] constants, or any custom name).
+    pub name: String,
+    /// Restrict to one context index (worker id); `None` matches all.
+    pub index: Option<usize>,
+    /// What to do when the point fires.
+    pub action: FaultAction,
+    /// Skip the first `skip` matching evaluations.
+    pub skip: u64,
+    /// Fire at most this many times; `None` is unlimited.
+    pub limit: Option<u64>,
+    // Only read by `check`, which is compiled under the feature.
+    #[cfg_attr(not(feature = "failpoints"), allow(dead_code))]
+    hits: AtomicU64,
+}
+
+impl Failpoint {
+    /// A failpoint that always fires at `name` (optionally only for one
+    /// context index).
+    pub fn new(name: impl Into<String>, index: Option<usize>, action: FaultAction) -> Failpoint {
+        Failpoint {
+            name: name.into(),
+            index,
+            action,
+            skip: 0,
+            limit: None,
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Skips the first `skip` matching evaluations before firing.
+    pub fn after(mut self, skip: u64) -> Failpoint {
+        self.skip = skip;
+        self
+    }
+
+    /// Fires at most `limit` times.
+    pub fn times(mut self, limit: u64) -> Failpoint {
+        self.limit = Some(limit);
+        self
+    }
+
+    #[cfg(feature = "failpoints")]
+    fn check(&self, name: &str, index: usize) -> Option<FaultAction> {
+        if self.name != name || self.index.is_some_and(|i| i != index) {
+            return None;
+        }
+        let seen = self.hits.fetch_add(1, Ordering::Relaxed);
+        if seen < self.skip {
+            return None;
+        }
+        if self.limit.is_some_and(|limit| seen - self.skip >= limit) {
+            return None;
+        }
+        Some(self.action)
+    }
+}
+
+impl fmt::Display for Failpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(i) = self.index {
+            write!(f, "#{i}")?;
+        }
+        write!(f, "={}", self.action)?;
+        if self.skip > 0 {
+            write!(f, "@{}", self.skip)?;
+        }
+        if let Some(limit) = self.limit {
+            write!(f, "x{limit}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered set of failpoints; the first matching point wins.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    points: Vec<Failpoint>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a failpoint (builder style).
+    pub fn with(mut self, point: Failpoint) -> FaultPlan {
+        self.points.push(point);
+        self
+    }
+
+    /// The armed failpoints, in evaluation order.
+    pub fn points(&self) -> &[Failpoint] {
+        &self.points
+    }
+
+    /// Whether the plan arms no failpoints.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    #[cfg(feature = "failpoints")]
+    fn evaluate(&self, name: &str, index: usize) -> Option<FaultAction> {
+        self.points.iter().find_map(|p| p.check(name, index))
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = SatError;
+
+    /// Parses the `FULLLOCK_FAILPOINTS` grammar (see the [module
+    /// docs](self)). An empty or all-whitespace spec is an empty plan.
+    fn from_str(spec: &str) -> Result<FaultPlan, SatError> {
+        let mut plan = FaultPlan::new();
+        for raw in spec.split(';') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            plan.points.push(parse_point(raw)?);
+        }
+        Ok(plan)
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+fn bad_spec(raw: &str, why: &str) -> SatError {
+    SatError::FaultSpec {
+        spec: raw.to_string(),
+        message: why.to_string(),
+    }
+}
+
+fn parse_point(raw: &str) -> Result<Failpoint, SatError> {
+    let (lhs, rhs) = raw
+        .split_once('=')
+        .ok_or_else(|| bad_spec(raw, "expected name=action"))?;
+    let (name, index) = match lhs.split_once('#') {
+        Some((name, idx)) => {
+            let index: usize = idx
+                .trim()
+                .parse()
+                .map_err(|_| bad_spec(raw, "index after '#' must be an integer"))?;
+            (name.trim(), Some(index))
+        }
+        None => (lhs.trim(), None),
+    };
+    if name.is_empty() {
+        return Err(bad_spec(raw, "empty failpoint name"));
+    }
+
+    // action [@skip] [xlimit], in that order.
+    let mut rest = rhs.trim();
+    let mut limit = None;
+    if let Some(pos) = rest.rfind('x') {
+        // Only treat a trailing `xN` as a limit (not the x in an action name
+        // — no action contains 'x', but be strict about the digits).
+        if rest[pos + 1..].chars().all(|c| c.is_ascii_digit()) && !rest[pos + 1..].is_empty() {
+            limit = Some(
+                rest[pos + 1..]
+                    .parse::<u64>()
+                    .map_err(|_| bad_spec(raw, "limit after 'x' out of range"))?,
+            );
+            rest = rest[..pos].trim();
+        }
+    }
+    let mut skip = 0;
+    if let Some((action_str, skip_str)) = rest.split_once('@') {
+        skip = skip_str
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| bad_spec(raw, "skip count after '@' must be an integer"))?;
+        rest = action_str.trim();
+    }
+    let action = match rest {
+        "panic" => FaultAction::Panic,
+        "drop" => FaultAction::Drop,
+        "corrupt" => FaultAction::Corrupt,
+        "trigger" => FaultAction::Trigger,
+        other => match other.strip_prefix("delay:") {
+            Some(ms) => FaultAction::DelayMs(
+                ms.trim()
+                    .parse::<u64>()
+                    .map_err(|_| bad_spec(raw, "delay milliseconds must be an integer"))?,
+            ),
+            None => {
+                return Err(bad_spec(
+                    raw,
+                    "unknown action (expected panic|drop|corrupt|trigger|delay:<ms>)",
+                ))
+            }
+        },
+    };
+    let mut point = Failpoint::new(name, index, action);
+    point.skip = skip;
+    point.limit = limit;
+    Ok(point)
+}
+
+/// The environment variable holding the ambient fault plan.
+pub const ENV_VAR: &str = "FULLLOCK_FAILPOINTS";
+
+#[cfg(feature = "failpoints")]
+fn registry() -> &'static RwLock<Option<Arc<FaultPlan>>> {
+    static REGISTRY: OnceLock<RwLock<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(None))
+}
+
+#[cfg(feature = "failpoints")]
+fn env_plan() -> &'static Option<Arc<FaultPlan>> {
+    static ENV_PLAN: OnceLock<Option<Arc<FaultPlan>>> = OnceLock::new();
+    ENV_PLAN.get_or_init(|| {
+        let spec = std::env::var(ENV_VAR).ok()?;
+        match spec.parse::<FaultPlan>() {
+            Ok(plan) if !plan.is_empty() => Some(Arc::new(plan)),
+            Ok(_) => None,
+            Err(e) => {
+                eprintln!("warning: ignoring invalid {ENV_VAR}: {e}");
+                None
+            }
+        }
+    })
+}
+
+/// Installs a plan process-wide, replacing any previously installed plan
+/// and shadowing the `FULLLOCK_FAILPOINTS` environment plan until
+/// [`clear`] is called. No-op (returning `false`) without the
+/// `failpoints` feature.
+pub fn install(plan: FaultPlan) -> bool {
+    #[cfg(feature = "failpoints")]
+    {
+        *registry().write().unwrap_or_else(PoisonError::into_inner) = Some(Arc::new(plan));
+        true
+    }
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = plan;
+        false
+    }
+}
+
+/// Removes the installed plan; evaluation falls back to the environment
+/// plan (if any). No-op without the `failpoints` feature.
+pub fn clear() {
+    #[cfg(feature = "failpoints")]
+    {
+        *registry().write().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+}
+
+/// Evaluates the site `name` with context `index` against the active plan
+/// (installed plan first, environment plan otherwise). Returns the action
+/// to inject, or `None` to proceed normally.
+///
+/// Without the `failpoints` feature this is a constant `None` and the
+/// whole call folds away.
+#[cfg(feature = "failpoints")]
+pub fn evaluate(name: &str, index: usize) -> Option<FaultAction> {
+    let installed = registry()
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    match installed {
+        Some(plan) => plan.evaluate(name, index),
+        None => env_plan().as_ref().and_then(|p| p.evaluate(name, index)),
+    }
+}
+
+/// Evaluates the site `name` with context `index` against the active plan.
+/// This build has the `failpoints` feature disabled, so the answer is
+/// always `None` and the call folds away.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn evaluate(_name: &str, _index: usize) -> Option<FaultAction> {
+    None
+}
+
+/// Sleeps for an injected delay (helper for `DelayMs` sites).
+pub fn apply_delay(action: FaultAction) {
+    if let FaultAction::DelayMs(ms) = action {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let plan: FaultPlan =
+            "portfolio.worker.panic#1=panic;portfolio.exchange.publish=corrupt@2x3;\
+             portfolio.budget.exhausted=trigger;portfolio.exchange.import#0=delay:250"
+                .parse()
+                .expect("valid spec");
+        let pts = plan.points();
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].name, site::WORKER_CHUNK);
+        assert_eq!(pts[0].index, Some(1));
+        assert_eq!(pts[0].action, FaultAction::Panic);
+        assert_eq!(pts[1].skip, 2);
+        assert_eq!(pts[1].limit, Some(3));
+        assert_eq!(pts[1].action, FaultAction::Corrupt);
+        assert_eq!(pts[2].index, None);
+        assert_eq!(pts[3].action, FaultAction::DelayMs(250));
+    }
+
+    #[test]
+    fn empty_and_whitespace_specs_are_empty_plans() {
+        assert!("".parse::<FaultPlan>().expect("empty ok").is_empty());
+        assert!("  ; ;".parse::<FaultPlan>().expect("semis ok").is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "justname",
+            "site=explode",
+            "site#x=panic",
+            "site=panic@abc",
+            "site=delay:soon",
+            "=panic",
+        ] {
+            let err = bad.parse::<FaultPlan>().expect_err(bad);
+            assert!(matches!(err, SatError::FaultSpec { .. }), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let spec = "a.b#2=panicx1;c.d=delay:10@3";
+        let plan: FaultPlan = spec.parse().expect("valid");
+        let printed = plan.to_string();
+        let back: FaultPlan = printed.parse().expect("round trip");
+        assert_eq!(back.to_string(), printed);
+        assert_eq!(back.points().len(), 2);
+        assert_eq!(back.points()[1].skip, 3);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn skip_and_limit_windows() {
+        let point = Failpoint::new("s", None, FaultAction::Drop)
+            .after(1)
+            .times(2);
+        assert_eq!(point.check("s", 0), None); // skipped
+        assert_eq!(point.check("s", 3), Some(FaultAction::Drop));
+        assert_eq!(point.check("s", 0), Some(FaultAction::Drop));
+        assert_eq!(point.check("s", 0), None); // limit spent
+        assert_eq!(point.check("other", 0), None);
+    }
+}

@@ -41,6 +41,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod backend;
 pub mod cdcl;
@@ -48,6 +49,7 @@ mod cnf;
 pub mod dpll;
 pub mod equiv;
 mod error;
+pub mod faults;
 mod lit;
 pub mod portfolio;
 pub mod random_sat;

@@ -20,6 +20,22 @@
 //!   budget exhaustion degrades gracefully to [`SolveResult::Unknown`]
 //!   with per-worker partial statistics intact.
 //!
+//! # Fault tolerance
+//!
+//! Attack runs are long-lived jobs, so a single worker fault must never
+//! take the race down. Every worker body runs under
+//! [`std::panic::catch_unwind`]: a panicking worker is recorded as a
+//! [`WorkerFailure`] (and in [`SolverStats::worker_panics`]) while the
+//! race continues on the survivors — degrading all the way to a single
+//! worker, and to [`SolveResult::Unknown`] with partial statistics if
+//! every worker dies. Dead workers are respawned from the portfolio's
+//! master clause log at the next `solve` call, and the verdict mutex
+//! recovers from poisoning via [`PoisonError::into_inner`], so a panic can
+//! never wedge a verdict that was already reached. The fault sites named
+//! in [`crate::faults::site`] allow chaos tests to inject
+//! worker panics, lost or corrupted clause exchanges, and spurious budget
+//! exhaustion (build with the `failpoints` feature).
+//!
 //! The portfolio is incremental like the underlying solver: clauses can be
 //! added between `solve` calls, and every worker sees them.
 //!
@@ -40,11 +56,14 @@
 //! # }
 //! ```
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use crate::cdcl::{SolveLimits, SolveResult, Solver, SolverConfig, SolverStats};
+use crate::faults::{self, FaultAction};
 use crate::{Cnf, Lit, Var};
 
 /// Configuration of a [`PortfolioSolver`].
@@ -137,8 +156,12 @@ impl Budget {
     }
 
     /// Whether the deadline has passed or the summed conflict cap is
-    /// spent.
+    /// spent. The [`faults::site::BUDGET_EXHAUSTED`] failpoint can trip
+    /// this spuriously in chaos builds.
     pub fn exhausted(&self) -> bool {
+        if faults::evaluate(faults::site::BUDGET_EXHAUSTED, 0) == Some(FaultAction::Trigger) {
+            return true;
+        }
         if self.deadline.is_some_and(|d| Instant::now() >= d) {
             return true;
         }
@@ -171,7 +194,9 @@ impl Budget {
 /// Writers lock only their own slot (uncontended unless a reader is
 /// scanning it at that instant); readers `try_lock` the other slots and
 /// skip — never block on — any slot that is busy, remembering a cursor per
-/// producer so each clause is imported at most once.
+/// producer so each clause is imported at most once. A poisoned slot (a
+/// reader or writer panicked mid-access) is recovered, not propagated:
+/// the clause exchange is an optimization, never a correctness dependency.
 #[derive(Debug)]
 pub struct ExchangePool {
     slots: Vec<Mutex<Vec<Arc<Vec<Lit>>>>>,
@@ -185,14 +210,25 @@ impl ExchangePool {
         }
     }
 
-    /// Publishes a batch of clauses from worker `from`.
-    pub fn publish(&self, from: usize, clauses: Vec<Vec<Lit>>) {
+    /// Publishes a batch of clauses from worker `from`. Chaos builds can
+    /// drop, delay, or corrupt the batch via
+    /// [`faults::site::EXCHANGE_PUBLISH`]; importers must therefore treat
+    /// every delivery as untrusted (the solver's `add_clause` root-level
+    /// simplification drops duplicated literals and tautologies).
+    pub fn publish(&self, from: usize, mut clauses: Vec<Vec<Lit>>) {
         if clauses.is_empty() {
             return;
         }
-        if let Ok(mut slot) = self.slots[from].lock() {
-            slot.extend(clauses.into_iter().map(Arc::new));
+        match faults::evaluate(faults::site::EXCHANGE_PUBLISH, from) {
+            Some(FaultAction::Drop) => return,
+            Some(FaultAction::Corrupt) => corrupt_clauses(&mut clauses),
+            Some(delay @ FaultAction::DelayMs(_)) => faults::apply_delay(delay),
+            _ => {}
         }
+        let mut slot = self.slots[from]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        slot.extend(clauses.into_iter().map(Arc::new));
     }
 
     /// Collects clauses worker `reader` has not seen yet. `cursors` is the
@@ -200,6 +236,10 @@ impl ExchangePool {
     /// currently locked by their producer are skipped and retried at the
     /// next exchange.
     pub fn collect(&self, reader: usize, cursors: &mut [usize]) -> Vec<Arc<Vec<Lit>>> {
+        let injected = faults::evaluate(faults::site::EXCHANGE_IMPORT, reader);
+        if let Some(delay @ FaultAction::DelayMs(_)) = injected {
+            faults::apply_delay(delay);
+        }
         let mut fresh = Vec::new();
         for (producer, slot) in self.slots.iter().enumerate() {
             if producer == reader {
@@ -212,8 +252,66 @@ impl ExchangePool {
                 }
             }
         }
+        if injected == Some(FaultAction::Drop) {
+            // The delivery is lost for this reader (cursors already
+            // advanced): dropped, not merely delayed.
+            fresh.clear();
+        }
         fresh
     }
+}
+
+/// Mangles a clause batch the way a buggy producer would: duplicated
+/// literals in every clause, and a tautological pair in every other one.
+/// Injected by the [`faults::site::EXCHANGE_PUBLISH`] `corrupt` action.
+fn corrupt_clauses(clauses: &mut [Vec<Lit>]) {
+    for (i, clause) in clauses.iter_mut().enumerate() {
+        if let Some(&first) = clause.first() {
+            clause.push(first);
+            if i % 2 == 1 {
+                clause.push(!first);
+            }
+        }
+    }
+}
+
+/// Why a portfolio worker dropped out of a race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerFailureReason {
+    /// The worker panicked; the payload message is preserved.
+    Panic(String),
+    /// The worker stalled and retired without a verdict (injected via the
+    /// [`faults::site::WORKER_CHUNK`] `trigger` action in chaos builds).
+    Stalled,
+    /// The worker hit the per-worker learnt-memory cap and retired.
+    MemoryCap,
+}
+
+impl fmt::Display for WorkerFailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerFailureReason::Panic(msg) => write!(f, "panicked: {msg}"),
+            WorkerFailureReason::Stalled => write!(f, "stalled"),
+            WorkerFailureReason::MemoryCap => write!(f, "learnt-memory cap"),
+        }
+    }
+}
+
+/// One worker dropping out of a race, recorded by the portfolio.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerFailure {
+    /// Index of the worker that failed.
+    pub worker: usize,
+    /// Why it dropped out.
+    pub reason: WorkerFailureReason,
+}
+
+/// Per-worker events of one race, gathered behind a poison-recovering
+/// mutex (a panicking worker must still be able to report its neighbours'
+/// failures).
+#[derive(Debug, Default)]
+struct RaceLog {
+    failures: Vec<WorkerFailure>,
 }
 
 /// N diversified CDCL solvers racing on threads; see the [module
@@ -221,27 +319,41 @@ impl ExchangePool {
 #[derive(Debug)]
 pub struct PortfolioSolver {
     workers: Vec<Solver>,
+    /// Workers whose solver state may be inconsistent after a panic; they
+    /// are respawned from the master clause log at the next solve.
+    dead: Vec<bool>,
     config: PortfolioConfig,
     model: Vec<bool>,
     winner: Option<usize>,
+    /// Master copy of the formula: every clause ever added, used to
+    /// respawn dead workers with a consistent database.
+    master: Vec<Vec<Lit>>,
+    vars: usize,
+    /// Lifetime stats of workers that were respawned (their old counters
+    /// would otherwise be lost with the replaced solver).
+    retired_stats: SolverStats,
+    failures: Vec<WorkerFailure>,
+    worker_panics: u64,
+    worker_respawns: u64,
 }
 
 impl PortfolioSolver {
     /// Creates an empty portfolio.
     pub fn new(config: PortfolioConfig) -> PortfolioSolver {
         let threads = config.threads.max(1);
-        let workers = (0..threads)
-            .map(|i| {
-                let mut cfg = SolverConfig::diversified(i, config.seed);
-                cfg.share_glue = config.exchange_glue && threads > 1;
-                Solver::with_config(cfg)
-            })
-            .collect();
+        let workers = (0..threads).map(|i| spawn_worker(i, &config)).collect();
         PortfolioSolver {
             workers,
+            dead: vec![false; threads],
             config,
             model: Vec::new(),
             winner: None,
+            master: Vec::new(),
+            vars: 0,
+            retired_stats: SolverStats::default(),
+            failures: Vec::new(),
+            worker_panics: 0,
+            worker_respawns: 0,
         }
     }
 
@@ -267,25 +379,54 @@ impl PortfolioSolver {
 
     /// Ensures at least `n` variables exist in every worker.
     pub fn ensure_vars(&mut self, n: usize) {
-        for worker in &mut self.workers {
-            worker.ensure_vars(n);
+        self.vars = self.vars.max(n);
+        for (worker, &dead) in self.workers.iter_mut().zip(&self.dead) {
+            if !dead {
+                worker.ensure_vars(n);
+            }
         }
     }
 
     /// Number of variables (identical across workers).
     pub fn num_vars(&self) -> usize {
-        self.workers[0].num_vars()
+        self.vars
     }
 
     /// Adds a clause to every worker. Returns `false` if the formula is
     /// now trivially unsatisfiable.
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
         let clause: Vec<Lit> = lits.into_iter().collect();
-        let mut ok = true;
-        for worker in &mut self.workers {
-            ok &= worker.add_clause(clause.iter().copied());
+        for &l in &clause {
+            self.vars = self.vars.max(l.var().index() + 1);
         }
+        let mut ok = true;
+        for (worker, &dead) in self.workers.iter_mut().zip(&self.dead) {
+            if !dead {
+                ok &= worker.add_clause(clause.iter().copied());
+            }
+        }
+        self.master.push(clause);
         ok
+    }
+
+    /// Replaces every dead worker with a fresh solver rebuilt from the
+    /// master clause log, preserving the dead worker's lifetime counters
+    /// in `retired_stats`.
+    fn respawn_dead_workers(&mut self) {
+        for index in 0..self.workers.len() {
+            if !self.dead[index] {
+                continue;
+            }
+            self.retired_stats.merge(self.workers[index].stats());
+            let mut fresh = spawn_worker(index, &self.config);
+            fresh.ensure_vars(self.vars);
+            for clause in &self.master {
+                fresh.add_clause(clause.iter().copied());
+            }
+            self.workers[index] = fresh;
+            self.dead[index] = false;
+            self.worker_respawns += 1;
+        }
     }
 
     /// Races the workers with no resource limits (first finisher still
@@ -299,64 +440,76 @@ impl PortfolioSolver {
     /// the sum of conflicts across workers. Returns
     /// [`SolveResult::Unknown`] with partial per-worker statistics when
     /// the budget is exhausted first.
+    ///
+    /// A worker that panics or stalls is recorded in [`failures`]
+    /// (and [`SolverStats::worker_panics`]) and the race continues on the
+    /// survivors; if every worker dies the result degrades to
+    /// [`SolveResult::Unknown`] with partial statistics — a panic is never
+    /// propagated to the caller.
+    ///
+    /// [`failures`]: PortfolioSolver::failures
     pub fn solve_limited(&mut self, assumptions: &[Lit], limits: SolveLimits) -> SolveResult {
         self.winner = None;
+        self.respawn_dead_workers();
         let budget = Budget::from_limits(&limits);
         let n = self.workers.len();
         let pool = ExchangePool::new(n);
         let chunk = self.config.chunk_conflicts.max(1);
         let exchange = self.config.exchange_glue && n > 1;
         let verdict: Mutex<Option<(usize, SolveResult)>> = Mutex::new(None);
+        let log: Mutex<RaceLog> = Mutex::new(RaceLog::default());
 
         let budget_ref = &budget;
         let pool_ref = &pool;
         let verdict_ref = &verdict;
+        let log_ref = &log;
         std::thread::scope(|scope| {
             for (index, worker) in self.workers.iter_mut().enumerate() {
                 scope.spawn(move || {
-                    let mut cursors = vec![0usize; n];
-                    loop {
-                        if budget_ref.cancelled() || budget_ref.exhausted() {
-                            return;
-                        }
-                        let before = worker.stats().conflicts;
-                        let result =
-                            worker.solve_limited(assumptions, budget_ref.chunk_limits(chunk));
-                        budget_ref.charge_conflicts(worker.stats().conflicts - before);
-                        match result {
-                            SolveResult::Unknown => {
-                                // Memory-capped out (still over the cap right
-                                // after a forced reduction): this worker
-                                // cannot continue, but the others may.
-                                if budget_ref
-                                    .max_learnt_bytes
-                                    .is_some_and(|cap| worker.learnt_arena_bytes() > cap)
-                                {
-                                    return;
-                                }
-                                if exchange {
-                                    pool_ref.publish(index, worker.take_shared_clauses());
-                                    for clause in pool_ref.collect(index, &mut cursors) {
-                                        worker.add_clause(clause.iter().copied());
-                                    }
-                                }
-                            }
-                            SolveResult::Sat | SolveResult::Unsat => {
-                                let mut slot =
-                                    verdict_ref.lock().expect("verdict mutex never poisoned");
-                                if slot.is_none() {
-                                    *slot = Some((index, result));
-                                }
-                                budget_ref.cancel_now();
-                                return;
-                            }
-                        }
-                    }
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        run_worker(
+                            index,
+                            worker,
+                            assumptions,
+                            budget_ref,
+                            pool_ref,
+                            verdict_ref,
+                            chunk,
+                            exchange,
+                            n,
+                        )
+                    }));
+                    let reason = match outcome {
+                        Ok(WorkerExit::Finished) => return,
+                        Ok(WorkerExit::Stalled) => WorkerFailureReason::Stalled,
+                        Ok(WorkerExit::MemoryCapped) => WorkerFailureReason::MemoryCap,
+                        // `&*payload` reaches the payload itself — a bare
+                        // `&payload` would unsize the Box into the trait
+                        // object and the downcasts would always miss.
+                        Err(payload) => WorkerFailureReason::Panic(panic_message(&*payload)),
+                    };
+                    log_ref
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .failures
+                        .push(WorkerFailure {
+                            worker: index,
+                            reason,
+                        });
                 });
             }
         });
 
-        match verdict.into_inner().expect("verdict mutex never poisoned") {
+        let race_log = log.into_inner().unwrap_or_else(PoisonError::into_inner);
+        for failure in race_log.failures {
+            if matches!(failure.reason, WorkerFailureReason::Panic(_)) {
+                self.worker_panics += 1;
+                self.dead[failure.worker] = true;
+            }
+            self.failures.push(failure);
+        }
+
+        match verdict.into_inner().unwrap_or_else(PoisonError::into_inner) {
             Some((index, result)) => {
                 self.winner = Some(index);
                 if result == SolveResult::Sat {
@@ -374,6 +527,18 @@ impl PortfolioSolver {
         self.winner
     }
 
+    /// Every worker drop-out recorded over the portfolio's lifetime
+    /// (panics, stalls, memory-cap retirements), in observation order.
+    pub fn failures(&self) -> &[WorkerFailure] {
+        &self.failures
+    }
+
+    /// How many times a dead worker was rebuilt from the master clause
+    /// log.
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns
+    }
+
     /// The last model's value for a variable (only meaningful right after
     /// a [`SolveResult::Sat`]).
     pub fn model_value(&self, var: Var) -> Option<bool> {
@@ -385,18 +550,118 @@ impl PortfolioSolver {
         &self.model
     }
 
-    /// Lifetime statistics [`merge`](SolverStats::merge)d across workers.
+    /// Lifetime statistics [`merge`](SolverStats::merge)d across workers
+    /// (including workers that died and were respawned), with
+    /// [`SolverStats::worker_panics`] carrying the portfolio's panic
+    /// count.
     pub fn stats(&self) -> SolverStats {
-        let mut total = SolverStats::default();
+        let mut total = self.retired_stats;
         for worker in &self.workers {
             total.merge(worker.stats());
         }
+        total.worker_panics = self.worker_panics;
         total
     }
 
     /// Per-worker lifetime statistics, in worker order.
     pub fn worker_stats(&self) -> Vec<SolverStats> {
         self.workers.iter().map(|w| *w.stats()).collect()
+    }
+}
+
+/// Builds the diversified solver for worker slot `index`.
+fn spawn_worker(index: usize, config: &PortfolioConfig) -> Solver {
+    let threads = config.threads.max(1);
+    let mut cfg = SolverConfig::diversified(index, config.seed);
+    cfg.share_glue = config.exchange_glue && threads > 1;
+    Solver::with_config(cfg)
+}
+
+/// How a worker's chunk loop ended (panics unwind past this and are caught
+/// by the spawn wrapper).
+enum WorkerExit {
+    /// Reached a verdict, was cancelled, or the budget ran out — the
+    /// normal ways out of a race.
+    Finished,
+    /// Injected stall: the worker retired without a verdict.
+    Stalled,
+    /// The per-worker learnt-memory cap was hit; the worker retired while
+    /// the others race on.
+    MemoryCapped,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    index: usize,
+    worker: &mut Solver,
+    assumptions: &[Lit],
+    budget: &Budget,
+    pool: &ExchangePool,
+    verdict: &Mutex<Option<(usize, SolveResult)>>,
+    chunk: u64,
+    exchange: bool,
+    workers: usize,
+) -> WorkerExit {
+    let mut cursors = vec![0usize; workers];
+    loop {
+        match faults::evaluate(faults::site::WORKER_CHUNK, index) {
+            Some(FaultAction::Panic) => {
+                panic!(
+                    "injected failpoint: {} worker {index}",
+                    faults::site::WORKER_CHUNK
+                )
+            }
+            Some(FaultAction::Trigger) => return WorkerExit::Stalled,
+            Some(delay @ FaultAction::DelayMs(_)) => faults::apply_delay(delay),
+            _ => {}
+        }
+        if budget.cancelled() || budget.exhausted() {
+            return WorkerExit::Finished;
+        }
+        let before = worker.stats().conflicts;
+        let result = worker.solve_limited(assumptions, budget.chunk_limits(chunk));
+        budget.charge_conflicts(worker.stats().conflicts - before);
+        match result {
+            SolveResult::Unknown => {
+                // Memory-capped out (still over the cap right after a
+                // forced reduction): this worker cannot continue, but the
+                // others may.
+                if budget
+                    .max_learnt_bytes
+                    .is_some_and(|cap| worker.learnt_arena_bytes() > cap)
+                {
+                    return WorkerExit::MemoryCapped;
+                }
+                if exchange {
+                    pool.publish(index, worker.take_shared_clauses());
+                    for clause in pool.collect(index, &mut cursors) {
+                        // Deliveries are untrusted (chaos builds corrupt
+                        // them): add_clause's root-level simplification
+                        // drops duplicate literals and tautologies.
+                        worker.add_clause(clause.iter().copied());
+                    }
+                }
+            }
+            SolveResult::Sat | SolveResult::Unsat => {
+                let mut slot = verdict.lock().unwrap_or_else(PoisonError::into_inner);
+                if slot.is_none() {
+                    *slot = Some((index, result));
+                }
+                budget.cancel_now();
+                return WorkerExit::Finished;
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -506,5 +771,26 @@ mod tests {
             merged.propagations,
             per_worker.iter().map(|s| s.propagations).sum::<u64>()
         );
+        assert_eq!(merged.worker_panics, 0);
+        assert!(portfolio.failures().is_empty());
+    }
+
+    #[test]
+    fn corrupted_deliveries_are_sanitized_by_add_clause() {
+        // The import path's safety boundary: a duplicated-literal or
+        // tautological clause must not break the solver (chaos builds
+        // inject these through the exchange).
+        let mut clauses = vec![
+            vec![Lit::from_dimacs(1), Lit::from_dimacs(2)],
+            vec![Lit::from_dimacs(-2), Lit::from_dimacs(3)],
+        ];
+        corrupt_clauses(&mut clauses);
+        assert_eq!(clauses[0].len(), 3); // duplicated first literal
+        assert_eq!(clauses[1].len(), 4); // duplicate + tautological pair
+        let mut solver = Solver::new();
+        for clause in &clauses {
+            assert!(solver.add_clause(clause.iter().copied()));
+        }
+        assert_eq!(solver.solve(&[]), SolveResult::Sat);
     }
 }

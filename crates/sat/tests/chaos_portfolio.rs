@@ -1,0 +1,278 @@
+//! Chaos tests: inject faults into the portfolio runtime and assert the
+//! race degrades gracefully instead of propagating the failure.
+//!
+//! These tests require the `failpoints` feature:
+//!
+//! ```text
+//! cargo test -p fulllock-sat --features failpoints --test chaos_portfolio
+//! ```
+//!
+//! The fault-plan registry is process-global, so every test that installs
+//! a plan serializes on [`chaos_lock`] and clears the plan before
+//! releasing it.
+#![cfg(feature = "failpoints")]
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use fulllock_sat::cdcl::{SolveLimits, SolveResult, Solver};
+use fulllock_sat::faults::{self, site, Failpoint, FaultAction, FaultPlan};
+use fulllock_sat::portfolio::{PortfolioConfig, PortfolioSolver, WorkerFailureReason};
+use fulllock_sat::random_sat::{generate, RandomSatConfig};
+use fulllock_sat::Cnf;
+
+/// Serializes tests that install a global fault plan; restores the
+/// environment fallback on drop via an explicit `faults::clear()` in each
+/// test body.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    // A previous test panicking while holding the lock must not cascade.
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Injected worker panics print their unwind trace through the default
+/// hook, which makes a passing chaos run look alarming; silence panics
+/// whose message marks them as injected.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.contains("injected failpoint"))
+                || info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .is_some_and(|m| m.contains("injected failpoint"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn phase_transition(seed: u64) -> Cnf {
+    generate(RandomSatConfig::from_ratio(40, 4.27, 3, seed)).expect("valid config")
+}
+
+fn sequential_verdict(cnf: &Cnf) -> SolveResult {
+    Solver::from_cnf(cnf).solve(&[])
+}
+
+#[test]
+fn race_survives_one_worker_panic() {
+    let _guard = chaos_lock();
+    quiet_injected_panics();
+    faults::install(FaultPlan::new().with(Failpoint::new(
+        site::WORKER_CHUNK,
+        Some(1),
+        FaultAction::Panic,
+    )));
+
+    let mut survived = 0;
+    for seed in 0..6 {
+        let cnf = phase_transition(200 + seed);
+        let expected = sequential_verdict(&cnf);
+        let mut portfolio = PortfolioSolver::from_cnf(&cnf, PortfolioConfig::default());
+        let got = portfolio.solve(&[]);
+        assert_eq!(got, expected, "seed {seed}");
+        if got == SolveResult::Sat {
+            assert!(cnf.is_satisfied_by(portfolio.model()), "seed {seed}");
+        }
+        // Worker 1 is dead; the winner must be a survivor.
+        assert_ne!(portfolio.winner(), Some(1), "seed {seed}");
+        assert_eq!(portfolio.stats().worker_panics, 1);
+        let failures = portfolio.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].worker, 1);
+        assert!(
+            matches!(failures[0].reason, WorkerFailureReason::Panic(ref m) if m.contains("injected")),
+            "seed {seed}: {:?}",
+            failures[0].reason
+        );
+        survived += 1;
+    }
+    faults::clear();
+    assert_eq!(survived, 6);
+}
+
+#[test]
+fn dead_worker_is_respawned_on_the_next_solve() {
+    let _guard = chaos_lock();
+    quiet_injected_panics();
+    // Kill worker 2 exactly once; the portfolio must rebuild it from the
+    // master clause log and use the full width again afterwards.
+    faults::install(
+        FaultPlan::new()
+            .with(Failpoint::new(site::WORKER_CHUNK, Some(2), FaultAction::Panic).times(1)),
+    );
+
+    let cnf = phase_transition(300);
+    let expected = sequential_verdict(&cnf);
+    let mut portfolio = PortfolioSolver::from_cnf(&cnf, PortfolioConfig::default());
+    assert_eq!(portfolio.solve(&[]), expected);
+    assert_eq!(portfolio.stats().worker_panics, 1);
+    assert_eq!(portfolio.worker_respawns(), 0); // respawn happens lazily
+
+    // Second solve: worker 2 is respawned and the (spent) failpoint no
+    // longer fires, so all four race and the verdict still matches.
+    assert_eq!(portfolio.solve(&[]), expected);
+    assert_eq!(portfolio.worker_respawns(), 1);
+    assert_eq!(portfolio.stats().worker_panics, 1); // no new panic
+    faults::clear();
+}
+
+#[test]
+fn all_workers_panicking_degrades_to_unknown_with_partial_stats() {
+    let _guard = chaos_lock();
+    quiet_injected_panics();
+    faults::install(FaultPlan::new().with(Failpoint::new(
+        site::WORKER_CHUNK,
+        None,
+        FaultAction::Panic,
+    )));
+
+    let cnf = phase_transition(400);
+    let mut portfolio = PortfolioSolver::from_cnf(&cnf, PortfolioConfig::default());
+    // The panic must never reach us.
+    let result = portfolio.solve(&[]);
+    assert_eq!(result, SolveResult::Unknown);
+    assert_eq!(portfolio.winner(), None);
+    let stats = portfolio.stats();
+    assert_eq!(stats.worker_panics, 4);
+    assert_eq!(portfolio.failures().len(), 4);
+    faults::clear();
+}
+
+#[test]
+fn corrupted_exchange_batches_do_not_change_the_verdict() {
+    let _guard = chaos_lock();
+    faults::install(FaultPlan::new().with(Failpoint::new(
+        site::EXCHANGE_PUBLISH,
+        None,
+        FaultAction::Corrupt,
+    )));
+
+    // Small chunks force many exchange rounds.
+    let config = PortfolioConfig {
+        chunk_conflicts: 50,
+        ..PortfolioConfig::default()
+    };
+    for seed in 0..4 {
+        let cnf = phase_transition(500 + seed);
+        let expected = sequential_verdict(&cnf);
+        let mut portfolio = PortfolioSolver::from_cnf(&cnf, config);
+        let got = portfolio.solve(&[]);
+        assert_eq!(got, expected, "seed {seed}");
+        if got == SolveResult::Sat {
+            assert!(cnf.is_satisfied_by(portfolio.model()), "seed {seed}");
+        }
+    }
+    faults::clear();
+}
+
+#[test]
+fn dropped_exchange_deliveries_do_not_change_the_verdict() {
+    let _guard = chaos_lock();
+    faults::install(
+        FaultPlan::new()
+            .with(Failpoint::new(
+                site::EXCHANGE_PUBLISH,
+                Some(0),
+                FaultAction::Drop,
+            ))
+            .with(Failpoint::new(
+                site::EXCHANGE_IMPORT,
+                Some(3),
+                FaultAction::Drop,
+            )),
+    );
+
+    let config = PortfolioConfig {
+        chunk_conflicts: 50,
+        ..PortfolioConfig::default()
+    };
+    for seed in 0..4 {
+        let cnf = phase_transition(600 + seed);
+        let expected = sequential_verdict(&cnf);
+        let mut portfolio = PortfolioSolver::from_cnf(&cnf, config);
+        assert_eq!(portfolio.solve(&[]), expected, "seed {seed}");
+    }
+    faults::clear();
+}
+
+#[test]
+fn spurious_budget_exhaustion_returns_unknown_with_partial_stats() {
+    let _guard = chaos_lock();
+    // Let each worker do a few budget checks, then trip the shared budget.
+    faults::install(
+        FaultPlan::new()
+            .with(Failpoint::new(site::BUDGET_EXHAUSTED, None, FaultAction::Trigger).after(8)),
+    );
+
+    let cnf = phase_transition(700);
+    let mut portfolio = PortfolioSolver::from_cnf(
+        &cnf,
+        PortfolioConfig {
+            chunk_conflicts: 10,
+            ..PortfolioConfig::default()
+        },
+    );
+    // A hard instance with tiny chunks: the injected exhaustion fires
+    // before a genuine verdict on at least some runs; either way the call
+    // must return (never hang) and stats must be coherent.
+    let result = portfolio.solve_limited(&[], SolveLimits::default());
+    if result == SolveResult::Unknown {
+        assert_eq!(portfolio.winner(), None);
+    }
+    assert_eq!(portfolio.stats().worker_panics, 0);
+    faults::clear();
+}
+
+#[test]
+fn delayed_exchange_only_slows_the_race() {
+    let _guard = chaos_lock();
+    faults::install(
+        FaultPlan::new()
+            .with(Failpoint::new(site::EXCHANGE_PUBLISH, None, FaultAction::DelayMs(1)).times(20)),
+    );
+
+    let cnf = phase_transition(800);
+    let expected = sequential_verdict(&cnf);
+    let mut portfolio = PortfolioSolver::from_cnf(
+        &cnf,
+        PortfolioConfig {
+            chunk_conflicts: 50,
+            ..PortfolioConfig::default()
+        },
+    );
+    assert_eq!(portfolio.solve(&[]), expected);
+    faults::clear();
+}
+
+/// Run by the CI chaos matrix with `FULLLOCK_FAILPOINTS` set: whatever the
+/// ambient environment plan injects, the portfolio must still degrade
+/// gracefully — matching the sequential verdict or returning `Unknown`,
+/// never panicking, hanging, or reporting an unsatisfied model.
+#[test]
+fn env_plan_never_escapes_the_portfolio() {
+    let _guard = chaos_lock();
+    quiet_injected_panics();
+    faults::clear(); // fall back to the FULLLOCK_FAILPOINTS plan, if any
+
+    for seed in 0..4 {
+        let cnf = phase_transition(900 + seed);
+        let expected = sequential_verdict(&cnf);
+        let mut portfolio = PortfolioSolver::from_cnf(&cnf, PortfolioConfig::default());
+        let got = portfolio.solve(&[]);
+        match got {
+            SolveResult::Unknown => {} // injected exhaustion / mass stall
+            verdict => assert_eq!(verdict, expected, "seed {seed}"),
+        }
+        if got == SolveResult::Sat {
+            assert!(cnf.is_satisfied_by(portfolio.model()), "seed {seed}");
+        }
+    }
+}

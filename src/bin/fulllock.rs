@@ -7,7 +7,7 @@
 //!                 [--cyclic] [--twist P] [--seed N] [--key-out key.txt]
 //! fulllock verify <locked.bench> --oracle <circuit.bench> --key 0110…
 //! fulllock attack <locked.bench> --oracle <circuit.bench> [--timeout SECS]
-//!                 [--threads N]
+//!                 [--threads N] [--checkpoint FILE [--resume]]
 //! fulllock export <circuit.bench> --format verilog|bench|dimacs [-o FILE]
 //! ```
 //!
@@ -39,8 +39,13 @@ USAGE:
   fulllock lock   <circuit.bench> -o <locked.bench> [options]
   fulllock verify <locked.bench> --oracle <circuit.bench> --key <bits>
   fulllock attack <locked.bench> --oracle <circuit.bench> [--timeout SECS] [--threads N]
+                  [--checkpoint <file> [--resume]]
   fulllock export <circuit.bench> --format <verilog|bench|dimacs> [-o FILE]
   fulllock optimize <circuit.bench> -o <optimized.bench>
+
+ATTACK OPTIONS:
+  --checkpoint <file>  write a crash-safe snapshot after every DIP iteration
+  --resume             restore the checkpoint file first (fresh start if absent)
 
 LOCK OPTIONS:
   --scheme <fulllock|rll|sarlock|antisat|lutlock|crosslock>   (default fulllock)
@@ -291,7 +296,7 @@ fn cmd_verify(raw: &[String]) -> CliResult {
 }
 
 fn cmd_attack(raw: &[String]) -> CliResult {
-    let args = Args::parse(raw, &[]);
+    let args = Args::parse(raw, &["resume"]);
     let path = args
         .positional
         .first()
@@ -299,6 +304,11 @@ fn cmd_attack(raw: &[String]) -> CliResult {
     let oracle_path = args.flag("oracle").ok_or("attack: missing --oracle")?;
     let timeout: f64 = args.flag("timeout").unwrap_or("60").parse()?;
     let threads: usize = args.flag("threads").unwrap_or("1").parse()?;
+    let checkpoint = args.flag("checkpoint").map(std::path::PathBuf::from);
+    let resume = args.has("resume");
+    if resume && checkpoint.is_none() {
+        return Err("attack: --resume requires --checkpoint <path>".into());
+    }
     let backend = if threads > 1 {
         BackendSpec::portfolio(threads)
     } else {
@@ -314,12 +324,18 @@ fn cmd_attack(raw: &[String]) -> CliResult {
         topo::is_cyclic(&locked.netlist),
         threads.max(1),
     );
-    let report = SatAttackConfig {
+    let config = SatAttackConfig {
         timeout: Some(Duration::from_secs_f64(timeout)),
         backend,
         ..Default::default()
+    };
+    let report = match &checkpoint {
+        Some(ckpt) => config.run_checkpointed(&locked, &oracle, ckpt, resume)?,
+        None => config.run(&locked, &oracle)?,
+    };
+    if let Some(from) = report.resilience.resumed_from {
+        println!("resumed from checkpoint at iteration {from}");
     }
-    .run(&locked, &oracle)?;
     match report.outcome {
         AttackOutcome::KeyRecovered { key, verified } => {
             println!(
@@ -341,6 +357,20 @@ fn cmd_attack(raw: &[String]) -> CliResult {
         println!(
             "formula: {} vars, {} clauses (mean clause/var ratio {:.2})",
             details.formula.0, details.formula.1, details.mean_clause_var_ratio
+        );
+    }
+    let res = &report.resilience;
+    if checkpoint.is_some() {
+        println!(
+            "checkpointing: {} snapshot(s) written, {} failed",
+            res.checkpoints_written, res.checkpoint_failures
+        );
+    }
+    if res.worker_panics > 0 || !res.worker_failures.is_empty() {
+        println!(
+            "solver faults absorbed: {} worker panic(s) [{}]",
+            res.worker_panics,
+            res.worker_failures.join("; ")
         );
     }
     Ok(())

@@ -48,6 +48,10 @@ fn sat_errors_are_well_behaved() {
         message: "bad literal".into(),
     });
     assert_well_behaved(SatError::BadConfig("nope".into()));
+    assert_well_behaved(SatError::FaultSpec {
+        spec: "site=frob".into(),
+        message: "unknown action".into(),
+    });
     let wrapped = SatError::Netlist(NetlistError::UnknownSignal(1));
     assert!(wrapped.source().is_some(), "wrapped errors expose a source");
     assert_well_behaved(wrapped);
@@ -77,7 +81,37 @@ fn attack_errors_are_well_behaved() {
         oracle_inputs: 5,
     });
     assert_well_behaved(AttackError::Unsupported("cyclic".into()));
+    assert_well_behaved(AttackError::CheckpointIo {
+        path: "/tmp/x.ckpt".into(),
+        message: "disk full".into(),
+    });
+    assert_well_behaved(AttackError::CheckpointFormat {
+        path: "/tmp/x.ckpt".into(),
+        message: "version 99".into(),
+    });
+    assert_well_behaved(AttackError::CheckpointFormat {
+        path: std::path::PathBuf::new(),
+        message: "wrong attack".into(),
+    });
     let wrapped = AttackError::Lock(LockError::BadConfig("nope".into()));
     assert!(wrapped.source().is_some());
     assert_well_behaved(wrapped);
+}
+
+/// Malformed `.bench` text must come back as a typed parse error with the
+/// offending line — never a panic (regression guard for the writer/parser
+/// I/O paths).
+#[test]
+fn malformed_bench_is_a_typed_error() {
+    use full_lock::netlist::bench_io;
+    for (bad, what) in [
+        ("INPUT(a)\nz = FROB(a)\nOUTPUT(z)", "unknown gate"),
+        ("INPUT(a)\nz = AND(a, ghost)\nOUTPUT(z)", "undefined fanin"),
+        ("INPUT(a)\nz = NOT(a, a)\nOUTPUT(z)", "bad arity"),
+        ("INPUT(a)\nz = AND a, a\nOUTPUT(z)", "missing parens"),
+        ("garbage line\n", "free-form garbage"),
+    ] {
+        let err = bench_io::parse(bad, "bad").expect_err(what);
+        assert_well_behaved(err);
+    }
 }
