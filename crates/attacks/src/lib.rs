@@ -89,7 +89,6 @@ pub mod cycsat;
 pub mod double_dip;
 mod encode;
 mod error;
-mod json;
 mod oracle;
 pub mod removal;
 mod report;
@@ -106,6 +105,15 @@ pub use removal::Removal;
 pub use report::{Attack, AttackDetails, AttackOutcome, AttackReport, RunResilience};
 pub use sat_attack::{SatAttack, SatAttackConfig, SatAttackReport};
 pub use sps::Sps;
+
+/// The hand-rolled JSON used by the checkpoint format — promoted to
+/// `fulllock-harness` so the attack checkpoints and the campaign
+/// manifests share one implementation; re-exported here for both the
+/// internal `crate::json` path and downstream users.
+pub(crate) mod json {
+    pub(crate) use fulllock_harness::json::Json;
+}
+pub use fulllock_harness::json as shared_json;
 
 #[allow(deprecated)]
 pub use appsat::appsat_attack;

@@ -136,7 +136,7 @@ fn main() {
             format!("{:.2}", removal_error),
         ]);
     }
-    table.print(&format!(
+    table.emit(&format!(
         "Ablation: one 16x16 PLR on c432 — timeout {}s",
         scale.timeout.as_secs_f64()
     ));

@@ -60,7 +60,7 @@ fn main() {
             format!("{:.3}", details.measured_error),
         ]);
     }
-    table.print(&format!(
+    table.emit(&format!(
         "AppSAT vs corruption ({bench}) — settle threshold 1% error"
     ));
     println!("\npaper claim (§2, §4.2): Full-Lock's high corruption makes approximate");

@@ -56,7 +56,7 @@ fn main() {
         ]);
         ratio += 0.5;
     }
-    table.print(&format!(
+    table.emit(&format!(
         "Fig 1: median DPLL recursive calls, random 3-SAT, {vars} variables, {trials} seeds"
     ));
     println!(

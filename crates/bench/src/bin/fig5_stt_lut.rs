@@ -32,7 +32,7 @@ fn main() {
             format!("{:.3}", c.delay_ns),
         ]);
     }
-    cells.print("Fig 5 (left): 32nm-class standard cells");
+    cells.emit("Fig 5 (left): 32nm-class standard cells");
 
     let nand2 = tech.gate_cost(GateKind::Nand, 2);
     let mut luts = Table::new([
@@ -52,7 +52,7 @@ fn main() {
             format!("{:.1}x", c.area_um2 / nand2.area_um2),
         ]);
     }
-    luts.print("Fig 5 (right): STT-LUT cost model");
+    luts.emit("Fig 5 (right): STT-LUT cost model");
     println!("\npaper shape: LUT sizes 2-5 have negligible overhead vs CMOS basic gates");
     println!("(and constant GHz-class delay); cost explodes from LUT6 on, so Full-Lock");
     println!("caps LUTs at the benchmark suite's maximum fan-in of 5.");

@@ -106,7 +106,7 @@ fn main() {
             report.iterations.to_string(),
         ]);
     }
-    table.print(&format!(
+    table.emit(&format!(
         "Fig 7: clause/variable ratio during deobfuscation ({bench}, {iteration_budget}-iteration budget)"
     ));
     if let Some((fl_name, fl_ratio)) = measured.last() {

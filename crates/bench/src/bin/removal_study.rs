@@ -78,7 +78,7 @@ fn main() {
             },
         ]);
     }
-    table.print(&format!(
+    table.emit(&format!(
         "Removal attack with perfect routing recovery ({bench}, 16x16 PLR)"
     ));
     println!("\npaper claim (§4.2.2): because the gates leading the CLN are negated and");

@@ -45,7 +45,7 @@ fn main() {
             clause_text.join(" ∧ "),
         ]);
     }
-    table.print("Table 1: Tseytin transformation of basic logic gates");
+    table.emit("Table 1: Tseytin transformation of basic logic gates");
     println!("\npaper: only XOR/XNOR and MUX reach 4 clauses; MUX chains (no unit");
     println!("propagation foothold) are what pushes PLR CNF into the hard band.");
 }

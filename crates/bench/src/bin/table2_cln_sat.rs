@@ -65,7 +65,7 @@ fn main() {
             ClnTopology::Shuffle => "Table 2 (top): shuffle-based blocking CLN",
             _ => "Table 2 (bottom): almost non-blocking CLN (LOG_{N,log2(N)-2,1})",
         };
-        table.print(&format!(
+        table.emit(&format!(
             "{title} — timeout {}s (paper: 2e6 s)",
             scale.timeout.as_secs_f64()
         ));

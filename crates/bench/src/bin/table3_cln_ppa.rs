@@ -111,7 +111,7 @@ fn main() {
             resilient,
         ]);
     }
-    table.print("Table 3: PPA and SAT resiliency of CLNs (generic 32nm-class model)");
+    table.emit("Table 3: PPA and SAT resiliency of CLNs (generic 32nm-class model)");
     println!("\n'*' = verdict from the paper's full-scale run (size beyond the scaled budget).");
     println!("paper shape: LOG_{{64,4,1}} is the smallest SAT-resilient CLN and costs");
     println!("roughly a third of the smallest resilient blocking CLN (Shuffle N=512).");

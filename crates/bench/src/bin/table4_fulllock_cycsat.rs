@@ -103,7 +103,7 @@ fn main() {
         }
         table.row(cells);
     }
-    table.print(&format!(
+    table.emit(&format!(
         "Table 4: CycSAT time (s) on Full-Lock, random (cyclic) insertion — timeout {}s (paper: 2e6 s)",
         scale.timeout.as_secs_f64()
     ));

@@ -118,7 +118,7 @@ fn main() {
             cl_result,
         ]);
     }
-    table.print(&format!(
+    table.emit(&format!(
         "Table 5: smallest SAT-resilient configuration — timeout {}s (paper: 2e6 s; paper blocks: 8/16/32 PLRs vs 32x36 crossbars)",
         scale.timeout.as_secs_f64()
     ));

@@ -47,7 +47,7 @@ fn main() {
             ]);
         }
     }
-    table.print("Figs 2-4: CLN topology structure and permutation coverage");
+    table.emit("Figs 2-4: CLN topology structure and permutation coverage");
 
     let mut sizes = Table::new(["N", "blocking SwBs (N/2·logN)", "LOG_{N,log2(N)-2,1} SwBs"]);
     for k in 2..=6u32 {
@@ -60,7 +60,7 @@ fn main() {
             almost.num_switches().to_string(),
         ]);
     }
-    sizes.print("SwB counts vs N (paper: blocking = N/2·logN; almost non-blocking ≈ 2x)");
+    sizes.emit("SwB counts vs N (paper: blocking = N/2·logN; almost non-blocking ≈ 2x)");
 
     // §3.1's strictly-non-blocking sizing argument: LOG_{64,3,6} vs a
     // blocking CLN of the same N.
@@ -83,7 +83,7 @@ fn main() {
         strict64.to_string(),
         format!("{:.1}x", strict64 as f64 / blocking64 as f64),
     ]);
-    nmp.print("LOG_{N,M,P} sizing (paper: strict non-blocking needs >5x a blocking CLN)");
+    nmp.emit("LOG_{N,M,P} sizing (paper: strict non-blocking needs >5x a blocking CLN)");
 
     println!("\npaper: the almost non-blocking CLN costs ~2x a blocking CLN of equal N");
     println!("but realizes far more permutations (Fig 4 vs Fig 3); the strictly");

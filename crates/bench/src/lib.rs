@@ -21,6 +21,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use fulllock_attacks::encode_locked;
+use fulllock_harness::json::Json;
 use fulllock_locking::{
     ClnTopology, FullLock, FullLockConfig, LockedCircuit, LockingScheme, PlrSpec, WireSelection,
 };
@@ -40,23 +41,24 @@ pub struct Scale {
 }
 
 impl Scale {
-    /// Reads `FULLLOCK_TIMEOUT_SECS` (default 10), `FULLLOCK_FULL`, and
-    /// `FULLLOCK_THREADS` (default 1).
+    /// Reads the `FULLLOCK_*` scale knobs from the environment via
+    /// [`ScaleConfig`]. Malformed values are a hard error (printed to
+    /// stderr, exit 2) rather than a silent fall-back to defaults, and
+    /// unknown `FULLLOCK_*` variables produce a warning — so a typo like
+    /// `FULLLOCK_TIMEOUT_SEC=3600` can no longer quietly run a sweep
+    /// with the 10-second default.
     pub fn from_env() -> Scale {
-        let secs = std::env::var("FULLLOCK_TIMEOUT_SECS")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .unwrap_or(10.0);
-        let full = std::env::var("FULLLOCK_FULL").is_ok_and(|v| v != "0" && !v.is_empty());
-        let threads = std::env::var("FULLLOCK_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(1)
-            .max(1);
-        Scale {
-            timeout: Duration::from_secs_f64(secs.max(0.1)),
-            full,
-            threads,
+        match ScaleConfig::from_env() {
+            Ok((config, warnings)) => {
+                for warning in warnings {
+                    eprintln!("warning: {warning}");
+                }
+                config.into_scale()
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
         }
     }
 
@@ -69,6 +71,174 @@ impl Scale {
             fulllock_sat::BackendSpec::portfolio(self.threads)
         }
     }
+}
+
+/// A malformed `FULLLOCK_*` environment variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleError {
+    /// The offending variable name.
+    pub var: String,
+    /// Its raw value.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={:?}: {}", self.var, self.value, self.reason)
+    }
+}
+
+impl std::error::Error for ScaleError {}
+
+/// Typed, validated view of the `FULLLOCK_*` scale knobs.
+///
+/// Unlike the old ad-hoc parsing, garbage is rejected with a clear
+/// error instead of silently falling back to a default, and variables
+/// that look like typos of a known knob (`FULLLOCK_TIMEOUT_SEC`,
+/// `FULLLOCK_THREAD`, …) are flagged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleConfig {
+    /// `FULLLOCK_TIMEOUT_SECS`: per-attack budget in seconds (default
+    /// 10; must be a positive finite number, clamped to ≥ 0.1).
+    pub timeout_secs: f64,
+    /// `FULLLOCK_FULL`: extended sweeps (default off; accepts
+    /// `1`/`true`/`yes` and `0`/`false`/`no`/empty).
+    pub full: bool,
+    /// `FULLLOCK_THREADS`: SAT worker threads per attack (default 1;
+    /// must be ≥ 1).
+    pub threads: usize,
+}
+
+/// `FULLLOCK_*` variables with a meaning somewhere in the workspace
+/// (the last two belong to the fault-injection and campaign layers and
+/// pass through children untouched).
+pub const KNOWN_FULLLOCK_VARS: [&str; 4] = [
+    "FULLLOCK_TIMEOUT_SECS",
+    "FULLLOCK_FULL",
+    "FULLLOCK_THREADS",
+    "FULLLOCK_FAILPOINTS",
+];
+
+impl ScaleConfig {
+    /// Parses the knobs from an explicit variable set (pure — the unit
+    /// tests feed synthetic environments). Returns the config plus
+    /// warnings for unknown `FULLLOCK_*` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScaleError`] describing the first malformed value.
+    pub fn parse<I>(vars: I) -> Result<(ScaleConfig, Vec<String>), ScaleError>
+    where
+        I: IntoIterator<Item = (String, String)>,
+    {
+        let mut config = ScaleConfig {
+            timeout_secs: 10.0,
+            full: false,
+            threads: 1,
+        };
+        let mut warnings = Vec::new();
+        for (name, value) in vars {
+            let err = |reason: String| ScaleError {
+                var: name.clone(),
+                value: value.clone(),
+                reason,
+            };
+            match name.as_str() {
+                "FULLLOCK_TIMEOUT_SECS" => {
+                    let secs: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| err("expected a number of seconds".to_string()))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(err(format!(
+                            "timeout must be a positive finite number, got {secs}"
+                        )));
+                    }
+                    config.timeout_secs = secs;
+                }
+                "FULLLOCK_FULL" => {
+                    config.full = match value.trim() {
+                        "" | "0" | "false" | "no" => false,
+                        "1" | "true" | "yes" => true,
+                        other => {
+                            return Err(err(format!(
+                                "expected 0/1/true/false/yes/no, got {other:?}"
+                            )))
+                        }
+                    };
+                }
+                "FULLLOCK_THREADS" => {
+                    let threads: usize = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| err("expected a thread count".to_string()))?;
+                    if threads == 0 {
+                        return Err(err("thread count must be at least 1".to_string()));
+                    }
+                    config.threads = threads;
+                }
+                other
+                    if other.starts_with("FULLLOCK_") && !KNOWN_FULLLOCK_VARS.contains(&other) =>
+                {
+                    let hint = KNOWN_FULLLOCK_VARS
+                        .iter()
+                        .map(|known| (edit_distance(other, known), *known))
+                        .min()
+                        .filter(|(d, _)| *d <= 3)
+                        .map(|(_, known)| format!(" (did you mean {known}?)"))
+                        .unwrap_or_default();
+                    warnings.push(format!("unknown variable {other} ignored{hint}"));
+                }
+                _ => {}
+            }
+        }
+        Ok((config, warnings))
+    }
+
+    /// [`parse`](Self::parse) over the process environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScaleError`] describing the first malformed value.
+    pub fn from_env() -> Result<(ScaleConfig, Vec<String>), ScaleError> {
+        ScaleConfig::parse(std::env::vars())
+    }
+
+    /// Converts into the [`Scale`] the experiment binaries consume.
+    pub fn into_scale(self) -> Scale {
+        Scale {
+            timeout: Duration::from_secs_f64(self.timeout_secs.max(0.1)),
+            full: self.full,
+            threads: self.threads,
+        }
+    }
+}
+
+/// Levenshtein distance (iterative two-row), for typo suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The registry of experiment binaries regenerating the paper's tables
+/// and figures — the single source of truth the built-in campaign plan
+/// (`fulllock campaign --plan builtin:paper`) and the drift guard in
+/// `tests/bins_smoke.rs` both consume.
+pub mod registry {
+    pub use fulllock_harness::plan::PAPER_BINS;
 }
 
 /// Formats a duration like the paper's tables: seconds with sensible
@@ -142,6 +312,39 @@ impl Table {
     pub fn print(&self, title: &str) {
         print!("{}", self.render(title));
     }
+
+    /// Renders the rows as JSON lines: one object per row mapping each
+    /// header to its cell, with a `"table"` key carrying the title. This
+    /// is the machine-readable format campaign tooling ingests.
+    pub fn render_json_lines(&self, title: &str) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            let mut members = vec![("table".to_string(), Json::Str(title.to_string()))];
+            for (header, cell) in self.headers.iter().zip(row) {
+                members.push((header.clone(), Json::Str(cell.clone())));
+            }
+            out.push_str(&Json::Object(members).to_text());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table in the format the invocation asked for: JSON
+    /// lines when `--json` is among the process arguments (see
+    /// [`json_requested`]), the aligned plain-text table otherwise.
+    pub fn emit(&self, title: &str) {
+        if json_requested() {
+            print!("{}", self.render_json_lines(title));
+        } else {
+            self.print(title);
+        }
+    }
+}
+
+/// Whether the current process was invoked with a `--json` argument
+/// (the experiment binaries' machine-readable row output switch).
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
 }
 
 /// Builds the standalone CLN testbed of Table 2: an `n`-wire identity
@@ -275,5 +478,85 @@ mod tests {
     fn scale_reads_defaults() {
         let scale = Scale::from_env();
         assert!(scale.timeout >= Duration::from_millis(100));
+    }
+
+    fn env(vars: &[(&str, &str)]) -> Vec<(String, String)> {
+        vars.iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn scale_config_parses_valid_knobs() {
+        let (config, warnings) = ScaleConfig::parse(env(&[
+            ("FULLLOCK_TIMEOUT_SECS", "2.5"),
+            ("FULLLOCK_FULL", "1"),
+            ("FULLLOCK_THREADS", "4"),
+            ("PATH", "/usr/bin"),
+        ]))
+        .expect("valid knobs parse");
+        assert_eq!(config.timeout_secs, 2.5);
+        assert!(config.full);
+        assert_eq!(config.threads, 4);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        let scale = config.into_scale();
+        assert_eq!(scale.timeout, Duration::from_secs_f64(2.5));
+    }
+
+    #[test]
+    fn scale_config_rejects_garbage_loudly() {
+        for (var, value) in [
+            ("FULLLOCK_TIMEOUT_SECS", "soon"),
+            ("FULLLOCK_TIMEOUT_SECS", "-3"),
+            ("FULLLOCK_TIMEOUT_SECS", "inf"),
+            ("FULLLOCK_THREADS", "many"),
+            ("FULLLOCK_THREADS", "0"),
+            ("FULLLOCK_FULL", "maybe"),
+        ] {
+            let err = ScaleConfig::parse(env(&[(var, value)]))
+                .expect_err(&format!("{var}={value} must be rejected"));
+            assert_eq!(err.var, var);
+            assert_eq!(err.value, value);
+        }
+    }
+
+    #[test]
+    fn scale_config_warns_on_unknown_vars_with_typo_hint() {
+        let (config, warnings) = ScaleConfig::parse(env(&[
+            ("FULLLOCK_TIMEOUT_SEC", "3600"),
+            ("FULLLOCK_TIMEOUT_SECS", "5"),
+        ]))
+        .expect("the well-formed knob still parses");
+        // The typo did NOT silently set the timeout...
+        assert_eq!(config.timeout_secs, 5.0);
+        // ...and was called out with a suggestion.
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("FULLLOCK_TIMEOUT_SEC"), "{warnings:?}");
+        assert!(
+            warnings[0].contains("did you mean FULLLOCK_TIMEOUT_SECS"),
+            "{warnings:?}"
+        );
+    }
+
+    #[test]
+    fn known_fulllock_vars_do_not_warn() {
+        let (_, warnings) =
+            ScaleConfig::parse(env(&[("FULLLOCK_FAILPOINTS", "x=panic")])).expect("parses");
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn table_renders_json_lines() {
+        let mut t = Table::new(["circuit", "time"]);
+        t.row(["c432", "1.25"]);
+        t.row(["c880", "TO"]);
+        let json = t.render_json_lines("Table 2");
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"table\":\"Table 2\",\"circuit\":\"c432\",\"time\":\"1.25\"}"
+        );
+        assert!(lines[1].contains("\"time\":\"TO\""));
     }
 }

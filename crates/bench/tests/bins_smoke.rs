@@ -4,6 +4,44 @@
 
 use std::process::{Command, Output};
 
+/// Drift guard: the built-in `builtin:paper` campaign plan must name
+/// exactly the experiment binaries this crate actually builds. The bash
+/// wrapper's hand-maintained bin list had no such check; now a binary
+/// added to `src/bin/` without a registry entry (or vice versa) fails CI.
+#[test]
+fn builtin_paper_plan_matches_bin_list() {
+    let bin_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    let mut built: Vec<String> = std::fs::read_dir(&bin_dir)
+        .expect("bench src/bin exists")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .map(|p| {
+            p.file_stem()
+                .and_then(|s| s.to_str())
+                .expect("utf-8 bin name")
+                .to_string()
+        })
+        .collect();
+    built.sort();
+
+    let plan = fulllock_harness::plan::CampaignPlan::builtin_paper(std::path::Path::new("bins"));
+    let mut planned: Vec<String> = plan.jobs.iter().map(|j| j.id.clone()).collect();
+    planned.sort();
+    assert_eq!(
+        planned, built,
+        "builtin:paper plan and crates/bench/src/bin/ have drifted \
+         (update fulllock_harness::plan::PAPER_BINS)"
+    );
+
+    // And the registry re-export the bench crate advertises is that list.
+    let mut registry: Vec<String> = fulllock_bench::registry::PAPER_BINS
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    registry.sort();
+    assert_eq!(registry, built);
+}
+
 fn run(bin: &str, timeout_secs: &str) -> Output {
     Command::new(bin)
         .env("FULLLOCK_TIMEOUT_SECS", timeout_secs)

@@ -1,0 +1,84 @@
+//! Chaos child for supervisor tests: a job that panics, hangs, or exits
+//! non-zero **on demand**, driven by the workspace's existing failpoint
+//! grammar (`FULLLOCK_FAILPOINTS`, see `fulllock_sat::faults`).
+//!
+//! The armed site is `campaign.child.run` ([`fulllock_harness::CHAOS_CHILD_SITE`]);
+//! the context index comes from `--index N` (default 0), so one plan can
+//! aim different faults at different jobs. Actions map to child behavior:
+//!
+//! | action      | behavior                                         |
+//! |-------------|--------------------------------------------------|
+//! | `panic`     | Rust panic (non-zero exit, backtrace on stderr)  |
+//! | `drop`      | silent `exit(1)`                                 |
+//! | `corrupt`   | garbage on stdout, then `exit(2)`                |
+//! | `trigger`   | hang forever (ignores nothing — SIGTERM works)   |
+//! | `delay:MS`  | sleep `MS` milliseconds, then succeed            |
+//!
+//! With no matching failpoint the child prints a marker line and exits 0.
+
+use std::time::Duration;
+
+use fulllock_harness::CHAOS_CHILD_SITE;
+use fulllock_sat::faults::{FaultAction, FaultPlan};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut index = 0usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--index" {
+            index = iter
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("--index requires an unsigned integer"));
+        } else {
+            die(&format!("unknown argument {arg:?} (expected --index N)"));
+        }
+    }
+
+    // Parse the plan directly so the child behaves identically with or
+    // without the `failpoints` feature (the grammar is always available).
+    let spec = std::env::var("FULLLOCK_FAILPOINTS").unwrap_or_default();
+    let plan: FaultPlan = match spec.parse() {
+        Ok(plan) => plan,
+        Err(e) => die(&format!("invalid FULLLOCK_FAILPOINTS: {e}")),
+    };
+    let action = plan
+        .points()
+        .iter()
+        .find(|p| p.name == CHAOS_CHILD_SITE && p.index.is_none_or(|i| i == index))
+        .map(|p| p.action);
+
+    match action {
+        None => {
+            println!("chaos child #{index}: ok");
+        }
+        Some(FaultAction::Panic) => {
+            panic!("chaos child #{index}: injected panic");
+        }
+        Some(FaultAction::Drop) => {
+            std::process::exit(1);
+        }
+        Some(FaultAction::Corrupt) => {
+            println!("\u{fffd}\u{fffd} chaos child #{index}: corrupted output \u{fffd}\u{fffd}");
+            std::process::exit(2);
+        }
+        Some(FaultAction::Trigger) => {
+            // Deliberate hang: the supervisor must reclaim this job via
+            // its SIGTERM -> SIGKILL escalation.
+            println!("chaos child #{index}: hanging");
+            loop {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+        Some(FaultAction::DelayMs(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            println!("chaos child #{index}: ok after {ms}ms");
+        }
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("campaign_chaos_child: {message}");
+    std::process::exit(64);
+}

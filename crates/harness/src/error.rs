@@ -1,0 +1,64 @@
+//! Error type of the campaign harness.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Anything that can go wrong while planning or supervising a campaign.
+///
+/// Job *failures* are not errors — they are recorded in the manifest and
+/// the campaign continues. `HarnessError` covers supervisor-level
+/// problems only: a malformed plan, an unreadable manifest, a filesystem
+/// failure on the output directory.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// A campaign plan failed validation or parsing.
+    PlanFormat {
+        /// Offending file, if the plan came from disk.
+        path: Option<PathBuf>,
+        /// What was wrong.
+        message: String,
+    },
+    /// A manifest file exists but cannot be parsed (or has an
+    /// unsupported version).
+    ManifestFormat {
+        /// The manifest file.
+        path: PathBuf,
+        /// What was wrong.
+        message: String,
+    },
+    /// A filesystem operation failed (logs directory, manifest write,
+    /// plan read).
+    Io {
+        /// The path being touched.
+        path: PathBuf,
+        /// Underlying failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::PlanFormat {
+                path: Some(p),
+                message,
+            } => {
+                write!(f, "invalid campaign plan {}: {message}", p.display())
+            }
+            HarnessError::PlanFormat {
+                path: None,
+                message,
+            } => {
+                write!(f, "invalid campaign plan: {message}")
+            }
+            HarnessError::ManifestFormat { path, message } => {
+                write!(f, "invalid campaign manifest {}: {message}", path.display())
+            }
+            HarnessError::Io { path, message } => {
+                write!(f, "campaign io error at {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}

@@ -1,40 +1,48 @@
 //! A minimal JSON value, writer, and recursive-descent parser.
 //!
-//! The checkpoint files (see [`crate::checkpoint`]) need a stable
-//! self-describing on-disk format, and the workspace deliberately carries
-//! no serialization dependency — so this module hand-rolls the subset of
-//! JSON the checkpoints use: objects, arrays, strings, booleans, null,
-//! and numbers split into unsigned integers (exact, for counters) and
-//! floats (for ratios and seconds).
+//! The on-disk formats of this workspace — attack checkpoints
+//! (`fulllock-attacks`), campaign plans and manifests
+//! ([`crate::plan`], [`crate::manifest`]) — need a stable
+//! self-describing format, and the workspace deliberately carries no
+//! serialization dependency. This module hand-rolls the subset of JSON
+//! those schemas use: objects, arrays, strings, booleans, null, and
+//! numbers split into unsigned integers (exact, for counters) and floats
+//! (for ratios and seconds).
 
 use std::fmt::Write as _;
 
 /// A parsed JSON value. Object keys keep insertion order (no map — the
-/// checkpoint schema is small and scanned linearly).
+/// schemas are small and scanned linearly).
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
+    /// The `null` literal.
     Null,
+    /// A boolean.
     Bool(bool),
     /// A number that is a non-negative integer fitting `u64` (counters,
     /// versions). Kept exact — never round-tripped through `f64`.
     Int(u64),
     /// Any other number.
     Float(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Array(Vec<Json>),
+    /// An object, as ordered key/value members.
     Object(Vec<(String, Json)>),
 }
 
 impl Json {
     /// Member lookup on an object; `None` on missing key or non-object.
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    /// Exact unsigned integer value ([`Json::Int`] only).
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Int(n) => Some(*n),
             _ => None,
@@ -42,7 +50,7 @@ impl Json {
     }
 
     /// Numeric value as `f64` (integers widen).
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Int(n) => Some(*n as f64),
             Json::Float(x) => Some(*x),
@@ -50,14 +58,16 @@ impl Json {
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// String value ([`Json::Str`] only).
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_array(&self) -> Option<&[Json]> {
+    /// Array items ([`Json::Array`] only).
+    pub fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Array(items) => Some(items),
             _ => None,
@@ -65,7 +75,7 @@ impl Json {
     }
 
     /// Serializes to compact JSON text.
-    pub(crate) fn to_text(&self) -> String {
+    pub fn to_text(&self) -> String {
         let mut out = String::new();
         self.write(&mut out);
         out
@@ -122,7 +132,7 @@ impl Json {
     }
 
     /// Parses JSON text.
-    pub(crate) fn parse(text: &str) -> Result<Json, String> {
+    pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
         let value = parse_value(bytes, &mut pos)?;

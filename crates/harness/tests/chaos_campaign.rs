@@ -1,0 +1,109 @@
+//! Chaos acceptance test: a campaign whose children are driven by the
+//! `FULLLOCK_FAILPOINTS` grammar — one healthy job, one that always
+//! panics, one that hangs until the supervisor times it out. The
+//! campaign must complete the healthy work, record the carnage in the
+//! manifest, and report a partial outcome instead of dying.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use fulllock_harness::manifest::{CampaignManifest, JobStatus};
+use fulllock_harness::plan::{CampaignPlan, JobSpec};
+use fulllock_harness::retry::RetryPolicy;
+use fulllock_harness::supervisor::{run_campaign, SupervisorConfig};
+use fulllock_harness::CHAOS_CHILD_SITE;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fulllock-chaos-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn chaos_job(id: &str, action: Option<&str>) -> JobSpec {
+    let mut job = JobSpec::new(id, env!("CARGO_BIN_EXE_campaign_chaos_child"));
+    if let Some(action) = action {
+        job = job.env(
+            "FULLLOCK_FAILPOINTS",
+            format!("{CHAOS_CHILD_SITE}={action}"),
+        );
+    }
+    job
+}
+
+#[test]
+fn chaos_campaign_degrades_gracefully() {
+    let dir = scratch("mixed");
+    let plan = CampaignPlan::new("chaos")
+        .job(chaos_job("ok", None))
+        .job(chaos_job("crashy", Some("panic")))
+        .job(
+            chaos_job("hangy", Some("trigger"))
+                .timeout_secs(0.5)
+                .max_attempts(1),
+        );
+    let cfg = SupervisorConfig {
+        out_dir: dir.clone(),
+        parallelism: 3,
+        default_timeout: Duration::from_secs(20),
+        grace: Duration::from_millis(300),
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_millis(50),
+        },
+        ..SupervisorConfig::default()
+    };
+    let outcome = run_campaign(&plan, &cfg).expect("supervisor survives chaotic children");
+
+    assert_eq!(outcome.total, 3);
+    assert_eq!(outcome.succeeded, 1);
+    assert_eq!(outcome.failed, 1);
+    assert_eq!(outcome.timed_out, 1);
+    assert_eq!(outcome.status_word(), "partial");
+    assert!(!outcome.all_succeeded());
+
+    let manifest =
+        CampaignManifest::load(&dir.join("campaign.json")).expect("manifest parses after chaos");
+
+    let ok = manifest.job("ok").expect("healthy record");
+    assert_eq!(ok.status, JobStatus::Succeeded);
+    let stdout =
+        std::fs::read_to_string(dir.join(ok.stdout_log.as_ref().expect("stdout log captured")))
+            .expect("log readable");
+    assert!(stdout.contains("ok"), "{stdout}");
+
+    let crashy = manifest.job("crashy").expect("crashy record");
+    assert_eq!(crashy.status, JobStatus::Failed);
+    assert_eq!(crashy.attempts, 2, "panicking child exhausts its retries");
+
+    let hangy = manifest.job("hangy").expect("hangy record");
+    assert_eq!(hangy.status, JobStatus::TimedOut);
+    let hangy_out =
+        std::fs::read_to_string(dir.join(hangy.stdout_log.as_ref().expect("stdout log captured")))
+            .expect("log readable");
+    assert!(hangy_out.contains("hanging"), "{hangy_out}");
+
+    // The raw manifest text uses the exact status spellings CI greps for.
+    let raw = std::fs::read_to_string(dir.join("campaign.json")).expect("manifest text");
+    assert!(raw.contains("\"timed_out\""));
+    assert!(raw.contains("\"failed\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_child_delay_action_still_succeeds() {
+    let dir = scratch("delay");
+    let plan = CampaignPlan::new("chaos").job(chaos_job("slow", Some("delay:50")));
+    let cfg = SupervisorConfig {
+        out_dir: dir.clone(),
+        default_timeout: Duration::from_secs(20),
+        ..SupervisorConfig::default()
+    };
+    let outcome = run_campaign(&plan, &cfg).expect("campaign runs");
+    assert_eq!(outcome.succeeded, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}

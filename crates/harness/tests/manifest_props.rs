@@ -1,0 +1,169 @@
+//! Property tests: any campaign manifest the supervisor can produce must
+//! survive a JSON round trip bit-for-bit (modulo f64 re-parsing, which the
+//! writer keeps exact by printing with enough precision), and the atomic
+//! save path must agree with the in-memory serializer.
+
+use std::path::PathBuf;
+
+use fulllock_harness::manifest::{CampaignManifest, JobRecord, JobStatus, MANIFEST_VERSION};
+use proptest::prelude::*;
+
+/// Deterministic xorshift stream so string-ish fields can be derived from
+/// a single generated seed (the vendored proptest stub has no string
+/// strategies).
+fn bits_from(mut seed: u64) -> impl FnMut() -> u64 {
+    move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    }
+}
+
+fn ident_from(bits: u64, salt: u64) -> String {
+    const ALPHA: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_.";
+    let mut next = bits_from(bits ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let len = 1 + (next() % 12) as usize;
+    let mut s = String::new();
+    for _ in 0..len {
+        s.push(ALPHA[(next() % ALPHA.len() as u64) as usize] as char);
+    }
+    // Ids must not start with a dot; statuses and logs don't care either way.
+    if s.starts_with('.') {
+        s.replace_range(0..1, "x");
+    }
+    s
+}
+
+const STATUSES: [JobStatus; 6] = [
+    JobStatus::Pending,
+    JobStatus::Running,
+    JobStatus::Succeeded,
+    JobStatus::Failed,
+    JobStatus::TimedOut,
+    JobStatus::Skipped,
+];
+
+/// Build a fully-populated-or-not job record from primitive draws.
+#[allow(clippy::too_many_arguments)]
+fn record(
+    seed: u64,
+    config_hash: u64,
+    status_idx: usize,
+    attempts: u32,
+    exit_code: i64,
+    signal: i64,
+    duration_millis: u64,
+    option_mask: u8,
+) -> JobRecord {
+    let mut rec = JobRecord::new(ident_from(seed, 1), config_hash);
+    rec.status = STATUSES[status_idx % STATUSES.len()];
+    rec.attempts = attempts;
+    // option_mask toggles each Option field independently, so the
+    // all-None and all-Some corners both get exercised.
+    rec.exit_code = (option_mask & 1 != 0).then_some(exit_code);
+    rec.signal = (option_mask & 2 != 0).then_some(signal % 64);
+    rec.duration_secs = duration_millis as f64 / 1000.0;
+    rec.peak_rss_kb = (option_mask & 4 != 0).then_some(seed % 1_000_000);
+    rec.stdout_log =
+        (option_mask & 8 != 0).then(|| format!("logs/{}.stdout.log", ident_from(seed, 2)));
+    rec.stderr_log =
+        (option_mask & 16 != 0).then(|| format!("logs/{}.stderr.log", ident_from(seed, 3)));
+    rec.last_error =
+        (option_mask & 32 != 0).then(|| format!("exit status {} \"quoted\"\nline2", exit_code));
+    rec
+}
+
+/// One raw draw per job: (seed, hash, status, attempts, exit, signal,
+/// duration-millis, option-mask).
+type JobDraw = (u64, u64, usize, u32, i64, i64, u64, u8);
+
+fn manifest_from(seeds: &[JobDraw]) -> CampaignManifest {
+    let mut manifest = CampaignManifest::new(ident_from(seeds.len() as u64 + 17, 4));
+    for (i, &(seed, hash, status, attempts, exit, signal, dur, mask)) in seeds.iter().enumerate() {
+        // Distinct ids: upsert would otherwise merge colliding records and
+        // the equality check below would be comparing different shapes.
+        let mut rec = record(seed, hash, status, attempts, exit, signal, dur, mask);
+        rec.id = format!("{}-{i}", rec.id);
+        let attempt = rec.attempts;
+        let to = rec.status.as_str().to_string();
+        manifest.upsert(rec);
+        manifest.push_event(&format!("job-{i}"), attempt, &to);
+    }
+    manifest
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "fulllock-manifest-prop-{tag}-{}.json",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// to_json → from_json is the identity on every reachable manifest.
+    #[test]
+    fn manifest_json_round_trips(
+        a in (any::<u64>(), any::<u64>(), 0usize..6, 0u32..10),
+        b in (any::<i32>(), 0u64..124, 0u64..3_600_000, any::<u8>()),
+        c in (any::<u64>(), any::<u64>(), 0usize..6, 0u32..10),
+        d in (any::<i32>(), 0u64..124, 0u64..3_600_000, any::<u8>()),
+        n in 0usize..3,
+    ) {
+        let seeds: Vec<_> = [
+            (a.0, a.1, a.2, a.3, i64::from(b.0), b.1 as i64 - 62, b.2, b.3),
+            (c.0, c.1, c.2, c.3, i64::from(d.0), d.1 as i64 - 62, d.2, d.3),
+        ]
+        .into_iter()
+        .cycle()
+        .take(n + 1)
+        .collect();
+        let manifest = manifest_from(&seeds);
+        let text = manifest.to_json();
+        let parsed = CampaignManifest::from_json(&text)
+            .expect("serializer output must parse");
+
+        prop_assert_eq!(parsed.version, MANIFEST_VERSION);
+        prop_assert_eq!(&parsed.plan_name, &manifest.plan_name);
+        prop_assert_eq!(parsed.jobs.len(), manifest.jobs.len());
+        for (got, want) in parsed.jobs.iter().zip(&manifest.jobs) {
+            prop_assert_eq!(&got.id, &want.id);
+            prop_assert_eq!(got.config_hash, want.config_hash);
+            prop_assert_eq!(got.status, want.status);
+            prop_assert_eq!(got.attempts, want.attempts);
+            prop_assert_eq!(got.exit_code, want.exit_code);
+            prop_assert_eq!(got.signal, want.signal);
+            prop_assert!((got.duration_secs - want.duration_secs).abs() < 1e-9);
+            prop_assert_eq!(got.peak_rss_kb, want.peak_rss_kb);
+            prop_assert_eq!(&got.stdout_log, &want.stdout_log);
+            prop_assert_eq!(&got.stderr_log, &want.stderr_log);
+            prop_assert_eq!(&got.last_error, &want.last_error);
+        }
+        prop_assert_eq!(parsed.events.len(), manifest.events.len());
+        for (got, want) in parsed.events.iter().zip(&manifest.events) {
+            prop_assert_eq!(&got.job, &want.job);
+            prop_assert_eq!(got.attempt, want.attempt);
+            prop_assert_eq!(&got.to, &want.to);
+        }
+    }
+
+    /// save → load through the atomic tmp+rename path agrees with the
+    /// in-memory round trip, and leaves no tmp file behind.
+    #[test]
+    fn manifest_save_load_round_trips(
+        a in (any::<u64>(), any::<u64>(), 0usize..6, 0u32..10),
+        b in (any::<i32>(), 0u64..124, 0u64..3_600_000, any::<u8>()),
+    ) {
+        let manifest =
+            manifest_from(&[(a.0, a.1, a.2, a.3, i64::from(b.0), b.1 as i64 - 62, b.2, b.3)]);
+        let path = scratch(&format!("{:x}", a.0 ^ a.1));
+        manifest.save(&path).expect("atomic save");
+        let loaded = CampaignManifest::load(&path).expect("load saved manifest");
+        prop_assert_eq!(loaded.to_json(), manifest.to_json());
+        let tmp = path.with_extension("json.tmp");
+        prop_assert!(!tmp.exists(), "tmp file must be renamed away");
+        std::fs::remove_file(&path).ok();
+    }
+}

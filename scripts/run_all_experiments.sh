@@ -1,34 +1,60 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper (see EXPERIMENTS.md).
 #
+# Since the campaign supervisor landed this is a thin wrapper around
+# `fulllock campaign --plan builtin:paper`: per-binary timeouts, retries,
+# log capture, and the resumable manifest all live in the supervisor
+# (crates/harness). The wrapper only rebuilds, runs the campaign, and
+# concatenates the per-job logs into the flat snapshot file older tooling
+# expects.
+#
 # Usage:
 #   scripts/run_all_experiments.sh [output-file]
 #
 # Scale knobs (see crates/bench/src/lib.rs):
 #   FULLLOCK_TIMEOUT_SECS   per-attack budget, default 10
 #   FULLLOCK_FULL=1         extended sweeps toward the paper's sizes
+#   FULLLOCK_JOBS           parallel experiment binaries, default 1
+#   FULLLOCK_RESUME=1       skip binaries the manifest already records
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-experiments_snapshot.txt}"
+CAMPAIGN_DIR="${FULLLOCK_CAMPAIGN_DIR:-campaign}"
 : "${FULLLOCK_TIMEOUT_SECS:=10}"
 export FULLLOCK_TIMEOUT_SECS
 
-cargo build --release -p fulllock-bench
+cargo build --release -p fulllock-bench -p full-lock
 
-BIN=target/release
+FULLLOCK=target/release/fulllock
+RESUME_FLAG=()
+if [ "${FULLLOCK_RESUME:-0}" = "1" ]; then
+  RESUME_FLAG=(--resume)
+fi
+
+"$FULLLOCK" campaign \
+  --plan builtin:paper \
+  --out-dir "$CAMPAIGN_DIR" \
+  --jobs "${FULLLOCK_JOBS:-1}" \
+  "${RESUME_FLAG[@]}"
+
 {
   echo "# Full-Lock experiment snapshot ($(date -u +%Y-%m-%dT%H:%M:%SZ))"
   echo "# FULLLOCK_TIMEOUT_SECS=$FULLLOCK_TIMEOUT_SECS FULLLOCK_FULL=${FULLLOCK_FULL:-}"
-  for bin in fig1_dpll_hardness table1_tseytin topology_report table2_cln_sat \
-             table3_cln_ppa fig5_stt_lut fig6_insertion_example \
-             table4_fulllock_cycsat table5_plr_sizing fig7_clause_var_ratio \
-             removal_study appsat_study ablation_study; do
+  echo "# manifest: $CAMPAIGN_DIR/campaign.json"
+  "$FULLLOCK" campaign --plan builtin:paper --print-plan | while read -r bin; do
     echo
     echo "== $bin =="
-    "$BIN/$bin"
+    # Highest-numbered attempt is the one whose status the manifest records.
+    log=$(ls "$CAMPAIGN_DIR"/logs/"$bin".attempt*.stdout.log 2>/dev/null | sort -V | tail -1)
+    if [ -n "$log" ]; then
+      cat "$log"
+    else
+      echo "(no output captured — see $CAMPAIGN_DIR/campaign.json)"
+    fi
   done
 } | tee "$OUT"
 
 echo
 echo "snapshot written to $OUT"
+echo "per-job manifest: $CAMPAIGN_DIR/campaign.json"

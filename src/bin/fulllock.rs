@@ -9,6 +9,8 @@
 //! fulllock attack <locked.bench> --oracle <circuit.bench> [--timeout SECS]
 //!                 [--threads N] [--checkpoint FILE [--resume]]
 //! fulllock export <circuit.bench> --format verilog|bench|dimacs [-o FILE]
+//! fulllock campaign --plan <file|builtin:paper> [--resume] [--jobs N]
+//!                   [--timeout-secs S] [--out-dir DIR]
 //! ```
 //!
 //! Locked `.bench` files follow the literature's convention: key inputs
@@ -20,6 +22,9 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use full_lock::attacks::{Attack, AttackDetails, AttackOutcome, SatAttackConfig, SimOracle};
+use full_lock::harness::plan::CampaignPlan;
+use full_lock::harness::supervisor::{run_campaign, SupervisorConfig};
+use full_lock::harness::{CampaignManifest, JobStatus, RetryPolicy};
 use full_lock::locking::{
     AntiSat, CrossLock, FullLock, FullLockConfig, Key, LockedCircuit, LockingScheme, LutLock,
     PlrSpec, Rll, SarLock, WireSelection,
@@ -42,10 +47,25 @@ USAGE:
                   [--checkpoint <file> [--resume]]
   fulllock export <circuit.bench> --format <verilog|bench|dimacs> [-o FILE]
   fulllock optimize <circuit.bench> -o <optimized.bench>
+  fulllock campaign --plan <file|builtin:paper> [--resume] [--jobs N]
+                    [--timeout-secs S] [--grace-secs S] [--max-attempts N]
+                    [--out-dir DIR] [--strict] [--print-plan]
 
 ATTACK OPTIONS:
   --checkpoint <file>  write a crash-safe snapshot after every DIP iteration
   --resume             restore the checkpoint file first (fresh start if absent)
+
+CAMPAIGN OPTIONS:
+  --plan <file|builtin:paper>  job set: a JSON plan file, or the built-in
+                               paper sweep (one job per experiment binary)
+  --resume            skip jobs already succeeded in <out-dir>/campaign.json
+  --jobs <n>          run up to n jobs concurrently           (default 1)
+  --timeout-secs <s>  per-job wall-clock budget               (default 3600)
+  --grace-secs <s>    SIGTERM -> SIGKILL escalation grace     (default 2)
+  --max-attempts <n>  attempt budget per job                  (default 2)
+  --out-dir <dir>     manifest + captured logs                (default campaign)
+  --strict            exit non-zero if any job failed or timed out
+  --print-plan        print the job ids and exit without running anything
 
 LOCK OPTIONS:
   --scheme <fulllock|rll|sarlock|antisat|lutlock|crosslock>   (default fulllock)
@@ -66,6 +86,7 @@ fn main() -> ExitCode {
         Some("attack") => cmd_attack(&args[1..]),
         Some("export") => cmd_export(&args[1..]),
         Some("optimize") => cmd_optimize(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -393,6 +414,97 @@ fn cmd_optimize(raw: &[String]) -> CliResult {
         optimized.stats.gates_after,
         optimized.stats.deduplicated,
     );
+    Ok(())
+}
+
+fn cmd_campaign(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &["resume", "strict", "print-plan"]);
+    let plan_ref = args.flag("plan").ok_or("campaign: missing --plan")?;
+    let plan = if plan_ref == "builtin:paper" {
+        // The experiment binaries live next to this executable
+        // (target/<profile>/); `cargo build --release` puts them there.
+        let exe = std::env::current_exe()?;
+        let bin_dir = exe
+            .parent()
+            .ok_or("campaign: cannot locate the directory of this executable")?;
+        CampaignPlan::builtin_paper(bin_dir)
+    } else {
+        CampaignPlan::load(std::path::Path::new(plan_ref))?
+    };
+    if args.has("print-plan") {
+        for job in &plan.jobs {
+            println!("{}", job.id);
+        }
+        return Ok(());
+    }
+
+    let mut config = SupervisorConfig {
+        resume: args.has("resume"),
+        out_dir: args.flag("out-dir").unwrap_or("campaign").into(),
+        parallelism: args.flag("jobs").unwrap_or("1").parse()?,
+        default_timeout: Duration::from_secs_f64(
+            args.flag("timeout-secs").unwrap_or("3600").parse()?,
+        ),
+        grace: Duration::from_secs_f64(args.flag("grace-secs").unwrap_or("2").parse()?),
+        ..Default::default()
+    };
+    config.retry = RetryPolicy {
+        max_attempts: args.flag("max-attempts").unwrap_or("2").parse()?,
+        ..RetryPolicy::default()
+    };
+
+    println!(
+        "campaign {:?}: {} job(s), {} slot(s), {:.0}s budget each -> {}",
+        plan.name,
+        plan.jobs.len(),
+        config.parallelism.max(1),
+        config.default_timeout.as_secs_f64(),
+        config.out_dir.display(),
+    );
+    let outcome = run_campaign(&plan, &config)?;
+
+    let manifest = CampaignManifest::load(&outcome.manifest_path)?;
+    for job in &plan.jobs {
+        let Some(rec) = manifest.job(&job.id) else {
+            continue;
+        };
+        let mut line = format!(
+            "  {:<24} {:<9} {} attempt(s), {:.2}s",
+            rec.id,
+            rec.status.as_str(),
+            rec.attempts,
+            rec.duration_secs
+        );
+        if let Some(rss) = rec.peak_rss_kb {
+            line.push_str(&format!(", peak {rss} kB"));
+        }
+        if rec.status != JobStatus::Succeeded && rec.status != JobStatus::Skipped {
+            if let Some(err) = &rec.last_error {
+                line.push_str(&format!(" — {err}"));
+            }
+        }
+        println!("{line}");
+    }
+    println!(
+        "campaign {}: {} succeeded, {} skipped (resume), {} failed, {} timed out of {} \
+         (manifest: {})",
+        outcome.status_word(),
+        outcome.succeeded,
+        outcome.skipped,
+        outcome.failed,
+        outcome.timed_out,
+        outcome.total,
+        outcome.manifest_path.display(),
+    );
+    if args.has("strict") && !outcome.all_succeeded() {
+        return Err(format!(
+            "campaign ended {}: {} job(s) failed, {} timed out (--strict)",
+            outcome.status_word(),
+            outcome.failed,
+            outcome.timed_out
+        )
+        .into());
+    }
     Ok(())
 }
 

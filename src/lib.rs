@@ -21,6 +21,7 @@
 
 pub use fulllock_attacks as attacks;
 pub use fulllock_bench as bench;
+pub use fulllock_harness as harness;
 pub use fulllock_locking as locking;
 pub use fulllock_netlist as netlist;
 pub use fulllock_sat as sat;

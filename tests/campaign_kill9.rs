@@ -1,0 +1,149 @@
+//! The supervisor itself is killed with SIGKILL mid-campaign; a second
+//! invocation with `--resume` must finish only the remaining jobs and
+//! never re-execute the ones the manifest already records as succeeded.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use full_lock::harness::manifest::{CampaignManifest, JobStatus};
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fulllock_kill9_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// A plan with one quick counting job and one job that hangs on its first
+/// execution (so the supervisor is reliably killed while it runs) but
+/// completes instantly once its marker file exists.
+fn write_plan(dir: &Path) -> PathBuf {
+    let quick = format!("echo run >> {}", dir.join("count_quick").display());
+    let slow = format!(
+        "echo run >> {c}; if [ ! -f {m} ]; then touch {m}; sleep 60; fi",
+        c = dir.join("count_slow").display(),
+        m = dir.join("slow_marker").display()
+    );
+    let json = format!(
+        concat!(
+            "{{\"version\":1,\"name\":\"kill9\",\"jobs\":[",
+            "{{\"id\":\"quick\",\"program\":\"/bin/sh\",\"args\":[\"-c\",{q:?}]}},",
+            "{{\"id\":\"slow\",\"program\":\"/bin/sh\",\"args\":[\"-c\",{s:?}]}}",
+            "]}}"
+        ),
+        q = quick,
+        s = slow
+    );
+    let path = dir.join("plan.json");
+    std::fs::write(&path, json).expect("plan written");
+    path
+}
+
+fn count_lines(path: &Path) -> usize {
+    std::fs::read_to_string(path)
+        .map(|t| t.lines().count())
+        .unwrap_or(0)
+}
+
+#[test]
+fn resume_after_supervisor_sigkill_completes_remaining_jobs() {
+    let dir = workdir("resume");
+    let plan = write_plan(&dir);
+    let out_dir = dir.join("campaign");
+    let args = |resume: bool| {
+        let mut v = vec![
+            "campaign".to_string(),
+            "--plan".to_string(),
+            plan.display().to_string(),
+            "--out-dir".to_string(),
+            out_dir.display().to_string(),
+            "--jobs".to_string(),
+            "1".to_string(),
+            "--max-attempts".to_string(),
+            "1".to_string(),
+            "--timeout-secs".to_string(),
+            "120".to_string(),
+        ];
+        if resume {
+            v.push("--resume".to_string());
+        }
+        v
+    };
+
+    // First run: jobs execute in plan order, so "quick" succeeds and the
+    // supervisor is stuck waiting on "slow" when we SIGKILL it.
+    let mut supervisor = Command::new(env!("CARGO_BIN_EXE_fulllock"))
+        .args(args(false))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("supervisor starts");
+
+    let manifest_path = out_dir.join("campaign.json");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        assert!(Instant::now() < deadline, "quick job never finished");
+        if let Ok(m) = CampaignManifest::load(&manifest_path) {
+            let quick_done = m
+                .job("quick")
+                .is_some_and(|r| r.status == JobStatus::Succeeded);
+            let slow_started = m
+                .job("slow")
+                .is_some_and(|r| r.status == JobStatus::Running);
+            if quick_done && slow_started {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    supervisor.kill().expect("SIGKILL the supervisor");
+    supervisor.wait().expect("reap the supervisor");
+
+    // The crash site: one success on disk, one job marked running.
+    let crashed = CampaignManifest::load(&manifest_path).expect("manifest survives the kill");
+    assert_eq!(
+        crashed.job("quick").expect("record").status,
+        JobStatus::Succeeded
+    );
+    assert_eq!(
+        crashed.job("slow").expect("record").status,
+        JobStatus::Running
+    );
+
+    // Resume: must complete without re-running the succeeded job.
+    let out = Command::new(env!("CARGO_BIN_EXE_fulllock"))
+        .args(args(true))
+        .output()
+        .expect("resume run executes");
+    assert!(
+        out.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("skipped"), "summary mentions skips:\n{text}");
+
+    let resumed = CampaignManifest::load(&manifest_path).expect("final manifest");
+    assert_eq!(
+        resumed.job("quick").expect("record").status,
+        JobStatus::Skipped,
+        "succeeded job is skipped on resume"
+    );
+    assert_eq!(
+        resumed.job("slow").expect("record").status,
+        JobStatus::Succeeded
+    );
+
+    assert_eq!(
+        count_lines(&dir.join("count_quick")),
+        1,
+        "quick job must not re-execute on resume"
+    );
+    // The interrupted attempt wrote one line before hanging; the resumed
+    // attempt wrote the second.
+    assert_eq!(count_lines(&dir.join("count_slow")), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
