@@ -222,7 +222,7 @@ impl Attack for AppSatConfig {
     fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport> {
         let mut engine = SatAttack::new(locked, oracle, self.base)?;
         engine.set_checkpoint_label("appsat");
-        Ok(envelope(&mut engine, locked, oracle, *self))
+        envelope(&mut engine, locked, oracle, *self)
     }
 
     fn run_checkpointed(
@@ -239,19 +239,24 @@ impl Attack for AppSatConfig {
             engine.restore(&snapshot)?;
         }
         engine.set_checkpoint(checkpoint);
-        Ok(envelope(&mut engine, locked, oracle, *self))
+        envelope(&mut engine, locked, oracle, *self)
     }
 }
 
 /// Drives the AppSAT loop and folds its settlement data into the common
-/// envelope, capturing the fault-tolerance record.
+/// envelope, capturing the fault-tolerance record and certifying the
+/// recovered (or settled approximate) key. A certification failure on
+/// any solve aborts with [`AttackError`](crate::AttackError).
 fn envelope(
     engine: &mut SatAttack<'_>,
     locked: &LockedCircuit,
     oracle: &dyn Oracle,
     config: AppSatConfig,
-) -> AttackReport {
+) -> Result<AttackReport> {
     let report = drive_appsat(engine, locked, oracle, config);
+    if let Some(failure) = engine.certify_failure() {
+        return Err(crate::AttackError::Certification(failure.clone()));
+    }
     let outcome = match (&report.key, report.exact, report.settled) {
         (Some(key), true, _) => AttackOutcome::KeyRecovered {
             key: key.clone(),
@@ -263,7 +268,15 @@ fn envelope(
         },
         _ => AttackOutcome::Timeout,
     };
-    AttackReport {
+    let key_certificate = match &outcome {
+        AttackOutcome::KeyRecovered { key, .. } | AttackOutcome::ApproximateKey { key, .. } => {
+            Some(crate::certificate::certify_key(
+                locked, oracle, key, 64, 0xCE87,
+            ))
+        }
+        _ => None,
+    };
+    Ok(AttackReport {
         attack: "appsat",
         outcome,
         iterations: report.iterations,
@@ -271,8 +284,9 @@ fn envelope(
         oracle_queries: engine.oracle_queries(),
         solver: report.solver,
         resilience: engine.resilience(),
+        key_certificate,
         details: AttackDetails::AppSat(report),
-    }
+    })
 }
 
 /// Measures a key's error rate on random patterns; returns the rate and

@@ -13,9 +13,14 @@
 //!   (for Double-DIP's two-phase loop), the best candidate key, and the
 //!   cumulative instrumentation (elapsed time, oracle queries, solver
 //!   counters);
-//! * [`AttackCheckpoint::save`] writes atomically — serialize to
-//!   `<path>.tmp`, `sync_all`, then `rename` — so a crash mid-write leaves
-//!   the previous checkpoint intact, never a torn file;
+//! * [`AttackCheckpoint::save`] writes through
+//!   [`fulllock_harness::persist::save_sealed`]: the JSON is wrapped in a
+//!   checksummed envelope, written atomically (`<path>.tmp`, `sync_all`,
+//!   `rename`), and the previous good checkpoint is kept one more
+//!   generation as `<path>.1`. A crash mid-write leaves the previous
+//!   checkpoint intact; a torn write that the filesystem *reports as
+//!   successful* fails its checksum on load and falls back to `<path>.1`
+//!   instead of aborting the resume;
 //! * [`AttackCheckpoint::load`] validates the version and (via
 //!   [`AttackCheckpoint::validate_for`]) the attack name and interface
 //!   widths, so a checkpoint can never silently resume against the wrong
@@ -28,8 +33,10 @@
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use fulllock_harness::persist;
 use fulllock_locking::Key;
 use fulllock_sat::cdcl::SolverStats;
+use fulllock_sat::faults::{self, FaultAction};
 
 use crate::json::Json;
 use crate::{AttackError, Result};
@@ -165,6 +172,8 @@ impl AttackCheckpoint {
             ("propagate_ns".into(), Json::Int(stats.propagate_ns)),
             ("analyze_ns".into(), Json::Int(stats.analyze_ns)),
             ("worker_panics".into(), Json::Int(stats.worker_panics)),
+            ("exchange_rejects".into(), Json::Int(stats.exchange_rejects)),
+            ("certified_models".into(), Json::Int(stats.certified_models)),
         ]);
         let pairs = Json::Array(
             self.io_pairs
@@ -222,47 +231,83 @@ impl AttackCheckpoint {
         })
     }
 
-    /// Atomically writes the checkpoint: serialize to `<path>.tmp`, sync,
-    /// rename over `path`. A crash at any point leaves either the old
-    /// complete checkpoint or the new complete checkpoint — never a torn
-    /// file.
+    /// Writes the checkpoint sealed (checksummed envelope), atomically,
+    /// keeping the previous generation as `<path>.1`. A crash at any
+    /// point leaves either the old complete checkpoint or the new one;
+    /// a torn write is caught by the checksum on [`load`](Self::load),
+    /// which then falls back to `<path>.1`.
+    ///
+    /// The [`faults::site::CHECKPOINT_SAVE`] failpoint hooks this path:
+    /// `corrupt` simulates a torn-but-reported-successful write (rotate,
+    /// then leave a half-written envelope), `delay:<ms>` slows the save.
     ///
     /// # Errors
     ///
     /// Returns [`AttackError::CheckpointIo`] on any filesystem failure.
     pub fn save(&self, path: &Path) -> Result<()> {
-        use std::io::Write as _;
         let io_err = |message: String| AttackError::CheckpointIo {
             path: path.to_path_buf(),
             message,
         };
-        let mut tmp = path.as_os_str().to_os_string();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
         let text = self.to_json();
-        let mut file =
-            std::fs::File::create(&tmp).map_err(|e| io_err(format!("create temp file: {e}")))?;
-        file.write_all(text.as_bytes())
-            .and_then(|()| file.write_all(b"\n"))
-            .map_err(|e| io_err(format!("write temp file: {e}")))?;
-        file.sync_all()
-            .map_err(|e| io_err(format!("sync temp file: {e}")))?;
-        drop(file);
-        std::fs::rename(&tmp, path).map_err(|e| io_err(format!("rename into place: {e}")))
+        match faults::evaluate(faults::site::CHECKPOINT_SAVE, 0) {
+            Some(FaultAction::Corrupt) => {
+                // A torn write the filesystem reported as successful:
+                // rotate like a real save, then truncate the sealed
+                // envelope mid-payload. The checksum cannot verify, so
+                // load() must fall back to the rotated `<path>.1`.
+                let sealed = fulllock_harness::json::seal(&text);
+                let torn = &sealed[..sealed.len() / 2];
+                if path.exists() {
+                    let mut previous = path.as_os_str().to_os_string();
+                    previous.push(".1");
+                    std::fs::rename(path, PathBuf::from(previous))
+                        .map_err(|e| io_err(format!("rotate previous: {e}")))?;
+                }
+                return std::fs::write(path, torn).map_err(|e| io_err(format!("torn write: {e}")));
+            }
+            Some(delay @ FaultAction::DelayMs(_)) => faults::apply_delay(delay),
+            _ => {}
+        }
+        persist::save_sealed(path, &text).map_err(|e| io_err(format!("save: {e}")))
     }
 
-    /// Loads and parses a checkpoint file.
+    /// Loads and parses the newest checksum-valid generation of a
+    /// checkpoint file. A corrupt primary is quarantined as
+    /// `<path>.corrupt` and the previous generation `<path>.1` is used
+    /// instead (with a warning on stderr); unsealed files written by
+    /// older builds load as before.
     ///
     /// # Errors
     ///
-    /// Returns [`AttackError::CheckpointIo`] if the file cannot be read and
-    /// [`AttackError::CheckpointFormat`] if its contents are invalid.
+    /// Returns [`AttackError::CheckpointIo`] if no generation can be read,
+    /// and [`AttackError::CheckpointFormat`] if the surviving text is
+    /// invalid.
     pub fn load(path: &Path) -> Result<AttackCheckpoint> {
-        let text = std::fs::read_to_string(path).map_err(|e| AttackError::CheckpointIo {
-            path: path.to_path_buf(),
-            message: format!("read: {e}"),
+        let loaded = persist::load_sealed(path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                AttackError::CheckpointFormat {
+                    path: path.to_path_buf(),
+                    message: e.to_string(),
+                }
+            } else {
+                AttackError::CheckpointIo {
+                    path: path.to_path_buf(),
+                    message: format!("read: {e}"),
+                }
+            }
         })?;
-        AttackCheckpoint::from_json(&text).map_err(|e| match e {
+        if loaded.from_previous {
+            eprintln!(
+                "warning: checkpoint {} failed its checksum{}; resuming from previous generation",
+                path.display(),
+                match &loaded.quarantined {
+                    Some(q) => format!(" (quarantined as {})", q.display()),
+                    None => String::new(),
+                }
+            );
+        }
+        AttackCheckpoint::from_json(&loaded.payload).map_err(|e| match e {
             AttackError::CheckpointFormat { message, .. } => AttackError::CheckpointFormat {
                 path: path.to_path_buf(),
                 message,
@@ -365,6 +410,16 @@ fn parse_checkpoint(text: &str) -> std::result::Result<AttackCheckpoint, String>
         propagate_ns: stat("propagate_ns")?,
         analyze_ns: stat("analyze_ns")?,
         worker_panics: stat("worker_panics")?,
+        // Added after version 1 shipped; absent in older files, so default
+        // to zero rather than rejecting an otherwise valid checkpoint.
+        exchange_rejects: stats_json
+            .get("exchange_rejects")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        certified_models: stats_json
+            .get("certified_models")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
     };
 
     let pairs_json = field("io_pairs")?
@@ -462,6 +517,52 @@ mod tests {
         newer.save(&path).expect("second save");
         assert_eq!(AttackCheckpoint::load(&path).expect("reload").iterations, 8);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_primary_falls_back_to_previous_generation() {
+        let dir = std::env::temp_dir().join(format!("fulllock-ckpt-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("attack.ckpt");
+        let mut cp = sample();
+        cp.save(&path).expect("first save");
+        cp.iterations = 8;
+        cp.save(&path).expect("second save");
+        // Tear the primary as a lying-fsync torn write would.
+        let full = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &full[..full.len() / 2]).expect("tear");
+        let back = AttackCheckpoint::load(&path).expect("fallback load");
+        assert_eq!(back.iterations, 7, "previous generation restored");
+        let quarantine = dir.join("attack.ckpt.corrupt");
+        assert!(quarantine.exists(), "torn primary quarantined");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_unsealed_checkpoint_still_loads() {
+        let dir = std::env::temp_dir().join(format!("fulllock-ckpt-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("attack.ckpt");
+        let cp = sample();
+        std::fs::write(&path, cp.to_json() + "\n").expect("write legacy file");
+        let back = AttackCheckpoint::load(&path).expect("legacy load");
+        assert_eq!(back, cp);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_fields_missing_from_old_files_default_to_zero() {
+        let cp = sample();
+        let text = cp
+            .to_json()
+            .replace(",\"exchange_rejects\":0", "")
+            .replace(",\"certified_models\":0", "");
+        assert!(!text.contains("exchange_rejects"), "field really removed");
+        let back = AttackCheckpoint::from_json(&text).expect("old-format parse");
+        assert_eq!(back.solver.exchange_rejects, 0);
+        assert_eq!(back.solver.certified_models, 0);
     }
 
     #[test]

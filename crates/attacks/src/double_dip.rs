@@ -59,7 +59,7 @@ impl Attack for DoubleDip {
     fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport> {
         let (report, resilience, queries) =
             run_double_dip_checkpointed(locked, oracle, self.base, None, false)?;
-        Ok(envelope(report, resilience, queries))
+        Ok(envelope(locked, oracle, report, resilience, queries))
     }
 
     fn run_checkpointed(
@@ -71,11 +71,23 @@ impl Attack for DoubleDip {
     ) -> Result<AttackReport> {
         let (report, resilience, queries) =
             run_double_dip_checkpointed(locked, oracle, self.base, Some(checkpoint), resume)?;
-        Ok(envelope(report, resilience, queries))
+        Ok(envelope(locked, oracle, report, resilience, queries))
     }
 }
 
-fn envelope(report: DoubleDipReport, resilience: RunResilience, queries: u64) -> AttackReport {
+fn envelope(
+    locked: &LockedCircuit,
+    oracle: &dyn Oracle,
+    report: DoubleDipReport,
+    resilience: RunResilience,
+    queries: u64,
+) -> AttackReport {
+    let key_certificate = match &report.outcome {
+        AttackOutcome::KeyRecovered { key, .. } => Some(crate::certificate::certify_key(
+            locked, oracle, key, 64, 0xCE87,
+        )),
+        _ => None,
+    };
     AttackReport {
         attack: "double-dip",
         outcome: report.outcome.clone(),
@@ -84,6 +96,7 @@ fn envelope(report: DoubleDipReport, resilience: RunResilience, queries: u64) ->
         oracle_queries: queries,
         solver: report.solver,
         resilience,
+        key_certificate,
         details: AttackDetails::DoubleDip(report),
     }
 }
@@ -312,7 +325,7 @@ fn run_double_dip_checkpointed(
         }
     }
 
-    let mut solver = config.backend.create();
+    let mut solver = config.backend.create_certified(config.certify);
     solver.ensure_vars(cnf.num_vars());
     for clause in cnf.clauses() {
         solver.add_clause(clause);
@@ -389,6 +402,9 @@ fn run_double_dip_checkpointed(
         }
         match solver.solve_limited(&[act_double], limits.clone()) {
             SolveResult::Unknown => {
+                if let Some(failure) = solver.certify_failure() {
+                    return Err(AttackError::Certification(failure));
+                }
                 return Ok(finish(
                     AttackOutcome::Timeout,
                     iterations,
@@ -397,7 +413,7 @@ fn run_double_dip_checkpointed(
                     total_queries(),
                     solver.as_ref(),
                     &ctl,
-                ))
+                ));
             }
             // No 2-DIP left: advance into the clean-up phase.
             SolveResult::Unsat => skip_double_phase = true,
@@ -440,6 +456,9 @@ fn run_double_dip_checkpointed(
         }
         match solver.solve_limited(&[act_single], limits.clone()) {
             SolveResult::Unknown => {
+                if let Some(failure) = solver.certify_failure() {
+                    return Err(AttackError::Certification(failure));
+                }
                 return Ok(finish(
                     AttackOutcome::Timeout,
                     iterations,
@@ -448,7 +467,7 @@ fn run_double_dip_checkpointed(
                     total_queries(),
                     solver.as_ref(),
                     &ctl,
-                ))
+                ));
             }
             SolveResult::Unsat => break,
             SolveResult::Sat => {
@@ -497,7 +516,12 @@ fn run_double_dip_checkpointed(
             let verified = verify(locked, oracle, &key);
             AttackOutcome::KeyRecovered { key, verified }
         }
-        SolveResult::Unknown => AttackOutcome::Timeout,
+        SolveResult::Unknown => {
+            if let Some(failure) = solver.certify_failure() {
+                return Err(AttackError::Certification(failure));
+            }
+            AttackOutcome::Timeout
+        }
         SolveResult::Unsat => AttackOutcome::Inconclusive,
     };
     Ok(finish(

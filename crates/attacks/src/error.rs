@@ -32,6 +32,11 @@ pub enum AttackError {
         /// What is wrong.
         message: String,
     },
+    /// A solver answer failed its certification check (a claimed model
+    /// does not satisfy the formula, an UNSAT proof does not verify, or
+    /// portfolio workers disagreed). The run aborts rather than returning
+    /// a result built on an uncertified answer.
+    Certification(fulllock_sat::CertifyError),
 }
 
 impl fmt::Display for AttackError {
@@ -57,6 +62,7 @@ impl fmt::Display for AttackError {
                     write!(f, "invalid checkpoint {}: {message}", path.display())
                 }
             }
+            AttackError::Certification(e) => write!(f, "solver answer failed certification: {e}"),
         }
     }
 }
@@ -66,8 +72,15 @@ impl std::error::Error for AttackError {
         match self {
             AttackError::Netlist(e) => Some(e),
             AttackError::Lock(e) => Some(e),
+            AttackError::Certification(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<fulllock_sat::CertifyError> for AttackError {
+    fn from(e: fulllock_sat::CertifyError) -> Self {
+        AttackError::Certification(e)
     }
 }
 

@@ -84,6 +84,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod appsat;
+pub mod certificate;
 pub mod checkpoint;
 pub mod cycsat;
 pub mod double_dip;
@@ -96,13 +97,17 @@ pub mod sat_attack;
 pub mod sps;
 
 pub use appsat::{AppSatConfig, AppSatReport};
+pub use certificate::certify_key;
 pub use checkpoint::{AttackCheckpoint, IoPair, CHECKPOINT_VERSION};
 pub use double_dip::DoubleDip;
 pub use encode::{encode_locked, LockedEncoding};
 pub use error::AttackError;
 pub use oracle::{Oracle, SimOracle};
 pub use removal::Removal;
-pub use report::{Attack, AttackDetails, AttackOutcome, AttackReport, RunResilience};
+pub use report::{
+    Attack, AttackDetails, AttackOutcome, AttackReport, FormalVerdict, KeyCertificate,
+    RunResilience,
+};
 pub use sat_attack::{SatAttack, SatAttackConfig, SatAttackReport};
 pub use sps::Sps;
 

@@ -28,6 +28,15 @@ pub trait Oracle {
     /// How many queries have been issued (the attack-cost metric the
     /// literature reports alongside iterations).
     fn queries(&self) -> u64;
+
+    /// The reference netlist behind the oracle, if it can expose one.
+    ///
+    /// A real activated chip cannot (the default `None`), but the
+    /// simulation stand-in can — and key certification uses it for a
+    /// formal equivalence proof instead of settling for sampled evidence.
+    fn netlist(&self) -> Option<&Netlist> {
+        None
+    }
 }
 
 /// An [`Oracle`] backed by simulation of the original netlist.
@@ -86,6 +95,10 @@ impl Oracle for SimOracle<'_> {
 
     fn queries(&self) -> u64 {
         self.count.get()
+    }
+
+    fn netlist(&self) -> Option<&Netlist> {
+        Some(self.sim.netlist())
     }
 }
 

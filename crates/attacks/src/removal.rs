@@ -198,6 +198,7 @@ impl Attack for Removal {
             oracle_queries: oracle.queries(),
             solver: Default::default(),
             resilience: Default::default(),
+            key_certificate: None,
             details: AttackDetails::Removal(study),
         })
     }

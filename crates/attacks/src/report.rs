@@ -100,6 +100,60 @@ pub enum AttackDetails {
     Sps(crate::sps::SpsReport),
 }
 
+/// The formal half of a [`KeyCertificate`]: what SAT-based equivalence
+/// checking concluded about the recovered key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormalVerdict {
+    /// The locked circuit under the key is provably equivalent to the
+    /// reference netlist (miter UNSAT).
+    Equivalent,
+    /// A counterexample input exists: the key is wrong.
+    NotEquivalent,
+    /// The equivalence solve hit its resource limit.
+    Unknown,
+    /// The check could not run (no reference netlist on the oracle, a
+    /// cyclic locked netlist, interleaved inputs); the reason is recorded.
+    Unavailable(String),
+}
+
+/// Independent evidence that a recovered key is correct, produced *after*
+/// the attack by re-checking the key against the oracle — never by
+/// trusting the solver that found it.
+///
+/// Two complementary checks: bit-parallel random simulation against the
+/// oracle (cheap, catches gross mistakes across many patterns) and a
+/// formal miter-UNSAT equivalence proof against the oracle's reference
+/// netlist when one is available (exhaustive, but may be unavailable or
+/// time out).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyCertificate {
+    /// Input patterns simulated (requested samples plus the all-zeros and
+    /// all-ones corners).
+    pub samples: u64,
+    /// Patterns where the unlocked circuit disagreed with the oracle.
+    /// Non-zero means the key is demonstrably wrong.
+    pub mismatches: u64,
+    /// The formal equivalence verdict.
+    pub formal: FormalVerdict,
+}
+
+impl KeyCertificate {
+    /// Whether nothing contradicts the key: no simulation mismatch and no
+    /// formal counterexample. (A clean certificate with
+    /// [`FormalVerdict::Equivalent`] is a *proof*; with
+    /// [`Unknown`](FormalVerdict::Unknown) or
+    /// [`Unavailable`](FormalVerdict::Unavailable) it is sampled evidence
+    /// only.)
+    pub fn is_clean(&self) -> bool {
+        self.mismatches == 0 && self.formal != FormalVerdict::NotEquivalent
+    }
+
+    /// Whether the key is formally proven correct.
+    pub fn is_proven(&self) -> bool {
+        self.mismatches == 0 && self.formal == FormalVerdict::Equivalent
+    }
+}
+
 /// How a run weathered faults and interruptions: worker drop-outs the
 /// solver isolated, and checkpoint activity when the run was
 /// checkpointed. All-zeros ([`Default`]) for an undisturbed,
@@ -153,6 +207,10 @@ pub struct AttackReport {
     /// Fault-tolerance record of the run (worker drop-outs, checkpoint
     /// activity).
     pub resilience: RunResilience,
+    /// Independent post-attack evidence for the recovered key
+    /// ([`certify_key`](crate::certificate::certify_key)); `None` when the
+    /// attack recovered no key (structural attacks, timeouts).
+    pub key_certificate: Option<KeyCertificate>,
     /// The attack-specific report.
     pub details: AttackDetails,
 }

@@ -21,7 +21,7 @@ use fulllock_locking::{Key, LockedCircuit};
 use fulllock_netlist::topo;
 use fulllock_sat::backend::{BackendSpec, SolveBackend};
 use fulllock_sat::cdcl::{SolveLimits, SolveResult, SolverStats};
-use fulllock_sat::{Cnf, Lit, Var};
+use fulllock_sat::{CertifyError, CertifyLevel, Cnf, Lit, Var};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,7 +34,7 @@ use crate::{cycsat, AttackError, Result};
 pub use crate::report::AttackOutcome;
 
 /// Configuration of a SAT attack run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct SatAttackConfig {
     /// Wall-clock budget; `None` runs to completion. (The paper's testbed
     /// used 2×10⁶ s; scaled-down budgets reproduce the same TO patterns.)
@@ -47,6 +47,26 @@ pub struct SatAttackConfig {
     /// Which SAT engine answers the miter queries: one sequential solver
     /// or a racing portfolio.
     pub backend: BackendSpec,
+    /// How much to trust the solver's answers (see
+    /// [`CertifyLevel`]); a failed check aborts the run with
+    /// [`AttackError::Certification`] instead of returning a result built
+    /// on an uncertified answer.
+    pub certify: CertifyLevel,
+}
+
+impl Default for SatAttackConfig {
+    /// The default reads [`CertifyLevel::from_env`], so
+    /// `FULLLOCK_CERTIFY=model` certifies a whole campaign without
+    /// touching any call site.
+    fn default() -> SatAttackConfig {
+        SatAttackConfig {
+            timeout: None,
+            max_iterations: None,
+            force_cycsat: false,
+            backend: BackendSpec::default(),
+            certify: CertifyLevel::from_env(),
+        }
+    }
 }
 
 /// Result and instrumentation of a SAT attack run.
@@ -123,6 +143,9 @@ pub struct SatAttack<'a> {
     /// have served earlier runs in this process.
     oracle_baseline: u64,
     resumed_from: Option<u64>,
+    /// First certification failure observed on any solve; sticky — once
+    /// set, the run's result cannot be trusted and the envelope aborts.
+    certify_failure: Option<CertifyError>,
 }
 
 impl std::fmt::Debug for SatAttack<'_> {
@@ -189,7 +212,7 @@ impl<'a> SatAttack<'a> {
             locked,
             oracle,
             config,
-            solver: config.backend.create(),
+            solver: config.backend.create_certified(config.certify),
             cnf,
             transferred: 0,
             x_vars,
@@ -212,6 +235,7 @@ impl<'a> SatAttack<'a> {
             prior_solver: SolverStats::default(),
             oracle_baseline: oracle.queries(),
             resumed_from: None,
+            certify_failure: None,
         };
         attack.transfer_clauses();
         Ok(attack)
@@ -401,7 +425,10 @@ impl<'a> SatAttack<'a> {
             return Step::Budget;
         }
         match self.solver.solve_limited(&[self.act], self.limits()) {
-            SolveResult::Unknown => Step::Budget,
+            SolveResult::Unknown => {
+                self.note_certify_failure();
+                Step::Budget
+            }
             SolveResult::Unsat => Step::NoMoreDips,
             SolveResult::Sat => {
                 let dip: Vec<bool> = self
@@ -452,8 +479,25 @@ impl<'a> SatAttack<'a> {
                     .iter()
                     .map(|&v| self.solver.model_value(v).unwrap_or(false)),
             )),
-            _ => None,
+            _ => {
+                self.note_certify_failure();
+                None
+            }
         }
+    }
+
+    /// Records the backend's certification failure, if any (sticky: the
+    /// first failure wins). Called after every solve that can yield
+    /// `Unknown`.
+    fn note_certify_failure(&mut self) {
+        if self.certify_failure.is_none() {
+            self.certify_failure = self.solver.certify_failure();
+        }
+    }
+
+    /// The certification failure that poisoned this run, if any.
+    pub fn certify_failure(&self) -> Option<&CertifyError> {
+        self.certify_failure.as_ref()
     }
 
     /// Verifies a candidate key against the oracle on random patterns
@@ -559,7 +603,7 @@ impl Attack for SatAttackConfig {
 
     fn run(&self, locked: &LockedCircuit, oracle: &dyn Oracle) -> Result<AttackReport> {
         let mut engine = SatAttack::new(locked, oracle, *self)?;
-        Ok(envelope(&mut engine))
+        envelope(&mut engine)
     }
 
     fn run_checkpointed(
@@ -576,15 +620,33 @@ impl Attack for SatAttackConfig {
             engine.set_checkpoint(checkpoint);
             engine
         };
-        Ok(envelope(&mut engine))
+        envelope(&mut engine)
     }
 }
 
 /// Runs the engine's DIP loop and folds the result into the common
-/// envelope, capturing the fault-tolerance record.
-fn envelope(engine: &mut SatAttack<'_>) -> AttackReport {
+/// envelope, capturing the fault-tolerance record and certifying any
+/// recovered key with independent simulation + formal equivalence.
+///
+/// A certification failure on any solve aborts with
+/// [`AttackError::Certification`] — an uncertified answer never becomes
+/// a report.
+fn envelope(engine: &mut SatAttack<'_>) -> Result<AttackReport> {
     let report = engine.run();
-    AttackReport {
+    if let Some(failure) = engine.certify_failure() {
+        return Err(AttackError::Certification(failure.clone()));
+    }
+    let key_certificate = match &report.outcome {
+        AttackOutcome::KeyRecovered { key, .. } => Some(crate::certificate::certify_key(
+            engine.locked,
+            engine.oracle,
+            key,
+            64,
+            0xCE87,
+        )),
+        _ => None,
+    };
+    Ok(AttackReport {
         attack: "sat",
         outcome: report.outcome.clone(),
         iterations: report.iterations,
@@ -592,8 +654,9 @@ fn envelope(engine: &mut SatAttack<'_>) -> AttackReport {
         oracle_queries: report.oracle_queries,
         solver: report.solver,
         resilience: engine.resilience(),
+        key_certificate,
         details: AttackDetails::Sat(report),
-    }
+    })
 }
 
 /// One-call SAT attack with the given configuration.

@@ -237,6 +237,7 @@ impl Attack for Sps {
             oracle_queries: oracle.queries(),
             solver: Default::default(),
             resilience: Default::default(),
+            key_certificate: None,
             details: AttackDetails::Sps(report),
         })
     }

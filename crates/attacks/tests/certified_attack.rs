@@ -1,0 +1,138 @@
+//! End-to-end result certification: a SAT attack run with `--certify`
+//! semantics (Model and Proof levels) must recover the key with every SAT
+//! answer re-checked, report those checks in the solver stats, and attach
+//! a clean key certificate proving the recovered key simulationally and
+//! formally.
+
+use fulllock_attacks::{
+    certify_key, Attack, AttackOutcome, DoubleDip, FormalVerdict, SatAttackConfig, SimOracle,
+};
+use fulllock_locking::{Key, LockingScheme, Rll, SarLock};
+use fulllock_netlist::random::{generate, RandomCircuitConfig};
+use fulllock_sat::CertifyLevel;
+
+fn host(seed: u64) -> fulllock_netlist::Netlist {
+    generate(RandomCircuitConfig {
+        inputs: 10,
+        outputs: 5,
+        gates: 90,
+        max_fanin: 3,
+        seed,
+    })
+    .expect("valid circuit config")
+}
+
+fn recovered_key(outcome: &AttackOutcome) -> &Key {
+    let AttackOutcome::KeyRecovered { key, verified } = outcome else {
+        panic!("expected a recovered key, got {outcome:?}");
+    };
+    assert!(verified);
+    key
+}
+
+/// Model-level certification: every SAT answer in the DIP loop is
+/// re-checked against the original clauses, the count lands in the
+/// report, and the recovered key carries a clean, formally-proven
+/// certificate.
+#[test]
+fn sat_attack_at_model_level_certifies_every_answer() {
+    let original = host(31);
+    let locked = Rll::new(8, 2).lock(&original).expect("lock");
+    let oracle = SimOracle::new(&original).expect("oracle");
+    let report = SatAttackConfig {
+        certify: CertifyLevel::Model,
+        ..Default::default()
+    }
+    .run(&locked, &oracle)
+    .expect("attack");
+
+    recovered_key(&report.outcome);
+    assert!(
+        report.solver.certified_models > 0,
+        "a Model-level run must have re-checked its SAT answers: {:?}",
+        report.solver
+    );
+    let certificate = report.key_certificate.as_ref().expect("certificate");
+    assert!(certificate.is_clean(), "{certificate:?}");
+    assert!(
+        certificate.is_proven(),
+        "the oracle exposes its netlist, so the miter proof must run: {certificate:?}"
+    );
+    assert_eq!(certificate.mismatches, 0);
+    assert_eq!(certificate.formal, FormalVerdict::Equivalent);
+}
+
+/// Proof level composes with the same attack path (the DIP loop's solves
+/// are satisfiable, so proof checking is dormant, but the level must not
+/// disturb the result).
+#[test]
+fn sat_attack_at_proof_level_recovers_the_same_key() {
+    let original = host(31);
+    let locked = Rll::new(8, 2).lock(&original).expect("lock");
+
+    let oracle_model = SimOracle::new(&original).expect("oracle");
+    let model = SatAttackConfig {
+        certify: CertifyLevel::Model,
+        ..Default::default()
+    }
+    .run(&locked, &oracle_model)
+    .expect("model run");
+
+    let oracle_proof = SimOracle::new(&original).expect("oracle");
+    let proof = SatAttackConfig {
+        certify: CertifyLevel::Proof,
+        ..Default::default()
+    }
+    .run(&locked, &oracle_proof)
+    .expect("proof run");
+
+    assert_eq!(recovered_key(&model.outcome), recovered_key(&proof.outcome));
+    assert!(proof.solver.certified_models > 0);
+    assert!(proof
+        .key_certificate
+        .as_ref()
+        .expect("certificate")
+        .is_clean());
+}
+
+/// The multi-DIP variant certifies through the same machinery.
+#[test]
+fn double_dip_at_model_level_attaches_a_clean_certificate() {
+    let original = host(32);
+    let locked = SarLock::new(5, 3).lock(&original).expect("lock");
+    let oracle = SimOracle::new(&original).expect("oracle");
+    let report = DoubleDip {
+        base: SatAttackConfig {
+            certify: CertifyLevel::Model,
+            ..Default::default()
+        },
+    }
+    .run(&locked, &oracle)
+    .expect("attack");
+
+    recovered_key(&report.outcome);
+    assert!(report.solver.certified_models > 0);
+    let certificate = report.key_certificate.as_ref().expect("certificate");
+    assert!(certificate.is_clean(), "{certificate:?}");
+}
+
+/// A deliberately wrong key fails certification on both axes — the
+/// simulation samples catch mismatching patterns and the formal miter
+/// produces a counterexample.
+#[test]
+fn wrong_keys_are_rejected_by_the_certificate() {
+    let original = host(33);
+    let locked = Rll::new(8, 2).lock(&original).expect("lock");
+    let oracle = SimOracle::new(&original).expect("oracle");
+
+    let report = SatAttackConfig::default()
+        .run(&locked, &oracle)
+        .expect("attack");
+    let good = recovered_key(&report.outcome);
+    let bad = Key::from_bits(good.bits().iter().map(|&b| !b));
+
+    let certificate = certify_key(&locked, &oracle, &bad, 64, 0xBAD);
+    assert!(!certificate.is_clean(), "{certificate:?}");
+    assert!(certificate.mismatches > 0);
+    assert_eq!(certificate.formal, FormalVerdict::NotEquivalent);
+}

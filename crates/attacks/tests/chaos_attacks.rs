@@ -127,6 +127,82 @@ fn sat_attack_degrades_cleanly_when_all_workers_die() {
     faults::clear();
 }
 
+/// The crash the checkpoint layer exists for: a save is torn mid-write
+/// (power cut, OOM-kill, lying fsync), leaving a half-written snapshot as
+/// the primary file. Resume must detect the corruption by checksum,
+/// quarantine the torn file, fall back to the previous generation, and
+/// still finish the attack with the same key as an uninterrupted run.
+#[test]
+fn torn_checkpoint_save_resumes_from_the_previous_generation() {
+    let _guard = chaos_lock();
+    let original = host(14);
+    // SARLock pays ~2^m - 1 DIPs: a long run with one save per iteration.
+    let locked = fulllock_locking::SarLock::new(5, 3)
+        .lock(&original)
+        .expect("lock");
+    let path = std::env::temp_dir().join(format!("fulllock-{}-torn.ckpt", std::process::id()));
+    let quarantine = path.with_extension("ckpt.corrupt");
+    let previous = path.with_extension("ckpt.1");
+    for p in [&path, &quarantine, &previous] {
+        let _ = std::fs::remove_file(p);
+    }
+
+    let fresh_oracle = SimOracle::new(&original).expect("oracle");
+    let fresh = SatAttackConfig::default()
+        .run(&locked, &fresh_oracle)
+        .expect("fresh run");
+    let AttackOutcome::KeyRecovered { key: fresh_key, .. } = &fresh.outcome else {
+        panic!("expected a recovered key, got {:?}", fresh.outcome);
+    };
+    assert!(fresh.iterations > 12, "need a long run to interrupt");
+
+    // Tear exactly the LAST save of the capped run (the 10th): `.after(9)`
+    // skips the healthy ones and `.times(1)` spends the fault, so the
+    // rotated previous generation keeps iteration 9 intact.
+    faults::install(
+        FaultPlan::new().with(
+            Failpoint::new(site::CHECKPOINT_SAVE, None, FaultAction::Corrupt)
+                .after(9)
+                .times(1),
+        ),
+    );
+    let capped_oracle = SimOracle::new(&original).expect("oracle");
+    let capped = SatAttackConfig {
+        max_iterations: Some(10),
+        ..Default::default()
+    }
+    .run_checkpointed(&locked, &capped_oracle, &path, false)
+    .expect("capped run");
+    faults::clear();
+    assert_eq!(capped.outcome, AttackOutcome::IterationLimit);
+    assert_eq!(capped.resilience.checkpoints_written, 10);
+
+    // Resume in a "new process": the torn primary must not poison it.
+    let resume_oracle = SimOracle::new(&original).expect("oracle");
+    let resumed = SatAttackConfig::default()
+        .resume(&locked, &resume_oracle, &path)
+        .expect("resumed run");
+    let AttackOutcome::KeyRecovered { key, .. } = &resumed.outcome else {
+        panic!("expected a recovered key, got {:?}", resumed.outcome);
+    };
+    assert_eq!(key, fresh_key);
+    assert_eq!(
+        resumed.resilience.resumed_from,
+        Some(9),
+        "must fall back to the generation before the torn save"
+    );
+    assert!(
+        quarantine.exists(),
+        "torn primary must be quarantined as evidence"
+    );
+    let certificate = resumed.key_certificate.as_ref().expect("certificate");
+    assert!(certificate.is_clean());
+
+    for p in [&path, &quarantine, &previous] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
 /// Run by the CI chaos matrix with `FULLLOCK_FAILPOINTS` set: whatever the
 /// ambient plan injects, the attack must either break the scheme with a
 /// verified key or end in a clean budget outcome — never panic or hang.

@@ -15,8 +15,9 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fulllock_bench::miter_workload;
+use fulllock_sat::backend::BackendSpec;
 use fulllock_sat::cdcl::{SolveLimits, SolveResult, Solver};
-use fulllock_sat::Cnf;
+use fulllock_sat::{CertifyLevel, Cnf};
 
 /// Propagations/second measured at the seed commit (separately-allocated
 /// `Vec<Lit>` clauses, activity-only reduction) on the reference container:
@@ -28,9 +29,40 @@ const BASELINE_PROPS_PER_SEC: f64 = 3_250_000.0;
 /// small enough that one measurement stays under a second.
 const CONFLICT_BUDGET: u64 = 30_000;
 
+/// Acceptance bar for `Model`-level result certification: re-checking
+/// every SAT model against a mirror of the original clauses must cost
+/// less than this percentage of propagation throughput.
+const MAX_CERTIFY_OVERHEAD_PCT: f64 = 5.0;
+
 /// One measured solve; returns (propagations, seconds).
 fn run_budgeted(cnf: &Cnf) -> (u64, f64) {
     let mut solver = Solver::from_cnf(cnf);
+    let start = Instant::now();
+    let result = solver.solve_limited(
+        &[],
+        SolveLimits::builder()
+            .max_conflicts(CONFLICT_BUDGET)
+            .build(),
+    );
+    let secs = start.elapsed().as_secs_f64();
+    assert_ne!(
+        result,
+        SolveResult::Unsat,
+        "the miter of a keyed circuit must stay satisfiable"
+    );
+    (solver.stats().propagations, secs)
+}
+
+/// One measured solve through a (possibly certifying) backend; returns
+/// (propagations, seconds). Clause loading happens outside the timed
+/// window on both sides, so the figure isolates the certification layer's
+/// steady-state cost.
+fn run_budgeted_certified(cnf: &Cnf, level: CertifyLevel) -> (u64, f64) {
+    let mut solver = BackendSpec::Single.create_certified(level);
+    solver.ensure_vars(cnf.num_vars());
+    for clause in cnf.clauses() {
+        solver.add_clause(clause);
+    }
     let start = Instant::now();
     let result = solver.solve_limited(
         &[],
@@ -69,6 +101,25 @@ fn bench_propagation(c: &mut Criterion) {
         best_props_per_sec = best_props_per_sec.max(props as f64 / secs);
         last = (props, secs);
     }
+    // Certification overhead pass: the same workload through the
+    // certifying backend at Off and Model levels. Model-level checking
+    // must stay essentially free (its cost is a clause mirror and one
+    // model walk per SAT answer, not per propagation).
+    let mut certify_off = 0.0f64;
+    let mut certify_model = 0.0f64;
+    for _ in 0..3 {
+        let (props, secs) = run_budgeted_certified(&cnf, CertifyLevel::Off);
+        certify_off = certify_off.max(props as f64 / secs);
+        let (props, secs) = run_budgeted_certified(&cnf, CertifyLevel::Model);
+        certify_model = certify_model.max(props as f64 / secs);
+    }
+    let certify_overhead_pct = (1.0 - certify_model / certify_off) * 100.0;
+    assert!(
+        certify_overhead_pct < MAX_CERTIFY_OVERHEAD_PCT,
+        "Model-level certification costs {certify_overhead_pct:.1}% of propagation \
+         throughput (bar: {MAX_CERTIFY_OVERHEAD_PCT}%): {certify_model:.0} vs {certify_off:.0} props/sec"
+    );
+
     let snapshot_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cdcl.json");
     let speedup = best_props_per_sec / BASELINE_PROPS_PER_SEC;
     let json = format!(
@@ -76,7 +127,10 @@ fn bench_propagation(c: &mut Criterion) {
          \"formula\": {{ \"vars\": {}, \"clauses\": {} }},\n  \
          \"propagations\": {},\n  \"seconds\": {:.4},\n  \
          \"props_per_sec\": {:.0},\n  \
-         \"baseline_props_per_sec\": {:.0},\n  \"speedup_vs_baseline\": {:.2}\n}}\n",
+         \"baseline_props_per_sec\": {:.0},\n  \"speedup_vs_baseline\": {:.2},\n  \
+         \"certify_off_props_per_sec\": {:.0},\n  \
+         \"certify_model_props_per_sec\": {:.0},\n  \
+         \"certify_overhead_pct\": {:.2}\n}}\n",
         CONFLICT_BUDGET,
         cnf.num_vars(),
         cnf.num_clauses(),
@@ -85,6 +139,9 @@ fn bench_propagation(c: &mut Criterion) {
         best_props_per_sec,
         BASELINE_PROPS_PER_SEC,
         speedup,
+        certify_off,
+        certify_model,
+        certify_overhead_pct,
     );
     match std::fs::File::create(snapshot_path) {
         Ok(mut f) => {

@@ -112,13 +112,14 @@ pub struct ScaleConfig {
 }
 
 /// `FULLLOCK_*` variables with a meaning somewhere in the workspace
-/// (the last two belong to the fault-injection and campaign layers and
-/// pass through children untouched).
-pub const KNOWN_FULLLOCK_VARS: [&str; 4] = [
+/// (the last two belong to the fault-injection and certification layers
+/// and pass through children untouched).
+pub const KNOWN_FULLLOCK_VARS: [&str; 5] = [
     "FULLLOCK_TIMEOUT_SECS",
     "FULLLOCK_FULL",
     "FULLLOCK_THREADS",
     "FULLLOCK_FAILPOINTS",
+    "FULLLOCK_CERTIFY",
 ];
 
 impl ScaleConfig {

@@ -332,6 +332,66 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         .map_err(|_| format!("invalid number {text:?} at byte {start}"))
 }
 
+/// FNV-1a 64-bit over raw bytes. Every step xors a byte then multiplies
+/// by an odd prime — both bijective on the running state — so any
+/// single-byte substitution changes the final hash, which is exactly the
+/// torn-write/bit-rot class the sealed envelope defends against. Not
+/// cryptographic: it detects corruption, not tampering.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+const SEAL_PREFIX: &str = "{\"checksum\":";
+const SEAL_MID: &str = ",\"payload\":";
+
+/// Wraps serialized JSON `payload` in a checksummed envelope:
+/// `{"checksum":<fnv1a(payload)>,"payload":<payload>}`. The payload text
+/// is spliced verbatim, so [`unseal`] can verify the exact bytes that
+/// were sealed. The result is itself valid JSON.
+pub fn seal(payload: &str) -> String {
+    format!(
+        "{SEAL_PREFIX}{}{SEAL_MID}{payload}}}",
+        fnv1a(payload.as_bytes())
+    )
+}
+
+/// Opens a [`seal`]ed envelope.
+///
+/// * `Ok(Some(payload))` — a well-formed envelope whose checksum matches;
+///   `payload` is the exact text that was sealed.
+/// * `Ok(None)` — not an envelope (a legacy unsealed file); the caller
+///   should parse `text` directly.
+/// * `Err(_)` — an envelope that is torn or corrupt (checksum mismatch,
+///   mangled frame): the content must not be trusted.
+pub fn unseal(text: &str) -> Result<Option<&str>, String> {
+    let Some(rest) = text.strip_prefix(SEAL_PREFIX) else {
+        return Ok(None);
+    };
+    let Some(mid) = rest.find(SEAL_MID) else {
+        return Err("sealed envelope without a payload member".to_string());
+    };
+    let stored: u64 = rest[..mid]
+        .parse()
+        .map_err(|_| format!("invalid envelope checksum {:?}", &rest[..mid]))?;
+    let body = &rest[mid + SEAL_MID.len()..];
+    let payload = body
+        .trim_end_matches(['\n', '\r'])
+        .strip_suffix('}')
+        .ok_or_else(|| "sealed envelope is truncated".to_string())?;
+    let actual = fnv1a(payload.as_bytes());
+    if actual != stored {
+        return Err(format!(
+            "envelope checksum mismatch: stored {stored}, content hashes to {actual}"
+        ));
+    }
+    Ok(Some(payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +441,55 @@ mod tests {
             "", "{", "[1,", "\"open", "{\"a\":}", "1 2", "{'a':1}", "nul",
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn seal_round_trips_and_stays_valid_json() {
+        let payload = Json::Object(vec![
+            ("version".to_string(), Json::Int(3)),
+            ("name".to_string(), Json::Str("x\"y".to_string())),
+        ])
+        .to_text();
+        let sealed = seal(&payload);
+        assert_eq!(unseal(&sealed), Ok(Some(payload.as_str())));
+        // A trailing newline (the atomic writers append one) is tolerated.
+        assert_eq!(unseal(&format!("{sealed}\n")), Ok(Some(payload.as_str())));
+        // The envelope itself parses as JSON.
+        let envelope = Json::parse(&sealed).expect("envelope is JSON");
+        assert_eq!(
+            envelope.get("checksum").and_then(Json::as_u64),
+            Some(fnv1a(payload.as_bytes()))
+        );
+    }
+
+    #[test]
+    fn unseal_passes_legacy_text_through() {
+        assert_eq!(unseal("{\"version\":3}"), Ok(None));
+        assert_eq!(unseal(""), Ok(None));
+    }
+
+    #[test]
+    fn unseal_rejects_torn_and_corrupt_envelopes() {
+        let sealed = seal("{\"a\":1}");
+        // Torn write: the tail is missing.
+        assert!(unseal(&sealed[..sealed.len() - 3]).is_err());
+        // Flipped payload byte.
+        let flipped = sealed.replace("\"a\"", "\"b\"");
+        assert!(unseal(&flipped).is_err());
+        // Mangled checksum digits.
+        assert!(unseal("{\"checksum\":12x4,\"payload\":{}}").is_err());
+        assert!(unseal("{\"checksum\":124}").is_err());
+    }
+
+    #[test]
+    fn fnv1a_detects_any_single_byte_substitution() {
+        let base = b"campaign manifest body";
+        let h = fnv1a(base);
+        for i in 0..base.len() {
+            let mut mutated = base.to_vec();
+            mutated[i] ^= 0x01;
+            assert_ne!(fnv1a(&mutated), h, "byte {i}");
         }
     }
 

@@ -46,6 +46,7 @@
 pub mod error;
 pub mod json;
 pub mod manifest;
+pub mod persist;
 pub mod plan;
 pub mod retry;
 pub mod supervisor;

@@ -260,47 +260,61 @@ impl CampaignManifest {
         })
     }
 
-    /// Atomically writes the manifest: serialize to `<path>.tmp`, sync,
-    /// rename over `path`. A crash at any point leaves either the old
-    /// complete manifest or the new complete manifest — never a torn
-    /// file.
+    /// Atomically writes the manifest inside a checksummed envelope
+    /// (serialize to `<path>.tmp`, sync, rename over `path`), keeping the
+    /// previous generation as `<path>.1`. A crash at any point leaves a
+    /// complete manifest in place, and even a torn write that the
+    /// filesystem fails to report leaves `<path>.1` for
+    /// [`load`](Self::load) to fall back to.
     ///
     /// # Errors
     ///
     /// Returns [`HarnessError::Io`] on any filesystem failure.
     pub fn save(&self, path: &Path) -> Result<()> {
-        use std::io::Write as _;
-        let io_err = |message: String| HarnessError::Io {
+        crate::persist::save_sealed(path, &self.to_json()).map_err(|e| HarnessError::Io {
             path: path.to_path_buf(),
-            message,
-        };
-        let mut tmp = path.as_os_str().to_os_string();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
-        let text = self.to_json();
-        let mut file =
-            std::fs::File::create(&tmp).map_err(|e| io_err(format!("create temp file: {e}")))?;
-        file.write_all(text.as_bytes())
-            .and_then(|()| file.write_all(b"\n"))
-            .map_err(|e| io_err(format!("write temp file: {e}")))?;
-        file.sync_all()
-            .map_err(|e| io_err(format!("sync temp file: {e}")))?;
-        drop(file);
-        std::fs::rename(&tmp, path).map_err(|e| io_err(format!("rename into place: {e}")))
+            message: format!("save manifest: {e}"),
+        })
     }
 
-    /// Loads and parses a manifest file.
+    /// Loads and parses the newest checksum-valid generation of a
+    /// manifest. A corrupt `path` is quarantined as `<path>.corrupt`
+    /// (with a warning on stderr) and `<path>.1` is read instead, so a
+    /// torn manifest degrades a resume by at most one save instead of
+    /// aborting it. Pre-envelope manifests load unchanged.
     ///
     /// # Errors
     ///
-    /// Returns [`HarnessError::Io`] if the file cannot be read and
-    /// [`HarnessError::ManifestFormat`] if its contents are invalid.
+    /// Returns [`HarnessError::Io`] if no generation can be read and
+    /// [`HarnessError::ManifestFormat`] if the surviving content is
+    /// invalid (checksum failure on every generation, bad version, parse
+    /// error).
     pub fn load(path: &Path) -> Result<CampaignManifest> {
-        let text = std::fs::read_to_string(path).map_err(|e| HarnessError::Io {
-            path: path.to_path_buf(),
-            message: format!("read: {e}"),
+        let loaded = crate::persist::load_sealed(path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                HarnessError::ManifestFormat {
+                    path: path.to_path_buf(),
+                    message: e.to_string(),
+                }
+            } else {
+                HarnessError::Io {
+                    path: path.to_path_buf(),
+                    message: format!("read: {e}"),
+                }
+            }
         })?;
-        CampaignManifest::from_json(&text).map_err(|e| match e {
+        if loaded.from_previous {
+            eprintln!(
+                "warning: manifest {} was corrupt{}; resumed from previous generation",
+                path.display(),
+                loaded
+                    .quarantined
+                    .as_deref()
+                    .map(|q| format!(" (quarantined as {})", q.display()))
+                    .unwrap_or_default(),
+            );
+        }
+        CampaignManifest::from_json(&loaded.payload).map_err(|e| match e {
             HarnessError::ManifestFormat { message, .. } => HarnessError::ManifestFormat {
                 path: path.to_path_buf(),
                 message,

@@ -1,0 +1,202 @@
+//! Corruption-resilient file persistence: checksummed envelopes,
+//! generation rotation, and quarantine.
+//!
+//! The atomic tmp+sync+rename writers elsewhere in the workspace already
+//! guarantee that a *crash* leaves a complete old or new file — but they
+//! cannot defend against a torn write that the filesystem reports as
+//! successful (power loss after a lying fsync, bit rot, an interrupted
+//! copy of the output directory). This module layers three defences on
+//! top:
+//!
+//! 1. every payload is wrapped in a [`seal`]ed envelope with an FNV-1a
+//!    content checksum;
+//! 2. [`save_sealed`] rotates generations — the previous good file
+//!    survives one more save as `<path>.1`;
+//! 3. [`load_sealed`] verifies the checksum, quarantines a corrupt
+//!    primary as `<path>.corrupt` (evidence, not deleted), and falls back
+//!    to the newest checksum-valid generation instead of aborting.
+//!
+//! Unsealed files written by older builds load fine (no checksum to
+//! verify), so rolling this out does not invalidate existing campaign
+//! directories or checkpoints.
+
+use std::io;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::json::{seal, unseal};
+
+/// The previous-generation suffix (`file` → `file.1`).
+const PREVIOUS_SUFFIX: &str = ".1";
+/// Where a checksum-failing primary is moved before falling back.
+const QUARANTINE_SUFFIX: &str = ".corrupt";
+
+/// Appends `suffix` to a full file name (`campaign.json` →
+/// `campaign.json.1`, not `campaign.1`).
+fn with_suffix(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(suffix);
+    PathBuf::from(name)
+}
+
+/// Writes `payload` sealed into `path`, atomically, keeping the previous
+/// generation: serialize to `<path>.tmp`, sync, rotate any existing
+/// `path` to `<path>.1`, then rename the temp file into place. After a
+/// torn or corrupt write of `path`, `<path>.1` still holds the previous
+/// complete, checksum-valid state.
+pub fn save_sealed(path: &Path, payload: &str) -> io::Result<()> {
+    let tmp = with_suffix(path, ".tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(seal(payload).as_bytes())?;
+    file.write_all(b"\n")?;
+    file.sync_all()?;
+    drop(file);
+    if path.exists() {
+        std::fs::rename(path, with_suffix(path, PREVIOUS_SUFFIX))?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// A successfully loaded payload, with provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loaded {
+    /// The verified (or legacy unsealed) payload text.
+    pub payload: String,
+    /// `true` when the payload came from the previous generation
+    /// (`<path>.1`) because the primary was missing or corrupt.
+    pub from_previous: bool,
+    /// Where the corrupt primary was quarantined, if it was.
+    pub quarantined: Option<PathBuf>,
+}
+
+/// Reads the newest checksum-valid generation of `path`.
+///
+/// The primary is tried first. If it is unreadable or fails its checksum
+/// it is quarantined as `<path>.corrupt` (best-effort) and `<path>.1` is
+/// tried instead. Only if *no* generation verifies does the primary's
+/// error come back — [`io::ErrorKind::InvalidData`] for a checksum or
+/// framing failure, the original kind for filesystem errors.
+///
+/// Files written before sealing existed carry no envelope; they are
+/// returned as-is (their parse-level validation still applies upstream).
+pub fn load_sealed(path: &Path) -> io::Result<Loaded> {
+    let primary = read_generation(path);
+    let primary_err = match primary {
+        Ok(payload) => {
+            return Ok(Loaded {
+                payload,
+                from_previous: false,
+                quarantined: None,
+            })
+        }
+        Err(e) => e,
+    };
+    // Quarantine a *corrupt* primary (keep the evidence out of the way of
+    // the next save); a merely missing one has nothing to quarantine.
+    let quarantined = if primary_err.kind() == io::ErrorKind::InvalidData {
+        let target = with_suffix(path, QUARANTINE_SUFFIX);
+        std::fs::rename(path, &target).ok().map(|()| target)
+    } else {
+        None
+    };
+    match read_generation(&with_suffix(path, PREVIOUS_SUFFIX)) {
+        Ok(payload) => Ok(Loaded {
+            payload,
+            from_previous: true,
+            quarantined,
+        }),
+        Err(_) => Err(primary_err),
+    }
+}
+
+/// Reads one generation and verifies its envelope, mapping a seal
+/// failure to [`io::ErrorKind::InvalidData`].
+fn read_generation(path: &Path) -> io::Result<String> {
+    let text = std::fs::read_to_string(path)?;
+    match unseal(&text) {
+        Ok(Some(payload)) => Ok(payload.to_string()),
+        Ok(None) => Ok(text),
+        Err(message) => Err(io::Error::new(io::ErrorKind::InvalidData, message)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fulllock-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn save_load_round_trips_and_rotates() {
+        let dir = scratch("rotate");
+        let path = dir.join("state.json");
+        save_sealed(&path, "{\"gen\":1}").expect("first save");
+        save_sealed(&path, "{\"gen\":2}").expect("second save");
+        assert!(
+            with_suffix(&path, ".1").exists(),
+            "previous generation kept"
+        );
+        let loaded = load_sealed(&path).expect("load");
+        assert_eq!(loaded.payload, "{\"gen\":2}");
+        assert!(!loaded.from_previous);
+        let previous = load_sealed(&with_suffix(&path, ".1")).expect("load previous");
+        assert_eq!(previous.payload, "{\"gen\":1}");
+    }
+
+    #[test]
+    fn corrupt_primary_falls_back_and_is_quarantined() {
+        let dir = scratch("fallback");
+        let path = dir.join("state.json");
+        save_sealed(&path, "{\"gen\":1}").expect("first save");
+        save_sealed(&path, "{\"gen\":2}").expect("second save");
+        // Tear the primary mid-file.
+        let full = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &full[..full.len() / 2]).expect("tear");
+        let loaded = load_sealed(&path).expect("fallback load");
+        assert_eq!(loaded.payload, "{\"gen\":1}");
+        assert!(loaded.from_previous);
+        let quarantine = loaded.quarantined.expect("quarantined");
+        assert!(quarantine.ends_with("state.json.corrupt"));
+        assert!(quarantine.exists());
+        assert!(!path.exists(), "corrupt primary moved aside");
+    }
+
+    #[test]
+    fn both_generations_corrupt_is_a_typed_error() {
+        let dir = scratch("doublefault");
+        let path = dir.join("state.json");
+        save_sealed(&path, "{\"gen\":1}").expect("first save");
+        save_sealed(&path, "{\"gen\":2}").expect("second save");
+        let tear = |p: &Path| {
+            let full = std::fs::read_to_string(p).expect("read");
+            std::fs::write(p, &full[..full.len() - 4]).expect("tear");
+        };
+        tear(&path);
+        tear(&with_suffix(&path, ".1"));
+        let err = load_sealed(&path).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn missing_file_keeps_its_io_error_kind() {
+        let dir = scratch("missing");
+        let err = load_sealed(&dir.join("absent.json")).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn legacy_unsealed_files_still_load() {
+        let dir = scratch("legacy");
+        let path = dir.join("state.json");
+        std::fs::write(&path, "{\"version\":1}\n").expect("write legacy");
+        let loaded = load_sealed(&path).expect("legacy load");
+        assert_eq!(loaded.payload, "{\"version\":1}\n");
+        assert!(!loaded.from_previous);
+    }
+}

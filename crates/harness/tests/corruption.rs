@@ -1,0 +1,152 @@
+//! Property tests of the corruption-resilient persistence layer: any
+//! single-byte mutation of a sealed file on disk must surface as a typed
+//! error or a clean previous-generation fallback — never a panic and never
+//! silently-wrong data.
+
+use std::path::PathBuf;
+
+use fulllock_harness::manifest::{CampaignManifest, JobRecord};
+use fulllock_harness::persist;
+use fulllock_harness::HarnessError;
+use proptest::prelude::*;
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "fulllock-corruption-{tag}-{}.json",
+        std::process::id()
+    ))
+}
+
+fn sample_manifest(jobs: u64) -> CampaignManifest {
+    let mut manifest = CampaignManifest::new("corruption-props");
+    for i in 0..jobs {
+        let mut rec = JobRecord::new(format!("job-{i}"), 0x1234_5678 ^ i);
+        rec.attempts = (i % 3) as u32;
+        manifest.upsert(rec);
+    }
+    manifest
+}
+
+/// Flips one byte of `path` to a different printable-ASCII value (staying
+/// valid UTF-8 keeps the mutation in the interesting token/checksum space
+/// rather than the encoding layer).
+fn flip_byte(path: &std::path::Path, pos: usize, replacement: u8) {
+    let mut bytes = std::fs::read(path).expect("read sealed file");
+    let at = pos % bytes.len();
+    let fresh = 0x20 + (replacement % 0x5f);
+    bytes[at] = if fresh == bytes[at] { b'#' } else { fresh };
+    std::fs::write(path, &bytes).expect("write mutated file");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// With only one generation on disk, a mutated manifest loads as a
+    /// typed error (format or io) — the FNV seal catches every
+    /// single-byte substitution — and never panics.
+    #[test]
+    fn mutated_manifest_is_a_typed_error(
+        jobs in 1u64..4,
+        pos in any::<usize>(),
+        replacement in any::<u8>(),
+        tag in 0u32..1_000_000,
+    ) {
+        let path = scratch(&format!("single-{tag}"));
+        let previous = path.with_extension("json.1");
+        let quarantine = path.with_extension("json.corrupt");
+        for p in [&path, &previous, &quarantine] {
+            std::fs::remove_file(p).ok();
+        }
+
+        sample_manifest(jobs).save(&path).expect("save");
+        flip_byte(&path, pos, replacement);
+
+        let err = CampaignManifest::load(&path).expect_err("corruption must not load");
+        prop_assert!(
+            matches!(err, HarnessError::ManifestFormat { .. } | HarnessError::Io { .. }),
+            "unexpected error kind: {err}"
+        );
+        for p in [&path, &previous, &quarantine] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// With a previous generation present, the same mutation degrades to a
+    /// fallback (prior snapshot's content, corrupt primary quarantined)
+    /// when the seal catches it — or to a typed format error when the flip
+    /// mangles the envelope frame itself and the file reads as legacy
+    /// unsealed text. Never a panic, never silently-wrong data.
+    #[test]
+    fn mutated_manifest_falls_back_to_the_previous_generation(
+        pos in any::<usize>(),
+        replacement in any::<u8>(),
+        tag in 0u32..1_000_000,
+    ) {
+        let path = scratch(&format!("fallback-{tag}"));
+        let previous = path.with_extension("json.1");
+        let quarantine = path.with_extension("json.corrupt");
+        for p in [&path, &previous, &quarantine] {
+            std::fs::remove_file(p).ok();
+        }
+
+        sample_manifest(2).save(&path).expect("save generation 1");
+        sample_manifest(3).save(&path).expect("save generation 2");
+        flip_byte(&path, pos, replacement);
+
+        match CampaignManifest::load(&path) {
+            Ok(loaded) => {
+                prop_assert_eq!(loaded.jobs.len(), 2, "must be the previous generation");
+                prop_assert!(quarantine.exists(), "corrupt primary must be quarantined");
+            }
+            Err(e) => prop_assert!(
+                matches!(e, HarnessError::ManifestFormat { .. }),
+                "unexpected error kind: {}",
+                e
+            ),
+        }
+        for p in [&path, &previous, &quarantine] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    /// The raw persist layer under arbitrary payloads: seal → mutate →
+    /// load is always `InvalidData`, and an intact round trip is exact.
+    #[test]
+    fn sealed_payload_byte_flips_never_pass_the_checksum(
+        payload_seed in any::<u64>(),
+        len in 1usize..200,
+        pos in any::<usize>(),
+        replacement in any::<u8>(),
+        tag in 0u32..1_000_000,
+    ) {
+        let path = scratch(&format!("persist-{tag}"));
+        std::fs::remove_file(&path).ok();
+
+        // Deterministic printable payload from the seed.
+        let mut state = payload_seed | 1;
+        let payload: String = (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (0x20 + (state % 0x5f) as u8) as char
+            })
+            .collect();
+
+        persist::save_sealed(&path, &payload).expect("seal");
+        let intact = persist::load_sealed(&path).expect("intact load");
+        prop_assert_eq!(&intact.payload, &payload);
+
+        flip_byte(&path, pos, replacement);
+        match persist::load_sealed(&path) {
+            Err(e) => prop_assert_eq!(e.kind(), std::io::ErrorKind::InvalidData),
+            // A flip in the envelope frame can demote the file to a
+            // "legacy unsealed" read, which hands back raw text rather
+            // than an error — acceptable only because the caller's parser
+            // sees obvious garbage, but it must never equal the payload.
+            Ok(loaded) => prop_assert_ne!(&loaded.payload, &payload),
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(path.with_extension("json.corrupt")).ok();
+    }
+}

@@ -27,6 +27,7 @@
 //! ```
 
 use crate::cdcl::{SolveLimits, SolveResult, Solver, SolverStats};
+use crate::certify::{CertifyError, CertifyLevel, CertifyingBackend, DratTrace};
 use crate::portfolio::{PortfolioConfig, PortfolioSolver};
 use crate::{Lit, Var};
 
@@ -77,6 +78,27 @@ pub trait SolveBackend: std::fmt::Debug + Send {
     fn worker_failures(&self) -> Vec<String> {
         Vec::new()
     }
+
+    /// Why the most recent answer failed certification, if it did — set by
+    /// a [`CertifyingBackend`] wrapper (failed model/proof check) or by a
+    /// portfolio that caught its workers disagreeing.
+    fn certify_failure(&self) -> Option<CertifyError> {
+        None
+    }
+
+    /// Asks the backend to record a DRAT trace of its derivation. Returns
+    /// `false` if it cannot (portfolio, or clauses already added) — the
+    /// caller should degrade to model-level checking.
+    fn enable_certify_proof(&mut self) -> bool {
+        false
+    }
+
+    /// The recorded DRAT trace, when
+    /// [`enable_certify_proof`](Self::enable_certify_proof) succeeded
+    /// earlier.
+    fn certify_proof(&self) -> Option<&DratTrace> {
+        None
+    }
 }
 
 impl SolveBackend for Solver {
@@ -102,6 +124,14 @@ impl SolveBackend for Solver {
 
     fn stats(&self) -> SolverStats {
         *Solver::stats(self)
+    }
+
+    fn enable_certify_proof(&mut self) -> bool {
+        Solver::enable_proof(self)
+    }
+
+    fn certify_proof(&self) -> Option<&DratTrace> {
+        Solver::proof(self)
     }
 }
 
@@ -140,6 +170,15 @@ impl SolveBackend for PortfolioSolver {
             .map(|f| format!("worker {} {}", f.worker, f.reason))
             .collect()
     }
+
+    fn certify_failure(&self) -> Option<CertifyError> {
+        self.disagreement().map(
+            |(sat_worker, unsat_worker)| CertifyError::SolverDisagreement {
+                sat_worker,
+                unsat_worker,
+            },
+        )
+    }
 }
 
 /// Which solving engine to instantiate — the `Copy` handle that attack and
@@ -164,6 +203,17 @@ impl BackendSpec {
         match self {
             BackendSpec::Single => Box::new(Solver::new()),
             BackendSpec::Portfolio(config) => Box::new(PortfolioSolver::new(config)),
+        }
+    }
+
+    /// Instantiates an empty backend whose answers are verified at
+    /// `level` (see [`CertifyingBackend`]); [`CertifyLevel::Off`] returns
+    /// the bare backend unchanged.
+    pub fn create_certified(self, level: CertifyLevel) -> Box<dyn SolveBackend> {
+        if level == CertifyLevel::Off {
+            self.create()
+        } else {
+            Box::new(CertifyingBackend::new(self.create(), level))
         }
     }
 

@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::certify::DratTrace;
 use crate::{Cnf, Lit, Var};
 
 use clause_db::{CRef, ClauseDb, CREF_UNDEF};
@@ -282,6 +283,14 @@ pub struct SolverStats {
     /// contributing to these stats. Always 0 for a sequential solver; set
     /// by [`PortfolioSolver::stats`](crate::portfolio::PortfolioSolver::stats).
     pub worker_panics: u64,
+    /// Exchanged clauses rejected at import because they failed validation
+    /// (out-of-range variable, duplicate literal, or tautology). Always 0
+    /// for a sequential solver.
+    pub exchange_rejects: u64,
+    /// `Sat` answers whose model was re-checked against the original
+    /// clauses and passed (see
+    /// [`certify`](crate::certify::CertifyingBackend)).
+    pub certified_models: u64,
 }
 
 impl SolverStats {
@@ -344,6 +353,8 @@ impl SolverStats {
         self.propagate_ns += other.propagate_ns;
         self.analyze_ns += other.analyze_ns;
         self.worker_panics += other.worker_panics;
+        self.exchange_rejects += other.exchange_rejects;
+        self.certified_models += other.certified_models;
     }
 }
 
@@ -401,6 +412,10 @@ pub struct Solver {
     // Scratch for LBD computation: level -> stamp of last visit.
     level_seen: Vec<u64>,
     level_stamp: u64,
+
+    /// DRAT trace of every clause added, learnt, and deleted; `None` (the
+    /// default) keeps proof logging entirely off the hot path.
+    proof: Option<DratTrace>,
 }
 
 impl Default for Solver {
@@ -441,6 +456,7 @@ impl Solver {
             seen: Vec::new(),
             level_seen: vec![0],
             level_stamp: 0,
+            proof: None,
         }
     }
 
@@ -513,6 +529,28 @@ impl Solver {
         &self.stats
     }
 
+    /// Bumps the imported-clause rejection counter (portfolio exchange
+    /// validation).
+    pub(crate) fn bump_exchange_rejects(&mut self) {
+        self.stats.exchange_rejects += 1;
+    }
+
+    /// Turns on DRAT proof logging. Must be called on a pristine solver —
+    /// before any clause is added — so the trace covers the whole
+    /// derivation; returns `false` (and logs nothing) otherwise.
+    pub fn enable_proof(&mut self) -> bool {
+        if self.db.num_problem() > 0 || !self.trail.is_empty() || !self.ok {
+            return false;
+        }
+        self.proof = Some(DratTrace::new());
+        true
+    }
+
+    /// The DRAT trace recorded since [`Solver::enable_proof`], if enabled.
+    pub fn proof(&self) -> Option<&DratTrace> {
+        self.proof.as_ref()
+    }
+
     /// Adds a clause, growing the variable space as needed. Returns `false`
     /// if the formula is now trivially unsatisfiable (an empty clause, or a
     /// conflict at the root level).
@@ -529,6 +567,9 @@ impl Solver {
         // clauses and tautologies.
         clause.sort_unstable();
         clause.dedup();
+        if let Some(trace) = &mut self.proof {
+            trace.push_original(clause.clone());
+        }
         let mut simplified = Vec::with_capacity(clause.len());
         let mut prev: Option<Lit> = None;
         for &l in &clause {
@@ -544,18 +585,27 @@ impl Solver {
                 _ => simplified.push(l),
             }
         }
+        // Dropping root-false literals is a reverse-unit-propagation step
+        // (the dropped literals' negations are root consequences), so the
+        // simplified clause is logged as a checkable DRAT addition.
+        if simplified != clause && !simplified.is_empty() {
+            self.log_proof_add(&simplified);
+        }
         match simplified.len() {
             0 => {
                 self.ok = false;
+                self.log_proof_add(&[]);
                 false
             }
             1 => {
                 if !self.enqueue(simplified[0], CREF_UNDEF) {
                     self.ok = false;
+                    self.log_proof_add(&[]);
                     return false;
                 }
                 if self.propagate().is_some() {
                     self.ok = false;
+                    self.log_proof_add(&[]);
                     return false;
                 }
                 true
@@ -565,6 +615,13 @@ impl Solver {
                 self.attach_clause(cref);
                 true
             }
+        }
+    }
+
+    /// Records a derived clause in the DRAT trace, if proof logging is on.
+    fn log_proof_add(&mut self, lits: &[Lit]) {
+        if let Some(trace) = &mut self.proof {
+            trace.push_add(lits.to_vec());
         }
     }
 
@@ -857,6 +914,12 @@ impl Solver {
             )
         });
         for &c in removable.iter().take(target) {
+            if self.proof.is_some() {
+                let lits: Vec<Lit> = self.db.lits(c).collect();
+                if let Some(trace) = &mut self.proof {
+                    trace.push_delete(lits);
+                }
+            }
             self.db.mark_deleted(c);
             self.stats.deleted_learnts += 1;
         }
@@ -918,11 +981,15 @@ impl Solver {
                 conflicts_this_round += 1;
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    // A conflict with no decisions open is derived by root
+                    // unit propagation alone: the empty clause is RUP.
+                    self.log_proof_add(&[]);
                     return SearchOutcome::Unsat;
                 }
                 let analyze_start = Instant::now();
                 let (learnt, bt_level, lbd) = self.analyze(confl);
                 self.stats.analyze_ns += analyze_start.elapsed().as_nanos() as u64;
+                self.log_proof_add(&learnt);
                 self.stats.lbd_histogram[lbd.clamp(1, 8) as usize - 1] += 1;
                 self.cancel_until(bt_level);
                 if self.config.share_glue && (learnt.len() == 1 || lbd <= 2) {

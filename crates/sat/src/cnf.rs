@@ -164,6 +164,12 @@ impl Cnf {
                             line: line_no,
                             message: "missing variable count".into(),
                         })?;
+                if vars > i32::MAX as usize {
+                    return Err(SatError::Dimacs {
+                        line: line_no,
+                        message: format!("variable count {vars} exceeds the literal space"),
+                    });
+                }
                 declared_vars = Some(vars);
                 continue;
             }
@@ -172,6 +178,15 @@ impl Cnf {
                     line: line_no,
                     message: format!("bad literal {token:?}"),
                 })?;
+                // A literal packs `2·var + sign` into a u32, so magnitudes
+                // beyond i32::MAX are malformed input, not a request for
+                // billions of variables.
+                if value.unsigned_abs() > i32::MAX as u64 {
+                    return Err(SatError::Dimacs {
+                        line: line_no,
+                        message: format!("literal {value} exceeds the literal space"),
+                    });
+                }
                 if value == 0 {
                     cnf.add_clause(current.drain(..));
                 } else {
@@ -246,6 +261,27 @@ mod tests {
             Cnf::from_dimacs("1 banana 0\n"),
             Err(SatError::Dimacs { line: 1, .. })
         ));
+    }
+
+    #[test]
+    fn dimacs_rejects_literals_beyond_the_u32_variable_space() {
+        // Each of these used to panic inside `Var::new` instead of
+        // returning the typed parse error.
+        for text in [
+            "2147483648 0\n",
+            "-2147483648 0\n",
+            &format!("{} 0\n", i64::MIN),
+            "p cnf 2147483648 1\n1 0\n",
+        ] {
+            let err = Cnf::from_dimacs(text).expect_err("must be rejected");
+            assert!(
+                matches!(err, SatError::Dimacs { .. }),
+                "unexpected error for {text:?}: {err}"
+            );
+        }
+        // The boundary itself is representable (2·var + sign fits a u32).
+        let cnf = Cnf::from_dimacs("2147483647 0\n").expect("i32::MAX is a valid literal");
+        assert_eq!(cnf.num_vars(), i32::MAX as usize);
     }
 
     #[test]

@@ -77,8 +77,14 @@ pub mod site {
     pub const EXCHANGE_PUBLISH: &str = "portfolio.exchange.publish";
     /// Evaluated when a worker imports foreign clauses, with the reader
     /// index. `drop` discards the delivery (the clauses are lost for this
-    /// reader, not retried).
+    /// reader, not retried); `corrupt` mangles it on the import side
+    /// (duplicated literals + a tautological pair) so only this reader
+    /// sees garbage — import validation must reject it.
     pub const EXCHANGE_IMPORT: &str = "portfolio.exchange.import";
+    /// Evaluated inside `AttackCheckpoint::save` with index 0. `corrupt`
+    /// truncates the serialized text mid-write (a torn write that the
+    /// checksum must catch at load), `delay:<ms>` slows the save down.
+    pub const CHECKPOINT_SAVE: &str = "checkpoint.save";
     /// Evaluated inside the shared budget's exhaustion check (context
     /// index 0). `trigger` reports the budget spuriously exhausted, so the
     /// whole race degrades to `Unknown` with partial stats.

@@ -21,7 +21,11 @@
 //!   glue-clause exchange and first-finisher-wins cancellation;
 //! * [`backend`] — the [`SolveBackend`] trait + [`BackendSpec`] selector
 //!   that lets attack engines swap between the sequential solver and the
-//!   portfolio.
+//!   portfolio;
+//! * [`certify`] — result certification ([`CertifyLevel`]): model
+//!   re-checking of every SAT answer, DRAT proof logging + forward
+//!   checking of UNSAT answers, and typed [`CertifyError`]s so no wrong
+//!   answer escapes silently.
 //!
 //! # Example
 //!
@@ -45,6 +49,7 @@
 
 pub mod backend;
 pub mod cdcl;
+pub mod certify;
 mod cnf;
 pub mod dpll;
 pub mod equiv;
@@ -56,6 +61,7 @@ pub mod random_sat;
 pub mod tseytin;
 
 pub use backend::{BackendSpec, SolveBackend};
+pub use certify::{CertifyError, CertifyLevel};
 pub use cnf::Cnf;
 pub use error::SatError;
 pub use lit::{Lit, Var};

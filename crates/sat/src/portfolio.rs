@@ -257,6 +257,13 @@ impl ExchangePool {
             // advanced): dropped, not merely delayed.
             fresh.clear();
         }
+        if injected == Some(FaultAction::Corrupt) {
+            // Mangle the delivery on the import side (the producer's copy
+            // stays intact — only this reader sees garbage).
+            let mut mangled: Vec<Vec<Lit>> = fresh.iter().map(|clause| clause.to_vec()).collect();
+            corrupt_clauses(&mut mangled);
+            fresh = mangled.into_iter().map(Arc::new).collect();
+        }
         fresh
     }
 }
@@ -273,6 +280,24 @@ fn corrupt_clauses(clauses: &mut [Vec<Lit>]) {
             }
         }
     }
+}
+
+/// Validates a clause delivered over the exchange before it may touch a
+/// worker's database: every variable must already exist, no literal may
+/// repeat, and the clause must not be a tautology. Anything else is the
+/// product of a corrupt producer (or an injected fault) and is rejected,
+/// counted in [`SolverStats::exchange_rejects`].
+fn valid_import(clause: &[Lit], num_vars: usize) -> bool {
+    if clause.is_empty() || clause.iter().any(|l| l.var().index() >= num_vars) {
+        return false;
+    }
+    let mut sorted: Vec<Lit> = clause.to_vec();
+    sorted.sort_unstable();
+    // Lit codes pack `2·var + sign`, so a duplicate or complementary pair
+    // is adjacent after sorting.
+    sorted
+        .windows(2)
+        .all(|pair| pair[0] != pair[1] && pair[0] != !pair[1])
 }
 
 /// Why a portfolio worker dropped out of a race.
@@ -335,6 +360,9 @@ pub struct PortfolioSolver {
     failures: Vec<WorkerFailure>,
     worker_panics: u64,
     worker_respawns: u64,
+    /// `(sat_worker, unsat_worker)` of the last race, when two workers
+    /// returned contradictory verdicts on the same query.
+    last_disagreement: Option<(usize, usize)>,
 }
 
 impl PortfolioSolver {
@@ -354,6 +382,7 @@ impl PortfolioSolver {
             failures: Vec::new(),
             worker_panics: 0,
             worker_respawns: 0,
+            last_disagreement: None,
         }
     }
 
@@ -450,6 +479,7 @@ impl PortfolioSolver {
     /// [`failures`]: PortfolioSolver::failures
     pub fn solve_limited(&mut self, assumptions: &[Lit], limits: SolveLimits) -> SolveResult {
         self.winner = None;
+        self.last_disagreement = None;
         self.respawn_dead_workers();
         let budget = Budget::from_limits(&limits);
         let n = self.workers.len();
@@ -457,11 +487,13 @@ impl PortfolioSolver {
         let chunk = self.config.chunk_conflicts.max(1);
         let exchange = self.config.exchange_glue && n > 1;
         let verdict: Mutex<Option<(usize, SolveResult)>> = Mutex::new(None);
+        let disagreement: Mutex<Option<(usize, usize)>> = Mutex::new(None);
         let log: Mutex<RaceLog> = Mutex::new(RaceLog::default());
 
         let budget_ref = &budget;
         let pool_ref = &pool;
         let verdict_ref = &verdict;
+        let disagreement_ref = &disagreement;
         let log_ref = &log;
         std::thread::scope(|scope| {
             for (index, worker) in self.workers.iter_mut().enumerate() {
@@ -474,6 +506,7 @@ impl PortfolioSolver {
                             budget_ref,
                             pool_ref,
                             verdict_ref,
+                            disagreement_ref,
                             chunk,
                             exchange,
                             n,
@@ -509,6 +542,16 @@ impl PortfolioSolver {
             self.failures.push(failure);
         }
 
+        if let Some(clash) = disagreement
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            // Contradictory verdicts: at least one worker is wrong, so no
+            // answer is believed. The caller reads the typed reason via
+            // `disagreement()` / `SolveBackend::certify_failure`.
+            self.last_disagreement = Some(clash);
+            return SolveResult::Unknown;
+        }
         match verdict.into_inner().unwrap_or_else(PoisonError::into_inner) {
             Some((index, result)) => {
                 self.winner = Some(index);
@@ -519,6 +562,13 @@ impl PortfolioSolver {
             }
             None => SolveResult::Unknown,
         }
+    }
+
+    /// `(sat_worker, unsat_worker)` when the last race ended with two
+    /// workers contradicting each other (the solve returned
+    /// [`SolveResult::Unknown`] instead of trusting either).
+    pub fn disagreement(&self) -> Option<(usize, usize)> {
+        self.last_disagreement
     }
 
     /// Index of the worker that decided the last solve (`None` after a
@@ -598,6 +648,7 @@ fn run_worker(
     budget: &Budget,
     pool: &ExchangePool,
     verdict: &Mutex<Option<(usize, SolveResult)>>,
+    disagreement: &Mutex<Option<(usize, usize)>>,
     chunk: u64,
     exchange: bool,
     workers: usize,
@@ -636,16 +687,33 @@ fn run_worker(
                     pool.publish(index, worker.take_shared_clauses());
                     for clause in pool.collect(index, &mut cursors) {
                         // Deliveries are untrusted (chaos builds corrupt
-                        // them): add_clause's root-level simplification
-                        // drops duplicate literals and tautologies.
-                        worker.add_clause(clause.iter().copied());
+                        // them): reject anything that is not a clean
+                        // clause over known variables instead of letting
+                        // it near the clause database.
+                        if valid_import(&clause, worker.num_vars()) {
+                            worker.add_clause(clause.iter().copied());
+                        } else {
+                            worker.bump_exchange_rejects();
+                        }
                     }
                 }
             }
             SolveResult::Sat | SolveResult::Unsat => {
                 let mut slot = verdict.lock().unwrap_or_else(PoisonError::into_inner);
-                if slot.is_none() {
-                    *slot = Some((index, result));
+                match *slot {
+                    None => *slot = Some((index, result)),
+                    Some((first, prior)) if prior != result => {
+                        // Sat vs Unsat on the same query: escalate instead
+                        // of letting the first finisher win.
+                        let clash = if result == SolveResult::Sat {
+                            (index, first)
+                        } else {
+                            (first, index)
+                        };
+                        let mut flag = disagreement.lock().unwrap_or_else(PoisonError::into_inner);
+                        flag.get_or_insert(clash);
+                    }
+                    Some(_) => {}
                 }
                 budget.cancel_now();
                 return WorkerExit::Finished;

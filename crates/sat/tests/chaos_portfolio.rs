@@ -173,6 +173,47 @@ fn corrupted_exchange_batches_do_not_change_the_verdict() {
     faults::clear();
 }
 
+/// Corruption on the *import* side (after the published batch was intact):
+/// import validation must reject every mangled clause — counting each
+/// reject — and the verdict must still match the sequential solver, with
+/// any claimed model actually satisfying the formula.
+#[test]
+fn corrupted_imports_are_rejected_and_counted() {
+    let _guard = chaos_lock();
+    faults::install(FaultPlan::new().with(Failpoint::new(
+        site::EXCHANGE_IMPORT,
+        None,
+        FaultAction::Corrupt,
+    )));
+
+    // 40-var instances solve before any glue clause is published, so this
+    // test needs instances hard enough to drive real exchange rounds.
+    let config = PortfolioConfig {
+        chunk_conflicts: 25,
+        ..PortfolioConfig::default()
+    };
+    let mut total_rejects = 0;
+    for seed in 0..5 {
+        let cnf =
+            generate(RandomSatConfig::from_ratio(100, 4.27, 3, 550 + seed)).expect("valid config");
+        let expected = sequential_verdict(&cnf);
+        let mut portfolio = PortfolioSolver::from_cnf(&cnf, config);
+        let got = portfolio.solve(&[]);
+        assert_eq!(got, expected, "seed {seed}");
+        if got == SolveResult::Sat {
+            assert!(cnf.is_satisfied_by(portfolio.model()), "seed {seed}");
+        }
+        total_rejects += portfolio.stats().exchange_rejects;
+    }
+    // Every corrupted clause carries a duplicate literal, so any exchange
+    // delivery at all must produce rejects across the seeds.
+    assert!(
+        total_rejects > 0,
+        "no corrupt imports were rejected across any seed"
+    );
+    faults::clear();
+}
+
 #[test]
 fn dropped_exchange_deliveries_do_not_change_the_verdict() {
     let _guard = chaos_lock();

@@ -99,6 +99,34 @@ proptest! {
         prop_assert_eq!(back, cnf);
     }
 
+    /// Parser hardening: a single-character mutation anywhere in a valid
+    /// DIMACS file — or an adversarial token spliced into it — is either
+    /// still parseable or a typed [`fulllock_sat::SatError::Dimacs`],
+    /// never a panic (untrusted benchmark files reach this parser).
+    #[test]
+    fn mutated_dimacs_never_panics(
+        vars in 3usize..12,
+        clauses in 1usize..20,
+        seed in any::<u64>(),
+        pos in any::<usize>(),
+        replacement in any::<u8>(),
+    ) {
+        let cnf = random_sat::generate(RandomSatConfig {
+            vars,
+            clauses,
+            clause_len: 3,
+            seed,
+        }).expect("valid config");
+        let mut bytes = cnf.to_dimacs().into_bytes();
+        let at = pos % bytes.len();
+        // Stay printable ASCII so the text remains valid UTF-8; the
+        // interesting corruption space is token-level, not encoding-level.
+        bytes[at] = 0x20 + (replacement % 0x5f);
+        let mutated = String::from_utf8(bytes).expect("printable ascii");
+        // Ok or Err are both acceptable; only a panic is a bug.
+        let _ = Cnf::from_dimacs(&mutated);
+    }
+
     /// Adding the negation of a found model as a clause makes the model
     /// count drop — repeated, the solver enumerates distinct models.
     #[test]

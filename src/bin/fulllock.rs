@@ -7,7 +7,8 @@
 //!                 [--cyclic] [--twist P] [--seed N] [--key-out key.txt]
 //! fulllock verify <locked.bench> --oracle <circuit.bench> --key 0110…
 //! fulllock attack <locked.bench> --oracle <circuit.bench> [--timeout SECS]
-//!                 [--threads N] [--checkpoint FILE [--resume]]
+//!                 [--threads N] [--certify off|model|proof]
+//!                 [--checkpoint FILE [--resume]]
 //! fulllock export <circuit.bench> --format verilog|bench|dimacs [-o FILE]
 //! fulllock campaign --plan <file|builtin:paper> [--resume] [--jobs N]
 //!                   [--timeout-secs S] [--out-dir DIR]
@@ -31,7 +32,7 @@ use full_lock::locking::{
 };
 use full_lock::netlist::{bench_io, topo, verilog, Netlist};
 use full_lock::sat::tseytin;
-use full_lock::sat::BackendSpec;
+use full_lock::sat::{BackendSpec, CertifyLevel};
 use full_lock::tech::Technology;
 
 type CliResult = Result<(), Box<dyn Error>>;
@@ -44,7 +45,7 @@ USAGE:
   fulllock lock   <circuit.bench> -o <locked.bench> [options]
   fulllock verify <locked.bench> --oracle <circuit.bench> --key <bits>
   fulllock attack <locked.bench> --oracle <circuit.bench> [--timeout SECS] [--threads N]
-                  [--checkpoint <file> [--resume]]
+                  [--certify <off|model|proof>] [--checkpoint <file> [--resume]]
   fulllock export <circuit.bench> --format <verilog|bench|dimacs> [-o FILE]
   fulllock optimize <circuit.bench> -o <optimized.bench>
   fulllock campaign --plan <file|builtin:paper> [--resume] [--jobs N]
@@ -54,6 +55,9 @@ USAGE:
 ATTACK OPTIONS:
   --checkpoint <file>  write a crash-safe snapshot after every DIP iteration
   --resume             restore the checkpoint file first (fresh start if absent)
+  --certify <level>    check the solver's answers: off (trust it), model
+                       (re-check every SAT model), proof (also DRAT-check
+                       UNSAT answers); defaults to $FULLLOCK_CERTIFY or off
 
 CAMPAIGN OPTIONS:
   --plan <file|builtin:paper>  job set: a JSON plan file, or the built-in
@@ -330,6 +334,12 @@ fn cmd_attack(raw: &[String]) -> CliResult {
     if resume && checkpoint.is_none() {
         return Err("attack: --resume requires --checkpoint <path>".into());
     }
+    let certify = match args.flag("certify") {
+        Some(level) => level
+            .parse::<CertifyLevel>()
+            .map_err(|e| format!("attack: {e}"))?,
+        None => CertifyLevel::from_env(),
+    };
     let backend = if threads > 1 {
         BackendSpec::portfolio(threads)
     } else {
@@ -345,9 +355,13 @@ fn cmd_attack(raw: &[String]) -> CliResult {
         topo::is_cyclic(&locked.netlist),
         threads.max(1),
     );
+    if certify != CertifyLevel::Off {
+        println!("certifying solver answers at level {certify}");
+    }
     let config = SatAttackConfig {
         timeout: Some(Duration::from_secs_f64(timeout)),
         backend,
+        certify,
         ..Default::default()
     };
     let report = match &checkpoint {
@@ -364,6 +378,14 @@ fn cmd_attack(raw: &[String]) -> CliResult {
                 report.iterations, report.elapsed, report.oracle_queries
             );
             println!("recovered key: {key}");
+            if let Some(cert) = &report.key_certificate {
+                println!(
+                    "key certificate: {}/{} simulation samples agree, formal: {:?}",
+                    cert.samples - cert.mismatches,
+                    cert.samples,
+                    cert.formal
+                );
+            }
         }
         AttackOutcome::Timeout => println!(
             "TIMEOUT after {} iterations / {:?} — the lock held",
