@@ -99,7 +99,7 @@ fn run_appsat(
 ) -> Result<AppSatReport> {
     let mut engine = SatAttack::new(locked, oracle, config.base)?;
     engine.set_checkpoint_label("appsat");
-    Ok(drive_appsat(&mut engine, locked, oracle, config))
+    drive_appsat(&mut engine, locked, oracle, config)
 }
 
 /// The AppSAT loop over a pre-built engine (fresh or resumed from a
@@ -110,7 +110,7 @@ fn drive_appsat(
     locked: &LockedCircuit,
     oracle: &dyn Oracle,
     config: AppSatConfig,
-) -> AppSatReport {
+) -> Result<AppSatReport> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut best: Option<(Key, f64)> = None;
 
@@ -118,7 +118,7 @@ fn drive_appsat(
         // A settlement probe runs before the first DIP too: point-function
         // schemes are approximately broken by *any* consistent key.
         if engine.iterations().is_multiple_of(config.probe_interval) {
-            if let Some(key) = engine.extract_key() {
+            if let Some(key) = engine.extract_key()? {
                 let (error, mismatches) =
                     probe_error(locked, oracle, &key, config.probe_samples, &mut rng);
                 // AppSAT reinforcement: failed probes become constraints.
@@ -136,7 +136,7 @@ fn drive_appsat(
                     engine.checkpoint_now();
                 }
                 if error <= config.error_threshold {
-                    return AppSatReport {
+                    return Ok(AppSatReport {
                         key: Some(key),
                         measured_error: error,
                         settled: true,
@@ -144,19 +144,19 @@ fn drive_appsat(
                         iterations: engine.iterations(),
                         elapsed: engine.elapsed(),
                         solver: engine.solver_stats(),
-                    };
+                    });
                 }
             }
         }
-        match engine.step() {
+        match engine.step()? {
             Step::Dip(_) => continue,
             Step::NoMoreDips => {
-                let key = engine.extract_key();
+                let key = engine.extract_key()?;
                 let (error, _) = match &key {
                     Some(k) => probe_error(locked, oracle, k, config.probe_samples, &mut rng),
                     None => (1.0, Vec::new()),
                 };
-                return AppSatReport {
+                return Ok(AppSatReport {
                     settled: error <= config.error_threshold,
                     exact: key.is_some(),
                     measured_error: error,
@@ -164,7 +164,7 @@ fn drive_appsat(
                     iterations: engine.iterations(),
                     elapsed: engine.elapsed(),
                     solver: engine.solver_stats(),
-                };
+                });
             }
             Step::Budget => {
                 let (key, error) = match best {
@@ -174,7 +174,7 @@ fn drive_appsat(
                     // (pessimistic) error.
                     None => (engine.candidate_key().cloned(), 1.0),
                 };
-                return AppSatReport {
+                return Ok(AppSatReport {
                     key,
                     measured_error: error,
                     settled: false,
@@ -182,7 +182,7 @@ fn drive_appsat(
                     iterations: engine.iterations(),
                     elapsed: engine.elapsed(),
                     solver: engine.solver_stats(),
-                };
+                });
             }
         }
     }
@@ -253,7 +253,7 @@ fn envelope(
     oracle: &dyn Oracle,
     config: AppSatConfig,
 ) -> Result<AttackReport> {
-    let report = drive_appsat(engine, locked, oracle, config);
+    let report = drive_appsat(engine, locked, oracle, config)?;
     if let Some(failure) = engine.certify_failure() {
         return Err(crate::AttackError::Certification(failure.clone()));
     }

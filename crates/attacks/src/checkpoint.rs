@@ -174,6 +174,19 @@ impl AttackCheckpoint {
             ("worker_panics".into(), Json::Int(stats.worker_panics)),
             ("exchange_rejects".into(), Json::Int(stats.exchange_rejects)),
             ("certified_models".into(), Json::Int(stats.certified_models)),
+            ("solves".into(), Json::Int(stats.solves)),
+            ("learnts_carried".into(), Json::Int(stats.learnts_carried)),
+            ("inprocessings".into(), Json::Int(stats.inprocessings)),
+            ("vars_eliminated".into(), Json::Int(stats.vars_eliminated)),
+            ("clauses_subsumed".into(), Json::Int(stats.clauses_subsumed)),
+            (
+                "clauses_strengthened".into(),
+                Json::Int(stats.clauses_strengthened),
+            ),
+            (
+                "vivification_shrinks".into(),
+                Json::Int(stats.vivification_shrinks),
+            ),
         ]);
         let pairs = Json::Array(
             self.io_pairs
@@ -418,6 +431,31 @@ fn parse_checkpoint(text: &str) -> std::result::Result<AttackCheckpoint, String>
             .unwrap_or(0),
         certified_models: stats_json
             .get("certified_models")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        solves: stats_json.get("solves").and_then(Json::as_u64).unwrap_or(0),
+        learnts_carried: stats_json
+            .get("learnts_carried")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        inprocessings: stats_json
+            .get("inprocessings")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        vars_eliminated: stats_json
+            .get("vars_eliminated")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        clauses_subsumed: stats_json
+            .get("clauses_subsumed")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        clauses_strengthened: stats_json
+            .get("clauses_strengthened")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        vivification_shrinks: stats_json
+            .get("vivification_shrinks")
             .and_then(Json::as_u64)
             .unwrap_or(0),
     };

@@ -143,6 +143,15 @@ fn run_double_dip(
     run_double_dip_checkpointed(locked, oracle, config, None, false).map(|(report, ..)| report)
 }
 
+/// The last model's value for `var`, or
+/// [`AttackError::IncompleteModel`] — fabricating a default bit would
+/// silently corrupt DIPs and keys.
+fn model_bit(solver: &dyn SolveBackend, var: Var) -> Result<bool> {
+    solver
+        .model_value(var)
+        .ok_or(AttackError::IncompleteModel { var: var.index() })
+}
+
 /// Checkpoint bookkeeping of one Double-DIP run: where snapshots go, what
 /// was restored, and the cumulative instrumentation carried across
 /// resumes.
@@ -420,8 +429,8 @@ fn run_double_dip_checkpointed(
             SolveResult::Sat => {
                 let x: Vec<bool> = x_vars
                     .iter()
-                    .map(|&v| solver.model_value(v).unwrap_or(false))
-                    .collect();
+                    .map(|&v| model_bit(solver.as_ref(), v))
+                    .collect::<Result<_>>()?;
                 let y = oracle.query(&x);
                 assert_io(&mut solver, &mut cnf, &x, &y);
                 ctl.io_log.push(IoPair {
@@ -473,8 +482,8 @@ fn run_double_dip_checkpointed(
             SolveResult::Sat => {
                 let x: Vec<bool> = x_vars
                     .iter()
-                    .map(|&v| solver.model_value(v).unwrap_or(false))
-                    .collect();
+                    .map(|&v| model_bit(solver.as_ref(), v))
+                    .collect::<Result<_>>()?;
                 let y = oracle.query(&x);
                 assert_io(&mut solver, &mut cnf, &x, &y);
                 ctl.io_log.push(IoPair {
@@ -508,11 +517,11 @@ fn run_double_dip_checkpointed(
     // Extraction: any key consistent with all constraints.
     let outcome = match solver.solve_limited(&[!act_double, !act_single], limits.clone()) {
         SolveResult::Sat => {
-            let key = Key::from_bits(
-                key_vars[0]
-                    .iter()
-                    .map(|&v| solver.model_value(v).unwrap_or(false)),
-            );
+            let key_bits = key_vars[0]
+                .iter()
+                .map(|&v| model_bit(solver.as_ref(), v))
+                .collect::<Result<Vec<bool>>>()?;
+            let key = Key::from_bits(key_bits);
             let verified = verify(locked, oracle, &key);
             AttackOutcome::KeyRecovered { key, verified }
         }

@@ -37,6 +37,13 @@ pub enum AttackError {
     /// portfolio workers disagreed). The run aborts rather than returning
     /// a result built on an uncertified answer.
     Certification(fulllock_sat::CertifyError),
+    /// The solver reported SAT but its model has no value for a variable
+    /// the attack needs (a DIP bit or key bit). Silently substituting a
+    /// default would fabricate oracle queries and keys; the run aborts.
+    IncompleteModel {
+        /// Index of the variable missing from the model.
+        var: usize,
+    },
 }
 
 impl fmt::Display for AttackError {
@@ -63,6 +70,9 @@ impl fmt::Display for AttackError {
                 }
             }
             AttackError::Certification(e) => write!(f, "solver answer failed certification: {e}"),
+            AttackError::IncompleteModel { var } => {
+                write!(f, "solver model has no value for variable {var}")
+            }
         }
     }
 }

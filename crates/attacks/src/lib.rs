@@ -100,7 +100,9 @@ pub use appsat::{AppSatConfig, AppSatReport};
 pub use certificate::certify_key;
 pub use checkpoint::{AttackCheckpoint, IoPair, CHECKPOINT_VERSION};
 pub use double_dip::DoubleDip;
-pub use encode::{encode_locked, LockedEncoding};
+pub use encode::{
+    encode_locked, CircuitEncoder, EncodeStyle, InterfaceMap, LockedEncoding, SigVal,
+};
 pub use error::AttackError;
 pub use oracle::{Oracle, SimOracle};
 pub use removal::Removal;

@@ -26,7 +26,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::checkpoint::{AttackCheckpoint, IoPair};
-use crate::encode::{encode_locked, LockedEncoding};
+use crate::encode::{encode_locked, CircuitEncoder, EncodeStyle, SigVal};
 use crate::oracle::Oracle;
 use crate::report::{Attack, AttackDetails, AttackReport, RunResilience};
 use crate::{cycsat, AttackError, Result};
@@ -52,6 +52,14 @@ pub struct SatAttackConfig {
     /// [`AttackError::Certification`] instead of returning a result built
     /// on an uncertified answer.
     pub certify: CertifyLevel,
+    /// Encode observed I/O pairs by constant-propagating the known DIP
+    /// inputs and asserting only the key-dependent fanin cone, instead of
+    /// appending two full circuit copies per iteration. Only applies to
+    /// acyclic locked netlists (cyclic ones keep the full-copy + CycSAT
+    /// path).
+    pub cone_reduce: bool,
+    /// Clause shapes the encoder emits (see [`EncodeStyle`]).
+    pub encode_style: EncodeStyle,
 }
 
 impl Default for SatAttackConfig {
@@ -65,6 +73,8 @@ impl Default for SatAttackConfig {
             force_cycsat: false,
             backend: BackendSpec::default(),
             certify: CertifyLevel::from_env(),
+            cone_reduce: true,
+            encode_style: EncodeStyle::default(),
         }
     }
 }
@@ -109,6 +119,10 @@ pub struct SatAttack<'a> {
     config: SatAttackConfig,
     solver: Box<dyn SolveBackend>,
     cnf: Cnf,
+    /// The cone-reduced structure-aware encoder; `None` for cyclic
+    /// netlists (and under `force_cycsat`), which keep the legacy
+    /// full-copy encoding.
+    encoder: Option<CircuitEncoder<'a>>,
     transferred: usize,
     x_vars: Vec<Var>,
     k1_vars: Vec<Var>,
@@ -181,39 +195,61 @@ impl<'a> SatAttack<'a> {
         let x_vars: Vec<Var> = locked.data_inputs.iter().map(|_| cnf.new_var()).collect();
         let k1_vars: Vec<Var> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
         let k2_vars: Vec<Var> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
-        let copy1 = encode_locked(locked, &mut cnf, &x_vars, &k1_vars);
-        let copy2 = encode_locked(locked, &mut cnf, &x_vars, &k2_vars);
+        let needs_cycsat = config.force_cycsat || topo::is_cyclic(&locked.netlist);
+        let encoder = if needs_cycsat {
+            None
+        } else {
+            CircuitEncoder::new(locked, config.encode_style)
+        };
 
         // Miter: OR over per-output XORs, gated by the activation literal
         // so key extraction can switch the miter off with an assumption.
-        let mut diff_lits = Vec::with_capacity(copy1.output_vars.len());
-        for (&a, &b) in copy1.output_vars.iter().zip(&copy2.output_vars) {
-            let d = cnf.new_var();
-            fulllock_sat::tseytin::encode_gate(
-                &mut cnf,
-                fulllock_netlist::GateKind::Xor,
-                d,
-                &[a, b],
-            );
-            diff_lits.push(Lit::positive(d));
-        }
+        let diff_lits = if let Some(enc) = &encoder {
+            let out1 = enc.encode_copy(&mut cnf, &x_vars, &k1_vars);
+            let out2 = enc.encode_copy(&mut cnf, &x_vars, &k2_vars);
+            miter_diff_lits(&mut cnf, &out1, &out2)
+        } else {
+            let copy1 = encode_locked(locked, &mut cnf, &x_vars, &k1_vars);
+            let copy2 = encode_locked(locked, &mut cnf, &x_vars, &k2_vars);
+            let mut diff_lits = Vec::with_capacity(copy1.output_vars.len());
+            for (&a, &b) in copy1.output_vars.iter().zip(&copy2.output_vars) {
+                let d = cnf.new_var();
+                fulllock_sat::tseytin::encode_gate(
+                    &mut cnf,
+                    fulllock_netlist::GateKind::Xor,
+                    d,
+                    &[a, b],
+                );
+                diff_lits.push(Lit::positive(d));
+            }
+            diff_lits
+        };
         let act = Lit::positive(cnf.new_var());
         let mut miter_clause = vec![!act];
         miter_clause.extend(diff_lits);
         cnf.add_clause(miter_clause);
 
-        if config.force_cycsat || topo::is_cyclic(&locked.netlist) {
+        if needs_cycsat {
             cycsat::add_no_cycle_clauses(locked, &mut cnf, &k1_vars);
             cycsat::add_no_cycle_clauses(locked, &mut cnf, &k2_vars);
         }
+
+        // The interface variables stay live across every incremental
+        // solve: freeze them so inprocessing never eliminates them.
+        let mut solver = config.backend.create_certified(config.certify);
+        for &v in x_vars.iter().chain(&k1_vars).chain(&k2_vars) {
+            solver.freeze_var(v);
+        }
+        solver.freeze_var(act.var());
 
         let start = Instant::now();
         let mut attack = SatAttack {
             locked,
             oracle,
             config,
-            solver: config.backend.create_certified(config.certify),
+            solver,
             cnf,
+            encoder,
             transferred: 0,
             x_vars,
             k1_vars,
@@ -419,30 +455,48 @@ impl<'a> SatAttack<'a> {
         false
     }
 
+    /// The last model's value for `var`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::IncompleteModel`] if the model has no value
+    /// for `var` — fabricating a default would silently corrupt DIPs and
+    /// keys.
+    fn model_bit(&self, var: Var) -> Result<bool> {
+        self.solver
+            .model_value(var)
+            .ok_or(AttackError::IncompleteModel { var: var.index() })
+    }
+
     /// Runs one DIP iteration: search, oracle query, constraint assertion.
-    pub fn step(&mut self) -> Step {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::IncompleteModel`] if the solver claimed SAT
+    /// with an incomplete model.
+    pub fn step(&mut self) -> Result<Step> {
         if self.out_of_budget() {
-            return Step::Budget;
+            return Ok(Step::Budget);
         }
         match self.solver.solve_limited(&[self.act], self.limits()) {
             SolveResult::Unknown => {
                 self.note_certify_failure();
-                Step::Budget
+                Ok(Step::Budget)
             }
-            SolveResult::Unsat => Step::NoMoreDips,
+            SolveResult::Unsat => Ok(Step::NoMoreDips),
             SolveResult::Sat => {
                 let dip: Vec<bool> = self
                     .x_vars
                     .iter()
-                    .map(|&v| self.solver.model_value(v).unwrap_or(false))
-                    .collect();
+                    .map(|&v| self.model_bit(v))
+                    .collect::<Result<_>>()?;
                 let response = self.oracle.query(&dip);
                 self.assert_io(&dip, &response);
                 self.iterations += 1;
                 self.ratio_sum += self.cnf.clause_to_variable_ratio();
                 self.ratio_samples += 1;
                 self.checkpoint_now();
-                Step::Dip(dip)
+                Ok(Step::Dip(dip))
             }
         }
     }
@@ -450,20 +504,42 @@ impl<'a> SatAttack<'a> {
     /// Asserts an observed I/O pair for both key copies (also used by
     /// AppSAT for its random-query reinforcement). Every pair is recorded
     /// in the checkpoint I/O log.
+    ///
+    /// On acyclic netlists (with [`SatAttackConfig::cone_reduce`] on, the
+    /// default) the known inputs are constant-propagated and only the
+    /// key-dependent fanin cone is encoded; otherwise two full circuit
+    /// copies are appended as in the original attack.
     pub fn assert_io(&mut self, inputs: &[bool], outputs: &[bool]) {
         self.io_log.push(IoPair {
             inputs: inputs.to_vec(),
             outputs: outputs.to_vec(),
         });
-        for key_vars in [self.k1_vars.clone(), self.k2_vars.clone()] {
-            let data_vars: Vec<Var> = inputs.iter().map(|_| self.cnf.new_var()).collect();
-            let enc: LockedEncoding =
-                encode_locked(self.locked, &mut self.cnf, &data_vars, &key_vars);
+        let SatAttack {
+            locked,
+            cnf,
+            encoder,
+            k1_vars,
+            k2_vars,
+            config,
+            ..
+        } = self;
+        if config.cone_reduce {
+            if let Some(enc) = encoder.as_ref() {
+                for key_vars in [&*k1_vars, &*k2_vars] {
+                    enc.encode_observation(cnf, inputs, outputs, key_vars);
+                }
+                self.transfer_clauses();
+                return;
+            }
+        }
+        for key_vars in [&*k1_vars, &*k2_vars] {
+            let data_vars: Vec<Var> = inputs.iter().map(|_| cnf.new_var()).collect();
+            let enc = encode_locked(locked, cnf, &data_vars, key_vars);
             for (slot, &v) in data_vars.iter().enumerate() {
-                self.cnf.add_clause([Lit::with_polarity(v, inputs[slot])]);
+                cnf.add_clause([Lit::with_polarity(v, inputs[slot])]);
             }
             for (o, &v) in enc.output_vars.iter().enumerate() {
-                self.cnf.add_clause([Lit::with_polarity(v, outputs[o])]);
+                cnf.add_clause([Lit::with_polarity(v, outputs[o])]);
             }
         }
         self.transfer_clauses();
@@ -472,16 +548,23 @@ impl<'a> SatAttack<'a> {
     /// Extracts a key consistent with every constraint asserted so far
     /// (the miter is switched off via the activation literal). Returns
     /// `None` if the budget ran out or the constraints are unsatisfiable.
-    pub fn extract_key(&mut self) -> Option<Key> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::IncompleteModel`] if the solver claimed SAT
+    /// with an incomplete model.
+    pub fn extract_key(&mut self) -> Result<Option<Key>> {
         match self.solver.solve_limited(&[!self.act], self.limits()) {
-            SolveResult::Sat => Some(Key::from_bits(
-                self.k1_vars
-                    .iter()
-                    .map(|&v| self.solver.model_value(v).unwrap_or(false)),
-            )),
+            SolveResult::Sat => {
+                let mut bits = Vec::with_capacity(self.k1_vars.len());
+                for i in 0..self.k1_vars.len() {
+                    bits.push(self.model_bit(self.k1_vars[i])?);
+                }
+                Ok(Some(Key::from_bits(bits)))
+            }
             _ => {
                 self.note_certify_failure();
-                None
+                Ok(None)
             }
         }
     }
@@ -546,11 +629,16 @@ impl<'a> SatAttack<'a> {
     }
 
     /// Runs the DIP loop to completion (or budget) and reports.
-    pub fn run(&mut self) -> SatAttackReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::IncompleteModel`] if the solver ever claimed
+    /// SAT with an incomplete model.
+    pub fn run(&mut self) -> Result<SatAttackReport> {
         let outcome = loop {
-            match self.step() {
+            match self.step()? {
                 Step::Dip(_) => continue,
-                Step::NoMoreDips => match self.extract_key() {
+                Step::NoMoreDips => match self.extract_key()? {
                     Some(key) => {
                         let verified = self.verify_key(&key, 32, 0xF17);
                         break AttackOutcome::KeyRecovered { key, verified };
@@ -575,7 +663,7 @@ impl<'a> SatAttack<'a> {
                 }
             }
         };
-        self.report(outcome)
+        Ok(self.report(outcome))
     }
 
     /// Builds a report for the given outcome using current instrumentation.
@@ -632,7 +720,7 @@ impl Attack for SatAttackConfig {
 /// [`AttackError::Certification`] — an uncertified answer never becomes
 /// a report.
 fn envelope(engine: &mut SatAttack<'_>) -> Result<AttackReport> {
-    let report = engine.run();
+    let report = engine.run()?;
     if let Some(failure) = engine.certify_failure() {
         return Err(AttackError::Certification(failure.clone()));
     }
@@ -673,7 +761,54 @@ pub fn attack(
     oracle: &dyn Oracle,
     config: SatAttackConfig,
 ) -> Result<SatAttackReport> {
-    Ok(SatAttack::new(locked, oracle, config)?.run())
+    SatAttack::new(locked, oracle, config)?.run()
+}
+
+/// Builds the miter difference literals from two output encodings
+/// (SigVal-level, so constant-folded copies shrink the miter):
+///
+/// * identical values (equal constants or the same literal) contribute
+///   nothing — that output cannot distinguish keys;
+/// * a constant against a literal contributes the literal with the
+///   polarity that makes it "differs";
+/// * opposite values (differing constants or `l` vs `!l`) are always
+///   different, encoded as a unit-true variable so the miter clause is
+///   trivially satisfied;
+/// * two independent literals get a fresh XOR-defined difference variable.
+fn miter_diff_lits(cnf: &mut Cnf, out1: &[SigVal], out2: &[SigVal]) -> Vec<Lit> {
+    let mut diff_lits = Vec::with_capacity(out1.len());
+    let always_different = |cnf: &mut Cnf, diff_lits: &mut Vec<Lit>| {
+        let t = Lit::positive(cnf.new_var());
+        cnf.add_clause([t]);
+        diff_lits.push(t);
+    };
+    for (&a, &b) in out1.iter().zip(out2) {
+        match (a, b) {
+            (SigVal::Const(ca), SigVal::Const(cb)) => {
+                if ca != cb {
+                    always_different(cnf, &mut diff_lits);
+                }
+            }
+            (SigVal::Const(c), SigVal::L(l)) | (SigVal::L(l), SigVal::Const(c)) => {
+                // Differs exactly when the literal disagrees with the
+                // constant.
+                diff_lits.push(if c { !l } else { l });
+            }
+            (SigVal::L(la), SigVal::L(lb)) => {
+                if la == lb {
+                    continue;
+                }
+                if la == !lb {
+                    always_different(cnf, &mut diff_lits);
+                    continue;
+                }
+                let d = cnf.new_var();
+                fulllock_sat::tseytin::encode_xor2_lits(cnf, Lit::positive(d), la, lb);
+                diff_lits.push(Lit::positive(d));
+            }
+        }
+    }
+    diff_lits
 }
 
 #[cfg(test)]
@@ -691,7 +826,10 @@ mod tests {
         oracle: &dyn Oracle,
         config: SatAttackConfig,
     ) -> SatAttackReport {
-        SatAttack::new(locked, oracle, config).unwrap().run()
+        SatAttack::new(locked, oracle, config)
+            .unwrap()
+            .run()
+            .unwrap()
     }
 
     fn host(gates: usize, seed: u64) -> Netlist {

@@ -382,6 +382,48 @@ pub fn cln_testbed(n: usize, topology: ClnTopology, seed: u64) -> (Netlist, Lock
     (host, locked)
 }
 
+/// Builds the DIP-loop benchmark workload: a random `gates`-gate host
+/// (64 inputs, 32 outputs, fanin ≤ 3) locked with a single `cln_size`-wire
+/// CLN of the given topology. Unlike [`cln_testbed`], the host carries
+/// real logic around the routing network, so the key-dependent fanin cone
+/// of each output is a small fraction of the circuit — the workload that
+/// separates full-copy re-encoding from cone-reduced I/O assertions.
+/// Returns `(oracle netlist, locked circuit)`.
+///
+/// # Panics
+///
+/// Panics if `cln_size` is not a power of two ≥ 4 (the CLN size rule).
+pub fn cln_locked_host(
+    gates: usize,
+    cln_size: usize,
+    topology: ClnTopology,
+    seed: u64,
+) -> (Netlist, LockedCircuit) {
+    let host = fulllock_netlist::random::generate(fulllock_netlist::random::RandomCircuitConfig {
+        inputs: 64,
+        outputs: 32,
+        gates,
+        max_fanin: 3,
+        seed,
+    })
+    .expect("fixed interface with gates >= outputs is a valid config");
+    let config = FullLockConfig {
+        plrs: vec![PlrSpec {
+            cln_size,
+            topology,
+            with_luts: false,
+            with_inverters: true,
+        }],
+        selection: WireSelection::Acyclic,
+        twist_probability: 0.0,
+        seed,
+    };
+    let locked = FullLock::new(config)
+        .lock(&host)
+        .expect("a multi-thousand-gate host accommodates the CLN");
+    (host, locked)
+}
+
 /// Builds the fixed locked-miter workload of the solver benchmarks
 /// (`BENCH_cdcl.json`, `BENCH_portfolio.json`): an `n`-wire identity host
 /// locked with an almost non-blocking CLN (the paper's hard topology), two

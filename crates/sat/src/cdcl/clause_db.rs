@@ -156,7 +156,28 @@ impl ClauseDb {
         self.wasted += HEADER_WORDS + self.size(c);
         if self.is_learnt(c) {
             self.learnt_words -= HEADER_WORDS + self.size(c);
+        } else {
+            // Inprocessing (subsumption, variable elimination) deletes
+            // problem clauses too; keep the live count honest.
+            self.num_problem -= 1;
         }
+    }
+
+    /// Every live (non-deleted) clause reference, problem and learnt, in
+    /// arena order. Collect before mutating the database.
+    pub(crate) fn iter_crefs(&self) -> impl Iterator<Item = CRef> + '_ {
+        let mut offset = 0usize;
+        std::iter::from_fn(move || {
+            while offset < self.arena.len() {
+                let header = self.arena[offset];
+                let cref = offset as CRef;
+                offset += HEADER_WORDS + (header >> 2) as usize;
+                if header & FLAG_DELETED == 0 {
+                    return Some(cref);
+                }
+            }
+            None
+        })
     }
 
     /// Drops deleted clauses from the learnt index (their arena words are

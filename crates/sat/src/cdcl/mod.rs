@@ -29,6 +29,7 @@
 mod analyze;
 mod clause_db;
 mod heap;
+mod simplify;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -39,6 +40,7 @@ use crate::{Cnf, Lit, Var};
 
 use clause_db::{CRef, ClauseDb, CREF_UNDEF};
 use heap::VarHeap;
+use simplify::SimpState;
 
 /// Verdict of a [`Solver::solve`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +194,29 @@ pub struct SolverConfig {
     /// Collect glue (LBD ≤ 2) learnt clauses and learnt units into an
     /// outbox for portfolio clause sharing ([`Solver::take_shared_clauses`]).
     pub share_glue: bool,
+    /// Run bounded inprocessing (subsumption, variable elimination, clause
+    /// vivification) between restarts and incremental solve calls; see
+    /// [the `simplify` module](Solver::freeze_var). On by default; the
+    /// `FULLLOCK_INPROCESS=off` environment variable flips the default so
+    /// a whole test suite or campaign can run without simplification (the
+    /// CI certification matrix uses this to prove verdicts are identical
+    /// either way).
+    pub inprocess: bool,
+}
+
+/// Environment variable that flips [`SolverConfig::default`]'s
+/// `inprocess` field: `off` / `0` / `false` disable inprocessing, any
+/// other value (or unset) keeps it on.
+pub const INPROCESS_ENV: &str = "FULLLOCK_INPROCESS";
+
+fn inprocess_from_env() -> bool {
+    match std::env::var(INPROCESS_ENV) {
+        Ok(value) => !matches!(
+            value.trim().to_ascii_lowercase().as_str(),
+            "off" | "0" | "false"
+        ),
+        Err(_) => true,
+    }
 }
 
 impl Default for SolverConfig {
@@ -203,6 +228,7 @@ impl Default for SolverConfig {
             restart_factor: 2.0,
             polarity_seed: None,
             share_glue: false,
+            inprocess: inprocess_from_env(),
         }
     }
 }
@@ -291,6 +317,26 @@ pub struct SolverStats {
     /// clauses and passed (see
     /// [`certify`](crate::certify::CertifyingBackend)).
     pub certified_models: u64,
+    /// `solve`/`solve_limited` calls answered by this solver instance —
+    /// with [`SolverStats::learnts_carried`], the solver-reuse signal of
+    /// an incremental attack loop.
+    pub solves: u64,
+    /// Learnt clauses already live at the start of each solve call,
+    /// summed over calls: how much derived knowledge incremental solving
+    /// carried across DIP iterations instead of rediscovering.
+    pub learnts_carried: u64,
+    /// Inprocessing rounds performed.
+    pub inprocessings: u64,
+    /// Variables removed by bounded variable elimination (restored
+    /// variables are not subtracted).
+    pub vars_eliminated: u64,
+    /// Clauses deleted because another clause subsumed them.
+    pub clauses_subsumed: u64,
+    /// Clauses replaced by a strictly stronger clause (root-false literal
+    /// stripping and self-subsuming resolution).
+    pub clauses_strengthened: u64,
+    /// Clauses shortened by vivification.
+    pub vivification_shrinks: u64,
 }
 
 impl SolverStats {
@@ -355,6 +401,13 @@ impl SolverStats {
         self.worker_panics += other.worker_panics;
         self.exchange_rejects += other.exchange_rejects;
         self.certified_models += other.certified_models;
+        self.solves += other.solves;
+        self.learnts_carried += other.learnts_carried;
+        self.inprocessings += other.inprocessings;
+        self.vars_eliminated += other.vars_eliminated;
+        self.clauses_subsumed += other.clauses_subsumed;
+        self.clauses_strengthened += other.clauses_strengthened;
+        self.vivification_shrinks += other.vivification_shrinks;
     }
 }
 
@@ -416,6 +469,13 @@ pub struct Solver {
     /// DRAT trace of every clause added, learnt, and deleted; `None` (the
     /// default) keeps proof logging entirely off the hot path.
     proof: Option<DratTrace>,
+
+    /// Inprocessing state: frozen/eliminated variables, the elimination
+    /// stack, and round triggers (see the `simplify` module).
+    simp: SimpState,
+    /// Problem clauses ever handed to [`Solver::add_clause`] (deletions do
+    /// not subtract): the pristine-solver guard of [`Solver::enable_proof`].
+    added_clauses: u64,
 }
 
 impl Default for Solver {
@@ -457,6 +517,8 @@ impl Solver {
             level_seen: vec![0],
             level_stamp: 0,
             proof: None,
+            simp: SimpState::default(),
+            added_clauses: 0,
         }
     }
 
@@ -502,6 +564,8 @@ impl Solver {
         self.level_seen.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.simp.frozen.push(false);
+        self.simp.eliminated.push(false);
         self.heap.insert(v.index(), &self.activity);
         v
     }
@@ -539,7 +603,7 @@ impl Solver {
     /// before any clause is added — so the trace covers the whole
     /// derivation; returns `false` (and logs nothing) otherwise.
     pub fn enable_proof(&mut self) -> bool {
-        if self.db.num_problem() > 0 || !self.trail.is_empty() || !self.ok {
+        if self.added_clauses > 0 || !self.trail.is_empty() || !self.ok {
             return false;
         }
         self.proof = Some(DratTrace::new());
@@ -560,8 +624,18 @@ impl Solver {
             return false;
         }
         let mut clause: Vec<Lit> = lits.into_iter().collect();
+        self.added_clauses += 1;
         for &l in &clause {
             self.ensure_vars(l.var().index() + 1);
+        }
+        // A clause over an eliminated variable restores it first (rare:
+        // interface variables are frozen, so only an exchange import or an
+        // unusual caller lands here).
+        if self.mentions_eliminated(&clause) {
+            self.restore_all_eliminated();
+            if !self.ok {
+                return false;
+            }
         }
         // Root-level simplification: drop false literals, detect satisfied
         // clauses and tautologies.
@@ -652,11 +726,22 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
+        self.stats.solves += 1;
+        self.stats.learnts_carried += self.db.num_learnts() as u64;
         if self.deadline_or_interrupt_hit(&limits) {
             return SolveResult::Unknown;
         }
         for &a in assumptions {
             self.ensure_vars(a.var().index() + 1);
+        }
+        // Assuming an eliminated variable restores it first, so the
+        // assumption constrains the formula it was meant to constrain.
+        if self.mentions_eliminated(assumptions) {
+            self.restore_all_eliminated();
+        }
+        self.maybe_inprocess(assumptions, &limits);
+        if !self.ok {
+            return SolveResult::Unsat;
         }
         if self.max_learnts == 0.0 {
             self.max_learnts = (self.db.num_problem() as f64 / 3.0).max(1000.0);
@@ -671,6 +756,11 @@ impl Solver {
                     self.model = (0..self.num_vars())
                         .map(|v| self.assigns[2 * v] == VAL_TRUE)
                         .collect();
+                    // Variables removed by elimination carry arbitrary
+                    // assignments; patch them so the model satisfies the
+                    // pre-elimination formula too (certification re-checks
+                    // models against every clause ever added).
+                    self.extend_model_with_eliminated();
                     self.cancel_until(0);
                     return SolveResult::Sat;
                 }
@@ -681,6 +771,10 @@ impl Solver {
                 SearchOutcome::Restart => {
                     self.stats.restarts += 1;
                     self.cancel_until(0);
+                    self.maybe_inprocess(assumptions, &limits);
+                    if !self.ok {
+                        return SolveResult::Unsat;
+                    }
                 }
                 SearchOutcome::LimitHit => {
                     self.cancel_until(0);

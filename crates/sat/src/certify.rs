@@ -524,6 +524,10 @@ impl SolveBackend for CertifyingBackend {
         self.inner.add_clause(lits)
     }
 
+    fn freeze_var(&mut self, var: Var) {
+        self.inner.freeze_var(var);
+    }
+
     fn solve_limited(&mut self, assumptions: &[Lit], limits: SolveLimits) -> SolveResult {
         let result = self.inner.solve_limited(assumptions, limits);
         if let Some(err) = self.inner.certify_failure() {

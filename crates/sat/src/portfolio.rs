@@ -353,6 +353,9 @@ pub struct PortfolioSolver {
     /// Master copy of the formula: every clause ever added, used to
     /// respawn dead workers with a consistent database.
     master: Vec<Vec<Lit>>,
+    /// Interface variables frozen against inprocessing, replayed to
+    /// respawned workers alongside the master clause log.
+    frozen: Vec<Var>,
     vars: usize,
     /// Lifetime stats of workers that were respawned (their old counters
     /// would otherwise be lost with the replaced solver).
@@ -377,6 +380,7 @@ impl PortfolioSolver {
             model: Vec::new(),
             winner: None,
             master: Vec::new(),
+            frozen: Vec::new(),
             vars: 0,
             retired_stats: SolverStats::default(),
             failures: Vec::new(),
@@ -438,6 +442,18 @@ impl PortfolioSolver {
         ok
     }
 
+    /// Freezes `var` against inprocessing in every worker (current and
+    /// respawned): see [`Solver::freeze_var`].
+    pub fn freeze_var(&mut self, var: Var) {
+        self.vars = self.vars.max(var.index() + 1);
+        for (worker, &dead) in self.workers.iter_mut().zip(&self.dead) {
+            if !dead {
+                worker.freeze_var(var);
+            }
+        }
+        self.frozen.push(var);
+    }
+
     /// Replaces every dead worker with a fresh solver rebuilt from the
     /// master clause log, preserving the dead worker's lifetime counters
     /// in `retired_stats`.
@@ -449,6 +465,9 @@ impl PortfolioSolver {
             self.retired_stats.merge(self.workers[index].stats());
             let mut fresh = spawn_worker(index, &self.config);
             fresh.ensure_vars(self.vars);
+            for &var in &self.frozen {
+                fresh.freeze_var(var);
+            }
             for clause in &self.master {
                 fresh.add_clause(clause.iter().copied());
             }

@@ -176,13 +176,86 @@ pub fn encode_gate(cnf: &mut Cnf, kind: GateKind, out: Var, ins: &[Var]) {
 
 /// `out = a ⊕ b` (or `a ⊙ b` when `inverted`), 4 ternary clauses (Table 1).
 fn encode_xor2(cnf: &mut Cnf, out: Var, a: Var, b: Var, inverted: bool) {
-    let o = Lit::with_polarity(out, !inverted);
-    let a = Lit::positive(a);
-    let b = Lit::positive(b);
-    cnf.add_clause([!a, !b, !o]);
-    cnf.add_clause([a, b, !o]);
-    cnf.add_clause([a, !b, o]);
-    cnf.add_clause([!a, b, o]);
+    encode_xor2_lits(
+        cnf,
+        Lit::with_polarity(out, !inverted),
+        Lit::positive(a),
+        Lit::positive(b),
+    );
+}
+
+/// `out ↔ a ⊕ b` over literals: the 4 XOR clauses of Table 1, usable when
+/// the operands are aliased (possibly negated) literals rather than
+/// dedicated signal variables — the cone-reduced encoder's common case.
+pub fn encode_xor2_lits(cnf: &mut Cnf, out: Lit, a: Lit, b: Lit) {
+    cnf.add_clause([!a, !b, !out]);
+    cnf.add_clause([a, b, !out]);
+    cnf.add_clause([a, !b, out]);
+    cnf.add_clause([!a, b, out]);
+}
+
+/// `out ↔ ∧ ins` over literals (n+1 clauses, like Table 1's AND row).
+pub fn encode_and_lits(cnf: &mut Cnf, out: Lit, ins: &[Lit]) {
+    let mut long: Vec<Lit> = ins.iter().map(|&l| !l).collect();
+    long.push(out);
+    cnf.add_clause(long);
+    for &l in ins {
+        cnf.add_clause([l, !out]);
+    }
+}
+
+/// `out ↔ ∨ ins` over literals (n+1 clauses, like Table 1's OR row).
+pub fn encode_or_lits(cnf: &mut Cnf, out: Lit, ins: &[Lit]) {
+    let mut long: Vec<Lit> = ins.to_vec();
+    long.push(!out);
+    cnf.add_clause(long);
+    for &l in ins {
+        cnf.add_clause([!l, out]);
+    }
+}
+
+/// `out ↔ (s ? b : a)` over literals: Table 1's MUX clauses with fan-in
+/// convention `[S, A, B]`, `S = 1` selecting `B`.
+pub fn encode_mux_lits(cnf: &mut Cnf, out: Lit, s: Lit, a: Lit, b: Lit) {
+    cnf.add_clause([s, !a, out]);
+    cnf.add_clause([s, a, !out]);
+    cnf.add_clause([!s, !b, out]);
+    cnf.add_clause([!s, b, !out]);
+}
+
+/// Redundant (but propagation-strengthening) MUX clauses: whichever input
+/// is selected, if both data literals agree the output equals them —
+/// `a ∧ b → out` and `¬a ∧ ¬b → ¬out`. Sound for any select value.
+pub fn encode_mux_redundant(cnf: &mut Cnf, out: Lit, a: Lit, b: Lit) {
+    cnf.add_clause([!a, !b, out]);
+    cnf.add_clause([a, b, !out]);
+}
+
+/// One flattened MUX-tree path: when every literal of `path` holds, the
+/// tree output equals `leaf` — `(¬path ∨ ¬leaf ∨ out) ∧ (¬path ∨ leaf ∨
+/// ¬out)`. Emitting one such pair per leaf encodes a whole select tree
+/// without auxiliary variables (Sweeney-style structural sharing).
+pub fn encode_mux_path(cnf: &mut Cnf, out: Lit, path: &[Lit], leaf: Lit) {
+    let negated = || path.iter().map(|&l| !l);
+    let mut up: Vec<Lit> = negated().collect();
+    up.push(!leaf);
+    up.push(out);
+    cnf.add_clause(up);
+    let mut down: Vec<Lit> = negated().collect();
+    down.push(leaf);
+    down.push(!out);
+    cnf.add_clause(down);
+}
+
+/// Linking clauses for a CLN switch-box swap pair: `o1 = (s1 ? b : a)` and
+/// `o2 = (s2 ? a : b)` route the same two wires with swapped data order,
+/// so whenever the selects differ the outputs pick the *same* source —
+/// `s1 ⊕ s2 → o1 = o2` (4 quaternary clauses).
+pub fn encode_swap_link(cnf: &mut Cnf, s1: Lit, o1: Lit, s2: Lit, o2: Lit) {
+    cnf.add_clause([!s1, s2, !o1, o2]);
+    cnf.add_clause([!s1, s2, o1, !o2]);
+    cnf.add_clause([s1, !s2, !o1, o2]);
+    cnf.add_clause([s1, !s2, o1, !o2]);
 }
 
 /// Emits clauses forcing `lit` to hold (a unit clause).

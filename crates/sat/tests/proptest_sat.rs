@@ -2,9 +2,10 @@
 //! round-trips, and Tseytin/equivalence coherence.
 
 use fulllock_netlist::random::{generate, RandomCircuitConfig};
-use fulllock_sat::cdcl::{SolveResult, Solver};
+use fulllock_sat::backend::BackendSpec;
+use fulllock_sat::cdcl::{SolveLimits, SolveResult, Solver, SolverConfig};
 use fulllock_sat::random_sat::{self, RandomSatConfig};
-use fulllock_sat::{dpll, equiv, Cnf, Lit, Var};
+use fulllock_sat::{dpll, equiv, CertifyLevel, Cnf, Lit, Var};
 use proptest::prelude::*;
 
 proptest! {
@@ -155,6 +156,99 @@ proptest! {
             }
         }
         prop_assert!(!seen.is_empty(), "under-constrained formula must have a model");
+    }
+
+    /// Inprocessing is invisible to verdicts: an identical incremental
+    /// solve sequence — growing the formula between solves, which is
+    /// exactly what the DIP loop does — gives the same answers with
+    /// simplification on and off, and every `Sat` model (reconstructed
+    /// through eliminated variables) satisfies every clause ever added.
+    #[test]
+    fn inprocessing_preserves_incremental_verdicts(
+        vars in 24usize..40,
+        seed in any::<u64>(),
+        picks in any::<u64>(),
+    ) {
+        // Start near the satisfiable side so growth keeps verdicts mixed,
+        // and big enough (>100 clauses) to trip the inprocessing trigger.
+        let base = random_sat::generate(RandomSatConfig::from_ratio(vars, 3.5, 3, seed))
+            .expect("valid config");
+        let mut plain = Solver::from_cnf_with_config(
+            &base,
+            SolverConfig { inprocess: false, ..SolverConfig::default() },
+        );
+        let mut simplifying = Solver::from_cnf_with_config(
+            &base,
+            SolverConfig { inprocess: true, ..SolverConfig::default() },
+        );
+        let mut all_clauses = base.clone();
+        for round in 0..3u32 {
+            let assumptions: Vec<Lit> = {
+                let bits = picks.rotate_right(round * 13);
+                let v = (bits >> 1) as usize % vars;
+                vec![Lit::with_polarity(Var::new(v), bits & 1 == 1)]
+            };
+            let want = plain.solve(&assumptions);
+            let got = simplifying.solve(&assumptions);
+            prop_assert_eq!(want, got, "round {} verdicts diverge", round);
+            if got == SolveResult::Sat {
+                let mut assumed = all_clauses.clone();
+                for &a in &assumptions {
+                    assumed.add_clause([a]);
+                }
+                prop_assert!(
+                    assumed.is_satisfied_by(simplifying.model()),
+                    "round {}: simplified solver's model violates the formula",
+                    round
+                );
+            }
+            // Grow the formula like the DIP loop: enough fresh clauses to
+            // re-trip the growth trigger.
+            let extra = random_sat::generate(RandomSatConfig {
+                vars,
+                clauses: 40,
+                clause_len: 3,
+                seed: seed.wrapping_add(round as u64 + 1),
+            }).expect("valid config");
+            for clause in extra.clauses() {
+                all_clauses.add_clause(clause.iter().copied());
+                plain.add_clause(clause.iter().copied());
+                simplifying.add_clause(clause.iter().copied());
+            }
+        }
+    }
+
+    /// Inprocessing survives DRAT proof certification: every change it
+    /// makes is logged so `CertifyLevel::Proof` keeps accepting UNSAT
+    /// answers (and models keep checking) on formulas pushed across the
+    /// phase transition.
+    #[test]
+    fn inprocessing_passes_proof_certification(
+        vars in 20usize..32,
+        ratio in 3.0f64..6.0,
+        seed in any::<u64>(),
+    ) {
+        let cnf = random_sat::generate(RandomSatConfig::from_ratio(vars, ratio, 3, seed))
+            .expect("valid config");
+        let mut backend = BackendSpec::Configured(
+            SolverConfig { inprocess: true, ..SolverConfig::default() },
+        ).create_certified(CertifyLevel::Proof);
+        backend.ensure_vars(cnf.num_vars());
+        for clause in cnf.clauses() {
+            backend.add_clause(clause);
+        }
+        let verdict = backend.solve_limited(&[], SolveLimits::default());
+        prop_assert!(
+            backend.certify_failure().is_none(),
+            "certification failed: {:?}",
+            backend.certify_failure()
+        );
+        let reference = dpll::solve(&cnf, None);
+        match (reference.result, verdict) {
+            (dpll::DpllResult::Sat(_), SolveResult::Sat) => {}
+            (dpll::DpllResult::Unsat, SolveResult::Unsat) => {}
+            (a, b) => return Err(TestCaseError::fail(format!("disagreement: {a:?} vs {b:?}"))),
+        }
     }
 
     /// Every generated circuit is equivalent to its own `.bench`

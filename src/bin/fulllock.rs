@@ -402,6 +402,22 @@ fn cmd_attack(raw: &[String]) -> CliResult {
             details.formula.0, details.formula.1, details.mean_clause_var_ratio
         );
     }
+    let solver = &report.solver;
+    println!(
+        "solver reuse: {} incremental solve(s), {} learnt clause(s) carried across solves",
+        solver.solves, solver.learnts_carried
+    );
+    if solver.inprocessings > 0 {
+        println!(
+            "inprocessing: {} round(s) — {} var(s) eliminated, {} clause(s) subsumed, \
+             {} strengthened, {} vivified",
+            solver.inprocessings,
+            solver.vars_eliminated,
+            solver.clauses_subsumed,
+            solver.clauses_strengthened,
+            solver.vivification_shrinks
+        );
+    }
     let res = &report.resilience;
     if checkpoint.is_some() {
         println!(
