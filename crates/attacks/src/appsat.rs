@@ -74,24 +74,7 @@ pub struct AppSatReport {
     pub solver: SolverStats,
 }
 
-/// Runs AppSAT.
-///
-/// # Errors
-///
-/// Returns [`AttackError::InterfaceMismatch`](crate::AttackError::InterfaceMismatch)
-/// for incompatible interfaces.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Attack` trait: `config.run(&locked, &oracle)`"
-)]
-pub fn appsat_attack(
-    locked: &LockedCircuit,
-    oracle: &dyn Oracle,
-    config: AppSatConfig,
-) -> Result<AppSatReport> {
-    run_appsat(locked, oracle, config)
-}
-
+#[cfg(test)]
 fn run_appsat(
     locked: &LockedCircuit,
     oracle: &dyn Oracle,

@@ -151,43 +151,12 @@ impl AttackCheckpoint {
         Ok(())
     }
 
-    /// Serializes to the versioned JSON text format.
+    /// Serializes to the versioned JSON text format. The solver block
+    /// uses the shared wire codec
+    /// ([`wire::solver_stats_to_json`](crate::wire::solver_stats_to_json)),
+    /// so checkpoints and wire reports agree on that schema.
     pub fn to_json(&self) -> String {
-        let stats = &self.solver;
-        let solver = Json::Object(vec![
-            ("decisions".into(), Json::Int(stats.decisions)),
-            ("propagations".into(), Json::Int(stats.propagations)),
-            ("conflicts".into(), Json::Int(stats.conflicts)),
-            ("restarts".into(), Json::Int(stats.restarts)),
-            ("deleted_learnts".into(), Json::Int(stats.deleted_learnts)),
-            (
-                "minimized_literals".into(),
-                Json::Int(stats.minimized_literals),
-            ),
-            ("reductions".into(), Json::Int(stats.reductions)),
-            (
-                "lbd_histogram".into(),
-                Json::Array(stats.lbd_histogram.iter().map(|&n| Json::Int(n)).collect()),
-            ),
-            ("propagate_ns".into(), Json::Int(stats.propagate_ns)),
-            ("analyze_ns".into(), Json::Int(stats.analyze_ns)),
-            ("worker_panics".into(), Json::Int(stats.worker_panics)),
-            ("exchange_rejects".into(), Json::Int(stats.exchange_rejects)),
-            ("certified_models".into(), Json::Int(stats.certified_models)),
-            ("solves".into(), Json::Int(stats.solves)),
-            ("learnts_carried".into(), Json::Int(stats.learnts_carried)),
-            ("inprocessings".into(), Json::Int(stats.inprocessings)),
-            ("vars_eliminated".into(), Json::Int(stats.vars_eliminated)),
-            ("clauses_subsumed".into(), Json::Int(stats.clauses_subsumed)),
-            (
-                "clauses_strengthened".into(),
-                Json::Int(stats.clauses_strengthened),
-            ),
-            (
-                "vivification_shrinks".into(),
-                Json::Int(stats.vivification_shrinks),
-            ),
-        ]);
+        let solver = crate::wire::solver_stats_to_json(&self.solver);
         let pairs = Json::Array(
             self.io_pairs
                 .iter()
@@ -388,77 +357,7 @@ fn parse_checkpoint(text: &str) -> std::result::Result<AttackCheckpoint, String>
         ));
     }
 
-    let stats_json = field("solver")?;
-    let stat = |name: &str| {
-        stats_json
-            .get(name)
-            .and_then(Json::as_u64)
-            .ok_or_else(|| format!("solver field {name:?} must be an unsigned integer"))
-    };
-    let mut lbd_histogram = [0u64; 8];
-    let hist = stats_json
-        .get("lbd_histogram")
-        .and_then(Json::as_array)
-        .ok_or("solver field \"lbd_histogram\" must be an array")?;
-    if hist.len() != lbd_histogram.len() {
-        return Err(format!(
-            "solver field \"lbd_histogram\" must have {} buckets",
-            lbd_histogram.len()
-        ));
-    }
-    for (bucket, value) in lbd_histogram.iter_mut().zip(hist) {
-        *bucket = value
-            .as_u64()
-            .ok_or("lbd_histogram buckets must be unsigned integers")?;
-    }
-    let solver = SolverStats {
-        decisions: stat("decisions")?,
-        propagations: stat("propagations")?,
-        conflicts: stat("conflicts")?,
-        restarts: stat("restarts")?,
-        deleted_learnts: stat("deleted_learnts")?,
-        minimized_literals: stat("minimized_literals")?,
-        reductions: stat("reductions")?,
-        lbd_histogram,
-        propagate_ns: stat("propagate_ns")?,
-        analyze_ns: stat("analyze_ns")?,
-        worker_panics: stat("worker_panics")?,
-        // Added after version 1 shipped; absent in older files, so default
-        // to zero rather than rejecting an otherwise valid checkpoint.
-        exchange_rejects: stats_json
-            .get("exchange_rejects")
-            .and_then(Json::as_u64)
-            .unwrap_or(0),
-        certified_models: stats_json
-            .get("certified_models")
-            .and_then(Json::as_u64)
-            .unwrap_or(0),
-        solves: stats_json.get("solves").and_then(Json::as_u64).unwrap_or(0),
-        learnts_carried: stats_json
-            .get("learnts_carried")
-            .and_then(Json::as_u64)
-            .unwrap_or(0),
-        inprocessings: stats_json
-            .get("inprocessings")
-            .and_then(Json::as_u64)
-            .unwrap_or(0),
-        vars_eliminated: stats_json
-            .get("vars_eliminated")
-            .and_then(Json::as_u64)
-            .unwrap_or(0),
-        clauses_subsumed: stats_json
-            .get("clauses_subsumed")
-            .and_then(Json::as_u64)
-            .unwrap_or(0),
-        clauses_strengthened: stats_json
-            .get("clauses_strengthened")
-            .and_then(Json::as_u64)
-            .unwrap_or(0),
-        vivification_shrinks: stats_json
-            .get("vivification_shrinks")
-            .and_then(Json::as_u64)
-            .unwrap_or(0),
-    };
+    let solver = crate::wire::solver_stats_from_json(field("solver")?)?;
 
     let pairs_json = field("io_pairs")?
         .as_array()

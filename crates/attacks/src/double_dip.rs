@@ -118,23 +118,7 @@ pub struct DoubleDipReport {
     pub solver: SolverStats,
 }
 
-/// Runs the Double-DIP attack.
-///
-/// # Errors
-///
-/// Returns [`AttackError::InterfaceMismatch`] for incompatible interfaces.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Attack` trait: `DoubleDip { base: config }.run(&locked, &oracle)`"
-)]
-pub fn attack(
-    locked: &LockedCircuit,
-    oracle: &dyn Oracle,
-    config: SatAttackConfig,
-) -> Result<DoubleDipReport> {
-    run_double_dip(locked, oracle, config)
-}
-
+#[cfg(test)]
 fn run_double_dip(
     locked: &LockedCircuit,
     oracle: &dyn Oracle,

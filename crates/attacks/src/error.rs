@@ -44,6 +44,12 @@ pub enum AttackError {
         /// Index of the variable missing from the model.
         var: usize,
     },
+    /// A wire-format attack report failed to decode (malformed JSON, a
+    /// missing field, or an unsupported schema version).
+    ReportFormat {
+        /// What is wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for AttackError {
@@ -72,6 +78,9 @@ impl fmt::Display for AttackError {
             AttackError::Certification(e) => write!(f, "solver answer failed certification: {e}"),
             AttackError::IncompleteModel { var } => {
                 write!(f, "solver model has no value for variable {var}")
+            }
+            AttackError::ReportFormat { message } => {
+                write!(f, "invalid attack report: {message}")
             }
         }
     }

@@ -95,6 +95,7 @@ pub mod removal;
 mod report;
 pub mod sat_attack;
 pub mod sps;
+pub mod wire;
 
 pub use appsat::{AppSatConfig, AppSatReport};
 pub use certificate::certify_key;
@@ -112,6 +113,7 @@ pub use report::{
 };
 pub use sat_attack::{SatAttack, SatAttackConfig, SatAttackReport};
 pub use sps::Sps;
+pub use wire::WIRE_VERSION;
 
 /// The hand-rolled JSON used by the checkpoint format — promoted to
 /// `fulllock-harness` so the attack checkpoints and the campaign
@@ -121,11 +123,6 @@ pub(crate) mod json {
     pub(crate) use fulllock_harness::json::Json;
 }
 pub use fulllock_harness::json as shared_json;
-
-#[allow(deprecated)]
-pub use appsat::appsat_attack;
-#[allow(deprecated)]
-pub use sat_attack::attack;
 
 /// Crate-wide result alias.
 pub type Result<T, E = AttackError> = std::result::Result<T, E>;

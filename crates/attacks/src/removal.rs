@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::oracle::Oracle;
 use crate::report::{Attack, AttackDetails, AttackOutcome, AttackReport};
-use crate::{Result, SimOracle};
+use crate::Result;
 
 /// Outcome of a removal attempt.
 #[derive(Debug, Clone)]
@@ -56,35 +56,13 @@ pub fn excise_cln(locked: &LockedCircuit, trace: &FullLockTrace) -> Netlist {
 }
 
 /// Runs the best-case removal attack against a Full-Lock circuit and
-/// measures the residual functional error on `samples` random patterns.
+/// measures the residual functional error on `samples` random patterns,
+/// with the reference function taken from any [`Oracle`] (an activated
+/// chip).
 ///
 /// `key_guess_zero`: the dangling key inputs of the bypassed netlist (LUT
 /// keys, if LUTs were enabled) are driven with zeros — the attacker has no
 /// better information once the CLN is gone.
-///
-/// # Errors
-///
-/// Propagates simulation errors (the bypassed netlist of an acyclic lock
-/// is acyclic).
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Attack` trait (`Removal::new(trace).run(&locked, &oracle)`) \
-            or `study_with_oracle`"
-)]
-pub fn removal_study(
-    locked: &LockedCircuit,
-    trace: &FullLockTrace,
-    original: &Netlist,
-    samples: usize,
-    seed: u64,
-) -> Result<RemovalStudy> {
-    let oracle = SimOracle::new(original)?;
-    study_with_oracle(locked, trace, &oracle, samples, seed)
-}
-
-/// Oracle-flavoured removal study: like the deprecated `removal_study`,
-/// but the reference function comes from any [`Oracle`] (an activated
-/// chip) instead of the original netlist.
 ///
 /// # Example
 ///
@@ -232,6 +210,7 @@ pub fn key_logic_cone(locked: &LockedCircuit) -> Vec<SignalId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimOracle;
     use fulllock_locking::{FullLock, FullLockConfig, PlrSpec, WireSelection};
     use fulllock_netlist::random::{generate, RandomCircuitConfig};
 

@@ -98,6 +98,12 @@ pub enum AttackDetails {
     Removal(crate::removal::RemovalStudy),
     /// The SPS scan.
     Sps(crate::sps::SpsReport),
+    /// A details *summary* decoded from the wire format
+    /// ([`AttackReport::from_json`](crate::AttackReport::from_json)).
+    /// The full in-process payloads (bypassed netlists, per-phase data)
+    /// never cross the wire; re-encoding this variant reproduces the
+    /// summary verbatim, so wire round trips are lossless.
+    Wire(fulllock_harness::json::Json),
 }
 
 /// The formal half of a [`KeyCertificate`]: what SAT-based equivalence

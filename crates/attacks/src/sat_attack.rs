@@ -747,23 +747,6 @@ fn envelope(engine: &mut SatAttack<'_>) -> Result<AttackReport> {
     })
 }
 
-/// One-call SAT attack with the given configuration.
-///
-/// # Errors
-///
-/// Returns [`AttackError::InterfaceMismatch`] for incompatible interfaces.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Attack` trait: `config.run(&locked, &oracle)`"
-)]
-pub fn attack(
-    locked: &LockedCircuit,
-    oracle: &dyn Oracle,
-    config: SatAttackConfig,
-) -> Result<SatAttackReport> {
-    SatAttack::new(locked, oracle, config)?.run()
-}
-
 /// Builds the miter difference literals from two output encodings
 /// (SigVal-level, so constant-folded copies shrink the miter):
 ///

@@ -11,13 +11,13 @@
 //! §2 claims.
 
 use fulllock_locking::LockedCircuit;
-use fulllock_netlist::{probability, topo, GateKind, Netlist, SignalId, Simulator};
+use fulllock_netlist::{probability, topo, GateKind, SignalId, Simulator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::oracle::Oracle;
 use crate::report::{Attack, AttackDetails, AttackOutcome, AttackReport};
-use crate::{AttackError, Result, SimOracle};
+use crate::{AttackError, Result};
 
 /// Result of an SPS scan + neutralization attempt.
 #[derive(Debug, Clone)]
@@ -37,28 +37,6 @@ impl SpsReport {
     pub fn succeeded(&self) -> bool {
         self.error_rate == Some(0.0)
     }
-}
-
-/// Runs the SPS attack against the original netlist.
-///
-/// # Errors
-///
-/// Returns [`AttackError::Unsupported`] for cyclic locked netlists
-/// (probability propagation needs a DAG) and propagates simulation errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Attack` trait (`Sps::default().run(&locked, &oracle)`) \
-            or `scan_with_oracle`"
-)]
-pub fn sps_attack(
-    locked: &LockedCircuit,
-    original: &Netlist,
-    skew_threshold: f64,
-    samples: usize,
-    seed: u64,
-) -> Result<SpsReport> {
-    let oracle = SimOracle::new(original)?;
-    scan_with_oracle(locked, &oracle, skew_threshold, samples, seed)
 }
 
 /// Runs the SPS attack: probability scan (key inputs treated as uniform
@@ -246,8 +224,10 @@ impl Attack for Sps {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SimOracle;
     use fulllock_locking::{AntiSat, FullLock, FullLockConfig, LockingScheme};
     use fulllock_netlist::random::{generate, RandomCircuitConfig};
+    use fulllock_netlist::Netlist;
 
     fn host(seed: u64) -> Netlist {
         generate(RandomCircuitConfig {

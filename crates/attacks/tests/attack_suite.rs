@@ -85,14 +85,12 @@ fn sat_attack_runs_on_a_portfolio_backend() {
 }
 
 #[test]
-fn deprecated_shims_still_answer() {
-    #![allow(deprecated)]
+fn attack_trait_breaks_rll() {
     let original = host(9);
     let locked = fulllock_locking::Rll::new(4, 0)
         .lock(&original)
         .expect("rll lock");
     let oracle = SimOracle::new(&original).unwrap();
-    #[allow(deprecated)]
-    let report = fulllock_attacks::attack(&locked, &oracle, SatAttackConfig::default()).unwrap();
+    let report = SatAttackConfig::default().run(&locked, &oracle).unwrap();
     assert!(matches!(report.outcome, AttackOutcome::KeyRecovered { .. }));
 }

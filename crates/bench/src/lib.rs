@@ -26,7 +26,7 @@ use fulllock_locking::{
     ClnTopology, FullLock, FullLockConfig, LockedCircuit, LockingScheme, PlrSpec, WireSelection,
 };
 use fulllock_netlist::{GateKind, Netlist};
-use fulllock_sat::{Cnf, Lit, Var};
+use fulllock_sat::{AmbientConfig, Cnf, Lit, Var};
 
 /// Experiment scaling knobs, read from the environment.
 #[derive(Debug, Clone, Copy)]
@@ -111,21 +111,21 @@ pub struct ScaleConfig {
     pub threads: usize,
 }
 
-/// `FULLLOCK_*` variables with a meaning somewhere in the workspace
-/// (the last two belong to the fault-injection and certification layers
-/// and pass through children untouched).
-pub const KNOWN_FULLLOCK_VARS: [&str; 5] = [
-    "FULLLOCK_TIMEOUT_SECS",
-    "FULLLOCK_FULL",
-    "FULLLOCK_THREADS",
-    "FULLLOCK_FAILPOINTS",
-    "FULLLOCK_CERTIFY",
-];
+/// Every `FULLLOCK_*` variable with a meaning somewhere in the
+/// workspace — re-exported from the ambient-configuration layer in
+/// `fulllock-sat`, which owns the canonical list (and the typo
+/// spell-check built on it).
+pub use fulllock_sat::ambient::KNOWN_FULLLOCK_VARS;
 
 impl ScaleConfig {
     /// Parses the knobs from an explicit variable set (pure — the unit
     /// tests feed synthetic environments). Returns the config plus
     /// warnings for unknown `FULLLOCK_*` variables.
+    ///
+    /// Everything except `FULLLOCK_FULL` (the one bench-only knob)
+    /// delegates to [`AmbientConfig::parse`], so the experiment binaries
+    /// and the attack CLI validate the shared variables identically —
+    /// one grammar, one set of error messages, one typo spell-check.
     ///
     /// # Errors
     ///
@@ -134,67 +134,33 @@ impl ScaleConfig {
     where
         I: IntoIterator<Item = (String, String)>,
     {
-        let mut config = ScaleConfig {
-            timeout_secs: 10.0,
-            full: false,
-            threads: 1,
-        };
-        let mut warnings = Vec::new();
-        for (name, value) in vars {
-            let err = |reason: String| ScaleError {
-                var: name.clone(),
-                value: value.clone(),
-                reason,
-            };
-            match name.as_str() {
-                "FULLLOCK_TIMEOUT_SECS" => {
-                    let secs: f64 = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| err("expected a number of seconds".to_string()))?;
-                    if !secs.is_finite() || secs <= 0.0 {
-                        return Err(err(format!(
-                            "timeout must be a positive finite number, got {secs}"
-                        )));
+        let vars: Vec<(String, String)> = vars.into_iter().collect();
+        let mut full = false;
+        for (name, value) in &vars {
+            if name == "FULLLOCK_FULL" {
+                full = match value.trim() {
+                    "" | "0" | "false" | "no" => false,
+                    "1" | "true" | "yes" => true,
+                    other => {
+                        return Err(ScaleError {
+                            var: name.clone(),
+                            value: value.clone(),
+                            reason: format!("expected 0/1/true/false/yes/no, got {other:?}"),
+                        })
                     }
-                    config.timeout_secs = secs;
-                }
-                "FULLLOCK_FULL" => {
-                    config.full = match value.trim() {
-                        "" | "0" | "false" | "no" => false,
-                        "1" | "true" | "yes" => true,
-                        other => {
-                            return Err(err(format!(
-                                "expected 0/1/true/false/yes/no, got {other:?}"
-                            )))
-                        }
-                    };
-                }
-                "FULLLOCK_THREADS" => {
-                    let threads: usize = value
-                        .trim()
-                        .parse()
-                        .map_err(|_| err("expected a thread count".to_string()))?;
-                    if threads == 0 {
-                        return Err(err("thread count must be at least 1".to_string()));
-                    }
-                    config.threads = threads;
-                }
-                other
-                    if other.starts_with("FULLLOCK_") && !KNOWN_FULLLOCK_VARS.contains(&other) =>
-                {
-                    let hint = KNOWN_FULLLOCK_VARS
-                        .iter()
-                        .map(|known| (edit_distance(other, known), *known))
-                        .min()
-                        .filter(|(d, _)| *d <= 3)
-                        .map(|(_, known)| format!(" (did you mean {known}?)"))
-                        .unwrap_or_default();
-                    warnings.push(format!("unknown variable {other} ignored{hint}"));
-                }
-                _ => {}
+                };
             }
         }
+        let (ambient, warnings) = AmbientConfig::parse(vars).map_err(|e| ScaleError {
+            var: e.var,
+            value: e.value,
+            reason: e.reason,
+        })?;
+        let config = ScaleConfig {
+            timeout_secs: ambient.timeout.map(|t| t.as_secs_f64()).unwrap_or(10.0),
+            full,
+            threads: ambient.threads,
+        };
         Ok((config, warnings))
     }
 
@@ -215,23 +181,6 @@ impl ScaleConfig {
             threads: self.threads,
         }
     }
-}
-
-/// Levenshtein distance (iterative two-row), for typo suggestions.
-fn edit_distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    let mut cur = vec![0usize; b.len() + 1];
-    for (i, &ca) in a.iter().enumerate() {
-        cur[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
-            let sub = prev[j] + usize::from(ca != cb);
-            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
-        }
-        std::mem::swap(&mut prev, &mut cur);
-    }
-    prev[b.len()]
 }
 
 /// The registry of experiment binaries regenerating the paper's tables

@@ -58,6 +58,14 @@ impl Json {
         }
     }
 
+    /// Boolean value ([`Json::Bool`] only).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// String value ([`Json::Str`] only).
     pub fn as_str(&self) -> Option<&str> {
         match self {

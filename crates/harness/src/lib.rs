@@ -23,6 +23,11 @@
 //! A failed job is **recorded, not fatal**: the campaign degrades
 //! gracefully and reports a partial-success outcome.
 //!
+//! The [`service`] module lifts the same machinery into a long-running
+//! daemon (`fulllock serve`): jobs arrive over a socket instead of a
+//! plan file, land in a crash-safe sharded queue, and are billed to
+//! per-tenant quotas.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -49,6 +54,7 @@ pub mod manifest;
 pub mod persist;
 pub mod plan;
 pub mod retry;
+pub mod service;
 pub mod supervisor;
 
 pub use error::HarnessError;

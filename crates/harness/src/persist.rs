@@ -33,7 +33,7 @@ const QUARANTINE_SUFFIX: &str = ".corrupt";
 
 /// Appends `suffix` to a full file name (`campaign.json` →
 /// `campaign.json.1`, not `campaign.1`).
-fn with_suffix(path: &Path, suffix: &str) -> PathBuf {
+pub(crate) fn with_suffix(path: &Path, suffix: &str) -> PathBuf {
     let mut name = path.as_os_str().to_os_string();
     name.push(suffix);
     PathBuf::from(name)

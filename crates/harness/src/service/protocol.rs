@@ -1,0 +1,427 @@
+//! The `fulllock serve` wire protocol: newline-delimited JSON.
+//!
+//! Every request is one line of JSON, every response one line back.
+//! Requests carry a `verb`; responses carry `"ok": true` plus
+//! verb-specific payload, or `"ok": false` plus a typed error envelope:
+//!
+//! ```json
+//! {"ok": false, "error": {"code": "unknown_job", "message": "no job \"x\""}}
+//! ```
+//!
+//! Error codes are stable API: `malformed_request`, `unknown_verb`,
+//! `invalid_job`, `duplicate_job`, `unknown_job`, `not_cancelable`,
+//! `draining`, plus the quota codes minted by
+//! [`fulllock_sat::QuotaError::code`] (`concurrency_full`,
+//! `conflicts_exhausted`, `wall_time_exhausted`). Clients branch on the
+//! code, never on the human-readable message.
+//!
+//! The five verbs, by example:
+//!
+//! ```json
+//! {"verb": "submit", "tenant": "acme", "job": {"id": "j1", "program": "/bin/true", "args": [], "env": {}}}
+//! {"verb": "status", "job": "j1"}
+//! {"verb": "cancel", "job": "j1"}
+//! {"verb": "list", "tenant": "acme"}
+//! {"verb": "stream", "job": "j1"}
+//! ```
+//!
+//! `stream` is the one verb with a multi-line response: the server emits
+//! a status line every time the job changes state, ending with the line
+//! whose state is terminal.
+
+use crate::json::Json;
+use crate::plan::JobSpec;
+use crate::service::queue::ServiceJob;
+
+/// Version tag of the request/response schema, echoed in every response.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job owned by `tenant`.
+    Submit {
+        /// Quota ledger the job is charged against.
+        tenant: String,
+        /// The command to run.
+        job: JobSpec,
+    },
+    /// One-shot status of a job.
+    Status {
+        /// Job id.
+        job: String,
+    },
+    /// Cancel a pending or running job.
+    Cancel {
+        /// Job id.
+        job: String,
+    },
+    /// Summarize jobs, optionally restricted to one tenant.
+    List {
+        /// Restrict to this tenant when present.
+        tenant: Option<String>,
+    },
+    /// Stream state changes of a job until it reaches a terminal state.
+    Stream {
+        /// Job id.
+        job: String,
+    },
+}
+
+/// A typed protocol error: stable `code` plus human-readable `message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Stable machine-readable code (see module docs for the list).
+    pub code: &'static str,
+    /// Human-readable context. Not stable API.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// Builds an error with the given stable code.
+    pub fn new(code: &'static str, message: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The response line for this error.
+    pub fn to_response(&self) -> String {
+        Json::Object(vec![
+            ("ok".to_string(), Json::Bool(false)),
+            ("protocol".to_string(), Json::Int(PROTOCOL_VERSION)),
+            (
+                "error".to_string(),
+                Json::Object(vec![
+                    ("code".to_string(), Json::Str(self.code.to_string())),
+                    ("message".to_string(), Json::Str(self.message.clone())),
+                ]),
+            ),
+        ])
+        .to_text()
+    }
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// `malformed_request` when the line is not a JSON object or a field has
+/// the wrong shape; `unknown_verb` when the verb is not one of the five;
+/// `invalid_job` when a submitted job spec fails validation.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let root = Json::parse(line)
+        .map_err(|e| ProtocolError::new("malformed_request", format!("bad JSON: {e}")))?;
+    if !matches!(root, Json::Object(_)) {
+        return Err(ProtocolError::new(
+            "malformed_request",
+            "request must be a JSON object",
+        ));
+    }
+    let verb = root
+        .get("verb")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::new("malformed_request", "missing string field \"verb\""))?;
+    let job_id = |root: &Json| {
+        root.get("job")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ProtocolError::new("malformed_request", "missing string field \"job\""))
+    };
+    match verb {
+        "submit" => {
+            let tenant = root.get("tenant").and_then(Json::as_str).ok_or_else(|| {
+                ProtocolError::new(
+                    "malformed_request",
+                    "submit requires string field \"tenant\"",
+                )
+            })?;
+            if tenant.is_empty() {
+                return Err(ProtocolError::new("malformed_request", "empty tenant name"));
+            }
+            let job_json = root.get("job").ok_or_else(|| {
+                ProtocolError::new("malformed_request", "submit requires object field \"job\"")
+            })?;
+            let job =
+                parse_job_spec(job_json).map_err(|m| ProtocolError::new("malformed_request", m))?;
+            // Reuse the campaign plan validator: id charset, non-empty
+            // program, finite positive timeout.
+            crate::plan::CampaignPlan::new("submit")
+                .job(job.clone())
+                .validate()
+                .map_err(|e| ProtocolError::new("invalid_job", e.to_string()))?;
+            Ok(Request::Submit {
+                tenant: tenant.to_string(),
+                job,
+            })
+        }
+        "status" => Ok(Request::Status {
+            job: job_id(&root)?,
+        }),
+        "cancel" => Ok(Request::Cancel {
+            job: job_id(&root)?,
+        }),
+        "stream" => Ok(Request::Stream {
+            job: job_id(&root)?,
+        }),
+        "list" => {
+            let tenant = match root.get("tenant") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(
+                    v.as_str()
+                        .ok_or_else(|| {
+                            ProtocolError::new(
+                                "malformed_request",
+                                "list field \"tenant\" must be a string",
+                            )
+                        })?
+                        .to_string(),
+                ),
+            };
+            Ok(Request::List { tenant })
+        }
+        other => Err(ProtocolError::new(
+            "unknown_verb",
+            format!("unknown verb {other:?} (expected submit/status/cancel/list/stream)"),
+        )),
+    }
+}
+
+/// Encodes a request (the client side of [`parse_request`]).
+pub fn encode_request(request: &Request) -> String {
+    let json = match request {
+        Request::Submit { tenant, job } => Json::Object(vec![
+            ("verb".to_string(), Json::Str("submit".to_string())),
+            ("tenant".to_string(), Json::Str(tenant.clone())),
+            ("job".to_string(), job_spec_to_json(job)),
+        ]),
+        Request::Status { job } => verb_job("status", job),
+        Request::Cancel { job } => verb_job("cancel", job),
+        Request::Stream { job } => verb_job("stream", job),
+        Request::List { tenant } => Json::Object(vec![
+            ("verb".to_string(), Json::Str("list".to_string())),
+            (
+                "tenant".to_string(),
+                match tenant {
+                    Some(t) => Json::Str(t.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ]),
+    };
+    json.to_text()
+}
+
+fn verb_job(verb: &str, job: &str) -> Json {
+    Json::Object(vec![
+        ("verb".to_string(), Json::Str(verb.to_string())),
+        ("job".to_string(), Json::Str(job.to_string())),
+    ])
+}
+
+fn job_spec_to_json(spec: &JobSpec) -> Json {
+    let mut members = vec![
+        ("id".to_string(), Json::Str(spec.id.clone())),
+        ("program".to_string(), Json::Str(spec.program.clone())),
+        (
+            "args".to_string(),
+            Json::Array(spec.args.iter().cloned().map(Json::Str).collect()),
+        ),
+        (
+            "env".to_string(),
+            Json::Object(
+                spec.env
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(t) = spec.timeout_secs {
+        members.push(("timeout_secs".to_string(), Json::Float(t)));
+    }
+    if let Some(n) = spec.max_attempts {
+        members.push(("max_attempts".to_string(), Json::Int(u64::from(n))));
+    }
+    Json::Object(members)
+}
+
+fn parse_job_spec(json: &Json) -> Result<JobSpec, String> {
+    let id = json
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or("job missing string field \"id\"")?;
+    let program = json
+        .get("program")
+        .and_then(Json::as_str)
+        .ok_or("job missing string field \"program\"")?;
+    let mut spec = JobSpec::new(id, program);
+    if let Some(args) = json.get("args") {
+        for a in args
+            .as_array()
+            .ok_or("job field \"args\" must be an array")?
+        {
+            spec.args
+                .push(a.as_str().ok_or("job args must be strings")?.to_string());
+        }
+    }
+    match json.get("env") {
+        None => {}
+        Some(Json::Object(members)) => {
+            for (k, v) in members {
+                let v = v.as_str().ok_or("job env values must be strings")?;
+                spec.env.push((k.clone(), v.to_string()));
+            }
+        }
+        Some(_) => return Err("job field \"env\" must be an object".to_string()),
+    }
+    if let Some(t) = json.get("timeout_secs") {
+        spec.timeout_secs = Some(t.as_f64().ok_or("job \"timeout_secs\" must be a number")?);
+    }
+    if let Some(n) = json.get("max_attempts") {
+        spec.max_attempts = Some(
+            n.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or("job \"max_attempts\" must fit u32")?,
+        );
+    }
+    Ok(spec)
+}
+
+/// The `{"ok": true}` status line describing one job (used by `submit`
+/// acknowledgements, `status`, each `stream` update, and `list` rows via
+/// [`job_summary_json`]).
+pub fn job_response(job: &ServiceJob) -> String {
+    Json::Object(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("protocol".to_string(), Json::Int(PROTOCOL_VERSION)),
+        ("job".to_string(), job_summary_json(job)),
+    ])
+    .to_text()
+}
+
+/// One job summarized as a JSON object (id, tenant, state, attempts,
+/// completions, charges, last error).
+pub fn job_summary_json(job: &ServiceJob) -> Json {
+    Json::Object(vec![
+        ("id".to_string(), Json::Str(job.id.clone())),
+        ("tenant".to_string(), Json::Str(job.tenant.clone())),
+        (
+            "state".to_string(),
+            Json::Str(job.state.as_str().to_string()),
+        ),
+        ("attempts".to_string(), Json::Int(u64::from(job.attempts))),
+        ("completions".to_string(), Json::Int(job.completions)),
+        (
+            "charged_conflicts".to_string(),
+            Json::Int(job.charged_conflicts),
+        ),
+        (
+            "charged_wall_secs".to_string(),
+            Json::Float(job.charged_wall_secs),
+        ),
+        ("interrupted".to_string(), Json::Bool(job.interrupted)),
+        (
+            "last_error".to_string(),
+            match &job.last_error {
+                Some(e) => Json::Str(e.clone()),
+                None => Json::Null,
+            },
+        ),
+    ])
+}
+
+/// The `list` response line: job summaries (submission order) plus counts.
+pub fn list_response(jobs: &[&ServiceJob]) -> String {
+    Json::Object(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("protocol".to_string(), Json::Int(PROTOCOL_VERSION)),
+        ("count".to_string(), Json::Int(jobs.len() as u64)),
+        (
+            "jobs".to_string(),
+            Json::Array(jobs.iter().map(|j| job_summary_json(j)).collect()),
+        ),
+    ])
+    .to_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let requests = vec![
+            Request::Submit {
+                tenant: "acme".to_string(),
+                job: JobSpec::new("j1", "/bin/true")
+                    .arg("--fast")
+                    .env("K", "v")
+                    .timeout_secs(5.0)
+                    .max_attempts(3),
+            },
+            Request::Status {
+                job: "j1".to_string(),
+            },
+            Request::Cancel {
+                job: "j1".to_string(),
+            },
+            Request::List { tenant: None },
+            Request::List {
+                tenant: Some("acme".to_string()),
+            },
+            Request::Stream {
+                job: "j1".to_string(),
+            },
+        ];
+        for r in requests {
+            let line = encode_request(&r);
+            assert_eq!(parse_request(&line).expect("parse"), r, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_get_typed_errors() {
+        for (line, code) in [
+            ("not json at all", "malformed_request"),
+            ("[1,2,3]", "malformed_request"),
+            ("{\"no\":\"verb\"}", "malformed_request"),
+            ("{\"verb\":\"frobnicate\"}", "unknown_verb"),
+            ("{\"verb\":\"status\"}", "malformed_request"),
+            ("{\"verb\":\"submit\",\"job\":{}}", "malformed_request"),
+            (
+                "{\"verb\":\"submit\",\"tenant\":\"t\",\"job\":{\"id\":\".bad\",\"program\":\"p\"}}",
+                "invalid_job",
+            ),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert_eq!(err.code, code, "line: {line}");
+            // The error envelope itself is valid JSON with the code intact.
+            let resp = Json::parse(&err.to_response()).expect("error response parses");
+            assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+            assert_eq!(
+                resp.get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str),
+                Some(code)
+            );
+        }
+    }
+
+    #[test]
+    fn error_response_shape_is_stable() {
+        let line = ProtocolError::new("unknown_job", "no job \"x\"").to_response();
+        let json = Json::parse(&line).expect("parses");
+        assert_eq!(
+            json.get("protocol").and_then(Json::as_u64),
+            Some(PROTOCOL_VERSION)
+        );
+        assert_eq!(
+            json.get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str),
+            Some("no job \"x\"")
+        );
+    }
+}

@@ -1,0 +1,567 @@
+//! The persistent sharded job queue behind `fulllock serve`.
+//!
+//! Every queue mutation lands on disk before the server acknowledges it:
+//! jobs are assigned to one of N shard files (`queue/shard-NN.json`,
+//! FNV-hashed by job id) and each state transition rewrites only the
+//! affected shard through [`crate::persist::save_sealed`] — checksummed
+//! envelope, atomic rename, previous generation kept. A SIGKILL at any
+//! instant leaves every shard either at its pre- or post-transition
+//! state, never torn; a corrupt shard falls back to its previous
+//! generation on load.
+//!
+//! Restart semantics give exactly-once *recorded* completion: a job found
+//! in the `running` state on load was in flight when the server died, so
+//! it is re-queued (`pending`, with [`ServiceJob::interrupted`] set) and
+//! runs again — attack jobs pick their `AttackCheckpoint` back up instead
+//! of re-buying oracle queries. A job already `done` stays done and is
+//! never re-launched, so [`ServiceJob::completions`] reaching 2 would be
+//! a supervision bug, and tests assert it stays at 1.
+
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::plan::JobSpec;
+use crate::{persist, HarnessError, Result};
+
+/// Version tag of the shard file schema.
+pub const QUEUE_VERSION: u64 = 1;
+
+/// Lifecycle of a service job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Pending,
+    /// A worker is executing its child process.
+    Running,
+    /// Completed successfully (exit 0). Terminal.
+    Done,
+    /// Exhausted its attempts or was refused by a quota. Terminal.
+    Failed,
+    /// Canceled by request. Terminal.
+    Canceled,
+}
+
+impl JobState {
+    /// Stable wire/disk name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Pending => "pending",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Canceled => "canceled",
+        }
+    }
+
+    /// Inverse of [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "pending" => JobState::Pending,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "canceled" => JobState::Canceled,
+            _ => return None,
+        })
+    }
+
+    /// Whether the job will never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Canceled)
+    }
+}
+
+/// One job in the service queue: the command to run plus its supervision
+/// record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceJob {
+    /// Job identity (equals `spec.id`; the queue-wide uniqueness key).
+    pub id: String,
+    /// Owning tenant (quota ledger key).
+    pub tenant: String,
+    /// The command to execute. `{job_dir}` in the program, any argument,
+    /// or any environment value is substituted with the job's scratch
+    /// directory at launch.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Execution attempts started so far.
+    pub attempts: u32,
+    /// Global submission sequence number (FIFO scheduling order).
+    pub seq: u64,
+    /// Times this job transitioned into [`JobState::Done`]. Stays ≤ 1
+    /// under correct supervision — the exactly-once audit counter.
+    pub completions: u64,
+    /// Why the last attempt failed, if it did.
+    pub last_error: Option<String>,
+    /// Solver conflicts charged to the tenant for this job (parsed from
+    /// the job's report at completion).
+    pub charged_conflicts: u64,
+    /// Wall-clock seconds charged to the tenant for this job.
+    pub charged_wall_secs: f64,
+    /// Whether a server shutdown interrupted this job mid-run at least
+    /// once (it was found `running` on restart, or drained). Informational.
+    pub interrupted: bool,
+}
+
+impl ServiceJob {
+    /// A freshly submitted job.
+    pub fn new(tenant: impl Into<String>, spec: JobSpec, seq: u64) -> ServiceJob {
+        ServiceJob {
+            id: spec.id.clone(),
+            tenant: tenant.into(),
+            spec,
+            state: JobState::Pending,
+            attempts: 0,
+            seq,
+            completions: 0,
+            last_error: None,
+            charged_conflicts: 0,
+            charged_wall_secs: 0.0,
+            interrupted: false,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut spec_members = vec![
+            ("program".to_string(), Json::Str(self.spec.program.clone())),
+            (
+                "args".to_string(),
+                Json::Array(self.spec.args.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "env".to_string(),
+                Json::Object(
+                    self.spec
+                        .env
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(t) = self.spec.timeout_secs {
+            spec_members.push(("timeout_secs".to_string(), Json::Float(t)));
+        }
+        if let Some(n) = self.spec.max_attempts {
+            spec_members.push(("max_attempts".to_string(), Json::Int(u64::from(n))));
+        }
+        Json::Object(vec![
+            ("id".to_string(), Json::Str(self.id.clone())),
+            ("tenant".to_string(), Json::Str(self.tenant.clone())),
+            ("spec".to_string(), Json::Object(spec_members)),
+            (
+                "state".to_string(),
+                Json::Str(self.state.as_str().to_string()),
+            ),
+            ("attempts".to_string(), Json::Int(u64::from(self.attempts))),
+            ("seq".to_string(), Json::Int(self.seq)),
+            ("completions".to_string(), Json::Int(self.completions)),
+            (
+                "last_error".to_string(),
+                match &self.last_error {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "charged_conflicts".to_string(),
+                Json::Int(self.charged_conflicts),
+            ),
+            (
+                "charged_wall_secs".to_string(),
+                Json::Float(self.charged_wall_secs),
+            ),
+            ("interrupted".to_string(), Json::Bool(self.interrupted)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> std::result::Result<ServiceJob, String> {
+        let str_field = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("job missing string field {name:?}"))
+        };
+        let int_field = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("job field {name:?} must be an unsigned integer"))
+        };
+        let id = str_field("id")?;
+        let spec_json = json.get("spec").ok_or("job missing field \"spec\"")?;
+        let mut spec = JobSpec::new(
+            id.clone(),
+            spec_json
+                .get("program")
+                .and_then(Json::as_str)
+                .ok_or("spec missing string field \"program\"")?,
+        );
+        for a in spec_json
+            .get("args")
+            .and_then(Json::as_array)
+            .ok_or("spec field \"args\" must be an array")?
+        {
+            spec.args
+                .push(a.as_str().ok_or("spec args must be strings")?.to_string());
+        }
+        match spec_json.get("env").ok_or("spec missing field \"env\"")? {
+            Json::Object(members) => {
+                for (k, v) in members {
+                    let v = v.as_str().ok_or("spec env values must be strings")?;
+                    spec.env.push((k.clone(), v.to_string()));
+                }
+            }
+            _ => return Err("spec field \"env\" must be an object".to_string()),
+        }
+        if let Some(t) = spec_json.get("timeout_secs") {
+            spec.timeout_secs = Some(t.as_f64().ok_or("spec \"timeout_secs\" must be a number")?);
+        }
+        if let Some(n) = spec_json.get("max_attempts") {
+            spec.max_attempts = Some(
+                n.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or("spec \"max_attempts\" must fit u32")?,
+            );
+        }
+        let state_name = str_field("state")?;
+        let state = JobState::parse(&state_name)
+            .ok_or_else(|| format!("unknown job state {state_name:?}"))?;
+        let last_error = match json.get("last_error") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or("job field \"last_error\" must be a string or null")?
+                    .to_string(),
+            ),
+        };
+        Ok(ServiceJob {
+            id,
+            tenant: str_field("tenant")?,
+            spec,
+            state,
+            attempts: u32::try_from(int_field("attempts")?)
+                .map_err(|_| "job field \"attempts\" must fit u32".to_string())?,
+            seq: int_field("seq")?,
+            completions: int_field("completions")?,
+            last_error,
+            charged_conflicts: int_field("charged_conflicts")?,
+            charged_wall_secs: json
+                .get("charged_wall_secs")
+                .and_then(Json::as_f64)
+                .ok_or("job field \"charged_wall_secs\" must be a number")?,
+            interrupted: json
+                .get("interrupted")
+                .and_then(Json::as_bool)
+                .ok_or("job field \"interrupted\" must be a boolean")?,
+        })
+    }
+}
+
+/// The in-memory queue plus its on-disk shard files.
+#[derive(Debug)]
+pub struct ShardedQueue {
+    dir: PathBuf,
+    shards: u32,
+    jobs: Vec<ServiceJob>,
+    next_seq: u64,
+    /// Jobs found `running` at load time (interrupted by the previous
+    /// server's death) — informational, consumed by the server's log line.
+    pub recovered: usize,
+}
+
+impl ShardedQueue {
+    /// Opens (or initializes) the queue under `dir` with the given shard
+    /// count. Jobs found in the `running` state are re-queued as
+    /// `pending` with [`ServiceJob::interrupted`] set — the previous
+    /// server died mid-flight; their attempt counters are preserved.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Io`] when the directory or a shard cannot be read,
+    /// [`HarnessError::ManifestFormat`] when a shard's surviving
+    /// generation is unparseable.
+    pub fn open(dir: &Path, shards: u32) -> Result<ShardedQueue> {
+        let shards = shards.max(1);
+        std::fs::create_dir_all(dir).map_err(|e| HarnessError::Io {
+            path: dir.to_path_buf(),
+            message: format!("create queue directory: {e}"),
+        })?;
+        let mut jobs: Vec<ServiceJob> = Vec::new();
+        let mut recovered = 0;
+        for shard in 0..shards {
+            let path = shard_path(dir, shard);
+            if !path.exists() && !crate::persist::with_suffix(&path, ".1").exists() {
+                continue;
+            }
+            let loaded = persist::load_sealed(&path).map_err(|e| HarnessError::Io {
+                path: path.clone(),
+                message: format!("read shard: {e}"),
+            })?;
+            if loaded.from_previous {
+                eprintln!(
+                    "warning: queue shard {} failed its checksum; using previous generation",
+                    path.display()
+                );
+            }
+            let mut shard_jobs =
+                parse_shard(&loaded.payload).map_err(|message| HarnessError::ManifestFormat {
+                    path: path.clone(),
+                    message,
+                })?;
+            for job in &mut shard_jobs {
+                if job.state == JobState::Running {
+                    job.state = JobState::Pending;
+                    job.interrupted = true;
+                    recovered += 1;
+                }
+            }
+            jobs.extend(shard_jobs);
+        }
+        jobs.sort_by_key(|j| j.seq);
+        let next_seq = jobs.iter().map(|j| j.seq + 1).max().unwrap_or(0);
+        Ok(ShardedQueue {
+            dir: dir.to_path_buf(),
+            shards,
+            jobs,
+            next_seq,
+            recovered,
+        })
+    }
+
+    /// The shard index a job id maps to.
+    pub fn shard_of(&self, id: &str) -> u32 {
+        (fnv1a_str(id) % u64::from(self.shards)) as u32
+    }
+
+    /// Inserts a freshly submitted job and persists its shard.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::PlanFormat`] on a duplicate id, [`HarnessError::Io`]
+    /// when the shard cannot be written (the job is rolled back).
+    pub fn submit(&mut self, tenant: &str, spec: JobSpec) -> Result<&ServiceJob> {
+        if self.jobs.iter().any(|j| j.id == spec.id) {
+            return Err(HarnessError::PlanFormat {
+                path: None,
+                message: format!("duplicate job id {:?}", spec.id),
+            });
+        }
+        let job = ServiceJob::new(tenant, spec, self.next_seq);
+        let id = job.id.clone();
+        self.jobs.push(job);
+        self.next_seq += 1;
+        if let Err(e) = self.save_shard_of(&id) {
+            self.jobs.retain(|j| j.id != id);
+            self.next_seq -= 1;
+            return Err(e);
+        }
+        Ok(self
+            .jobs
+            .iter()
+            .find(|j| j.id == id)
+            .expect("job was just inserted"))
+    }
+
+    /// Looks a job up by id.
+    pub fn job(&self, id: &str) -> Option<&ServiceJob> {
+        self.jobs.iter().find(|j| j.id == id)
+    }
+
+    /// Mutable lookup. Callers persist with
+    /// [`save_shard_of`](Self::save_shard_of) after mutating.
+    pub fn job_mut(&mut self, id: &str) -> Option<&mut ServiceJob> {
+        self.jobs.iter_mut().find(|j| j.id == id)
+    }
+
+    /// All jobs in submission order.
+    pub fn jobs(&self) -> &[ServiceJob] {
+        &self.jobs
+    }
+
+    /// The oldest pending job not in `skip`, if any (FIFO scheduling).
+    pub fn next_pending(&self, skip: &dyn Fn(&ServiceJob) -> bool) -> Option<&ServiceJob> {
+        self.jobs
+            .iter()
+            .filter(|j| j.state == JobState::Pending && !skip(j))
+            .min_by_key(|j| j.seq)
+    }
+
+    /// Rewrites the shard holding `id` (atomic, sealed, previous
+    /// generation kept).
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Io`] on any filesystem failure.
+    pub fn save_shard_of(&self, id: &str) -> Result<()> {
+        self.save_shard(self.shard_of(id))
+    }
+
+    /// Rewrites every shard (used at drain time).
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Io`] on any filesystem failure.
+    pub fn save_all(&self) -> Result<()> {
+        for shard in 0..self.shards {
+            self.save_shard(shard)?;
+        }
+        Ok(())
+    }
+
+    fn save_shard(&self, shard: u32) -> Result<()> {
+        let path = shard_path(&self.dir, shard);
+        let jobs: Vec<Json> = self
+            .jobs
+            .iter()
+            .filter(|j| self.shard_of(&j.id) == shard)
+            .map(ServiceJob::to_json)
+            .collect();
+        let payload = Json::Object(vec![
+            ("version".to_string(), Json::Int(QUEUE_VERSION)),
+            ("shard".to_string(), Json::Int(u64::from(shard))),
+            ("jobs".to_string(), Json::Array(jobs)),
+        ])
+        .to_text();
+        persist::save_sealed(&path, &payload).map_err(|e| HarnessError::Io {
+            path,
+            message: format!("save shard: {e}"),
+        })
+    }
+}
+
+fn shard_path(dir: &Path, shard: u32) -> PathBuf {
+    dir.join(format!("shard-{shard:02}.json"))
+}
+
+fn parse_shard(text: &str) -> std::result::Result<Vec<ServiceJob>, String> {
+    let root = Json::parse(text)?;
+    let version = root
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or("missing unsigned integer field \"version\"")?;
+    if version != QUEUE_VERSION {
+        return Err(format!(
+            "unsupported queue version {version} (this build reads version {QUEUE_VERSION})"
+        ));
+    }
+    root.get("jobs")
+        .and_then(Json::as_array)
+        .ok_or("missing array field \"jobs\"")?
+        .iter()
+        .map(ServiceJob::from_json)
+        .collect()
+}
+
+/// FNV-1a over a string (shard assignment; stable across restarts).
+fn fnv1a_str(s: &str) -> u64 {
+    crate::json::fnv1a(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fulllock-queue-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn spec(id: &str) -> JobSpec {
+        JobSpec::new(id, "/bin/true").arg("x").env("K", "v")
+    }
+
+    #[test]
+    fn submit_persists_and_reloads() {
+        let dir = tmp_dir("roundtrip");
+        let mut q = ShardedQueue::open(&dir, 4).expect("open");
+        for i in 0..10 {
+            q.submit("acme", spec(&format!("job-{i}"))).expect("submit");
+        }
+        let q2 = ShardedQueue::open(&dir, 4).expect("reopen");
+        assert_eq!(q2.jobs().len(), 10);
+        for (a, b) in q.jobs().iter().zip(q2.jobs()) {
+            assert_eq!(a, b);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let dir = tmp_dir("dup");
+        let mut q = ShardedQueue::open(&dir, 2).expect("open");
+        q.submit("a", spec("same")).expect("first");
+        assert!(q.submit("b", spec("same")).is_err());
+        assert_eq!(q.jobs().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn running_jobs_requeue_on_reload() {
+        let dir = tmp_dir("requeue");
+        let mut q = ShardedQueue::open(&dir, 2).expect("open");
+        q.submit("a", spec("interrupted")).expect("submit");
+        q.submit("a", spec("finished")).expect("submit");
+        q.job_mut("interrupted").expect("exists").state = JobState::Running;
+        let done = q.job_mut("finished").expect("exists");
+        done.state = JobState::Done;
+        done.completions = 1;
+        q.save_all().expect("save");
+
+        let q2 = ShardedQueue::open(&dir, 2).expect("reopen");
+        assert_eq!(q2.recovered, 1);
+        let back = q2.job("interrupted").expect("exists");
+        assert_eq!(back.state, JobState::Pending);
+        assert!(back.interrupted);
+        // A completed job stays completed: exactly-once.
+        let done = q2.job("finished").expect("exists");
+        assert_eq!(done.state, JobState::Done);
+        assert_eq!(done.completions, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn next_pending_is_fifo_with_skips() {
+        let dir = tmp_dir("fifo");
+        let mut q = ShardedQueue::open(&dir, 2).expect("open");
+        q.submit("a", spec("first")).expect("submit");
+        q.submit("a", spec("second")).expect("submit");
+        assert_eq!(q.next_pending(&|_| false).expect("some").id, "first");
+        assert_eq!(
+            q.next_pending(&|j| j.id == "first").expect("some").id,
+            "second"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_shard_falls_back_to_previous_generation() {
+        let dir = tmp_dir("torn");
+        let mut q = ShardedQueue::open(&dir, 1).expect("open");
+        q.submit("a", spec("one")).expect("submit");
+        q.submit("a", spec("two")).expect("submit");
+        // Tear the primary shard mid-envelope.
+        let path = shard_path(&dir, 0);
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() / 2]).expect("tear");
+        let q2 = ShardedQueue::open(&dir, 1).expect("fallback open");
+        // Previous generation held only the first submission.
+        assert_eq!(q2.jobs().len(), 1);
+        assert_eq!(q2.jobs()[0].id, "one");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_spread() {
+        let dir = tmp_dir("spread");
+        let q = ShardedQueue::open(&dir, 8).expect("open");
+        let mut hit = [false; 8];
+        for i in 0..64 {
+            hit[q.shard_of(&format!("job-{i}")) as usize] = true;
+        }
+        assert!(hit.iter().filter(|&&h| h).count() >= 4, "{hit:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -439,13 +439,13 @@ fn finish_attempt(
 
 /// Signal number that terminated the child, if any (Unix only).
 #[cfg(unix)]
-fn exit_signal(status: Option<ExitStatus>) -> Option<i64> {
+pub(crate) fn exit_signal(status: Option<ExitStatus>) -> Option<i64> {
     use std::os::unix::process::ExitStatusExt as _;
     status.and_then(|s| s.signal()).map(i64::from)
 }
 
 #[cfg(not(unix))]
-fn exit_signal(_status: Option<ExitStatus>) -> Option<i64> {
+pub(crate) fn exit_signal(_status: Option<ExitStatus>) -> Option<i64> {
     None
 }
 
@@ -453,7 +453,7 @@ fn exit_signal(_status: Option<ExitStatus>) -> Option<i64> {
 /// SIGTERM via the `kill` utility (std exposes only SIGKILL); elsewhere
 /// it goes straight to [`Child::kill`].
 #[cfg(unix)]
-fn send_sigterm(child: &mut Child) {
+pub(crate) fn send_sigterm(child: &mut Child) {
     let delivered = Command::new("kill")
         .arg("-TERM")
         .arg(child.id().to_string())
@@ -471,7 +471,7 @@ fn send_sigterm(child: &mut Child) {
 }
 
 #[cfg(not(unix))]
-fn send_sigterm(child: &mut Child) {
+pub(crate) fn send_sigterm(child: &mut Child) {
     let _ = child.kill();
 }
 

@@ -1,0 +1,229 @@
+//! Chaos tests of the serve worker pool via the `service.worker`
+//! failpoint site: an injected worker panic must be contained (the
+//! attempt fails, the worker thread survives, the retry succeeds), and
+//! a persistent panic must degrade to a cleanly failed job — never a
+//! dead worker or a hung server.
+//!
+//! These tests require the `failpoints` feature:
+//!
+//! ```text
+//! cargo test -p fulllock-harness --features failpoints --test chaos_service
+//! ```
+//!
+//! The fault-plan registry is process-global, so every test serializes
+//! on [`chaos_lock`] and clears the plan before releasing it.
+
+#![cfg(all(unix, feature = "failpoints"))]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use fulllock_harness::json::Json;
+use fulllock_harness::plan::JobSpec;
+use fulllock_harness::service::{serve, Client, Endpoint, ServeSummary, ServiceConfig};
+use fulllock_sat::faults::{self, site, Failpoint, FaultAction, FaultPlan};
+
+/// Serializes tests that install a global fault plan.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Silences the unwind traces of injected worker panics, which would
+/// make a passing chaos run look alarming.
+fn quiet_injected_panics() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("service.worker failpoint"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+struct TestServer {
+    dir: PathBuf,
+    endpoint: Endpoint,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<ServeSummary>>,
+}
+
+impl TestServer {
+    fn start(tag: &str, configure: impl FnOnce(&mut ServiceConfig)) -> TestServer {
+        let dir = std::env::temp_dir().join(format!(
+            "fulllock-chaos-service-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let endpoint = Endpoint::Unix(dir.join("serve.sock"));
+        let mut config = ServiceConfig::new(endpoint.clone(), dir.join("state"));
+        config.poll_interval = Duration::from_millis(2);
+        config.retry.base_delay = Duration::from_millis(5);
+        configure(&mut config);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || serve(config, shutdown).expect("serve"))
+        };
+        let client = Client::new(endpoint.clone());
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !client.is_up() {
+            assert!(std::time::Instant::now() < deadline, "server never came up");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        TestServer {
+            dir,
+            endpoint,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::new(self.endpoint.clone())
+    }
+
+    fn stop(&mut self) -> ServeSummary {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.handle
+            .take()
+            .expect("server still running")
+            .join()
+            .expect("server thread")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop();
+        }
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+fn job_field(reply: &fulllock_harness::service::ServiceReply, field: &str) -> Option<u64> {
+    let fulllock_harness::service::ServiceReply::Ok(json) = reply else {
+        panic!("reply failed: {reply:?}")
+    };
+    json.get("job")
+        .and_then(|j| j.get(field))
+        .and_then(Json::as_u64)
+}
+
+/// One injected panic: the attempt is consumed, the worker thread
+/// survives, and the retry completes the job.
+#[test]
+fn one_worker_panic_costs_one_attempt_then_the_retry_succeeds() {
+    let _guard = chaos_lock();
+    quiet_injected_panics();
+    faults::install(
+        FaultPlan::new()
+            .with(Failpoint::new(site::SERVICE_WORKER, None, FaultAction::Panic).times(1)),
+    );
+
+    // One worker: the same (surviving) thread must run the retry.
+    let mut server = TestServer::start("one-panic", |config| {
+        config.workers = 1;
+    });
+    let client = server.client();
+    client
+        .submit("t", JobSpec::new("survivor", "/bin/true"))
+        .expect("submit");
+    let done = client
+        .wait("survivor", Duration::from_secs(20))
+        .expect("wait");
+    assert_eq!(
+        done.job_state().map(|s| s.as_str()),
+        Some("done"),
+        "{done:?}"
+    );
+    assert_eq!(job_field(&done, "attempts"), Some(2), "{done:?}");
+    assert_eq!(job_field(&done, "completions"), Some(1), "{done:?}");
+
+    // The pool is still alive: a second job sails through.
+    client
+        .submit("t", JobSpec::new("after", "/bin/true"))
+        .expect("submit");
+    let after = client.wait("after", Duration::from_secs(20)).expect("wait");
+    assert_eq!(
+        after.job_state().map(|s| s.as_str()),
+        Some("done"),
+        "{after:?}"
+    );
+
+    let summary = server.stop();
+    assert_eq!(summary.completed, 2);
+    faults::clear();
+}
+
+/// A panic on every launch: the job exhausts its attempts and fails
+/// with the panic recorded, the server drains cleanly, and once the
+/// plan is cleared the same pool completes new work.
+#[test]
+fn persistent_worker_panics_fail_the_job_cleanly() {
+    let _guard = chaos_lock();
+    quiet_injected_panics();
+    faults::install(FaultPlan::new().with(Failpoint::new(
+        site::SERVICE_WORKER,
+        None,
+        FaultAction::Panic,
+    )));
+
+    let mut server = TestServer::start("all-panic", |config| {
+        config.workers = 2;
+        config.retry.max_attempts = 2;
+    });
+    let client = server.client();
+    client
+        .submit("t", JobSpec::new("doomed", "/bin/true"))
+        .expect("submit");
+    let done = client
+        .wait("doomed", Duration::from_secs(20))
+        .expect("wait");
+    assert_eq!(
+        done.job_state().map(|s| s.as_str()),
+        Some("failed"),
+        "{done:?}"
+    );
+    assert_eq!(job_field(&done, "attempts"), Some(2), "{done:?}");
+    let fulllock_harness::service::ServiceReply::Ok(json) = &done else {
+        panic!("{done:?}")
+    };
+    assert!(
+        json.get("job")
+            .and_then(|j| j.get("last_error"))
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("worker panic")),
+        "{done:?}"
+    );
+
+    // Clear the plan: the same workers (never crashed, only their
+    // attempts were) complete fresh work.
+    faults::clear();
+    client
+        .submit("t", JobSpec::new("healthy", "/bin/true"))
+        .expect("submit");
+    let healthy = client
+        .wait("healthy", Duration::from_secs(20))
+        .expect("wait");
+    assert_eq!(
+        healthy.job_state().map(|s| s.as_str()),
+        Some("done"),
+        "{healthy:?}"
+    );
+
+    let summary = server.stop();
+    assert_eq!(summary.failed, 1);
+    assert_eq!(summary.completed, 1);
+}

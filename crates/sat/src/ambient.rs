@@ -1,0 +1,334 @@
+//! One typed surface for the ambient `FULLLOCK_*` environment knobs.
+//!
+//! Five environment variables steer how this workspace solves: worker
+//! threads, answer certification, CDCL inprocessing, fault injection, and
+//! the wall-clock budget. Historically each layer re-read its own
+//! variable at its own call site with its own parsing rules; a serving
+//! daemon multiplexing many jobs cannot afford that — it must capture the
+//! environment *once* at startup into an explicit config struct and hand
+//! workers that struct (or forward it to child processes via
+//! [`AmbientConfig::to_env`]), so every job of a server run sees one
+//! coherent configuration no matter what the environment mutates to
+//! later.
+//!
+//! [`AmbientConfig::parse`] is strict where it matters: garbage values
+//! are typed [`AmbientError`]s (a typo must not silently run a campaign
+//! with defaults), unknown `FULLLOCK_*` variables produce did-you-mean
+//! warnings, and a `FULLLOCK_FAILPOINTS` spec is validated against the
+//! real [`FaultPlan`](crate::faults::FaultPlan) grammar at capture time
+//! instead of failing deep inside a worker.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::backend::BackendSpec;
+use crate::cdcl::INPROCESS_ENV;
+use crate::certify::{CertifyLevel, CERTIFY_ENV};
+use crate::faults::FaultPlan;
+
+/// `FULLLOCK_FAILPOINTS`: the fault-injection plan
+/// ([`crate::faults::ENV_VAR`], re-exported here so every ambient knob has
+/// one naming convention).
+pub use crate::faults::ENV_VAR as FAILPOINTS_ENV;
+
+/// `FULLLOCK_THREADS`: SAT worker threads per attack.
+pub const THREADS_ENV: &str = "FULLLOCK_THREADS";
+/// `FULLLOCK_TIMEOUT_SECS`: per-attack wall-clock budget in seconds.
+pub const TIMEOUT_ENV: &str = "FULLLOCK_TIMEOUT_SECS";
+
+/// Every `FULLLOCK_*` variable with a meaning somewhere in the workspace
+/// — the spell-check reference for unknown-variable warnings. The tail
+/// entries belong to the experiment harness and the campaign wrapper
+/// script; they pass through this layer untouched.
+pub const KNOWN_FULLLOCK_VARS: [&str; 9] = [
+    TIMEOUT_ENV,
+    THREADS_ENV,
+    CERTIFY_ENV,
+    INPROCESS_ENV,
+    FAILPOINTS_ENV,
+    "FULLLOCK_FULL",
+    "FULLLOCK_JOBS",
+    "FULLLOCK_RESUME",
+    "FULLLOCK_CAMPAIGN_DIR",
+];
+
+/// A malformed `FULLLOCK_*` environment variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AmbientError {
+    /// The offending variable name.
+    pub var: String,
+    /// Its raw value.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for AmbientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={:?}: {}", self.var, self.value, self.reason)
+    }
+}
+
+impl std::error::Error for AmbientError {}
+
+/// A captured, validated snapshot of the ambient `FULLLOCK_*` knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmbientConfig {
+    /// [`THREADS_ENV`]: SAT worker threads per attack (default 1, must be
+    /// ≥ 1; 1 selects the sequential solver, more a racing portfolio).
+    pub threads: usize,
+    /// [`CERTIFY_ENV`]: how much verification solver answers receive.
+    pub certify: CertifyLevel,
+    /// [`INPROCESS_ENV`]: whether CDCL inprocessing runs (default on).
+    pub inprocess: bool,
+    /// [`FAILPOINTS_ENV`]: the raw fault-injection spec, kept verbatim
+    /// (grammar-validated) so it can be forwarded to children; `None`
+    /// when unset or empty.
+    pub failpoints: Option<String>,
+    /// [`TIMEOUT_ENV`]: wall-clock budget; `None` when unset (callers
+    /// apply their own default).
+    pub timeout: Option<Duration>,
+}
+
+impl Default for AmbientConfig {
+    fn default() -> AmbientConfig {
+        AmbientConfig {
+            threads: 1,
+            certify: CertifyLevel::Off,
+            inprocess: true,
+            failpoints: None,
+            timeout: None,
+        }
+    }
+}
+
+impl AmbientConfig {
+    /// Parses the knobs from an explicit variable set (pure — tests feed
+    /// synthetic environments). Returns the config plus did-you-mean
+    /// warnings for unknown `FULLLOCK_*` variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AmbientError`] describing the first malformed value.
+    pub fn parse<I>(vars: I) -> Result<(AmbientConfig, Vec<String>), AmbientError>
+    where
+        I: IntoIterator<Item = (String, String)>,
+    {
+        let mut config = AmbientConfig::default();
+        let mut warnings = Vec::new();
+        for (name, value) in vars {
+            let err = |reason: String| AmbientError {
+                var: name.clone(),
+                value: value.clone(),
+                reason,
+            };
+            match name.as_str() {
+                TIMEOUT_ENV => {
+                    let secs: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| err("expected a number of seconds".to_string()))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err(err(format!(
+                            "timeout must be a positive finite number, got {secs}"
+                        )));
+                    }
+                    config.timeout = Some(Duration::from_secs_f64(secs));
+                }
+                THREADS_ENV => {
+                    let threads: usize = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| err("expected a thread count".to_string()))?;
+                    if threads == 0 {
+                        return Err(err("thread count must be at least 1".to_string()));
+                    }
+                    config.threads = threads;
+                }
+                CERTIFY_ENV => {
+                    config.certify = value.parse::<CertifyLevel>().map_err(err)?;
+                }
+                INPROCESS_ENV => {
+                    config.inprocess = match value.trim().to_ascii_lowercase().as_str() {
+                        "off" | "0" | "false" | "no" => false,
+                        "" | "on" | "1" | "true" | "yes" => true,
+                        other => {
+                            return Err(err(format!(
+                                "expected on/off/1/0/true/false, got {other:?}"
+                            )))
+                        }
+                    };
+                }
+                FAILPOINTS_ENV => {
+                    let spec = value.trim();
+                    if spec.is_empty() {
+                        config.failpoints = None;
+                    } else {
+                        spec.parse::<FaultPlan>()
+                            .map_err(|e| err(format!("invalid failpoint spec: {e}")))?;
+                        config.failpoints = Some(spec.to_string());
+                    }
+                }
+                other
+                    if other.starts_with("FULLLOCK_") && !KNOWN_FULLLOCK_VARS.contains(&other) =>
+                {
+                    let hint = KNOWN_FULLLOCK_VARS
+                        .iter()
+                        .map(|known| (edit_distance(other, known), *known))
+                        .min()
+                        .filter(|(d, _)| *d <= 3)
+                        .map(|(_, known)| format!(" (did you mean {known}?)"))
+                        .unwrap_or_default();
+                    warnings.push(format!("unknown variable {other} ignored{hint}"));
+                }
+                _ => {}
+            }
+        }
+        Ok((config, warnings))
+    }
+
+    /// [`parse`](Self::parse) over the process environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AmbientError`] describing the first malformed value.
+    pub fn from_env() -> Result<(AmbientConfig, Vec<String>), AmbientError> {
+        AmbientConfig::parse(std::env::vars())
+    }
+
+    /// The solving backend the thread knob selects.
+    pub fn backend(&self) -> BackendSpec {
+        if self.threads <= 1 {
+            BackendSpec::Single
+        } else {
+            BackendSpec::portfolio(self.threads)
+        }
+    }
+
+    /// Renders the snapshot back into explicit `(variable, value)` pairs
+    /// for a child process's environment, so serve-mode workers inherit
+    /// the *captured* configuration rather than whatever the server's
+    /// environment happens to contain at spawn time. Knobs at their
+    /// defaults are emitted too — an explicit default beats an ambient
+    /// surprise.
+    pub fn to_env(&self) -> Vec<(String, String)> {
+        let mut pairs = vec![
+            (THREADS_ENV.to_string(), self.threads.to_string()),
+            (CERTIFY_ENV.to_string(), self.certify.as_str().to_string()),
+            (
+                INPROCESS_ENV.to_string(),
+                if self.inprocess { "on" } else { "off" }.to_string(),
+            ),
+        ];
+        if let Some(spec) = &self.failpoints {
+            pairs.push((FAILPOINTS_ENV.to_string(), spec.clone()));
+        }
+        if let Some(timeout) = self.timeout {
+            pairs.push((TIMEOUT_ENV.to_string(), timeout.as_secs_f64().to_string()));
+        }
+        pairs
+    }
+}
+
+/// Levenshtein distance (iterative two-row), for typo suggestions.
+pub(crate) fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(vars: &[(&str, &str)]) -> Result<(AmbientConfig, Vec<String>), AmbientError> {
+        AmbientConfig::parse(
+            vars.iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn defaults_without_any_variables() {
+        let (config, warnings) = parse(&[("PATH", "/bin"), ("HOME", "/root")]).expect("parses");
+        assert_eq!(config, AmbientConfig::default());
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn all_knobs_parse() {
+        let (config, warnings) = parse(&[
+            (TIMEOUT_ENV, "2.5"),
+            (THREADS_ENV, "4"),
+            (CERTIFY_ENV, "proof"),
+            (INPROCESS_ENV, "off"),
+            (FAILPOINTS_ENV, "portfolio.worker.panic#1=panicx1"),
+        ])
+        .expect("parses");
+        assert_eq!(config.timeout, Some(Duration::from_secs_f64(2.5)));
+        assert_eq!(config.threads, 4);
+        assert_eq!(config.certify, CertifyLevel::Proof);
+        assert!(!config.inprocess);
+        assert_eq!(
+            config.failpoints.as_deref(),
+            Some("portfolio.worker.panic#1=panicx1")
+        );
+        assert!(warnings.is_empty());
+        assert!(matches!(config.backend(), BackendSpec::Portfolio(_)));
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error() {
+        for (var, value) in [
+            (TIMEOUT_ENV, "soon"),
+            (TIMEOUT_ENV, "-3"),
+            (TIMEOUT_ENV, "inf"),
+            (THREADS_ENV, "0"),
+            (THREADS_ENV, "many"),
+            (CERTIFY_ENV, "paranoid"),
+            (INPROCESS_ENV, "maybe"),
+            (FAILPOINTS_ENV, "not a spec"),
+        ] {
+            let err = parse(&[(var, value)]).expect_err(&format!("{var}={value}"));
+            assert_eq!(err.var, var);
+        }
+    }
+
+    #[test]
+    fn unknown_variables_warn_with_hint() {
+        let (_, warnings) = parse(&[("FULLLOCK_TIMEOUT_SEC", "3600")]).expect("parses");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("did you mean FULLLOCK_TIMEOUT_SECS"));
+    }
+
+    #[test]
+    fn to_env_round_trips() {
+        let config = AmbientConfig {
+            threads: 3,
+            certify: CertifyLevel::Model,
+            inprocess: false,
+            failpoints: Some("portfolio.budget.exhausted=trigger@5".to_string()),
+            timeout: Some(Duration::from_secs(7)),
+        };
+        let (back, warnings) = AmbientConfig::parse(config.to_env()).expect("own output parses");
+        assert_eq!(back, config);
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn empty_failpoints_clears() {
+        let (config, _) = parse(&[(FAILPOINTS_ENV, "  ")]).expect("parses");
+        assert_eq!(config.failpoints, None);
+    }
+}

@@ -90,12 +90,6 @@ impl SolveLimits {
         }
     }
 
-    /// No limits: run to completion.
-    #[deprecated(note = "use `SolveLimits::default()` or `SolveLimits::builder()`")]
-    pub fn unlimited() -> SolveLimits {
-        SolveLimits::default()
-    }
-
     /// The conflict cap, if any.
     pub fn max_conflicts(&self) -> Option<u64> {
         self.max_conflicts
@@ -370,14 +364,6 @@ impl SolverStats {
         } else {
             self.propagations as f64 * 1e9 / self.propagate_ns as f64
         }
-    }
-
-    /// Former name of [`props_per_cpu_sec`](Self::props_per_cpu_sec); the
-    /// old name suggested a wall-clock rate, which is wrong for stats
-    /// merged across portfolio workers.
-    #[deprecated(note = "renamed to `props_per_cpu_sec`; merge counters, then derive the rate")]
-    pub fn props_per_sec(&self) -> f64 {
-        self.props_per_cpu_sec()
     }
 
     /// Accumulates another stats block into this one, field by field. All

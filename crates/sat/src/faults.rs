@@ -89,6 +89,12 @@ pub mod site {
     /// index 0). `trigger` reports the budget spuriously exhausted, so the
     /// whole race degrades to `Unknown` with partial stats.
     pub const BUDGET_EXHAUSTED: &str = "portfolio.budget.exhausted";
+    /// Evaluated by a `fulllock serve` worker just before it launches a
+    /// job's child process, with the worker index. `panic` kills the
+    /// worker thread (the server must catch it and retry the job on
+    /// another worker), `trigger` fails the launch spuriously (exercising
+    /// the retry path), `delay:<ms>` slows the worker down.
+    pub const SERVICE_WORKER: &str = "service.worker";
 }
 
 /// What happens when a failpoint fires.

@@ -25,7 +25,12 @@
 //! * [`certify`] — result certification ([`CertifyLevel`]): model
 //!   re-checking of every SAT answer, DRAT proof logging + forward
 //!   checking of UNSAT answers, and typed [`CertifyError`]s so no wrong
-//!   answer escapes silently.
+//!   answer escapes silently;
+//! * [`ambient`] — one typed capture ([`AmbientConfig`]) of the
+//!   `FULLLOCK_*` environment knobs, so long-running servers snapshot the
+//!   environment once instead of re-reading it per job;
+//! * [`quota`] — per-tenant admission and cumulative-spend accounting
+//!   ([`TenantQuota`]) for the serving layer.
 //!
 //! # Example
 //!
@@ -47,6 +52,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod ambient;
 pub mod backend;
 pub mod cdcl;
 pub mod certify;
@@ -57,15 +63,18 @@ mod error;
 pub mod faults;
 mod lit;
 pub mod portfolio;
+pub mod quota;
 pub mod random_sat;
 pub mod tseytin;
 
+pub use ambient::{AmbientConfig, AmbientError};
 pub use backend::{BackendSpec, SolveBackend};
 pub use certify::{CertifyError, CertifyLevel};
 pub use cnf::Cnf;
 pub use error::SatError;
 pub use lit::{Lit, Var};
 pub use portfolio::{PortfolioConfig, PortfolioSolver};
+pub use quota::{QuotaError, QuotaSpec, QuotaUsage, TenantQuota};
 
 /// Crate-wide result alias.
 pub type Result<T, E = SatError> = std::result::Result<T, E>;

@@ -12,6 +12,8 @@
 //! fulllock export <circuit.bench> --format verilog|bench|dimacs [-o FILE]
 //! fulllock campaign --plan <file|builtin:paper> [--resume] [--jobs N]
 //!                   [--timeout-secs S] [--out-dir DIR]
+//! fulllock serve --listen <unix:PATH|tcp:ADDR> [--state-dir DIR]
+//!                [--workers N] [--quota TENANT=JOBS,CONFLICTS,SECS]
 //! ```
 //!
 //! Locked `.bench` files follow the literature's convention: key inputs
@@ -20,10 +22,13 @@
 use std::error::Error;
 use std::fs;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use full_lock::attacks::{Attack, AttackDetails, AttackOutcome, SatAttackConfig, SimOracle};
 use full_lock::harness::plan::CampaignPlan;
+use full_lock::harness::service::{serve, Endpoint, ServiceConfig};
 use full_lock::harness::supervisor::{run_campaign, SupervisorConfig};
 use full_lock::harness::{CampaignManifest, JobStatus, RetryPolicy};
 use full_lock::locking::{
@@ -32,6 +37,7 @@ use full_lock::locking::{
 };
 use full_lock::netlist::{bench_io, topo, verilog, Netlist};
 use full_lock::sat::tseytin;
+use full_lock::sat::{AmbientConfig, QuotaSpec};
 use full_lock::sat::{BackendSpec, CertifyLevel};
 use full_lock::tech::Technology;
 
@@ -51,6 +57,10 @@ USAGE:
   fulllock campaign --plan <file|builtin:paper> [--resume] [--jobs N]
                     [--timeout-secs S] [--grace-secs S] [--max-attempts N]
                     [--out-dir DIR] [--strict] [--print-plan]
+  fulllock serve --listen <unix:PATH|tcp:HOST:PORT> [--state-dir DIR]
+                 [--workers N] [--shards N] [--timeout-secs S] [--grace-secs S]
+                 [--max-attempts N] [--quota TENANT=JOBS,CONFLICTS,SECS]
+                 [--default-quota JOBS,CONFLICTS,SECS]
 
 ATTACK OPTIONS:
   --checkpoint <file>  write a crash-safe snapshot after every DIP iteration
@@ -58,6 +68,22 @@ ATTACK OPTIONS:
   --certify <level>    check the solver's answers: off (trust it), model
                        (re-check every SAT model), proof (also DRAT-check
                        UNSAT answers); defaults to $FULLLOCK_CERTIFY or off
+  --json <file|->      also write the report as versioned JSON (the serve
+                       wire schema); - for stdout
+  Defaults for --threads/--timeout/--certify come from the FULLLOCK_*
+  environment (FULLLOCK_THREADS, FULLLOCK_TIMEOUT_SECS, FULLLOCK_CERTIFY).
+
+SERVE OPTIONS:
+  --listen <ep>       unix:PATH, tcp:HOST:PORT, or a bare socket path
+                      (default unix:fulllock.sock)
+  --state-dir <dir>   queue shards + per-job scratch dirs  (default serve-state)
+  --workers <n>       concurrent job slots                 (default 2)
+  --shards <n>        queue shard files                    (default 4)
+  --quota TENANT=JOBS,CONFLICTS,SECS
+                      per-tenant caps: concurrent jobs, cumulative solver
+                      conflicts, cumulative wall seconds; - = unlimited,
+                      repeatable. --default-quota covers everyone else.
+  SIGTERM drains gracefully: in-flight attacks checkpoint and re-queue.
 
 CAMPAIGN OPTIONS:
   --plan <file|builtin:paper>  job set: a JSON plan file, or the built-in
@@ -91,6 +117,7 @@ fn main() -> ExitCode {
         Some("export") => cmd_export(&args[1..]),
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -153,6 +180,15 @@ impl Args {
 
     fn has(&self, name: &str) -> bool {
         self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// Every value of a repeatable flag, in order.
+    fn flag_all(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter(|(n, _)| n == name)
+            .filter_map(|(_, v)| v.as_deref())
+            .collect()
     }
 }
 
@@ -327,8 +363,20 @@ fn cmd_attack(raw: &[String]) -> CliResult {
         .first()
         .ok_or("attack: missing <locked.bench>")?;
     let oracle_path = args.flag("oracle").ok_or("attack: missing --oracle")?;
-    let timeout: f64 = args.flag("timeout").unwrap_or("60").parse()?;
-    let threads: usize = args.flag("threads").unwrap_or("1").parse()?;
+    // The FULLLOCK_* environment provides the defaults; flags override.
+    let (ambient, ambient_warnings) =
+        AmbientConfig::from_env().map_err(|e| format!("attack: {e}"))?;
+    for w in &ambient_warnings {
+        eprintln!("warning: {w}");
+    }
+    let timeout: f64 = match args.flag("timeout") {
+        Some(t) => t.parse()?,
+        None => ambient.timeout.map_or(60.0, |d| d.as_secs_f64()),
+    };
+    let threads: usize = match args.flag("threads") {
+        Some(t) => t.parse()?,
+        None => ambient.threads,
+    };
     let checkpoint = args.flag("checkpoint").map(std::path::PathBuf::from);
     let resume = args.has("resume");
     if resume && checkpoint.is_none() {
@@ -338,8 +386,9 @@ fn cmd_attack(raw: &[String]) -> CliResult {
         Some(level) => level
             .parse::<CertifyLevel>()
             .map_err(|e| format!("attack: {e}"))?,
-        None => CertifyLevel::from_env(),
+        None => ambient.certify,
     };
+    let json_out = args.flag("json").map(str::to_string);
     let backend = if threads > 1 {
         BackendSpec::portfolio(threads)
     } else {
@@ -348,15 +397,20 @@ fn cmd_attack(raw: &[String]) -> CliResult {
     let locked = as_locked(load_netlist(path)?)?;
     let original = load_netlist(oracle_path)?;
     let oracle = SimOracle::new(&original)?;
-    println!(
-        "attacking {} ({} key bits, cyclic: {}) with a {timeout}s budget on {} thread(s)…",
-        locked.netlist.name(),
-        locked.key_len(),
-        topo::is_cyclic(&locked.netlist),
-        threads.max(1),
-    );
-    if certify != CertifyLevel::Off {
-        println!("certifying solver answers at level {certify}");
+    // `--json -` keeps stdout machine-readable: progress goes to stderr,
+    // the JSON report is the only stdout output.
+    let quiet = json_out.as_deref() == Some("-");
+    if !quiet {
+        println!(
+            "attacking {} ({} key bits, cyclic: {}) with a {timeout}s budget on {} thread(s)…",
+            locked.netlist.name(),
+            locked.key_len(),
+            topo::is_cyclic(&locked.netlist),
+            threads.max(1),
+        );
+        if certify != CertifyLevel::Off {
+            println!("certifying solver answers at level {certify}");
+        }
     }
     let config = SatAttackConfig {
         timeout: Some(Duration::from_secs_f64(timeout)),
@@ -368,6 +422,15 @@ fn cmd_attack(raw: &[String]) -> CliResult {
         Some(ckpt) => config.run_checkpointed(&locked, &oracle, ckpt, resume)?,
         None => config.run(&locked, &oracle)?,
     };
+    if let Some(dest) = &json_out {
+        let text = report.to_json();
+        if dest == "-" {
+            println!("{text}");
+            return Ok(());
+        }
+        fs::write(dest, &text)?;
+        println!("report JSON -> {dest}");
+    }
     if let Some(from) = report.resilience.resumed_from {
         println!("resumed from checkpoint at iteration {from}");
     }
@@ -543,6 +606,117 @@ fn cmd_campaign(raw: &[String]) -> CliResult {
         )
         .into());
     }
+    Ok(())
+}
+
+/// Set by the SIGTERM/SIGINT handler; polled by the serve bridge thread.
+static SHUTDOWN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    // Only async-signal-safe work here: a relaxed atomic store.
+    SHUTDOWN_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Installs SIGTERM/SIGINT handlers through the C runtime's `signal`
+/// (std exposes no signal API and the workspace vendors no libc crate;
+/// std itself links the C runtime, so the symbol is always present).
+#[cfg(unix)]
+fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_shutdown_signal as *const () as usize);
+        signal(SIGINT, on_shutdown_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_handler() {}
+
+/// Parses `JOBS,CONFLICTS,SECS` (each a number or `-` for unlimited).
+fn parse_quota_spec(text: &str) -> Result<QuotaSpec, Box<dyn Error>> {
+    let parts: Vec<&str> = text.split(',').collect();
+    if parts.len() != 3 {
+        return Err(
+            format!("quota {text:?}: expected JOBS,CONFLICTS,SECS (use - for unlimited)").into(),
+        );
+    }
+    let num = |s: &str| -> Result<Option<u64>, Box<dyn Error>> {
+        if s == "-" {
+            Ok(None)
+        } else {
+            Ok(Some(s.parse()?))
+        }
+    };
+    Ok(QuotaSpec {
+        max_in_flight: num(parts[0])?,
+        max_conflicts: num(parts[1])?,
+        max_wall: num(parts[2])?.map(Duration::from_secs),
+    })
+}
+
+fn cmd_serve(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &[]);
+    let endpoint = Endpoint::parse(args.flag("listen").unwrap_or("unix:fulllock.sock"))
+        .map_err(|e| format!("serve: bad --listen: {e}"))?;
+    let mut config = ServiceConfig::new(endpoint, args.flag("state-dir").unwrap_or("serve-state"));
+    config.workers = args.flag("workers").unwrap_or("2").parse()?;
+    config.shards = args.flag("shards").unwrap_or("4").parse()?;
+    config.default_timeout =
+        Duration::from_secs_f64(args.flag("timeout-secs").unwrap_or("3600").parse()?);
+    config.grace = Duration::from_secs_f64(args.flag("grace-secs").unwrap_or("2").parse()?);
+    config.retry.max_attempts = args.flag("max-attempts").unwrap_or("2").parse()?;
+    if let Some(spec) = args.flag("default-quota") {
+        config.default_quota = parse_quota_spec(spec)?;
+    }
+    for entry in args.flag_all("quota") {
+        let (tenant, spec) = entry.split_once('=').ok_or_else(|| {
+            format!("serve: --quota {entry:?}: expected TENANT=JOBS,CONFLICTS,SECS")
+        })?;
+        if tenant.is_empty() {
+            return Err("serve: --quota with empty tenant name".into());
+        }
+        config
+            .quotas
+            .push((tenant.to_string(), parse_quota_spec(spec)?));
+    }
+
+    install_shutdown_handler();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    {
+        // Bridge the signal-handler static into the flag `serve` polls.
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || loop {
+            if SHUTDOWN_REQUESTED.load(Ordering::Relaxed) {
+                shutdown.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+
+    println!(
+        "fulllock serve: listening on {} ({} worker(s), {} shard(s), state in {})",
+        config.endpoint,
+        config.workers,
+        config.shards,
+        config.state_dir.display(),
+    );
+    println!("SIGTERM or Ctrl-C drains gracefully (in-flight jobs re-queue).");
+    let summary = serve(config, shutdown)?;
+    println!(
+        "drained: {} submitted, {} completed, {} failed, {} canceled, {} interrupted \
+         ({} recovered from a previous run)",
+        summary.submitted,
+        summary.completed,
+        summary.failed,
+        summary.canceled,
+        summary.drained,
+        summary.recovered,
+    );
     Ok(())
 }
 

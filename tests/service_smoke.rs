@@ -1,0 +1,202 @@
+//! Crash-recovery smoke test of the real `fulllock serve` binary: start
+//! a server, load it with shell jobs plus a real checkpointed SAT-attack
+//! job, SIGKILL it mid-flight, restart it on the same state directory,
+//! and verify every job still completes **exactly once** (the
+//! `completions` counter the sharded queue persists). Ends with a
+//! SIGTERM to check the restarted server drains gracefully.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use full_lock::attacks::AttackReport;
+use full_lock::harness::json::Json;
+use full_lock::harness::plan::JobSpec;
+use full_lock::harness::service::{Client, Endpoint, ServiceReply};
+use full_lock::locking::{LockingScheme, Rll};
+use full_lock::netlist::{bench_io, benchmarks};
+
+const FULLLOCK: &str = env!("CARGO_BIN_EXE_fulllock");
+
+struct Scratch {
+    dir: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "fulllock-service-smoke-{tag}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        Scratch { dir }
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+fn spawn_server(dir: &Path, sock: &Path) -> Child {
+    Command::new(FULLLOCK)
+        .args([
+            "serve",
+            "--listen",
+            &format!("unix:{}", sock.display()),
+            "--state-dir",
+            dir.join("state").to_str().expect("utf8 path"),
+            "--workers",
+            "3",
+            "--grace-secs",
+            "0.5",
+            "--max-attempts",
+            "4",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn fulllock serve")
+}
+
+fn wait_up(client: &Client) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !client.is_up() {
+        assert!(Instant::now() < deadline, "server never came up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn wait_state(client: &Client, job: &str, want: &str) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let state = client
+            .status(job)
+            .expect("status")
+            .job_state()
+            .map(|s| s.as_str().to_string());
+        if state.as_deref() == Some(want) {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {job} never reached {want} (last: {state:?})"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The job summary object out of a status reply.
+fn summary(reply: &ServiceReply) -> &Json {
+    let ServiceReply::Ok(json) = reply else {
+        panic!("status failed: {reply:?}")
+    };
+    json.get("job").expect("job summary")
+}
+
+#[test]
+fn sigkill_mid_flight_then_restart_completes_every_job_exactly_once() {
+    let scratch = Scratch::new("kill9");
+    let sock = scratch.dir.join("serve.sock");
+    let endpoint = Endpoint::Unix(sock.clone());
+    let client = Client::new(endpoint.clone());
+
+    // A small real attack workload: c17 locked with a 4-key-bit RLL.
+    // The job checkpoints every DIP iteration and resumes after the
+    // crash, so oracle queries bought before the SIGKILL are not
+    // re-bought by the restarted attempt.
+    let original = benchmarks::load("c17").expect("suite benchmark");
+    let locked = Rll::new(4, 1).lock(&original).expect("lockable");
+    let oracle_path = scratch.dir.join("oracle.bench");
+    let locked_path = scratch.dir.join("locked.bench");
+    std::fs::write(&oracle_path, bench_io::write(&original)).expect("write oracle");
+    std::fs::write(&locked_path, bench_io::write(&locked.netlist)).expect("write locked");
+
+    let mut server = spawn_server(&scratch.dir, &sock);
+    wait_up(&client);
+
+    // Ten shell jobs long enough that several are in flight at kill
+    // time, plus the attack job.
+    let mut ids: Vec<String> = Vec::new();
+    for i in 0..10 {
+        let id = format!("smoke-{i:02}");
+        let spec = JobSpec::new(&id, "/bin/sh")
+            .arg("-c")
+            .arg("sleep 1 && echo ok > {job_dir}/proof");
+        let reply = client.submit("smoke", spec).expect("submit");
+        assert!(reply.error_code().is_none(), "{id}: {reply:?}");
+        ids.push(id);
+    }
+    let attack = JobSpec::new("attack-c17", FULLLOCK)
+        .arg("attack")
+        .arg(locked_path.to_str().expect("utf8 path"))
+        .arg("--oracle")
+        .arg(oracle_path.to_str().expect("utf8 path"))
+        .arg("--checkpoint")
+        .arg("{job_dir}/attack.ckpt")
+        .arg("--resume")
+        .arg("--json")
+        .arg("{job_dir}/report.json");
+    let reply = client.submit("smoke", attack).expect("submit attack");
+    assert!(reply.error_code().is_none(), "attack: {reply:?}");
+    ids.push("attack-c17".to_string());
+
+    // SIGKILL the server once work is demonstrably in flight.
+    wait_state(&client, "smoke-00", "running");
+    server.kill().expect("SIGKILL server");
+    server.wait().expect("reap server");
+
+    // Restart on the same state directory: the sharded queue re-queues
+    // interrupted jobs and the workers finish everything.
+    let mut server = spawn_server(&scratch.dir, &sock);
+    wait_up(&client);
+    for id in &ids {
+        let done = client.wait(id, Duration::from_secs(120)).expect("wait");
+        assert_eq!(
+            done.job_state().map(|s| s.as_str()),
+            Some("done"),
+            "{id}: {done:?}"
+        );
+        // Exactly once: however many attempts the crash cost, the queue
+        // records a single completion and never re-runs a finished job.
+        let status = client.status(id).expect("status");
+        let job = summary(&status);
+        assert_eq!(
+            job.get("completions").and_then(Json::as_u64),
+            Some(1),
+            "{id}: {status:?}"
+        );
+    }
+
+    // The shell jobs really ran (their proof files exist) and the
+    // attack job produced a decodable wire report with the key found.
+    for id in ids.iter().filter(|id| id.starts_with("smoke-")) {
+        let proof = scratch.dir.join("state/jobs").join(id).join("proof");
+        assert!(proof.exists(), "missing {}", proof.display());
+    }
+    let report_path = scratch.dir.join("state/jobs/attack-c17/report.json");
+    let text = std::fs::read_to_string(&report_path).expect("attack report");
+    let report = AttackReport::from_json(&text).expect("wire schema");
+    assert!(report.outcome.is_broken(), "{:?}", report.outcome);
+
+    // Graceful drain: SIGTERM the restarted server and expect a clean
+    // exit (everything is terminal, so nothing is interrupted).
+    let term = Command::new("kill")
+        .args(["-TERM", &server.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let status = loop {
+        if let Some(status) = server.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "server ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert!(status.success(), "drain exit: {status}");
+}
