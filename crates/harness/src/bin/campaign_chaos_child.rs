@@ -75,6 +75,12 @@ fn main() {
             std::thread::sleep(Duration::from_millis(ms));
             println!("chaos child #{index}: ok after {ms}ms");
         }
+        // The IO actions belong to the persist/queue disk-fault sites; a
+        // chaos child treats them like a generic injected failure.
+        Some(FaultAction::Enospc | FaultAction::Eio | FaultAction::Torn) => {
+            eprintln!("chaos child #{index}: injected io fault");
+            std::process::exit(3);
+        }
     }
 }
 

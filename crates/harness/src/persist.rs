@@ -19,10 +19,30 @@
 //! Unsealed files written by older builds load fine (no checksum to
 //! verify), so rolling this out does not invalidate existing campaign
 //! directories or checkpoints.
+//!
+//! # Disk-fault injection
+//!
+//! With the `failpoints` feature, [`save_sealed`] consults two fault
+//! sites so chaos tests can exercise the write path the way a hostile
+//! filesystem would:
+//!
+//! * [`persist.write`](fulllock_sat::faults::site::PERSIST_WRITE) —
+//!   `enospc`/`eio` fail the save before any byte lands; `torn` writes a
+//!   truncated envelope but reports success (the checksum catches it at
+//!   the next load and the previous generation takes over).
+//! * [`persist.sync`](fulllock_sat::faults::site::PERSIST_SYNC) —
+//!   `enospc`/`eio` fail the durability fsync; `torn` *skips* it while
+//!   reporting success (a lying fsync).
+//!
+//! Both sites also honor `delay:<ms>` and `panic`; the remaining actions
+//! have no IO meaning and are ignored. Without the feature the
+//! evaluation compiles to a constant `None` — zero cost.
 
 use std::io;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+
+use fulllock_sat::faults::{self, FaultAction};
 
 use crate::json::{seal, unseal};
 
@@ -39,17 +59,59 @@ pub(crate) fn with_suffix(path: &Path, suffix: &str) -> PathBuf {
     PathBuf::from(name)
 }
 
+/// Consults an IO fault site: `enospc`/`eio` become errors, `delay`
+/// sleeps, `panic` panics, `torn` is returned for the caller to apply,
+/// anything else is ignored (no IO meaning).
+fn consult_io_site(site: &'static str, index: usize) -> io::Result<bool> {
+    match faults::evaluate(site, index) {
+        Some(FaultAction::Enospc) => Err(io::Error::other(format!(
+            "injected ENOSPC: no space left on device ({site} failpoint)"
+        ))),
+        Some(FaultAction::Eio) => Err(io::Error::other(format!(
+            "injected EIO: input/output error ({site} failpoint)"
+        ))),
+        Some(FaultAction::Torn) => Ok(true),
+        Some(FaultAction::Panic) => panic!("{site} failpoint: injected panic"),
+        Some(delay @ FaultAction::DelayMs(_)) => {
+            faults::apply_delay(delay);
+            Ok(false)
+        }
+        _ => Ok(false),
+    }
+}
+
 /// Writes `payload` sealed into `path`, atomically, keeping the previous
 /// generation: serialize to `<path>.tmp`, sync, rotate any existing
 /// `path` to `<path>.1`, then rename the temp file into place. After a
 /// torn or corrupt write of `path`, `<path>.1` still holds the previous
 /// complete, checksum-valid state.
+///
+/// Under the `failpoints` feature this is also where the
+/// `persist.write` and `persist.sync` disk-fault sites fire (see the
+/// module docs); an injected `enospc`/`eio` comes back as
+/// [`io::ErrorKind::Other`] with the site named in the message.
 pub fn save_sealed(path: &Path, payload: &str) -> io::Result<()> {
+    let torn_write = consult_io_site(faults::site::PERSIST_WRITE, 0)?;
+    save_sealed_raw(path, payload, torn_write)
+}
+
+/// The sealed-write machinery with the tear decision already made —
+/// `queue.seal=torn` reaches this directly so a shard file can land
+/// truncated while the queue reports success.
+pub(crate) fn save_sealed_raw(path: &Path, payload: &str, torn: bool) -> io::Result<()> {
     let tmp = with_suffix(path, ".tmp");
     let mut file = std::fs::File::create(&tmp)?;
-    file.write_all(seal(payload).as_bytes())?;
-    file.write_all(b"\n")?;
-    file.sync_all()?;
+    let sealed = format!("{}\n", seal(payload));
+    let bytes = if torn {
+        // Stop mid-envelope: the length the checksum can never excuse.
+        &sealed.as_bytes()[..sealed.len() / 2]
+    } else {
+        sealed.as_bytes()
+    };
+    file.write_all(bytes)?;
+    if !consult_io_site(faults::site::PERSIST_SYNC, 0)? {
+        file.sync_all()?;
+    }
     drop(file);
     if path.exists() {
         std::fs::rename(path, with_suffix(path, PREVIOUS_SUFFIX))?;

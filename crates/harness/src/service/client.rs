@@ -146,6 +146,16 @@ impl Client {
         })
     }
 
+    /// The server's self-observation snapshot (queue depth, worker
+    /// liveness, quota pressure, persist status).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request).
+    pub fn health(&self) -> io::Result<ServiceReply> {
+        self.request(&Request::Health)
+    }
+
     /// Polls `status` until the job reaches a terminal state or the
     /// deadline passes. Returns the final reply.
     ///

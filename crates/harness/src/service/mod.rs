@@ -29,5 +29,5 @@ pub mod server;
 
 pub use client::{Client, ServiceReply};
 pub use protocol::{ProtocolError, Request, PROTOCOL_VERSION};
-pub use queue::{JobState, ServiceJob, ShardedQueue, QUEUE_VERSION};
+pub use queue::{JobState, QueueCounts, ServiceJob, ShardedQueue, QUEUE_VERSION};
 pub use server::{serve, Endpoint, ServeSummary, ServiceConfig};

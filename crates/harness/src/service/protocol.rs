@@ -10,12 +10,17 @@
 //!
 //! Error codes are stable API: `malformed_request`, `unknown_verb`,
 //! `invalid_job`, `duplicate_job`, `unknown_job`, `not_cancelable`,
-//! `draining`, plus the quota codes minted by
+//! `draining`, the overload/robustness codes (`overloaded` for a full
+//! pending queue or connection limit, `request_too_large` for an
+//! oversized request line, `deadline_exceeded` for a line that trickled
+//! past the socket deadline, `persist_failed` when the queue could not
+//! seal the submission, `shard_quarantined` when its shard is known
+//! unwritable), plus the quota codes minted by
 //! [`fulllock_sat::QuotaError::code`] (`concurrency_full`,
 //! `conflicts_exhausted`, `wall_time_exhausted`). Clients branch on the
 //! code, never on the human-readable message.
 //!
-//! The five verbs, by example:
+//! The six verbs, by example:
 //!
 //! ```json
 //! {"verb": "submit", "tenant": "acme", "job": {"id": "j1", "program": "/bin/true", "args": [], "env": {}}}
@@ -23,11 +28,14 @@
 //! {"verb": "cancel", "job": "j1"}
 //! {"verb": "list", "tenant": "acme"}
 //! {"verb": "stream", "job": "j1"}
+//! {"verb": "health"}
 //! ```
 //!
 //! `stream` is the one verb with a multi-line response: the server emits
 //! a status line every time the job changes state, ending with the line
-//! whose state is terminal.
+//! whose state is terminal. `health` reports the daemon's
+//! self-observation snapshot: queue depth per state, worker liveness,
+//! connection load, per-tenant quota usage, and last-persist status.
 
 use crate::json::Json;
 use crate::plan::JobSpec;
@@ -66,6 +74,9 @@ pub enum Request {
         /// Job id.
         job: String,
     },
+    /// The daemon's self-observation snapshot (queue depth, worker
+    /// liveness, quota pressure, persist status).
+    Health,
 }
 
 /// A typed protocol error: stable `code` plus human-readable `message`.
@@ -165,6 +176,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "stream" => Ok(Request::Stream {
             job: job_id(&root)?,
         }),
+        "health" => Ok(Request::Health),
         "list" => {
             let tenant = match root.get("tenant") {
                 None | Some(Json::Null) => None,
@@ -183,7 +195,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         }
         other => Err(ProtocolError::new(
             "unknown_verb",
-            format!("unknown verb {other:?} (expected submit/status/cancel/list/stream)"),
+            format!("unknown verb {other:?} (expected submit/status/cancel/list/stream/health)"),
         )),
     }
 }
@@ -209,6 +221,9 @@ pub fn encode_request(request: &Request) -> String {
                 },
             ),
         ]),
+        Request::Health => {
+            Json::Object(vec![("verb".to_string(), Json::Str("health".to_string()))])
+        }
     };
     json.to_text()
 }
@@ -374,6 +389,7 @@ mod tests {
             Request::Stream {
                 job: "j1".to_string(),
             },
+            Request::Health,
         ];
         for r in requests {
             let line = encode_request(&r);

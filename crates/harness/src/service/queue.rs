@@ -16,8 +16,25 @@
 //! of re-buying oracle queries. A job already `done` stays done and is
 //! never re-launched, so [`ServiceJob::completions`] reaching 2 would be
 //! a supervision bug, and tests assert it stays at 1.
+//!
+//! # Shard quarantine
+//!
+//! When a shard file cannot be sealed (real disk trouble, or the
+//! [`queue.seal`](fulllock_sat::faults::site::QUEUE_SEAL) failpoint
+//! firing `enospc`/`eio`), the shard is *quarantined*: the save error
+//! propagates to the caller — the server refuses the request with a
+//! typed error instead of acking state it could not persist — and
+//! further writes to that shard keep failing fast until
+//! [`ShardedQueue::retry_quarantined`] manages a clean save. A `torn`
+//! action at the same site is the nastier case: the write lies, the
+//! shard lands truncated, and only the next [`ShardedQueue::open`]
+//! notices — which is exactly why every save keeps the previous
+//! generation.
 
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+
+use fulllock_sat::faults::{self, FaultAction};
 
 use crate::json::Json;
 use crate::plan::JobSpec;
@@ -258,6 +275,25 @@ impl ServiceJob {
     }
 }
 
+/// Per-state job counts plus the queue-wide completion total — the
+/// health verb's view of the queue, computed in one pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueCounts {
+    /// Jobs waiting for a worker.
+    pub pending: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Jobs completed successfully.
+    pub done: usize,
+    /// Jobs that exhausted their attempts.
+    pub failed: usize,
+    /// Jobs canceled by request.
+    pub canceled: usize,
+    /// Sum of every job's `completions` counter (exactly-once audit:
+    /// must equal `done` under correct supervision).
+    pub completions: u64,
+}
+
 /// The in-memory queue plus its on-disk shard files.
 #[derive(Debug)]
 pub struct ShardedQueue {
@@ -265,6 +301,9 @@ pub struct ShardedQueue {
     shards: u32,
     jobs: Vec<ServiceJob>,
     next_seq: u64,
+    /// Shards whose last seal failed; writes to them fail fast until
+    /// [`retry_quarantined`](Self::retry_quarantined) recovers them.
+    quarantined: BTreeSet<u32>,
     /// Jobs found `running` at load time (interrupted by the previous
     /// server's death) — informational, consumed by the server's log line.
     pub recovered: usize,
@@ -325,6 +364,7 @@ impl ShardedQueue {
             shards,
             jobs,
             next_seq,
+            quarantined: BTreeSet::new(),
             recovered,
         })
     }
@@ -392,8 +432,9 @@ impl ShardedQueue {
     ///
     /// # Errors
     ///
-    /// [`HarnessError::Io`] on any filesystem failure.
-    pub fn save_shard_of(&self, id: &str) -> Result<()> {
+    /// [`HarnessError::Io`] on any filesystem failure; the shard is
+    /// quarantined until a later save succeeds.
+    pub fn save_shard_of(&mut self, id: &str) -> Result<()> {
         self.save_shard(self.shard_of(id))
     }
 
@@ -402,15 +443,74 @@ impl ShardedQueue {
     /// # Errors
     ///
     /// [`HarnessError::Io`] on any filesystem failure.
-    pub fn save_all(&self) -> Result<()> {
+    pub fn save_all(&mut self) -> Result<()> {
         for shard in 0..self.shards {
             self.save_shard(shard)?;
         }
         Ok(())
     }
 
-    fn save_shard(&self, shard: u32) -> Result<()> {
+    /// Whether the shard holding `id` is quarantined (its last seal
+    /// failed). Submissions routed here must be refused — the queue
+    /// cannot promise durability for them.
+    pub fn is_quarantined(&self, id: &str) -> bool {
+        self.quarantined.contains(&self.shard_of(id))
+    }
+
+    /// The currently quarantined shard indices, ascending.
+    pub fn quarantined_shards(&self) -> Vec<u32> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Retries the seal of every quarantined shard, releasing the ones
+    /// that now persist cleanly. Returns how many shards recovered.
+    pub fn retry_quarantined(&mut self) -> usize {
+        let stuck: Vec<u32> = self.quarantined.iter().copied().collect();
+        let mut recovered = 0;
+        for shard in stuck {
+            if self.save_shard(shard).is_ok() {
+                recovered += 1;
+            }
+        }
+        recovered
+    }
+
+    /// Per-state job counts and the completion total, in one pass.
+    pub fn counts(&self) -> QueueCounts {
+        let mut counts = QueueCounts::default();
+        for job in &self.jobs {
+            match job.state {
+                JobState::Pending => counts.pending += 1,
+                JobState::Running => counts.running += 1,
+                JobState::Done => counts.done += 1,
+                JobState::Failed => counts.failed += 1,
+                JobState::Canceled => counts.canceled += 1,
+            }
+            counts.completions += job.completions;
+        }
+        counts
+    }
+
+    fn save_shard(&mut self, shard: u32) -> Result<()> {
         let path = shard_path(&self.dir, shard);
+        // The queue.seal disk-fault site, indexed by shard: enospc/eio
+        // fail the seal (and quarantine the shard), torn tears the file
+        // on disk while this call *succeeds* — the lie only surfaces at
+        // the next open, via the previous-generation fallback.
+        let mut torn = false;
+        match faults::evaluate(faults::site::QUEUE_SEAL, shard as usize) {
+            Some(action @ (FaultAction::Enospc | FaultAction::Eio)) => {
+                self.quarantined.insert(shard);
+                return Err(HarnessError::Io {
+                    path,
+                    message: format!("save shard: injected {action} (queue.seal failpoint)"),
+                });
+            }
+            Some(FaultAction::Torn) => torn = true,
+            Some(delay @ FaultAction::DelayMs(_)) => faults::apply_delay(delay),
+            Some(FaultAction::Panic) => panic!("queue.seal failpoint: injected panic"),
+            _ => {}
+        }
         let jobs: Vec<Json> = self
             .jobs
             .iter()
@@ -423,10 +523,27 @@ impl ShardedQueue {
             ("jobs".to_string(), Json::Array(jobs)),
         ])
         .to_text();
-        persist::save_sealed(&path, &payload).map_err(|e| HarnessError::Io {
-            path,
-            message: format!("save shard: {e}"),
-        })
+        // A queue.seal tear has already decided the write's fate; a clean
+        // seal still runs through save_sealed so the generic
+        // persist.write/persist.sync sites cover shard files too.
+        let saved = if torn {
+            persist::save_sealed_raw(&path, &payload, true)
+        } else {
+            persist::save_sealed(&path, &payload)
+        };
+        match saved {
+            Ok(()) => {
+                self.quarantined.remove(&shard);
+                Ok(())
+            }
+            Err(e) => {
+                self.quarantined.insert(shard);
+                Err(HarnessError::Io {
+                    path,
+                    message: format!("save shard: {e}"),
+                })
+            }
+        }
     }
 }
 

@@ -32,13 +32,42 @@
 //! resume from their checkpoints, `done` jobs stay done — completions
 //! are recorded exactly once.
 //!
+//! ## Overload and environment hardening
+//!
+//! The daemon assumes hostile clients and a hostile disk:
+//!
+//! * **Admission control** — submissions beyond
+//!   [`ServiceConfig::max_pending`] queued jobs are refused with a typed
+//!   `overloaded` error instead of queued, and connections beyond
+//!   [`ServiceConfig::max_connections`] are turned away the same way, so
+//!   load is shed at the edge and admitted jobs keep their latency.
+//! * **Socket deadlines** — request lines are read in short timeout
+//!   slices against a per-line deadline ([`ServiceConfig::io_timeout`]):
+//!   a slow-loris client trickling bytes is disconnected with
+//!   `deadline_exceeded`, an idle connection is closed quietly, and a
+//!   line over [`ServiceConfig::max_request_line`] is refused with
+//!   `request_too_large` before it can exhaust memory.
+//! * **Accept backoff** — persistent `accept()` errors (EMFILE and
+//!   friends) back the accept loop off exponentially instead of
+//!   hot-spinning a warning loop.
+//! * **Disk faults** — every queue seal runs through the `queue.seal` /
+//!   `persist.write` / `persist.sync` fault sites. A shard that cannot
+//!   be sealed is quarantined: submissions routed to it are refused with
+//!   `shard_quarantined` (never acked-but-unsealed), and the watchdog
+//!   retries the seal until the shard recovers.
+//! * **Self-observation** — the `health` verb reports queue depth,
+//!   worker liveness, quota pressure, connection load, and last-persist
+//!   status; a watchdog thread recycles workers whose heartbeat goes
+//!   stale past [`ServiceConfig::watchdog_timeout`].
+//!
 //! ## Fault injection
 //!
 //! Workers evaluate the [`fault site`](fulllock_sat::faults::site::SERVICE_WORKER)
 //! `service.worker` before each launch (`panic` is caught and consumes
 //! an attempt, `trigger` fails the launch spuriously, `delay:<ms>` slows
 //! the worker), so the chaos suite can exercise the retry and recovery
-//! paths deterministically.
+//! paths deterministically. The disk-fault sites live further down the
+//! stack, in [`crate::persist`] and [`super::queue`].
 
 use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Read, Write};
@@ -48,7 +77,7 @@ use std::os::unix::net::UnixListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::process::{Command, Stdio};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -127,12 +156,30 @@ pub struct ServiceConfig {
     pub quotas: Vec<(String, QuotaSpec)>,
     /// Quota for tenants with no override (default: unlimited).
     pub default_quota: QuotaSpec,
+    /// Open-connection cap; connections beyond it are refused with a
+    /// typed `overloaded` error.
+    pub max_connections: usize,
+    /// Pending-queue depth cap; submissions beyond it are refused with a
+    /// typed `overloaded` error (admission control, not queuing).
+    pub max_pending: usize,
+    /// Per-request-line socket deadline: a line that has not completed
+    /// within this window disconnects the client (`deadline_exceeded`
+    /// when bytes arrived, silently when idle). Also the write timeout.
+    pub io_timeout: Duration,
+    /// Longest request line accepted, in bytes; beyond it the client is
+    /// refused with `request_too_large` and disconnected.
+    pub max_request_line: usize,
+    /// Worker heartbeat staleness after which the watchdog declares the
+    /// worker stuck and recycles its slot.
+    pub watchdog_timeout: Duration,
 }
 
 impl ServiceConfig {
     /// A config with the given endpoint and state directory and
     /// defaults everywhere else: 2 workers, 4 shards, 1 h timeout, 2 s
-    /// grace, default retry (2 attempts), 10 ms poll, unlimited quotas.
+    /// grace, default retry (2 attempts), 10 ms poll, unlimited quotas,
+    /// 128 connections, 4096 pending jobs, 30 s socket deadline, 256 KiB
+    /// request lines, 60 s worker watchdog.
     pub fn new(endpoint: Endpoint, state_dir: impl Into<PathBuf>) -> ServiceConfig {
         ServiceConfig {
             endpoint,
@@ -145,6 +192,11 @@ impl ServiceConfig {
             poll_interval: Duration::from_millis(10),
             quotas: Vec::new(),
             default_quota: QuotaSpec::unlimited(),
+            max_connections: 128,
+            max_pending: 4096,
+            io_timeout: Duration::from_secs(30),
+            max_request_line: 256 * 1024,
+            watchdog_timeout: Duration::from_secs(60),
         }
     }
 }
@@ -164,6 +216,10 @@ pub struct ServeSummary {
     pub canceled: u64,
     /// Jobs re-queued (interrupted mid-run) by the drain.
     pub drained: u64,
+    /// Requests refused by admission control (`overloaded`).
+    pub shed: u64,
+    /// Stuck workers recycled by the watchdog.
+    pub recycled: u64,
 }
 
 struct Counters {
@@ -172,6 +228,17 @@ struct Counters {
     failed: u64,
     canceled: u64,
     drained: u64,
+    shed: u64,
+}
+
+/// Last-persist health, reported by the `health` verb.
+struct PersistStatus {
+    /// `false` after a failed save until the next one succeeds.
+    healthy: bool,
+    /// Saves that failed over the server's lifetime.
+    failures: u64,
+    /// What the most recent failure said.
+    last_error: Option<String>,
 }
 
 struct Shared {
@@ -186,6 +253,20 @@ struct Shared {
     /// picking, interrupt children.
     draining: AtomicBool,
     counters: Mutex<Counters>,
+    /// Currently open connections (admission control + health).
+    connections: AtomicUsize,
+    /// When the server came up: uptime, and the heartbeat clock base.
+    started: Instant,
+    /// Per-worker-slot heartbeat, in milliseconds since `started`.
+    heartbeats: Vec<AtomicU64>,
+    /// Per-worker-slot generation: the watchdog bumps it to retire a
+    /// stuck worker, whose loop exits at its next generation check.
+    generations: Vec<AtomicU64>,
+    /// Workers recycled by the watchdog over the server's lifetime.
+    recycled: AtomicU64,
+    /// Replacement worker threads the watchdog spawned (joined at drain).
+    replacements: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    persist: Mutex<PersistStatus>,
 }
 
 impl Shared {
@@ -205,6 +286,43 @@ impl Shared {
         quotas.insert(tenant.to_string(), Arc::clone(&q));
         q
     }
+
+    /// Stamps the worker slot's heartbeat (milliseconds since start).
+    fn beat(&self, slot: usize) {
+        if let Some(beat) = self.heartbeats.get(slot) {
+            beat.store(self.started.elapsed().as_millis() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a persistence outcome for the health report.
+    fn note_persist<T>(&self, result: &Result<T>) {
+        match result {
+            Ok(_) => lock(&self.persist).healthy = true,
+            Err(e) => self.note_persist_failure(&e.to_string()),
+        }
+    }
+
+    /// Records a failed save for the health report.
+    fn note_persist_failure(&self, message: &str) {
+        let mut status = lock(&self.persist);
+        status.healthy = false;
+        status.failures += 1;
+        status.last_error = Some(message.to_string());
+    }
+
+    /// Counts one admission-control refusal.
+    fn shed_one(&self) {
+        lock(&self.counters).shed += 1;
+    }
+}
+
+/// Holds one slot of the open-connection count; dropping releases it.
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A poisoned lock means a worker panicked mid-section; the data is a
@@ -222,6 +340,13 @@ enum Listener {
 
 trait Conn: Read + Write + Send {
     fn try_clone_conn(&self) -> std::io::Result<Box<dyn Conn>>;
+    /// Applies socket-level read/write timeouts (shared by clones of the
+    /// same underlying socket).
+    fn set_io_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()>;
 }
 
 #[cfg(unix)]
@@ -229,11 +354,29 @@ impl Conn for std::os::unix::net::UnixStream {
     fn try_clone_conn(&self) -> std::io::Result<Box<dyn Conn>> {
         Ok(Box::new(self.try_clone()?))
     }
+
+    fn set_io_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()> {
+        self.set_read_timeout(read)?;
+        self.set_write_timeout(write)
+    }
 }
 
 impl Conn for std::net::TcpStream {
     fn try_clone_conn(&self) -> std::io::Result<Box<dyn Conn>> {
         Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_io_timeouts(
+        &self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> std::io::Result<()> {
+        self.set_read_timeout(read)?;
+        self.set_write_timeout(write)
     }
 }
 
@@ -312,6 +455,18 @@ pub fn serve(config: ServiceConfig, shutdown: Arc<AtomicBool>) -> Result<ServeSu
             failed: 0,
             canceled: 0,
             drained: 0,
+            shed: 0,
+        }),
+        connections: AtomicUsize::new(0),
+        started: Instant::now(),
+        heartbeats: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        generations: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        recycled: AtomicU64::new(0),
+        replacements: Mutex::new(Vec::new()),
+        persist: Mutex::new(PersistStatus {
+            healthy: true,
+            failures: 0,
+            last_error: None,
         }),
         config,
     });
@@ -345,28 +500,56 @@ pub fn serve(config: ServiceConfig, shutdown: Arc<AtomicBool>) -> Result<ServeSu
         worker_handles.push(
             std::thread::Builder::new()
                 .name(format!("serve-worker-{index}"))
-                .spawn(move || worker_loop(&shared, index))
+                .spawn(move || worker_loop(&shared, index, 0))
                 .map_err(|e| HarnessError::Io {
                     path: PathBuf::new(),
                     message: format!("spawn worker thread: {e}"),
                 })?,
         );
     }
+    let watchdog = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("serve-watchdog".to_string())
+            .spawn(move || watchdog_loop(&shared))
+            .map_err(|e| HarnessError::Io {
+                path: PathBuf::new(),
+                message: format!("spawn watchdog thread: {e}"),
+            })?
+    };
 
     // Accept loop. Handler threads are detached: they die with their
-    // connection, and drain only has to stop the accept loop.
+    // connection, and drain only has to stop the accept loop. Persistent
+    // accept errors (EMFILE when clients hold every descriptor) back off
+    // exponentially instead of hot-spinning the warning.
+    let min_backoff = shared.config.poll_interval.max(Duration::from_millis(1));
+    let max_backoff = Duration::from_secs(1);
+    let mut accept_backoff = min_backoff;
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok(Some(conn)) => {
-                let shared = Arc::clone(&shared);
-                let _ = std::thread::Builder::new()
+                accept_backoff = min_backoff;
+                shared.connections.fetch_add(1, Ordering::SeqCst);
+                let handler_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
                     .name("serve-conn".to_string())
-                    .spawn(move || handle_connection(&shared, conn));
+                    .spawn(move || handle_connection(&handler_shared, conn));
+                if spawned.is_err() {
+                    // The guard lives in the handler; undo by hand.
+                    shared.connections.fetch_sub(1, Ordering::SeqCst);
+                }
             }
-            Ok(None) => std::thread::sleep(shared.config.poll_interval),
-            Err(e) => {
-                eprintln!("warning: accept failed: {e}");
+            Ok(None) => {
+                accept_backoff = min_backoff;
                 std::thread::sleep(shared.config.poll_interval);
+            }
+            Err(e) => {
+                eprintln!(
+                    "warning: accept failed: {e}; backing off {}ms",
+                    accept_backoff.as_millis()
+                );
+                std::thread::sleep(accept_backoff);
+                accept_backoff = (accept_backoff * 2).min(max_backoff);
             }
         }
     }
@@ -377,11 +560,23 @@ pub fn serve(config: ServiceConfig, shutdown: Arc<AtomicBool>) -> Result<ServeSu
     if let Endpoint::Unix(path) = &shared.config.endpoint {
         let _ = std::fs::remove_file(path);
     }
+    let _ = watchdog.join();
     for h in worker_handles {
         let _ = h.join();
     }
+    loop {
+        // Replacement workers can themselves be replaced mid-join.
+        let batch: Vec<_> = lock(&shared.replacements).drain(..).collect();
+        if batch.is_empty() {
+            break;
+        }
+        for h in batch {
+            let _ = h.join();
+        }
+    }
     {
-        let queue = lock(&shared.queue);
+        let mut queue = lock(&shared.queue);
+        queue.retry_quarantined();
         queue.save_all()?;
     }
     let counters = lock(&shared.counters);
@@ -392,21 +587,196 @@ pub fn serve(config: ServiceConfig, shutdown: Arc<AtomicBool>) -> Result<ServeSu
         failed: counters.failed,
         canceled: counters.canceled,
         drained: counters.drained,
+        shed: counters.shed,
+        recycled: shared.recycled.load(Ordering::Relaxed),
     })
+}
+
+/// Detects stuck workers by heartbeat staleness and recycles their slot
+/// (the stale thread retires at its next generation check; a fresh one
+/// takes over), and periodically retries quarantined queue shards.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let interval = shared
+        .config
+        .poll_interval
+        .max(Duration::from_millis(10))
+        .min(Duration::from_millis(250));
+    let mut last_shard_retry = Instant::now();
+    while !shared.draining.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        let now_ms = shared.started.elapsed().as_millis() as u64;
+        let stale_ms = shared.config.watchdog_timeout.as_millis() as u64;
+        for slot in 0..shared.heartbeats.len() {
+            let beat = shared.heartbeats[slot].load(Ordering::Relaxed);
+            if now_ms.saturating_sub(beat) <= stale_ms {
+                continue;
+            }
+            let generation = shared.generations[slot].fetch_add(1, Ordering::SeqCst) + 1;
+            shared.recycled.fetch_add(1, Ordering::Relaxed);
+            shared.beat(slot); // fresh worker starts with a fresh clock
+            eprintln!(
+                "warning: worker {slot} heartbeat stale for {}ms; recycling",
+                now_ms.saturating_sub(beat)
+            );
+            let shared_worker = Arc::clone(shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("serve-worker-{slot}-gen{generation}"))
+                .spawn(move || worker_loop(&shared_worker, slot, generation));
+            match spawned {
+                Ok(handle) => lock(&shared.replacements).push(handle),
+                Err(e) => eprintln!("warning: respawn worker {slot}: {e}"),
+            }
+        }
+        if last_shard_retry.elapsed() >= Duration::from_millis(500) {
+            last_shard_retry = Instant::now();
+            let recovered = lock(&shared.queue).retry_quarantined();
+            if recovered > 0 {
+                shared.note_persist(&Ok(()));
+                eprintln!("info: {recovered} quarantined shard(s) recovered");
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
 // Connection handling
 // ---------------------------------------------------------------------
 
+/// How one attempt to read a request line ended.
+enum LineOutcome {
+    /// A complete line arrived within the deadline and size cap.
+    Line(String),
+    /// The peer closed (or went idle past the deadline with no bytes
+    /// buffered, or errored) — close quietly.
+    Closed,
+    /// The line outgrew [`ServiceConfig::max_request_line`].
+    TooLarge,
+    /// Bytes arrived but no newline within [`ServiceConfig::io_timeout`]
+    /// — the slow-loris case.
+    Deadline,
+}
+
+/// Reads one newline-terminated request line in short timeout slices,
+/// enforcing the per-line deadline and size cap. `carry` holds bytes
+/// already read past the previous line's newline.
+fn read_request_line(
+    reader: &mut Box<dyn Conn>,
+    carry: &mut Vec<u8>,
+    shared: &Shared,
+) -> LineOutcome {
+    let deadline = Instant::now() + shared.config.io_timeout;
+    loop {
+        if let Some(pos) = carry.iter().position(|&b| b == b'\n') {
+            // `pos` is the line length sans newline; the cap applies even
+            // when the whole oversized line landed inside one read chunk.
+            if pos > shared.config.max_request_line {
+                return LineOutcome::TooLarge;
+            }
+            let rest = carry.split_off(pos + 1);
+            let mut line = std::mem::replace(carry, rest);
+            line.pop(); // the newline itself
+            return LineOutcome::Line(String::from_utf8_lossy(&line).into_owned());
+        }
+        if carry.len() > shared.config.max_request_line {
+            return LineOutcome::TooLarge;
+        }
+        if shared.draining.load(Ordering::SeqCst) {
+            return LineOutcome::Closed;
+        }
+        let mut chunk = [0u8; 4096];
+        match reader.read(&mut chunk) {
+            Ok(0) => return LineOutcome::Closed,
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return LineOutcome::Closed,
+        }
+        if Instant::now() >= deadline {
+            return if carry.is_empty() {
+                LineOutcome::Closed
+            } else {
+                LineOutcome::Deadline
+            };
+        }
+    }
+}
+
 fn handle_connection(shared: &Shared, conn: Box<dyn Conn>) {
-    let reader = match conn.try_clone_conn() {
-        Ok(r) => BufReader::new(r),
+    // The accept loop already counted this connection; release on exit.
+    let _guard = ConnGuard(shared);
+    let refuse = |mut writer: Box<dyn Conn>, error: ProtocolError| {
+        let _ = writer.write_all(format!("{}\n", error.to_response()).as_bytes());
+        let _ = writer.flush();
+    };
+    // Read in short slices (so deadlines and drain are observed), write
+    // with the full io_timeout so a peer that stops reading cannot pin
+    // this thread either.
+    let slice = shared
+        .config
+        .io_timeout
+        .min(Duration::from_millis(100))
+        .max(Duration::from_millis(5));
+    if conn
+        .set_io_timeouts(Some(slice), Some(shared.config.io_timeout))
+        .is_err()
+    {
+        return;
+    }
+    if shared.connections.load(Ordering::SeqCst) > shared.config.max_connections {
+        shared.shed_one();
+        refuse(
+            conn,
+            ProtocolError::new(
+                "overloaded",
+                format!(
+                    "connection limit reached ({}); retry later",
+                    shared.config.max_connections
+                ),
+            ),
+        );
+        return;
+    }
+    let mut reader = match conn.try_clone_conn() {
+        Ok(r) => r,
         Err(_) => return,
     };
     let mut writer = conn;
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
+    let mut carry: Vec<u8> = Vec::new();
+    loop {
+        let line = match read_request_line(&mut reader, &mut carry, shared) {
+            LineOutcome::Line(line) => line,
+            LineOutcome::Closed => return,
+            LineOutcome::TooLarge => {
+                return refuse(
+                    writer,
+                    ProtocolError::new(
+                        "request_too_large",
+                        format!(
+                            "request line exceeds {} bytes",
+                            shared.config.max_request_line
+                        ),
+                    ),
+                );
+            }
+            LineOutcome::Deadline => {
+                // Best-effort notice: the slow client may not even read it.
+                return refuse(
+                    writer,
+                    ProtocolError::new(
+                        "deadline_exceeded",
+                        format!(
+                            "request line not completed within {:?}",
+                            shared.config.io_timeout
+                        ),
+                    ),
+                );
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -445,11 +815,41 @@ fn handle_request(
                 );
             }
             let quota = shared.quota(tenant);
+            let mut queue = lock(&shared.queue);
+            // Admission control: a full pending queue sheds load with a
+            // typed error instead of queuing unboundedly.
+            let pending = queue.counts().pending;
+            if pending >= shared.config.max_pending {
+                drop(queue);
+                shared.shed_one();
+                return send(
+                    ProtocolError::new(
+                        "overloaded",
+                        format!("pending queue is full ({pending} jobs); retry later"),
+                    )
+                    .to_response(),
+                );
+            }
+            // A quarantined shard cannot durably record the submission;
+            // refuse rather than ack unsealed state.
+            if queue.is_quarantined(&job.id) {
+                drop(queue);
+                return send(
+                    ProtocolError::new(
+                        "shard_quarantined",
+                        format!(
+                            "the queue shard for job {:?} cannot persist; retry later",
+                            job.id
+                        ),
+                    )
+                    .to_response(),
+                );
+            }
             if let Err(e) = quota.admit() {
                 return send(ProtocolError::new(e.code(), e.to_string()).to_response());
             }
-            let mut queue = lock(&shared.queue);
-            match queue.submit(tenant, job.clone()) {
+            let submitted = queue.submit(tenant, job.clone());
+            match submitted {
                 Ok(accepted) => {
                     let line = protocol::job_response(accepted);
                     drop(queue);
@@ -461,12 +861,17 @@ fn handle_request(
                     quota.release();
                     let code = match &e {
                         HarnessError::PlanFormat { .. } => "duplicate_job",
+                        HarnessError::Io { .. } => {
+                            shared.note_persist_failure(&e.to_string());
+                            "persist_failed"
+                        }
                         _ => "internal",
                     };
                     send(ProtocolError::new(code, e.to_string()).to_response())
                 }
             }
         }
+        Request::Health => send(health_response(shared)),
         Request::Status { job } => {
             let queue = lock(&shared.queue);
             match queue.job(job) {
@@ -498,6 +903,7 @@ fn handle_request(
                     drop(queue);
                     shared.quota(&tenant).release();
                     lock(&shared.counters).canceled += 1;
+                    shared.note_persist(&save);
                     if let Err(e) = save {
                         eprintln!("warning: persisting cancel of {job:?}: {e}");
                     }
@@ -554,6 +960,141 @@ fn unknown_job(id: &str) -> ProtocolError {
     ProtocolError::new("unknown_job", format!("no job {id:?}"))
 }
 
+/// Builds the `health` response: queue depth, worker liveness, quota
+/// pressure, connection load, and last-persist status, in one line.
+fn health_response(shared: &Shared) -> String {
+    use crate::json::Json;
+
+    let (counts, quarantined) = {
+        let queue = lock(&shared.queue);
+        (queue.counts(), queue.quarantined_shards())
+    };
+    let now_ms = shared.started.elapsed().as_millis() as u64;
+    let stalest_beat_ms = shared
+        .heartbeats
+        .iter()
+        .map(|b| now_ms.saturating_sub(b.load(Ordering::Relaxed)))
+        .max()
+        .unwrap_or(0);
+    let tenants: Vec<Json> = {
+        let quotas = lock(&shared.quotas);
+        let mut rows: Vec<(String, Json)> = quotas
+            .iter()
+            .map(|(tenant, quota)| {
+                let usage = quota.usage();
+                (
+                    tenant.clone(),
+                    Json::Object(vec![
+                        ("tenant".to_string(), Json::Str(tenant.clone())),
+                        ("in_flight".to_string(), Json::Int(usage.in_flight)),
+                        ("conflicts".to_string(), Json::Int(usage.conflicts)),
+                        (
+                            "wall_secs".to_string(),
+                            Json::Float(usage.wall.as_secs_f64()),
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.into_iter().map(|(_, json)| json).collect()
+    };
+    let (persist, counters_json) = {
+        let status = lock(&shared.persist);
+        let persist = Json::Object(vec![
+            ("healthy".to_string(), Json::Bool(status.healthy)),
+            ("failures".to_string(), Json::Int(status.failures)),
+            (
+                "last_error".to_string(),
+                match &status.last_error {
+                    Some(e) => Json::Str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "quarantined_shards".to_string(),
+                Json::Array(
+                    quarantined
+                        .iter()
+                        .map(|&s| Json::Int(u64::from(s)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let counters = lock(&shared.counters);
+        let counters_json = Json::Object(vec![
+            ("submitted".to_string(), Json::Int(counters.submitted)),
+            ("completed".to_string(), Json::Int(counters.completed)),
+            ("failed".to_string(), Json::Int(counters.failed)),
+            ("canceled".to_string(), Json::Int(counters.canceled)),
+            ("drained".to_string(), Json::Int(counters.drained)),
+            ("shed".to_string(), Json::Int(counters.shed)),
+        ]);
+        (persist, counters_json)
+    };
+    let status = if shared.draining.load(Ordering::SeqCst) {
+        "draining"
+    } else {
+        "ok"
+    };
+    Json::Object(vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("protocol".to_string(), Json::Int(PROTOCOL_VERSION)),
+        (
+            "health".to_string(),
+            Json::Object(vec![
+                ("status".to_string(), Json::Str(status.to_string())),
+                (
+                    "uptime_secs".to_string(),
+                    Json::Float(shared.started.elapsed().as_secs_f64()),
+                ),
+                (
+                    "queue".to_string(),
+                    Json::Object(vec![
+                        ("pending".to_string(), Json::Int(counts.pending as u64)),
+                        ("running".to_string(), Json::Int(counts.running as u64)),
+                        ("done".to_string(), Json::Int(counts.done as u64)),
+                        ("failed".to_string(), Json::Int(counts.failed as u64)),
+                        ("canceled".to_string(), Json::Int(counts.canceled as u64)),
+                        ("completions".to_string(), Json::Int(counts.completions)),
+                    ]),
+                ),
+                (
+                    "workers".to_string(),
+                    Json::Object(vec![
+                        (
+                            "configured".to_string(),
+                            Json::Int(shared.heartbeats.len() as u64),
+                        ),
+                        (
+                            "recycled".to_string(),
+                            Json::Int(shared.recycled.load(Ordering::Relaxed)),
+                        ),
+                        ("stalest_beat_ms".to_string(), Json::Int(stalest_beat_ms)),
+                    ]),
+                ),
+                (
+                    "connections".to_string(),
+                    Json::Object(vec![
+                        (
+                            "open".to_string(),
+                            Json::Int(shared.connections.load(Ordering::SeqCst) as u64),
+                        ),
+                        (
+                            "max".to_string(),
+                            Json::Int(shared.config.max_connections as u64),
+                        ),
+                    ]),
+                ),
+                ("counters".to_string(), counters_json),
+                ("persist".to_string(), persist),
+                ("tenants".to_string(), Json::Array(tenants)),
+            ]),
+        ),
+    ])
+    .to_text()
+}
+
 // ---------------------------------------------------------------------
 // Worker pool
 // ---------------------------------------------------------------------
@@ -572,8 +1113,16 @@ enum AttemptEnd {
     Interrupted,
 }
 
-fn worker_loop(shared: &Shared, index: usize) {
-    while !shared.draining.load(Ordering::SeqCst) {
+fn worker_loop(shared: &Shared, index: usize, generation: u64) {
+    let current_generation = |shared: &Shared| {
+        shared
+            .generations
+            .get(index)
+            .map(|g| g.load(Ordering::SeqCst))
+            .unwrap_or(generation)
+    };
+    while !shared.draining.load(Ordering::SeqCst) && current_generation(shared) == generation {
+        shared.beat(index);
         let Some((id, tenant)) = claim_next(shared) else {
             std::thread::sleep(shared.config.poll_interval);
             continue;
@@ -619,6 +1168,7 @@ fn claim_next(shared: &Shared) -> Option<(String, String)> {
             drop(queue);
             quota.release();
             lock(&shared.counters).failed += 1;
+            shared.note_persist(&save);
             if let Err(e) = save {
                 eprintln!("warning: persisting quota failure of {id:?}: {e}");
             }
@@ -629,7 +1179,9 @@ fn claim_next(shared: &Shared) -> Option<(String, String)> {
     let job = queue.job_mut(&id).expect("claimed job exists");
     job.state = JobState::Running;
     job.attempts += 1;
-    if let Err(e) = queue.save_shard_of(&id) {
+    let save = queue.save_shard_of(&id);
+    shared.note_persist(&save);
+    if let Err(e) = save {
         // Cannot record the claim durably: revert, try again later.
         let job = queue.job_mut(&id).expect("claimed job exists");
         job.state = JobState::Pending;
@@ -697,6 +1249,10 @@ fn run_attempt(shared: &Shared, index: usize, id: &str) -> AttemptEnd {
     let mut end_after_kill: Option<AttemptEnd> = None;
 
     loop {
+        // Supervising a long child is not "stuck": keep the heartbeat
+        // fresh so the watchdog only recycles workers wedged *outside*
+        // this loop (e.g. a blocking fault injection or harness bug).
+        shared.beat(index);
         match child.try_wait() {
             Ok(Some(status)) => {
                 if let Some(end) = end_after_kill {
@@ -817,7 +1373,9 @@ fn settle_attempt(shared: &Shared, id: &str, tenant: &str, end: AttemptEnd, elap
     if state.is_terminal() {
         quota.release();
     }
-    if let Err(e) = queue.save_shard_of(id) {
+    let save = queue.save_shard_of(id);
+    shared.note_persist(&save);
+    if let Err(e) = save {
         eprintln!("warning: persisting outcome of {id:?}: {e}");
     }
 }

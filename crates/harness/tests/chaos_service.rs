@@ -208,9 +208,12 @@ fn persistent_worker_panics_fail_the_job_cleanly() {
         "{done:?}"
     );
 
-    // Clear the plan: the same workers (never crashed, only their
-    // attempts were) complete fresh work.
-    faults::clear();
+    // Swap in an *empty* installed plan (not `clear()`: an empty plan
+    // still shadows whatever FULLLOCK_FAILPOINTS the chaos matrix set,
+    // so this healthy run stays healthy under any env row): the same
+    // workers (never crashed, only their attempts were) complete fresh
+    // work.
+    faults::install(FaultPlan::new());
     client
         .submit("t", JobSpec::new("healthy", "/bin/true"))
         .expect("submit");
@@ -226,4 +229,5 @@ fn persistent_worker_panics_fail_the_job_cleanly() {
     let summary = server.stop();
     assert_eq!(summary.failed, 1);
     assert_eq!(summary.completed, 1);
+    faults::clear();
 }

@@ -1,0 +1,241 @@
+//! Disk-fault injection tests of the persistence stack: `persist.write`,
+//! `persist.sync`, and `queue.seal` failpoints driven through
+//! [`fulllock_harness::persist::save_sealed`] and the sharded queue.
+//!
+//! The invariant under every injected fault: **no acked-but-unsealed
+//! state**. A failed save must surface as an error (and quarantine the
+//! shard), a torn save must be caught by the checksum at the next load
+//! with the previous generation taking over — never a silently half
+//! written file behind a success return.
+//!
+//! These tests require the `failpoints` feature:
+//!
+//! ```text
+//! cargo test -p fulllock-harness --features failpoints --test disk_faults
+//! ```
+
+#![cfg(all(unix, feature = "failpoints"))]
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use fulllock_harness::persist::{load_sealed, save_sealed};
+use fulllock_harness::plan::JobSpec;
+use fulllock_harness::service::ShardedQueue;
+use fulllock_harness::HarnessError;
+use fulllock_sat::faults::{self, site, Failpoint, FaultAction, FaultPlan};
+
+/// Serializes tests that install a global fault plan.
+fn chaos_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fulllock-diskfault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn spec(id: &str) -> JobSpec {
+    JobSpec::new(id, "/bin/true")
+}
+
+#[test]
+fn persist_write_enospc_fails_the_save_and_keeps_the_previous_state() {
+    let _guard = chaos_lock();
+    let dir = scratch("enospc");
+    let path = dir.join("state.json");
+    save_sealed(&path, "{\"gen\":1}").expect("clean save");
+
+    faults::install(
+        FaultPlan::new()
+            .with(Failpoint::new(site::PERSIST_WRITE, None, FaultAction::Enospc).times(1)),
+    );
+    let err = save_sealed(&path, "{\"gen\":2}").expect_err("injected ENOSPC");
+    assert!(err.to_string().contains("ENOSPC"), "{err}");
+
+    // The failure left the previous state fully intact and loadable.
+    let loaded = load_sealed(&path).expect("previous state loads");
+    assert_eq!(loaded.payload, "{\"gen\":1}");
+    assert!(!loaded.from_previous);
+
+    // The budget is spent: the next save goes through.
+    save_sealed(&path, "{\"gen\":3}").expect("save after fault");
+    assert_eq!(load_sealed(&path).expect("load").payload, "{\"gen\":3}");
+    faults::clear();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persist_write_torn_lies_but_the_next_load_falls_back() {
+    let _guard = chaos_lock();
+    let dir = scratch("torn");
+    let path = dir.join("state.json");
+    save_sealed(&path, "{\"gen\":1}").expect("first save");
+    save_sealed(&path, "{\"gen\":2}").expect("second save");
+
+    faults::install(
+        FaultPlan::new()
+            .with(Failpoint::new(site::PERSIST_WRITE, None, FaultAction::Torn).times(1)),
+    );
+    // The torn write *reports success* — that is the attack.
+    save_sealed(&path, "{\"gen\":3}").expect("torn save lies");
+    faults::clear();
+
+    // The checksum catches the tear; the previous generation takes over
+    // and the torn primary is quarantined as evidence.
+    let loaded = load_sealed(&path).expect("fallback load");
+    assert_eq!(loaded.payload, "{\"gen\":2}");
+    assert!(loaded.from_previous);
+    assert!(loaded.quarantined.is_some(), "{loaded:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn persist_sync_eio_fails_the_save() {
+    let _guard = chaos_lock();
+    let dir = scratch("sync-eio");
+    let path = dir.join("state.json");
+    save_sealed(&path, "{\"gen\":1}").expect("clean save");
+
+    faults::install(
+        FaultPlan::new().with(Failpoint::new(site::PERSIST_SYNC, None, FaultAction::Eio).times(1)),
+    );
+    let err = save_sealed(&path, "{\"gen\":2}").expect_err("injected EIO at sync");
+    assert!(err.to_string().contains("EIO"), "{err}");
+    faults::clear();
+
+    assert_eq!(load_sealed(&path).expect("load").payload, "{\"gen\":1}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queue_seal_enospc_quarantines_the_shard_and_never_acks_unsealed_state() {
+    let _guard = chaos_lock();
+    let dir = scratch("seal-enospc");
+    let mut queue = ShardedQueue::open(&dir, 1).expect("open");
+    queue.submit("t", spec("first")).expect("clean submit");
+
+    faults::install(FaultPlan::new().with(Failpoint::new(
+        site::QUEUE_SEAL,
+        None,
+        FaultAction::Enospc,
+    )));
+    let err = queue.submit("t", spec("second")).expect_err("failed seal");
+    assert!(matches!(err, HarnessError::Io { .. }), "{err}");
+    assert!(queue.is_quarantined("second"), "shard must be quarantined");
+    // The rolled-back job is gone from memory too — the error was the ack.
+    assert!(queue.job("second").is_none());
+
+    // On disk: only the successfully sealed submission exists.
+    let reopened = ShardedQueue::open(&dir, 1).expect("reopen");
+    assert_eq!(reopened.jobs().len(), 1);
+    assert_eq!(reopened.jobs()[0].id, "first");
+
+    // Once the fault lifts, the retry recovers the shard and submissions
+    // flow again.
+    faults::install(FaultPlan::new());
+    assert_eq!(queue.retry_quarantined(), 1);
+    assert!(!queue.is_quarantined("second"));
+    queue
+        .submit("t", spec("second"))
+        .expect("submit after recovery");
+    faults::clear();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queue_seal_torn_is_caught_at_the_next_open() {
+    let _guard = chaos_lock();
+    let dir = scratch("seal-torn");
+    let mut queue = ShardedQueue::open(&dir, 1).expect("open");
+    queue.submit("t", spec("kept")).expect("clean submit");
+
+    faults::install(
+        FaultPlan::new().with(Failpoint::new(site::QUEUE_SEAL, None, FaultAction::Torn).times(1)),
+    );
+    // The lying success: the caller cannot tell anything went wrong.
+    queue.submit("t", spec("lost")).expect("torn seal lies");
+    assert!(!queue.is_quarantined("lost"), "a lie leaves no trace yet");
+    faults::clear();
+
+    // The next open notices the tear and falls back to the previous
+    // generation — the torn submission is the one that vanishes, the
+    // earlier sealed state survives.
+    let reopened = ShardedQueue::open(&dir, 1).expect("fallback open");
+    assert_eq!(reopened.jobs().len(), 1);
+    assert_eq!(reopened.jobs()[0].id, "kept");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn server_refuses_submissions_to_a_quarantined_shard_then_recovers() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    use fulllock_harness::service::{serve, Client, Endpoint, ServiceConfig};
+
+    let _guard = chaos_lock();
+    let dir = scratch("server-quarantine");
+    let endpoint = Endpoint::Unix(dir.join("serve.sock"));
+    let mut config = ServiceConfig::new(endpoint.clone(), dir.join("state"));
+    config.poll_interval = Duration::from_millis(2);
+    config.shards = 1;
+    config.workers = 1;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let server = {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || serve(config, shutdown).expect("serve"))
+    };
+    let client = Client::new(endpoint);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !client.is_up() {
+        assert!(std::time::Instant::now() < deadline, "server never came up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    faults::install(FaultPlan::new().with(Failpoint::new(
+        site::QUEUE_SEAL,
+        None,
+        FaultAction::Enospc,
+    )));
+    // The submission that hits the failing seal is refused with a typed
+    // persistence error — the ack is withheld, nothing unsealed is owed.
+    let refused = client.submit("t", spec("blocked")).expect("send");
+    assert_eq!(refused.error_code(), Some("persist_failed"), "{refused:?}");
+    // The shard is now known-bad: the refusal is immediate and typed.
+    let fast = client.submit("t", spec("blocked-too")).expect("send");
+    assert_eq!(fast.error_code(), Some("shard_quarantined"), "{fast:?}");
+
+    // Lift the fault (empty installed plan still shadows any env plan):
+    // the watchdog re-seals the shard and submissions flow again.
+    faults::install(FaultPlan::new());
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let reply = client.submit("t", spec("unblocked")).expect("send");
+        match reply.error_code() {
+            None => break,
+            Some("shard_quarantined") if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Some(code) => panic!("unexpected refusal {code}"),
+        }
+    }
+    let done = client
+        .wait("unblocked", Duration::from_secs(20))
+        .expect("wait");
+    assert_eq!(
+        done.job_state().map(|s| s.as_str()),
+        Some("done"),
+        "{done:?}"
+    );
+
+    shutdown.store(true, Ordering::SeqCst);
+    let summary = server.join().expect("server thread");
+    assert_eq!(summary.completed, 1);
+    faults::clear();
+    let _ = std::fs::remove_dir_all(&dir);
+}

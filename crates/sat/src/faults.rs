@@ -32,7 +32,15 @@
 //! plan   := point (';' point)*
 //! point  := name ['#' index] '=' action ['@' skip] ['x' limit]
 //! action := panic | drop | corrupt | trigger | delay:<millis>
+//!         | enospc | eio | torn
 //! ```
+//!
+//! The three IO actions arm the *disk-fault* sites ([`site::PERSIST_WRITE`],
+//! [`site::PERSIST_SYNC`], [`site::QUEUE_SEAL`]): `enospc` and `eio` make
+//! the write fail with the corresponding errno-flavoured error, `torn`
+//! makes it *lie* — the file lands truncated mid-envelope but the call
+//! reports success, exactly what a powered-off disk behind a lying fsync
+//! produces.
 //!
 //! `#index` restricts the point to one context index (e.g. worker 1);
 //! `@skip` ignores the first `skip` matching evaluations; `xlimit` fires at
@@ -95,6 +103,22 @@ pub mod site {
     /// another worker), `trigger` fails the launch spuriously (exercising
     /// the retry path), `delay:<ms>` slows the worker down.
     pub const SERVICE_WORKER: &str = "service.worker";
+    /// Evaluated inside `fulllock_harness::persist::save_sealed` (context
+    /// index 0) before the payload is written. `enospc`/`eio` fail the
+    /// save with the corresponding error, `torn` writes a truncated
+    /// envelope but reports success (the checksum catches it at the next
+    /// load), `delay:<ms>` slows the write.
+    pub const PERSIST_WRITE: &str = "persist.write";
+    /// Evaluated just before the durability `fsync` of a sealed save
+    /// (context index 0). `eio`/`enospc` fail the sync, `torn` *skips*
+    /// it while reporting success (a lying fsync), `delay:<ms>` slows it.
+    pub const PERSIST_SYNC: &str = "persist.sync";
+    /// Evaluated by `ShardedQueue` when it seals a shard file, with the
+    /// shard index. `enospc`/`eio` fail the shard write (the server must
+    /// refuse the request with a typed error and quarantine the shard),
+    /// `torn` tears the shard on disk while reporting success (the next
+    /// open must fall back to the previous generation).
+    pub const QUEUE_SEAL: &str = "queue.seal";
 }
 
 /// What happens when a failpoint fires.
@@ -112,6 +136,13 @@ pub enum FaultAction {
     Trigger,
     /// Sleep this many milliseconds before proceeding.
     DelayMs(u64),
+    /// Fail an IO site as if the disk were full (`ENOSPC`).
+    Enospc,
+    /// Fail an IO site with a generic IO error (`EIO`).
+    Eio,
+    /// Tear the write: the file lands truncated mid-payload but the call
+    /// reports success (a lying fsync / power-loss torn write).
+    Torn,
 }
 
 impl fmt::Display for FaultAction {
@@ -122,6 +153,9 @@ impl fmt::Display for FaultAction {
             FaultAction::Corrupt => write!(f, "corrupt"),
             FaultAction::Trigger => write!(f, "trigger"),
             FaultAction::DelayMs(ms) => write!(f, "delay:{ms}"),
+            FaultAction::Enospc => write!(f, "enospc"),
+            FaultAction::Eio => write!(f, "eio"),
+            FaultAction::Torn => write!(f, "torn"),
         }
     }
 }
@@ -321,6 +355,9 @@ fn parse_point(raw: &str) -> Result<Failpoint, SatError> {
         "drop" => FaultAction::Drop,
         "corrupt" => FaultAction::Corrupt,
         "trigger" => FaultAction::Trigger,
+        "enospc" => FaultAction::Enospc,
+        "eio" => FaultAction::Eio,
+        "torn" => FaultAction::Torn,
         other => match other.strip_prefix("delay:") {
             Some(ms) => FaultAction::DelayMs(
                 ms.trim()
@@ -330,7 +367,8 @@ fn parse_point(raw: &str) -> Result<Failpoint, SatError> {
             None => {
                 return Err(bad_spec(
                     raw,
-                    "unknown action (expected panic|drop|corrupt|trigger|delay:<ms>)",
+                    "unknown action (expected panic|drop|corrupt|trigger|delay:<ms>|\
+                     enospc|eio|torn)",
                 ))
             }
         },
@@ -450,6 +488,24 @@ mod tests {
     }
 
     #[test]
+    fn parses_io_actions_and_sites() {
+        let plan: FaultPlan = "persist.write=enospc@2x1;persist.sync=eio;queue.seal#3=torn"
+            .parse()
+            .expect("valid spec");
+        let pts = plan.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].name, site::PERSIST_WRITE);
+        assert_eq!(pts[0].action, FaultAction::Enospc);
+        assert_eq!(pts[0].skip, 2);
+        assert_eq!(pts[0].limit, Some(1));
+        assert_eq!(pts[1].name, site::PERSIST_SYNC);
+        assert_eq!(pts[1].action, FaultAction::Eio);
+        assert_eq!(pts[2].name, site::QUEUE_SEAL);
+        assert_eq!(pts[2].index, Some(3));
+        assert_eq!(pts[2].action, FaultAction::Torn);
+    }
+
+    #[test]
     fn empty_and_whitespace_specs_are_empty_plans() {
         assert!("".parse::<FaultPlan>().expect("empty ok").is_empty());
         assert!("  ; ;".parse::<FaultPlan>().expect("semis ok").is_empty());
@@ -472,12 +528,12 @@ mod tests {
 
     #[test]
     fn display_round_trips() {
-        let spec = "a.b#2=panicx1;c.d=delay:10@3";
+        let spec = "a.b#2=panicx1;c.d=delay:10@3;e.f=enospc;g.h=torn@1;i.j=eiox2";
         let plan: FaultPlan = spec.parse().expect("valid");
         let printed = plan.to_string();
         let back: FaultPlan = printed.parse().expect("round trip");
         assert_eq!(back.to_string(), printed);
-        assert_eq!(back.points().len(), 2);
+        assert_eq!(back.points().len(), 5);
         assert_eq!(back.points()[1].skip, 3);
     }
 

@@ -61,6 +61,8 @@ USAGE:
                  [--workers N] [--shards N] [--timeout-secs S] [--grace-secs S]
                  [--max-attempts N] [--quota TENANT=JOBS,CONFLICTS,SECS]
                  [--default-quota JOBS,CONFLICTS,SECS]
+                 [--max-connections N] [--max-pending N] [--io-timeout-secs S]
+                 [--max-request-line BYTES] [--watchdog-secs S]
 
 ATTACK OPTIONS:
   --checkpoint <file>  write a crash-safe snapshot after every DIP iteration
@@ -83,6 +85,18 @@ SERVE OPTIONS:
                       per-tenant caps: concurrent jobs, cumulative solver
                       conflicts, cumulative wall seconds; - = unlimited,
                       repeatable. --default-quota covers everyone else.
+  --max-connections <n>   concurrent client connections; excess get a
+                          typed `overloaded` refusal        (default 128)
+  --max-pending <n>       pending-queue depth before submissions are
+                          shed with `overloaded`            (default 4096)
+  --io-timeout-secs <s>   per-request-line socket deadline; slow-loris
+                          clients are disconnected          (default 30)
+  --max-request-line <b>  request-line byte cap, refused with
+                          `request_too_large`               (default 262144)
+  --watchdog-secs <s>     worker heartbeat timeout before the watchdog
+                          recycles a stuck worker slot      (default 60)
+  The `health` verb reports queue depth, worker liveness, persistence
+  status, and per-tenant quota pressure.
   SIGTERM drains gracefully: in-flight attacks checkpoint and re-queue.
 
 CAMPAIGN OPTIONS:
@@ -669,6 +683,21 @@ fn cmd_serve(raw: &[String]) -> CliResult {
         Duration::from_secs_f64(args.flag("timeout-secs").unwrap_or("3600").parse()?);
     config.grace = Duration::from_secs_f64(args.flag("grace-secs").unwrap_or("2").parse()?);
     config.retry.max_attempts = args.flag("max-attempts").unwrap_or("2").parse()?;
+    if let Some(n) = args.flag("max-connections") {
+        config.max_connections = n.parse()?;
+    }
+    if let Some(n) = args.flag("max-pending") {
+        config.max_pending = n.parse()?;
+    }
+    if let Some(s) = args.flag("io-timeout-secs") {
+        config.io_timeout = Duration::from_secs_f64(s.parse()?);
+    }
+    if let Some(n) = args.flag("max-request-line") {
+        config.max_request_line = n.parse()?;
+    }
+    if let Some(s) = args.flag("watchdog-secs") {
+        config.watchdog_timeout = Duration::from_secs_f64(s.parse()?);
+    }
     if let Some(spec) = args.flag("default-quota") {
         config.default_quota = parse_quota_spec(spec)?;
     }
@@ -709,13 +738,15 @@ fn cmd_serve(raw: &[String]) -> CliResult {
     let summary = serve(config, shutdown)?;
     println!(
         "drained: {} submitted, {} completed, {} failed, {} canceled, {} interrupted \
-         ({} recovered from a previous run)",
+         ({} recovered from a previous run, {} shed, {} worker(s) recycled)",
         summary.submitted,
         summary.completed,
         summary.failed,
         summary.canceled,
         summary.drained,
         summary.recovered,
+        summary.shed,
+        summary.recycled,
     );
     Ok(())
 }
