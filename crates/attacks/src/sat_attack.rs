@@ -110,9 +110,9 @@ pub enum Step {
     Budget,
 }
 
-/// The incremental SAT-attack engine. Use [`attack`] for the one-call
-/// version; instantiate this directly to drive the loop yourself (AppSAT
-/// does).
+/// The incremental SAT-attack engine. [`Attack::run`] on
+/// [`SatAttackConfig`] is the one-call version; instantiate this
+/// directly to drive the loop yourself (AppSAT does).
 pub struct SatAttack<'a> {
     locked: &'a LockedCircuit,
     oracle: &'a dyn Oracle,

@@ -1,0 +1,47 @@
+//! Standalone sweep worker for the harness integration tests (the
+//! production entry point is `fulllock sweep-worker`, which also knows
+//! the CLN hardness-atlas executor).
+//!
+//! Reads the sealed plan out of `--dir`, runs the claim → steal →
+//! speculate loop until every unit of the grid is settled, and prints a
+//! one-line summary. Only the synthetic `sat` executor is available
+//! here; plans with any other executor are refused.
+//!
+//! Flags are produced by `WorkerArgs::to_args` — see
+//! `fulllock_harness::sweep::worker::WorkerArgs::parse` for the list.
+
+use fulllock_harness::sweep::worker::{run_worker, SatUnitExecutor, WorkerArgs};
+use fulllock_harness::sweep::SweepPlan;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = WorkerArgs::parse(&args).unwrap_or_else(|e| die(&e));
+    let (plan, _hash) = SweepPlan::load(&parsed.dir).unwrap_or_else(|e| die(&e.to_string()));
+    if plan.executor != "sat" {
+        die(&format!(
+            "executor {:?} is not available in the harness worker (only \"sat\")",
+            plan.executor
+        ));
+    }
+    let config = parsed.to_config();
+    let executor = SatUnitExecutor::from_plan(&plan);
+    match run_worker(&plan, &config, &executor) {
+        Ok(summary) => {
+            println!(
+                "sweep worker {}: executed={} stolen={} speculative={} wins={} losses={}",
+                config.worker,
+                summary.executed,
+                summary.stolen,
+                summary.speculative,
+                summary.settle_wins,
+                summary.settle_losses
+            );
+        }
+        Err(e) => die(&e.to_string()),
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("sweep_worker: {message}");
+    std::process::exit(64);
+}

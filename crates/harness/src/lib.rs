@@ -56,12 +56,17 @@ pub mod plan;
 pub mod retry;
 pub mod service;
 pub mod supervisor;
+pub mod sweep;
 
 pub use error::HarnessError;
 pub use manifest::{CampaignManifest, JobRecord, JobStatus, MANIFEST_VERSION};
-pub use plan::{CampaignPlan, JobSpec, PAPER_BINS, PLAN_VERSION};
+pub use plan::{
+    ambient_fingerprint, current_ambient_fingerprint, CampaignPlan, JobSpec, PAPER_BINS,
+    PLAN_VERSION,
+};
 pub use retry::{Clock, RetryPolicy, SystemClock};
 pub use supervisor::{run_campaign, CampaignOutcome, SupervisorConfig};
+pub use sweep::{run_sweep, SweepConfig, SweepGrid, SweepOutcome, SweepPlan};
 
 /// Failpoint site evaluated by the `campaign_chaos_child` helper binary:
 /// arm it through `FULLLOCK_FAILPOINTS` in a job's environment to get a

@@ -97,6 +97,21 @@ impl JobSpec {
         self
     }
 
+    /// [`config_hash`](JobSpec::config_hash) combined with the ambient
+    /// `FULLLOCK_*` fingerprint the supervisor runs under (see
+    /// [`ambient_fingerprint`]). This is the hash the supervisor actually
+    /// keys resume decisions on: flipping `FULLLOCK_CERTIFY` (or any
+    /// other ambient knob the children inherit) between runs changes the
+    /// effective configuration of *every* job, so previously `succeeded`
+    /// entries must re-run instead of being silently skipped as
+    /// "unchanged".
+    pub fn config_hash_with(&self, ambient: u64) -> u64 {
+        let mut h = Fnv::new();
+        h.bytes(&self.config_hash().to_le_bytes());
+        h.bytes(&ambient.to_le_bytes());
+        h.finish()
+    }
+
     /// FNV-1a hash over everything that affects execution (program,
     /// args, env, timeout, attempt budget). A manifest entry only counts
     /// as "already succeeded" on resume if this hash still matches.
@@ -154,28 +169,61 @@ impl JobSpec {
     }
 }
 
+/// Fingerprint of the effective `FULLLOCK_*` ambient configuration.
+///
+/// Children inherit the supervisor's environment, so ambient knobs like
+/// `FULLLOCK_CERTIFY`, `FULLLOCK_INPROCESS`, or `FULLLOCK_FAILPOINTS`
+/// are part of every job's effective configuration even though they
+/// never appear in the plan file. The fingerprint hashes every
+/// environment variable whose name starts with `FULLLOCK_`, sorted by
+/// name so iteration order cannot matter. Variables a job sets in its
+/// own [`JobSpec::env`] are *also* hashed there, so either kind of
+/// drift invalidates a previous `succeeded` entry on resume.
+pub fn ambient_fingerprint<I>(vars: I) -> u64
+where
+    I: IntoIterator<Item = (String, String)>,
+{
+    let mut relevant: Vec<(String, String)> = vars
+        .into_iter()
+        .filter(|(k, _)| k.starts_with("FULLLOCK_"))
+        .collect();
+    relevant.sort();
+    let mut h = Fnv::new();
+    h.bytes(&(relevant.len() as u64).to_le_bytes());
+    for (k, v) in &relevant {
+        h.str(k);
+        h.str(v);
+    }
+    h.finish()
+}
+
+/// [`ambient_fingerprint`] over this process's actual environment.
+pub fn current_ambient_fingerprint() -> u64 {
+    ambient_fingerprint(std::env::vars())
+}
+
 /// FNV-1a 64-bit, with length-prefixed strings so field boundaries can't
 /// alias ("ab","c" hashes differently from "a","bc").
-struct Fnv(u64);
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    pub(crate) fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.bytes(&(s.len() as u64).to_le_bytes());
         self.bytes(s.as_bytes());
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -428,6 +476,48 @@ mod tests {
         // Field boundaries don't alias.
         let d = JobSpec::new("a", "/bin/echo").arg("h").arg("i");
         assert_ne!(a.config_hash(), d.config_hash());
+    }
+
+    #[test]
+    fn ambient_fingerprint_tracks_fulllock_vars_only() {
+        let vars = |pairs: &[(&str, &str)]| {
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect::<Vec<_>>()
+        };
+        let base = ambient_fingerprint(vars(&[("FULLLOCK_CERTIFY", "proof"), ("PATH", "/bin")]));
+        // Unrelated environment noise does not matter.
+        assert_eq!(
+            base,
+            ambient_fingerprint(vars(&[
+                ("HOME", "/root"),
+                ("FULLLOCK_CERTIFY", "proof"),
+                ("TERM", "dumb"),
+            ]))
+        );
+        // Order does not matter.
+        assert_eq!(
+            ambient_fingerprint(vars(&[("FULLLOCK_A", "1"), ("FULLLOCK_B", "2")])),
+            ambient_fingerprint(vars(&[("FULLLOCK_B", "2"), ("FULLLOCK_A", "1")]))
+        );
+        // Value drift, new knobs, and removed knobs all matter.
+        assert_ne!(
+            base,
+            ambient_fingerprint(vars(&[("FULLLOCK_CERTIFY", "model")]))
+        );
+        assert_ne!(
+            base,
+            ambient_fingerprint(vars(&[
+                ("FULLLOCK_CERTIFY", "proof"),
+                ("FULLLOCK_INPROCESS", "off"),
+            ]))
+        );
+        assert_ne!(base, ambient_fingerprint(vars(&[])));
+        // And the combined job hash tracks it.
+        let job = JobSpec::new("a", "/bin/echo");
+        assert_ne!(job.config_hash_with(base), job.config_hash_with(base ^ 1));
+        assert_eq!(job.config_hash_with(base), job.config_hash_with(base));
     }
 
     #[test]

@@ -49,6 +49,14 @@ pub struct SupervisorConfig {
     /// How often running children are polled (reap, RSS sample, deadline
     /// check).
     pub poll_interval: Duration,
+    /// Ambient `FULLLOCK_*` fingerprint mixed into every job's config
+    /// hash (see [`crate::plan::ambient_fingerprint`]); `None` (the
+    /// default) fingerprints this process's actual environment. Because
+    /// children inherit that environment, flipping e.g.
+    /// `FULLLOCK_CERTIFY` between runs changes every job's effective
+    /// config, and `--resume` re-runs them instead of skipping them as
+    /// "unchanged". Tests inject a fixed value for determinism.
+    pub ambient_hash: Option<u64>,
 }
 
 impl Default for SupervisorConfig {
@@ -61,6 +69,7 @@ impl Default for SupervisorConfig {
             out_dir: PathBuf::from("campaign"),
             resume: false,
             poll_interval: Duration::from_millis(20),
+            ambient_hash: None,
         }
     }
 }
@@ -155,9 +164,12 @@ pub fn run_campaign_with_clock(
     } else {
         CampaignManifest::new(&plan.name)
     };
+    let ambient = config
+        .ambient_hash
+        .unwrap_or_else(crate::plan::current_ambient_fingerprint);
     let mut queue: VecDeque<QueuedRun> = VecDeque::new();
     for (idx, job) in plan.jobs.iter().enumerate() {
-        let hash = job.config_hash();
+        let hash = job.config_hash_with(ambient);
         let prior = manifest.job(&job.id);
         let already_done = config.resume
             && prior.is_some_and(|rec| {
@@ -190,9 +202,18 @@ pub fn run_campaign_with_clock(
     while !queue.is_empty() || !running.is_empty() {
         let now = clock.now();
 
-        // Reap finished children, sample RSS, enforce deadlines.
+        // Reap finished children, sample RSS, enforce deadlines. RSS is
+        // sampled *before* `try_wait`: reaping collects the zombie and
+        // tears down `/proc/<pid>`, so a sample after a successful wait
+        // always misses. Together with the spawn-time sample in
+        // `start_attempt`, this keeps short-lived jobs from racing the
+        // poll and recording no peak at all.
         let mut i = 0;
         while i < running.len() {
+            if let Some(rss) = sample_rss_kb(running[i].child.id()) {
+                let slot = &mut running[i];
+                slot.peak_rss_kb = Some(slot.peak_rss_kb.unwrap_or(0).max(rss));
+            }
             match running[i].child.try_wait() {
                 Ok(Some(status)) => {
                     let slot = running.swap_remove(i);
@@ -210,9 +231,6 @@ pub fn run_campaign_with_clock(
                 }
                 Ok(None) => {
                     let slot = &mut running[i];
-                    if let Some(rss) = sample_rss_kb(slot.child.id()) {
-                        slot.peak_rss_kb = Some(slot.peak_rss_kb.unwrap_or(0).max(rss));
-                    }
                     if now >= slot.deadline {
                         slot.timed_out = true;
                         match slot.term_sent {
@@ -344,6 +362,11 @@ fn start_attempt(
                 .timeout_secs
                 .map(Duration::from_secs_f64)
                 .unwrap_or(config.default_timeout);
+            // First RSS sample right at spawn: a job that exits within
+            // one poll interval becomes an unreadable zombie before the
+            // reap loop ever sees it alive, and would otherwise record
+            // no peak at all.
+            let peak_rss_kb = sample_rss_kb(child.id());
             running.push(RunningJob {
                 idx: queued.idx,
                 attempt: queued.attempt,
@@ -352,7 +375,7 @@ fn start_attempt(
                 deadline: now + timeout,
                 term_sent: None,
                 timed_out: false,
-                peak_rss_kb: None,
+                peak_rss_kb,
             });
         }
         Err(e) => {

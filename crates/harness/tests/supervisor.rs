@@ -284,6 +284,54 @@ fn config_drift_invalidates_a_previous_success() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The ambient `FULLLOCK_*` fingerprint is part of every job's config
+/// hash: a resume under a drifted environment must re-run the job, and
+/// a resume under the same environment must skip it.
+#[test]
+fn ambient_env_drift_invalidates_resume() {
+    let dir = scratch("ambient");
+    let count = dir.join("count");
+    let plan = CampaignPlan::new("p").job(sh("a", format!("echo run >> {}", count.display())));
+    let mut cfg = config(&dir);
+    cfg.ambient_hash = Some(1);
+    run_campaign(&plan, &cfg).expect("first run");
+
+    let mut same_env = cfg.clone();
+    same_env.resume = true;
+    let unchanged = run_campaign(&plan, &same_env).expect("resume, same env");
+    assert_eq!(unchanged.skipped, 1, "same ambient fingerprint skips");
+
+    let mut drifted = same_env.clone();
+    drifted.ambient_hash = Some(2); // a FULLLOCK_* variable changed
+    let outcome = run_campaign(&plan, &drifted).expect("resume, drifted env");
+    assert_eq!(outcome.skipped, 0, "drifted ambient must invalidate");
+    assert_eq!(outcome.succeeded, 1);
+    let text = std::fs::read_to_string(&count).expect("count file");
+    assert_eq!(text.lines().count(), 2, "job re-ran under the new env");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A job that exits almost immediately still gets a peak-RSS sample:
+/// the supervisor samples `VmHWM` right at spawn and again before every
+/// `try_wait`, so reaping the zombie can't erase the evidence.
+#[test]
+fn instant_job_still_records_peak_rss() {
+    if !cfg!(target_os = "linux") {
+        return;
+    }
+    let dir = scratch("rss-instant");
+    let plan = CampaignPlan::new("p").job(sh("blink", ":"));
+    run_campaign(&plan, &config(&dir)).expect("campaign runs");
+    let rec = manifest(&dir).job("blink").cloned().expect("record");
+    assert_eq!(rec.status, JobStatus::Succeeded);
+    assert!(
+        rec.peak_rss_kb.is_some_and(|kb| kb > 0),
+        "spawn-time VmHWM sample missing: {:?}",
+        rec.peak_rss_kb
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn peak_rss_is_recorded_on_linux() {
     if !cfg!(target_os = "linux") {

@@ -15,7 +15,7 @@
 //! are typed [`AmbientError`]s (a typo must not silently run a campaign
 //! with defaults), unknown `FULLLOCK_*` variables produce did-you-mean
 //! warnings, and a `FULLLOCK_FAILPOINTS` spec is validated against the
-//! real [`FaultPlan`](crate::faults::FaultPlan) grammar at capture time
+//! real [`FaultPlan`] grammar at capture time
 //! instead of failing deep inside a worker.
 
 use std::fmt;

@@ -119,6 +119,27 @@ pub mod site {
     /// `torn` tears the shard on disk while reporting success (the next
     /// open must fall back to the previous generation).
     pub const QUEUE_SEAL: &str = "queue.seal";
+    /// Evaluated by the sweep executor on every lease-file write (claim,
+    /// heartbeat renewal, steal), with the worker index. `enospc`/`eio`
+    /// fail the write (the worker loses the claim and moves on), `torn`
+    /// lands a truncated lease that other workers must treat as expired
+    /// and stealable, `delay:<ms>` slows the lease protocol down so
+    /// renewal races and steal windows actually open under test.
+    pub const SWEEP_LEASE: &str = "sweep.lease";
+    /// Evaluated by a sweep worker on every result-segment append, with
+    /// the worker index. `enospc`/`eio` fail the append before the record
+    /// lands, `torn` writes half a record while reporting success (the
+    /// coordinator's fold must truncate the tail and the unit must be
+    /// re-executed — a settle marker without a valid record never counts),
+    /// `delay:<ms>` slows the append.
+    pub const SWEEP_SEGMENT: &str = "sweep.segment";
+    /// Evaluated by a sweep worker just before it executes a claimed work
+    /// unit, with the *unit* index (not the worker index), so chaos plans
+    /// can target one grid point. `delay:<ms>` turns the unit into a
+    /// straggler (exercising speculation), `panic` kills the worker while
+    /// it holds the lease (exercising steal), `trigger` fails the unit
+    /// execution spuriously.
+    pub const SWEEP_UNIT: &str = "sweep.unit";
 }
 
 /// What happens when a failpoint fires.
@@ -503,6 +524,23 @@ mod tests {
         assert_eq!(pts[2].name, site::QUEUE_SEAL);
         assert_eq!(pts[2].index, Some(3));
         assert_eq!(pts[2].action, FaultAction::Torn);
+    }
+
+    #[test]
+    fn parses_sweep_sites() {
+        let plan: FaultPlan = "sweep.lease=delay:50;sweep.segment=torn@1x2;sweep.unit#7=delay:3000"
+            .parse()
+            .expect("valid spec");
+        let pts = plan.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].name, site::SWEEP_LEASE);
+        assert_eq!(pts[0].action, FaultAction::DelayMs(50));
+        assert_eq!(pts[1].name, site::SWEEP_SEGMENT);
+        assert_eq!(pts[1].action, FaultAction::Torn);
+        assert_eq!(pts[1].skip, 1);
+        assert_eq!(pts[1].limit, Some(2));
+        assert_eq!(pts[2].name, site::SWEEP_UNIT);
+        assert_eq!(pts[2].index, Some(7));
     }
 
     #[test]

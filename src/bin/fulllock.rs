@@ -26,10 +26,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use full_lock::atlas::AtlasUnitExecutor;
 use full_lock::attacks::{Attack, AttackDetails, AttackOutcome, SatAttackConfig, SimOracle};
 use full_lock::harness::plan::CampaignPlan;
 use full_lock::harness::service::{serve, Endpoint, ServiceConfig};
 use full_lock::harness::supervisor::{run_campaign, SupervisorConfig};
+use full_lock::harness::sweep::worker::{run_worker, SatUnitExecutor, UnitExecutor, WorkerArgs};
+use full_lock::harness::sweep::{run_sweep, SweepConfig, SweepGrid, SweepPlan};
 use full_lock::harness::{CampaignManifest, JobStatus, RetryPolicy};
 use full_lock::locking::{
     AntiSat, CrossLock, FullLock, FullLockConfig, Key, LockedCircuit, LockingScheme, LutLock,
@@ -57,6 +60,10 @@ USAGE:
   fulllock campaign --plan <file|builtin:paper> [--resume] [--jobs N]
                     [--timeout-secs S] [--grace-secs S] [--max-attempts N]
                     [--out-dir DIR] [--strict] [--print-plan]
+  fulllock sweep --grid \"axis=v1,v2;axis2=v3\" [--name NAME] [--executor sat|atlas]
+                 [--out-dir DIR] [--workers N] [--resume] [--seed N]
+                 [--unit-timeout-secs S] [--lease-ttl-millis M]
+                 [--max-respawns N] [--max-wall-secs S] [--print-plan]
   fulllock serve --listen <unix:PATH|tcp:HOST:PORT> [--state-dir DIR]
                  [--workers N] [--shards N] [--timeout-secs S] [--grace-secs S]
                  [--max-attempts N] [--quota TENANT=JOBS,CONFLICTS,SECS]
@@ -111,6 +118,32 @@ CAMPAIGN OPTIONS:
   --strict            exit non-zero if any job failed or timed out
   --print-plan        print the job ids and exit without running anything
 
+SWEEP OPTIONS:
+  --grid <spec>       parameter grid: semicolon-separated axes, each
+                      axis=comma,separated,values — e.g.
+                      \"cln=4,8,16;seed=0,1,2\" (the hardness atlas) or
+                      \"vars=50,100;ratio=4.0,4.3;seed=0,1\" (random SAT)
+  --executor <e>      what one grid point runs: sat (random 3-SAT
+                      hardness probe) or atlas (lock a host circuit
+                      with a CLN and SAT-attack it)     (default sat)
+  --workers <n>       isolated worker processes          (default 4)
+  --out-dir <dir>     sweep state: plan, leases, result segments,
+                      atlas.json + columns.json          (default sweep)
+  --resume            continue an interrupted sweep: leases are
+                      reconciled, settled units are skipped, and the
+                      plan + FULLLOCK_* environment must not have
+                      drifted since the sweep started
+  --unit-timeout-secs <s>  per-unit attack/solve budget  (default 60)
+  --lease-ttl-millis <m>   work-unit lease TTL; a worker that misses
+                           renewal (crashed, partitioned) has its units
+                           stolen by live workers        (default 2000)
+  --max-respawns <n>  dead-worker respawn budget         (default 16)
+  --max-wall-secs <s> overall wall budget; 0 = unbounded (default 1800)
+  --print-plan        print the expanded unit list and exit
+  Workers stream results into append-only checksummed segments; the
+  coordinator folds them first-wins into exactly one sample per unit,
+  with p50/p90/p99 aggregates in <out-dir>/atlas.json.
+
 LOCK OPTIONS:
   --scheme <fulllock|rll|sarlock|antisat|lutlock|crosslock>   (default fulllock)
   --plr <sizes>     comma-separated CLN sizes, e.g. 16 or 16,8 (fulllock)
@@ -131,6 +164,8 @@ fn main() -> ExitCode {
         Some("export") => cmd_export(&args[1..]),
         Some("optimize") => cmd_optimize(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("sweep-worker") => cmd_sweep_worker(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -620,6 +655,131 @@ fn cmd_campaign(raw: &[String]) -> CliResult {
         )
         .into());
     }
+    Ok(())
+}
+
+fn cmd_sweep(raw: &[String]) -> CliResult {
+    let args = Args::parse(raw, &["resume", "print-plan"]);
+    let grid_spec = args.flag("grid").ok_or("sweep: missing --grid")?;
+    let name = args.flag("name").unwrap_or("sweep");
+    let grid = SweepGrid::parse_spec(name, grid_spec).map_err(|e| format!("sweep: {e}"))?;
+    let mut plan = SweepPlan::new(grid);
+    plan.executor = args.flag("executor").unwrap_or("sat").to_string();
+    if !matches!(plan.executor.as_str(), "sat" | "atlas") {
+        return Err(format!(
+            "sweep: unknown executor {:?} (expected sat or atlas)",
+            plan.executor
+        )
+        .into());
+    }
+    plan.unit_timeout_secs = args.flag("unit-timeout-secs").unwrap_or("60").parse()?;
+    plan.seed = args.flag("seed").unwrap_or("0").parse()?;
+    if args.has("print-plan") {
+        for unit in plan.grid.units() {
+            let params: Vec<String> = unit
+                .params
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            println!("{}  {}", unit.id, params.join(" "));
+        }
+        return Ok(());
+    }
+
+    // Workers are re-invocations of this very binary with the
+    // `sweep-worker` subcommand; they coordinate purely through files
+    // in the sweep directory.
+    let exe = std::env::current_exe()?;
+    let mut config = SweepConfig::new(
+        args.flag("out-dir").unwrap_or("sweep"),
+        exe,
+        vec!["sweep-worker".to_string()],
+    );
+    config.workers = args.flag("workers").unwrap_or("4").parse()?;
+    config.resume = args.has("resume");
+    config.lease_ttl =
+        Duration::from_millis(args.flag("lease-ttl-millis").unwrap_or("2000").parse()?);
+    config.max_respawns = args.flag("max-respawns").unwrap_or("16").parse()?;
+    let max_wall: f64 = args.flag("max-wall-secs").unwrap_or("1800").parse()?;
+    config.max_wall = (max_wall > 0.0).then(|| Duration::from_secs_f64(max_wall));
+
+    println!(
+        "sweep {:?}: {} unit(s) on {} worker(s), executor {}, {}s/unit -> {}",
+        plan.grid.name,
+        plan.grid.unit_count(),
+        config.workers,
+        plan.executor,
+        plan.unit_timeout_secs,
+        config.out_dir.display(),
+    );
+    let outcome = run_sweep(&plan, &config)?;
+    if outcome.resume != Default::default() {
+        println!(
+            "resume: {} settled unit(s) kept ({} recovered records), {} orphan marker(s) \
+             cleared, {} stale lease(s) dropped",
+            outcome.resume.settled,
+            outcome.resume.records_settled,
+            outcome.resume.orphans_cleared,
+            outcome.resume.leases_cleared,
+        );
+    }
+    let agg = &outcome.aggregates;
+    println!(
+        "sweep done: {}/{} unit(s) in {:.2}s ({} respawn(s), {} re-run round(s), \
+         {} stolen, {} speculative, {} duplicate record(s) suppressed)",
+        agg.samples,
+        agg.units,
+        outcome.elapsed.as_secs_f64(),
+        outcome.respawns,
+        outcome.rerun_rounds,
+        agg.stolen,
+        agg.speculative,
+        agg.duplicates,
+    );
+    if agg.torn_tails > 0 || agg.invalid_lines > 0 {
+        println!(
+            "segment repair: {} torn tail(s) truncated, {} invalid line(s) skipped",
+            agg.torn_tails, agg.invalid_lines
+        );
+    }
+    for (verdict, count) in &agg.verdicts {
+        println!("  verdict {verdict:<10} {count}");
+    }
+    println!(
+        "  conflicts  p50 {:.0}  p90 {:.0}  p99 {:.0}",
+        agg.conflicts.p50, agg.conflicts.p90, agg.conflicts.p99
+    );
+    println!(
+        "  wall secs  p50 {:.3}  p90 {:.3}  p99 {:.3}",
+        agg.wall_secs.p50, agg.wall_secs.p90, agg.wall_secs.p99
+    );
+    println!(
+        "atlas -> {} / columns -> {}",
+        outcome.atlas_path.display(),
+        outcome.columns_path.display()
+    );
+    Ok(())
+}
+
+fn cmd_sweep_worker(raw: &[String]) -> CliResult {
+    let parsed = WorkerArgs::parse(raw).map_err(|e| format!("sweep-worker: {e}"))?;
+    let (plan, _hash) = SweepPlan::load(&parsed.dir)?;
+    let config = parsed.to_config();
+    let executor: Box<dyn UnitExecutor> = match plan.executor.as_str() {
+        "sat" => Box::new(SatUnitExecutor::from_plan(&plan)),
+        "atlas" => Box::new(AtlasUnitExecutor::from_plan(&plan)),
+        other => return Err(format!("sweep-worker: unknown executor {other:?}").into()),
+    };
+    let summary = run_worker(&plan, &config, executor.as_ref())?;
+    println!(
+        "sweep worker {}: executed={} stolen={} speculative={} wins={} losses={}",
+        config.worker,
+        summary.executed,
+        summary.stolen,
+        summary.speculative,
+        summary.settle_wins,
+        summary.settle_losses
+    );
     Ok(())
 }
 

@@ -19,6 +19,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod atlas;
+
 pub use fulllock_attacks as attacks;
 pub use fulllock_bench as bench;
 pub use fulllock_harness as harness;
