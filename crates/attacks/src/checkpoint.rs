@@ -52,6 +52,26 @@ pub struct IoPair {
     pub inputs: Vec<bool>,
     /// Oracle response.
     pub outputs: Vec<bool>,
+    /// How many of the majority-vote repetitions agreed with the recorded
+    /// response (1 for an unvoted query; also 1 for pairs restored from
+    /// checkpoints written before votes were recorded).
+    pub votes: u64,
+    /// Whether the pair was quarantined: its answer changed on a
+    /// suspicion re-query, so its constraints are disabled and stay
+    /// disabled across resumes (the pair is kept in the log as evidence).
+    pub quarantined: bool,
+}
+
+impl IoPair {
+    /// A trusted, unquarantined pair with a single supporting vote.
+    pub fn new(inputs: Vec<bool>, outputs: Vec<bool>) -> IoPair {
+        IoPair {
+            inputs,
+            outputs,
+            votes: 1,
+            quarantined: false,
+        }
+    }
 }
 
 /// A resumable snapshot of an oracle-guided attack run.
@@ -164,6 +184,8 @@ impl AttackCheckpoint {
                     Json::Object(vec![
                         ("x".into(), Json::Str(bits_to_string(&pair.inputs))),
                         ("y".into(), Json::Str(bits_to_string(&pair.outputs))),
+                        ("v".into(), Json::Int(pair.votes)),
+                        ("q".into(), Json::Bool(pair.quarantined)),
                     ])
                 })
                 .collect(),
@@ -369,9 +391,14 @@ fn parse_checkpoint(text: &str) -> std::result::Result<AttackCheckpoint, String>
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("io pair {i} is missing bit string {name:?}"))
         };
+        // Vote count and quarantine flag arrived with the resilient
+        // oracle layer; files written before then default to one
+        // supporting vote and not quarantined.
         io_pairs.push(IoPair {
             inputs: string_to_bits(coord("x")?)?,
             outputs: string_to_bits(coord("y")?)?,
+            votes: pair.get("v").and_then(Json::as_u64).unwrap_or(1),
+            quarantined: pair.get("q").and_then(Json::as_bool).unwrap_or(false),
         });
     }
 
@@ -413,10 +440,14 @@ mod tests {
             IoPair {
                 inputs: vec![true, false, false, true],
                 outputs: vec![false, true],
+                votes: 3,
+                quarantined: false,
             },
             IoPair {
                 inputs: vec![false, false, true, true],
                 outputs: vec![true, true],
+                votes: 2,
+                quarantined: true,
             },
         ];
         cp
@@ -500,6 +531,22 @@ mod tests {
         let back = AttackCheckpoint::from_json(&text).expect("old-format parse");
         assert_eq!(back.solver.exchange_rejects, 0);
         assert_eq!(back.solver.certified_models, 0);
+    }
+
+    #[test]
+    fn pairs_without_vote_fields_default_to_one_trusted_vote() {
+        // Checkpoints written before the resilient oracle layer carry
+        // only "x"/"y" per pair.
+        let text = sample()
+            .to_json()
+            .replace(",\"v\":3,\"q\":false", "")
+            .replace(",\"v\":2,\"q\":true", "");
+        assert!(!text.contains("\"v\":"), "fields really removed");
+        let back = AttackCheckpoint::from_json(&text).expect("legacy pairs parse");
+        for pair in &back.io_pairs {
+            assert_eq!(pair.votes, 1);
+            assert!(!pair.quarantined);
+        }
     }
 
     #[test]

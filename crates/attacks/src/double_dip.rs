@@ -33,7 +33,7 @@ use fulllock_sat::{Cnf, Lit, Var};
 
 use crate::checkpoint::{AttackCheckpoint, IoPair};
 use crate::encode::encode_locked;
-use crate::oracle::Oracle;
+use crate::oracle::{Oracle, ResilientOracle};
 use crate::report::{Attack, AttackDetails, AttackOutcome, AttackReport, RunResilience};
 use crate::sat_attack::SatAttackConfig;
 use crate::{cycsat, AttackError, Result};
@@ -201,12 +201,14 @@ impl CkptCtl {
 
 /// Assembles the report + resilience + cumulative-oracle-queries triple at
 /// any exit point.
+#[allow(clippy::too_many_arguments)]
 fn finish(
     outcome: AttackOutcome,
     iterations: u64,
     cleanup_iterations: u64,
     start: Instant,
     oracle_queries: u64,
+    oracle_retries: u64,
     solver: &dyn SolveBackend,
     ctl: &CkptCtl,
 ) -> (DoubleDipReport, RunResilience, u64) {
@@ -225,6 +227,9 @@ fn finish(
         resumed_from: ctl.resumed_from,
         checkpoints_written: ctl.written,
         checkpoint_failures: ctl.failures,
+        oracle_retries,
+        oracle_requeries: 0,
+        quarantined_pairs: ctl.io_log.iter().filter(|p| p.quarantined).count() as u64,
     };
     (report, resilience, oracle_queries)
 }
@@ -242,6 +247,9 @@ fn run_double_dip_checkpointed(
             oracle_inputs: oracle.num_inputs(),
         });
     }
+    // All DIP queries go through the resilient layer (retry / rate limit /
+    // majority vote); the raw oracle keeps counting real chip stimuli.
+    let resilient = ResilientOracle::new(oracle, config.resilience);
     let start = Instant::now();
     let deadline = config.timeout.map(|t| start + t);
     let limits = {
@@ -357,8 +365,12 @@ fn run_double_dip_checkpointed(
             )?;
             // Replay the recorded I/O pairs — re-deriving every constraint
             // without an oracle query — and adopt the snapshot's position
-            // in the two-phase loop.
+            // in the two-phase loop. Quarantined pairs stay in the log as
+            // evidence but are never re-asserted.
             for pair in &cp.io_pairs {
+                if pair.quarantined {
+                    continue;
+                }
                 assert_io(&mut solver, &mut cnf, &pair.inputs, &pair.outputs);
             }
             ctl.io_log = cp.io_pairs;
@@ -389,6 +401,7 @@ fn run_double_dip_checkpointed(
                 cleanup_iterations,
                 start,
                 total_queries(),
+                resilient.retries_absorbed(),
                 solver.as_ref(),
                 &ctl,
             ));
@@ -404,6 +417,7 @@ fn run_double_dip_checkpointed(
                     cleanup_iterations,
                     start,
                     total_queries(),
+                    resilient.retries_absorbed(),
                     solver.as_ref(),
                     &ctl,
                 ));
@@ -415,12 +429,11 @@ fn run_double_dip_checkpointed(
                     .iter()
                     .map(|&v| model_bit(solver.as_ref(), v))
                     .collect::<Result<_>>()?;
-                let y = oracle.query(&x);
+                let (y, votes) = resilient.query_voted(&x).map_err(AttackError::Oracle)?;
                 assert_io(&mut solver, &mut cnf, &x, &y);
-                ctl.io_log.push(IoPair {
-                    inputs: x,
-                    outputs: y,
-                });
+                let mut pair = IoPair::new(x, y);
+                pair.votes = u64::from(votes);
+                ctl.io_log.push(pair);
                 iterations += 1;
                 ctl.save(
                     locked,
@@ -443,6 +456,7 @@ fn run_double_dip_checkpointed(
                 cleanup_iterations,
                 start,
                 total_queries(),
+                resilient.retries_absorbed(),
                 solver.as_ref(),
                 &ctl,
             ));
@@ -458,6 +472,7 @@ fn run_double_dip_checkpointed(
                     cleanup_iterations,
                     start,
                     total_queries(),
+                    resilient.retries_absorbed(),
                     solver.as_ref(),
                     &ctl,
                 ));
@@ -468,12 +483,11 @@ fn run_double_dip_checkpointed(
                     .iter()
                     .map(|&v| model_bit(solver.as_ref(), v))
                     .collect::<Result<_>>()?;
-                let y = oracle.query(&x);
+                let (y, votes) = resilient.query_voted(&x).map_err(AttackError::Oracle)?;
                 assert_io(&mut solver, &mut cnf, &x, &y);
-                ctl.io_log.push(IoPair {
-                    inputs: x,
-                    outputs: y,
-                });
+                let mut pair = IoPair::new(x, y);
+                pair.votes = u64::from(votes);
+                ctl.io_log.push(pair);
                 cleanup_iterations += 1;
                 ctl.save(
                     locked,
@@ -523,6 +537,7 @@ fn run_double_dip_checkpointed(
         cleanup_iterations,
         start,
         total_queries(),
+        resilient.retries_absorbed(),
         solver.as_ref(),
         &ctl,
     ))

@@ -50,6 +50,10 @@ pub enum AttackError {
         /// What is wrong.
         message: String,
     },
+    /// The activated-chip oracle failed to answer a query even after the
+    /// configured retry / deadline budget (a persistently dead harness,
+    /// not a one-off glitch — those are absorbed by the resilient layer).
+    Oracle(crate::OracleError),
 }
 
 impl fmt::Display for AttackError {
@@ -82,6 +86,7 @@ impl fmt::Display for AttackError {
             AttackError::ReportFormat { message } => {
                 write!(f, "invalid attack report: {message}")
             }
+            AttackError::Oracle(e) => write!(f, "oracle failure: {e}"),
         }
     }
 }
@@ -92,6 +97,7 @@ impl std::error::Error for AttackError {
             AttackError::Netlist(e) => Some(e),
             AttackError::Lock(e) => Some(e),
             AttackError::Certification(e) => Some(e),
+            AttackError::Oracle(e) => Some(e),
             _ => None,
         }
     }
@@ -100,6 +106,12 @@ impl std::error::Error for AttackError {
 impl From<fulllock_sat::CertifyError> for AttackError {
     fn from(e: fulllock_sat::CertifyError) -> Self {
         AttackError::Certification(e)
+    }
+}
+
+impl From<crate::OracleError> for AttackError {
+    fn from(e: crate::OracleError) -> Self {
+        AttackError::Oracle(e)
     }
 }
 

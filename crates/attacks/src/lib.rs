@@ -105,7 +105,7 @@ pub use encode::{
     encode_locked, CircuitEncoder, EncodeStyle, InterfaceMap, LockedEncoding, SigVal,
 };
 pub use error::AttackError;
-pub use oracle::{Oracle, SimOracle};
+pub use oracle::{Oracle, OracleError, OracleResilience, ResilientOracle, SimOracle};
 pub use removal::Removal;
 pub use report::{
     Attack, AttackDetails, AttackOutcome, AttackReport, FormalVerdict, KeyCertificate,

@@ -181,6 +181,15 @@ pub struct RunResilience {
     /// non-zero value means the on-disk snapshot lags the reported
     /// progress.
     pub checkpoint_failures: u64,
+    /// Transient oracle failures (dropped responses) absorbed by the
+    /// resilient oracle layer's retry loop.
+    pub oracle_retries: u64,
+    /// Suspect I/O pairs re-queried under majority vote during
+    /// self-healing (after an UNSAT key space or a failed verification).
+    pub oracle_requeries: u64,
+    /// I/O pairs quarantined because their answer changed on re-query —
+    /// their constraints were disabled and the run continued without them.
+    pub quarantined_pairs: u64,
 }
 
 impl RunResilience {

@@ -27,7 +27,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::checkpoint::{AttackCheckpoint, IoPair};
 use crate::encode::{encode_locked, CircuitEncoder, EncodeStyle, SigVal};
-use crate::oracle::Oracle;
+use crate::oracle::{Oracle, OracleResilience, ResilientOracle};
 use crate::report::{Attack, AttackDetails, AttackReport, RunResilience};
 use crate::{cycsat, AttackError, Result};
 
@@ -60,11 +60,18 @@ pub struct SatAttackConfig {
     pub cone_reduce: bool,
     /// Clause shapes the encoder emits (see [`EncodeStyle`]).
     pub encode_style: EncodeStyle,
+    /// How the run survives a noisy, flaky, or rate-limited oracle:
+    /// retry/vote/rate policy for every query, plus an UNSAT-diagnosis
+    /// pass (a one-shot selector-gated re-solve over the recorded pairs)
+    /// that quarantines poisoned answers instead of corrupting the
+    /// verdict (see [`OracleResilience`]).
+    pub resilience: OracleResilience,
 }
 
 impl Default for SatAttackConfig {
-    /// The default reads [`CertifyLevel::from_env`], so
-    /// `FULLLOCK_CERTIFY=model` certifies a whole campaign without
+    /// The default reads [`CertifyLevel::from_env`] and
+    /// [`OracleResilience::from_env`], so `FULLLOCK_CERTIFY=model` or
+    /// `FULLLOCK_ORACLE_VOTES=3` configures a whole campaign without
     /// touching any call site.
     fn default() -> SatAttackConfig {
         SatAttackConfig {
@@ -75,6 +82,7 @@ impl Default for SatAttackConfig {
             certify: CertifyLevel::from_env(),
             cone_reduce: true,
             encode_style: EncodeStyle::default(),
+            resilience: OracleResilience::from_env(),
         }
     }
 }
@@ -116,6 +124,10 @@ pub enum Step {
 pub struct SatAttack<'a> {
     locked: &'a LockedCircuit,
     oracle: &'a dyn Oracle,
+    /// The oracle behind the resilience decorator: every DIP query goes
+    /// through retry / rate-limit / majority-vote per the configured
+    /// [`OracleResilience`] policy.
+    resilient: ResilientOracle<&'a dyn Oracle>,
     config: SatAttackConfig,
     solver: Box<dyn SolveBackend>,
     cnf: Cnf,
@@ -134,8 +146,16 @@ pub struct SatAttack<'a> {
     ratio_sum: f64,
     ratio_samples: u64,
     /// Every asserted I/O pair, in order — the semantic state a checkpoint
-    /// persists (the CNF is re-derived from these on resume).
+    /// persists (the CNF is re-derived from these on resume, and again by
+    /// [`rebuild_solver`](Self::rebuild_solver) after a quarantine).
+    /// Quarantined pairs stay in the log as evidence but are never
+    /// encoded.
     io_log: Vec<IoPair>,
+    /// Suspect I/O pairs re-queried under majority vote while healing.
+    oracle_requeries: u64,
+    /// Transient errors absorbed by ad-hoc re-query probes (folded into
+    /// the main resilient wrapper's counter when reporting).
+    extra_retries: u64,
     /// Where to write snapshots after each DIP; `None` disables
     /// checkpointing.
     checkpoint_path: Option<PathBuf>,
@@ -153,6 +173,10 @@ pub struct SatAttack<'a> {
     prior_elapsed: Duration,
     prior_oracle_queries: u64,
     prior_solver: SolverStats,
+    /// Worker failures reported by backends discarded in a
+    /// [`rebuild_solver`](Self::rebuild_solver) (the live backend only
+    /// knows its own).
+    prior_worker_failures: Vec<String>,
     /// Oracle query count at engine construction — the shared oracle may
     /// have served earlier runs in this process.
     oracle_baseline: u64,
@@ -172,25 +196,26 @@ impl std::fmt::Debug for SatAttack<'_> {
     }
 }
 
+/// The part of the engine state that [`SatAttack::rebuild_solver`]
+/// replaces wholesale: the base formula (miter + CycSAT constraints),
+/// the cone encoder, the interface variables, the activation literal,
+/// and a fresh backend with the interface frozen.
+struct EngineBase<'a> {
+    cnf: Cnf,
+    encoder: Option<CircuitEncoder<'a>>,
+    x_vars: Vec<Var>,
+    k1_vars: Vec<Var>,
+    k2_vars: Vec<Var>,
+    act: Lit,
+    solver: Box<dyn SolveBackend>,
+}
+
 impl<'a> SatAttack<'a> {
-    /// Builds the attack engine: miter construction plus (for cyclic locked
-    /// netlists) CycSAT no-cycle constraints on both key copies.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AttackError::InterfaceMismatch`] if the oracle's width
-    /// differs from the locked circuit's data interface.
-    pub fn new(
-        locked: &'a LockedCircuit,
-        oracle: &'a dyn Oracle,
-        config: SatAttackConfig,
-    ) -> Result<SatAttack<'a>> {
-        if oracle.num_inputs() != locked.data_inputs.len() {
-            return Err(AttackError::InterfaceMismatch {
-                locked_inputs: locked.data_inputs.len(),
-                oracle_inputs: oracle.num_inputs(),
-            });
-        }
+    /// Builds the base formula and solver shared by [`new`](Self::new)
+    /// and [`rebuild_solver`](Self::rebuild_solver): miter construction
+    /// plus (for cyclic locked netlists) CycSAT no-cycle constraints on
+    /// both key copies.
+    fn build_base(locked: &'a LockedCircuit, config: &SatAttackConfig) -> EngineBase<'a> {
         let mut cnf = Cnf::new();
         let x_vars: Vec<Var> = locked.data_inputs.iter().map(|_| cnf.new_var()).collect();
         let k1_vars: Vec<Var> = locked.key_inputs.iter().map(|_| cnf.new_var()).collect();
@@ -242,25 +267,59 @@ impl<'a> SatAttack<'a> {
         }
         solver.freeze_var(act.var());
 
-        let start = Instant::now();
-        let mut attack = SatAttack {
-            locked,
-            oracle,
-            config,
-            solver,
+        EngineBase {
             cnf,
             encoder,
-            transferred: 0,
             x_vars,
             k1_vars,
             k2_vars,
             act,
+            solver,
+        }
+    }
+
+    /// Builds the attack engine: miter construction plus (for cyclic locked
+    /// netlists) CycSAT no-cycle constraints on both key copies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::InterfaceMismatch`] if the oracle's width
+    /// differs from the locked circuit's data interface.
+    pub fn new(
+        locked: &'a LockedCircuit,
+        oracle: &'a dyn Oracle,
+        config: SatAttackConfig,
+    ) -> Result<SatAttack<'a>> {
+        if oracle.num_inputs() != locked.data_inputs.len() {
+            return Err(AttackError::InterfaceMismatch {
+                locked_inputs: locked.data_inputs.len(),
+                oracle_inputs: oracle.num_inputs(),
+            });
+        }
+        let base = Self::build_base(locked, &config);
+
+        let start = Instant::now();
+        let mut attack = SatAttack {
+            locked,
+            oracle,
+            resilient: ResilientOracle::new(oracle, config.resilience),
+            config,
+            solver: base.solver,
+            cnf: base.cnf,
+            encoder: base.encoder,
+            transferred: 0,
+            x_vars: base.x_vars,
+            k1_vars: base.k1_vars,
+            k2_vars: base.k2_vars,
+            act: base.act,
             start,
             deadline: config.timeout.map(|t| start + t),
             iterations: 0,
             ratio_sum: 0.0,
             ratio_samples: 0,
             io_log: Vec::new(),
+            oracle_requeries: 0,
+            extra_retries: 0,
             checkpoint_path: None,
             checkpoints_written: 0,
             checkpoint_failures: 0,
@@ -269,6 +328,7 @@ impl<'a> SatAttack<'a> {
             prior_elapsed: Duration::ZERO,
             prior_oracle_queries: 0,
             prior_solver: SolverStats::default(),
+            prior_worker_failures: Vec::new(),
             oracle_baseline: oracle.queries(),
             resumed_from: None,
             certify_failure: None,
@@ -332,7 +392,7 @@ impl<'a> SatAttack<'a> {
             self.locked.key_inputs.len(),
         )?;
         for pair in &snapshot.io_pairs {
-            self.assert_io(&pair.inputs, &pair.outputs);
+            self.assert_pair(pair.clone());
         }
         self.iterations = snapshot.iterations;
         self.ratio_sum = snapshot.ratio_sum;
@@ -418,10 +478,17 @@ impl<'a> SatAttack<'a> {
     pub fn resilience(&self) -> RunResilience {
         RunResilience {
             worker_panics: self.solver_stats().worker_panics,
-            worker_failures: self.solver.worker_failures(),
+            worker_failures: {
+                let mut failures = self.prior_worker_failures.clone();
+                failures.extend(self.solver.worker_failures());
+                failures
+            },
             resumed_from: self.resumed_from,
             checkpoints_written: self.checkpoints_written,
             checkpoint_failures: self.checkpoint_failures,
+            oracle_retries: self.resilient.retries_absorbed() + self.extra_retries,
+            oracle_requeries: self.oracle_requeries,
+            quarantined_pairs: self.io_log.iter().filter(|p| p.quarantined).count() as u64,
         }
     }
 
@@ -469,11 +536,14 @@ impl<'a> SatAttack<'a> {
     }
 
     /// Runs one DIP iteration: search, oracle query, constraint assertion.
+    /// The oracle query goes through the resilient layer (retry, rate
+    /// limit, majority vote per the configured policy).
     ///
     /// # Errors
     ///
     /// Returns [`AttackError::IncompleteModel`] if the solver claimed SAT
-    /// with an incomplete model.
+    /// with an incomplete model, and [`AttackError::Oracle`] if the
+    /// oracle failed past the retry / deadline budget.
     pub fn step(&mut self) -> Result<Step> {
         if self.out_of_budget() {
             return Ok(Step::Budget);
@@ -490,8 +560,13 @@ impl<'a> SatAttack<'a> {
                     .iter()
                     .map(|&v| self.model_bit(v))
                     .collect::<Result<_>>()?;
-                let response = self.oracle.query(&dip);
-                self.assert_io(&dip, &response);
+                let (response, votes) = self
+                    .resilient
+                    .query_voted(&dip)
+                    .map_err(AttackError::Oracle)?;
+                let mut pair = IoPair::new(dip.clone(), response);
+                pair.votes = u64::from(votes);
+                self.assert_pair(pair);
                 self.iterations += 1;
                 self.ratio_sum += self.cnf.clause_to_variable_ratio();
                 self.ratio_samples += 1;
@@ -510,38 +585,53 @@ impl<'a> SatAttack<'a> {
     /// key-dependent fanin cone is encoded; otherwise two full circuit
     /// copies are appended as in the original attack.
     pub fn assert_io(&mut self, inputs: &[bool], outputs: &[bool]) {
-        self.io_log.push(IoPair {
-            inputs: inputs.to_vec(),
-            outputs: outputs.to_vec(),
-        });
-        let SatAttack {
-            locked,
-            cnf,
-            encoder,
-            k1_vars,
-            k2_vars,
-            config,
-            ..
-        } = self;
-        if config.cone_reduce {
-            if let Some(enc) = encoder.as_ref() {
+        self.assert_pair(IoPair::new(inputs.to_vec(), outputs.to_vec()));
+    }
+
+    /// Asserts a recorded pair. Quarantined pairs (restored from a
+    /// checkpoint or disabled by [`heal_unsat`](Self::heal_unsat)) stay
+    /// in the log as evidence but are never encoded — so a `--resume`
+    /// can never resurrect a poisoned constraint. The constraints go in
+    /// ungated (identical to the historical trust-everything encoding,
+    /// so guarding costs the DIP loop nothing); disabling a pair later
+    /// is done by [`rebuild_solver`](Self::rebuild_solver).
+    fn assert_pair(&mut self, pair: IoPair) {
+        if pair.quarantined {
+            self.io_log.push(pair);
+            return;
+        }
+        {
+            let SatAttack {
+                locked,
+                cnf,
+                encoder,
+                k1_vars,
+                k2_vars,
+                config,
+                ..
+            } = self;
+            let inputs = &pair.inputs;
+            let outputs = &pair.outputs;
+            let cone = config.cone_reduce && encoder.is_some();
+            if cone {
+                let enc = encoder.as_ref().expect("cone implies encoder");
                 for key_vars in [&*k1_vars, &*k2_vars] {
                     enc.encode_observation(cnf, inputs, outputs, key_vars);
                 }
-                self.transfer_clauses();
-                return;
+            } else {
+                for key_vars in [&*k1_vars, &*k2_vars] {
+                    let data_vars: Vec<Var> = inputs.iter().map(|_| cnf.new_var()).collect();
+                    let enc = encode_locked(locked, cnf, &data_vars, key_vars);
+                    for (slot, &v) in data_vars.iter().enumerate() {
+                        cnf.add_clause([Lit::with_polarity(v, inputs[slot])]);
+                    }
+                    for (o, &v) in enc.output_vars.iter().enumerate() {
+                        cnf.add_clause([Lit::with_polarity(v, outputs[o])]);
+                    }
+                }
             }
         }
-        for key_vars in [&*k1_vars, &*k2_vars] {
-            let data_vars: Vec<Var> = inputs.iter().map(|_| cnf.new_var()).collect();
-            let enc = encode_locked(locked, cnf, &data_vars, key_vars);
-            for (slot, &v) in data_vars.iter().enumerate() {
-                cnf.add_clause([Lit::with_polarity(v, inputs[slot])]);
-            }
-            for (o, &v) in enc.output_vars.iter().enumerate() {
-                cnf.add_clause([Lit::with_polarity(v, outputs[o])]);
-            }
-        }
+        self.io_log.push(pair);
         self.transfer_clauses();
     }
 
@@ -554,19 +644,234 @@ impl<'a> SatAttack<'a> {
     /// Returns [`AttackError::IncompleteModel`] if the solver claimed SAT
     /// with an incomplete model.
     pub fn extract_key(&mut self) -> Result<Option<Key>> {
-        match self.solver.solve_limited(&[!self.act], self.limits()) {
+        self.solve_key().map(|(_, key)| key)
+    }
+
+    /// The key-extraction solve, also reporting the raw solver verdict so
+    /// the self-healing loop can tell a genuine UNSAT (inconsistent
+    /// constraints — an oracle lied) from a budget-induced Unknown.
+    fn solve_key(&mut self) -> Result<(SolveResult, Option<Key>)> {
+        let result = self.solver.solve_limited(&[!self.act], self.limits());
+        match result {
             SolveResult::Sat => {
                 let mut bits = Vec::with_capacity(self.k1_vars.len());
                 for i in 0..self.k1_vars.len() {
                     bits.push(self.model_bit(self.k1_vars[i])?);
                 }
-                Ok(Some(Key::from_bits(bits)))
+                Ok((result, Some(Key::from_bits(bits))))
             }
             _ => {
                 self.note_certify_failure();
-                Ok(None)
+                Ok((result, None))
             }
         }
+    }
+
+    /// Re-queries a stimulus under a boosted majority vote (at least
+    /// three repetitions) — the trusted probe the healing paths use to
+    /// decide whether a recorded answer was poison.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Oracle`] if the oracle failed past its
+    /// retry / deadline budget.
+    fn requery(&mut self, inputs: &[bool]) -> Result<(Vec<bool>, u32)> {
+        let mut policy = self.config.resilience;
+        policy.votes = policy.votes.max(3) | 1;
+        let probe = ResilientOracle::new(self.oracle, policy);
+        let answer = probe.query_voted(inputs).map_err(AttackError::Oracle);
+        self.extra_retries += probe.retries_absorbed();
+        answer
+    }
+
+    /// Rebuilds the incremental solver from the surviving ledger: a fresh
+    /// base formula plus every non-quarantined recorded pair, re-derived
+    /// without a single oracle query (the same replay a checkpoint resume
+    /// performs). Quarantine needs this because the hot-path constraints
+    /// are asserted ungated and cannot be retracted from an incremental
+    /// solver. Solver counters accumulate across rebuilds.
+    fn rebuild_solver(&mut self) {
+        self.prior_solver.merge(&self.solver.stats());
+        self.prior_worker_failures
+            .extend(self.solver.worker_failures());
+        let base = Self::build_base(self.locked, &self.config);
+        self.cnf = base.cnf;
+        self.encoder = base.encoder;
+        self.x_vars = base.x_vars;
+        self.k1_vars = base.k1_vars;
+        self.k2_vars = base.k2_vars;
+        self.act = base.act;
+        self.solver = base.solver;
+        self.transferred = 0;
+        self.transfer_clauses();
+        for pair in std::mem::take(&mut self.io_log) {
+            self.assert_pair(pair);
+        }
+    }
+
+    /// Finds which recorded pairs make the key space unsatisfiable, via a
+    /// one-shot diagnosis solve: every active pair's constraint is encoded
+    /// over a single key copy and gated behind a fresh selector literal,
+    /// and the formula is solved assuming every selector. The solver's
+    /// [failed-assumption core](SolveBackend::final_assumption_core) then
+    /// names the conflicting subset. Falls back to suspecting every
+    /// active pair when no usable core comes back (a backend without core
+    /// support, or a budget-induced Unknown).
+    ///
+    /// The diagnosis formula is built on demand precisely so the DIP
+    /// loop's own encoding stays selector-free (and therefore as fast as
+    /// the unguarded attack): the gating cost is paid only when an UNSAT
+    /// key space actually needs explaining.
+    fn diagnose_suspects(&mut self) -> Vec<usize> {
+        let mut cnf = Cnf::new();
+        let k_vars: Vec<Var> = self
+            .locked
+            .key_inputs
+            .iter()
+            .map(|_| cnf.new_var())
+            .collect();
+        let needs_cycsat = self.config.force_cycsat || topo::is_cyclic(&self.locked.netlist);
+        if needs_cycsat {
+            cycsat::add_no_cycle_clauses(self.locked, &mut cnf, &k_vars);
+        }
+        let cone = self.config.cone_reduce && self.encoder.is_some();
+        let mut gated: Vec<(usize, Lit)> = Vec::new();
+        for (i, pair) in self.io_log.iter().enumerate() {
+            if pair.quarantined {
+                continue;
+            }
+            let sel = Lit::positive(cnf.new_var());
+            let start = cnf.num_clauses();
+            if cone {
+                let enc = self.encoder.as_ref().expect("cone implies encoder");
+                enc.encode_observation(&mut cnf, &pair.inputs, &pair.outputs, &k_vars);
+            } else {
+                let data_vars: Vec<Var> = pair.inputs.iter().map(|_| cnf.new_var()).collect();
+                let enc = encode_locked(self.locked, &mut cnf, &data_vars, &k_vars);
+                for (slot, &v) in data_vars.iter().enumerate() {
+                    cnf.add_clause([Lit::with_polarity(v, pair.inputs[slot])]);
+                }
+                for (o, &v) in enc.output_vars.iter().enumerate() {
+                    cnf.add_clause([Lit::with_polarity(v, pair.outputs[o])]);
+                }
+            }
+            cnf.gate_clauses_from(start, !sel);
+            gated.push((i, sel));
+        }
+        let mut solver = self.config.backend.create_certified(self.config.certify);
+        for &v in &k_vars {
+            solver.freeze_var(v);
+        }
+        for &(_, sel) in &gated {
+            solver.freeze_var(sel.var());
+        }
+        solver.ensure_vars(cnf.num_vars());
+        for clause in cnf.clauses() {
+            solver.add_clause(clause);
+        }
+        let assumps: Vec<Lit> = gated.iter().map(|&(_, sel)| sel).collect();
+        let verdict = solver.solve_limited(&assumps, self.limits());
+        if self.certify_failure.is_none() {
+            self.certify_failure = solver.certify_failure();
+        }
+        if matches!(verdict, SolveResult::Unsat) {
+            let core = solver.final_assumption_core();
+            let suspects: Vec<usize> = gated
+                .iter()
+                .filter(|(_, sel)| core.contains(sel))
+                .map(|&(i, _)| i)
+                .collect();
+            if !suspects.is_empty() {
+                return suspects;
+            }
+        }
+        gated.iter().map(|&(i, _)| i).collect()
+    }
+
+    /// Attempts to heal an UNSAT key space: diagnoses the conflicting
+    /// pair subset ([`diagnose_suspects`](Self::diagnose_suspects)),
+    /// re-queries each suspect under majority vote, quarantines every
+    /// pair whose answer changed, rebuilds the solver from the surviving
+    /// ledger, and re-asserts the trusted consensus in the poison's
+    /// place. Returns whether anything changed (if not, the constraints
+    /// are genuinely inconsistent and the run must report
+    /// [`AttackOutcome::Inconclusive`]).
+    fn heal_unsat(&mut self) -> Result<bool> {
+        let suspects = self.diagnose_suspects();
+        let mut changed = false;
+        let mut replacements: Vec<IoPair> = Vec::new();
+        for i in suspects {
+            let inputs = self.io_log[i].inputs.clone();
+            let (consensus, votes) = self.requery(&inputs)?;
+            self.oracle_requeries += 1;
+            if consensus == self.io_log[i].outputs {
+                self.io_log[i].votes = self.io_log[i].votes.max(u64::from(votes));
+                continue;
+            }
+            // The answer changed under majority vote: the recorded pair
+            // was poison. Quarantine it and queue the trusted consensus
+            // as a fresh pair.
+            self.io_log[i].quarantined = true;
+            changed = true;
+            let mut replacement = IoPair::new(inputs, consensus);
+            replacement.votes = u64::from(votes);
+            replacements.push(replacement);
+        }
+        if changed {
+            self.rebuild_solver();
+            for replacement in replacements {
+                self.assert_pair(replacement);
+            }
+            self.checkpoint_now();
+        }
+        Ok(changed)
+    }
+
+    /// Searches for a verification counterexample: a pattern where the
+    /// locked circuit under `key` disagrees with the oracle. With
+    /// guarding on, the oracle answers are taken under a boosted majority
+    /// vote so a transient flip cannot fake (or mask) a mismatch; the
+    /// returned response is therefore trusted enough to re-assert.
+    fn find_mismatch(
+        &mut self,
+        key: &Key,
+        samples: usize,
+        seed: u64,
+    ) -> Result<Option<(Vec<bool>, Vec<bool>)>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = self.locked.data_inputs.len();
+        let cyclic = topo::is_cyclic(&self.locked.netlist);
+        let mut patterns: Vec<Vec<bool>> = vec![vec![false; width], vec![true; width]];
+        patterns.extend((0..samples).map(|_| (0..width).map(|_| rng.gen_bool(0.5)).collect()));
+        for x in patterns {
+            let want = if self.config.resilience.guard {
+                self.requery(&x)?.0
+            } else {
+                self.oracle.query(&x)
+            };
+            let ok = if cyclic {
+                match self.locked.eval_cyclic(&x, key) {
+                    Ok(eval) => {
+                        eval.all_outputs_known()
+                            && eval
+                                .outputs
+                                .iter()
+                                .zip(&want)
+                                .all(|(t, w)| t.to_bool() == Some(*w))
+                    }
+                    Err(_) => false,
+                }
+            } else {
+                self.locked
+                    .eval(&x, key)
+                    .map(|got| got == want)
+                    .unwrap_or(false)
+            };
+            if !ok {
+                return Ok(Some((x, want)));
+            }
+        }
+        Ok(None)
     }
 
     /// Records the backend's certification failure, if any (sticky: the
@@ -630,27 +935,79 @@ impl<'a> SatAttack<'a> {
 
     /// Runs the DIP loop to completion (or budget) and reports.
     ///
+    /// With oracle guarding on (the default), the loop self-heals instead
+    /// of trusting a poisoned ledger: a recovered key that fails
+    /// verification triggers a trusted re-query reinforcement, and an
+    /// UNSAT key space triggers assumption-core suspect extraction and
+    /// quarantine ([`heal_unsat`](Self::heal_unsat)) — the run continues
+    /// on the surviving constraints rather than silently reporting a
+    /// wrong key or a spurious [`AttackOutcome::Inconclusive`].
+    ///
     /// # Errors
     ///
     /// Returns [`AttackError::IncompleteModel`] if the solver ever claimed
-    /// SAT with an incomplete model.
+    /// SAT with an incomplete model, and [`AttackError::Oracle`] if the
+    /// oracle failed past its retry / deadline budget.
     pub fn run(&mut self) -> Result<SatAttackReport> {
+        /// Upper bound on healing attempts: each UNSAT heal quarantines
+        /// at least one pair (else the loop breaks), so this only guards
+        /// against an oracle whose answers never stabilize.
+        const MAX_HEALING_ROUNDS: u32 = 32;
+        let mut healing_rounds = 0u32;
         let outcome = loop {
             match self.step()? {
                 Step::Dip(_) => continue,
-                Step::NoMoreDips => match self.extract_key()? {
-                    Some(key) => {
-                        let verified = self.verify_key(&key, 32, 0xF17);
-                        break AttackOutcome::KeyRecovered { key, verified };
-                    }
-                    None => {
-                        // Distinguish budget exhaustion from inconsistency.
-                        if self.out_of_budget() {
-                            break AttackOutcome::Timeout;
+                Step::NoMoreDips => {
+                    let (result, key) = self.solve_key()?;
+                    match key {
+                        Some(key) => match self.find_mismatch(&key, 32, 0xF17)? {
+                            None => {
+                                break AttackOutcome::KeyRecovered {
+                                    key,
+                                    verified: true,
+                                }
+                            }
+                            Some((x, y)) => {
+                                if self.config.resilience.guard
+                                    && healing_rounds < MAX_HEALING_ROUNDS
+                                {
+                                    // The candidate is wrong on a trusted
+                                    // observation: some asserted answer was
+                                    // poison. Reinforce with the trusted
+                                    // pair and keep iterating — the next
+                                    // pass either finds a better key or
+                                    // goes UNSAT and quarantines.
+                                    healing_rounds += 1;
+                                    self.oracle_requeries += 1;
+                                    self.assert_pair(IoPair::new(x, y));
+                                    self.checkpoint_now();
+                                    continue;
+                                }
+                                break AttackOutcome::KeyRecovered {
+                                    key,
+                                    verified: false,
+                                };
+                            }
+                        },
+                        None => {
+                            // Distinguish budget exhaustion from
+                            // inconsistency.
+                            if self.out_of_budget() {
+                                break AttackOutcome::Timeout;
+                            }
+                            if matches!(result, SolveResult::Unsat)
+                                && self.config.resilience.guard
+                                && healing_rounds < MAX_HEALING_ROUNDS
+                            {
+                                healing_rounds += 1;
+                                if self.heal_unsat()? {
+                                    continue;
+                                }
+                            }
+                            break AttackOutcome::Inconclusive;
                         }
-                        break AttackOutcome::Inconclusive;
                     }
-                },
+                }
                 Step::Budget => {
                     if self
                         .config

@@ -276,6 +276,9 @@ pub fn resilience_to_json(r: &RunResilience) -> Json {
             "checkpoint_failures".into(),
             Json::Int(r.checkpoint_failures),
         ),
+        ("oracle_retries".into(), Json::Int(r.oracle_retries)),
+        ("oracle_requeries".into(), Json::Int(r.oracle_requeries)),
+        ("quarantined_pairs".into(), Json::Int(r.quarantined_pairs)),
     ])
 }
 
@@ -310,12 +313,18 @@ pub fn resilience_from_json(json: &Json) -> Result<RunResilience> {
                 err("resilience field \"resumed_from\" must be an integer or null")
             })?),
         };
+    // Oracle-resilience counters postdate the first wire documents;
+    // absent fields default to zero so older reports keep decoding.
+    let late_int = |name: &str| json.get(name).and_then(Json::as_u64).unwrap_or(0);
     Ok(RunResilience {
         worker_panics: int("worker_panics")?,
         worker_failures: failures,
         resumed_from,
         checkpoints_written: int("checkpoints_written")?,
         checkpoint_failures: int("checkpoint_failures")?,
+        oracle_retries: late_int("oracle_retries"),
+        oracle_requeries: late_int("oracle_requeries"),
+        quarantined_pairs: late_int("quarantined_pairs"),
     })
 }
 
@@ -546,6 +555,9 @@ mod tests {
                 resumed_from: Some(5),
                 checkpoints_written: 7,
                 checkpoint_failures: 0,
+                oracle_retries: 3,
+                oracle_requeries: 2,
+                quarantined_pairs: 1,
             },
             key_certificate: Some(KeyCertificate {
                 samples: 512,
@@ -615,6 +627,22 @@ mod tests {
             let back = certificate_from_json(&certificate_to_json(&cert)).expect("round trip");
             assert_eq!(back.formal, verdict);
         }
+    }
+
+    #[test]
+    fn absent_oracle_resilience_fields_default_to_zero() {
+        // Reports written before the resilient oracle layer carry no
+        // oracle counters.
+        let text = sample_report()
+            .to_json()
+            .replace(",\"oracle_retries\":3", "")
+            .replace(",\"oracle_requeries\":2", "")
+            .replace(",\"quarantined_pairs\":1", "");
+        assert!(!text.contains("oracle_retries"), "fields really removed");
+        let back = AttackReport::from_json(&text).expect("old-format parse");
+        assert_eq!(back.resilience.oracle_retries, 0);
+        assert_eq!(back.resilience.oracle_requeries, 0);
+        assert_eq!(back.resilience.quarantined_pairs, 0);
     }
 
     #[test]

@@ -253,9 +253,11 @@ fn arb_checkpoint() -> impl Strategy<Value = AttackCheckpoint> {
                 cp.solver.conflicts = conflicts;
                 cp.solver.lbd_histogram[lbd_bucket] = lbd_count;
                 cp.io_pairs = (0..num_pairs)
-                    .map(|_| IoPair {
+                    .map(|i| IoPair {
                         inputs: bits_from(&mut seed, data_bits),
                         outputs: bits_from(&mut seed, out_bits),
+                        votes: 1 + seed % 5,
+                        quarantined: i % 7 == 3,
                     })
                     .collect();
                 cp

@@ -113,6 +113,9 @@ fn derived_resilience(mix: &mut Mix) -> RunResilience {
         resumed_from: (mix.next().is_multiple_of(2)).then(|| mix.next() % 1_000),
         checkpoints_written: mix.next() % 1_000,
         checkpoint_failures: mix.next() % 4,
+        oracle_retries: mix.next() % 100,
+        oracle_requeries: mix.next() % 100,
+        quarantined_pairs: mix.next() % 16,
     }
 }
 
@@ -191,6 +194,15 @@ proptest! {
             back.resilience.checkpoints_written,
             report.resilience.checkpoints_written
         );
+        prop_assert_eq!(back.resilience.oracle_retries, report.resilience.oracle_retries);
+        prop_assert_eq!(
+            back.resilience.oracle_requeries,
+            report.resilience.oracle_requeries
+        );
+        prop_assert_eq!(
+            back.resilience.quarantined_pairs,
+            report.resilience.quarantined_pairs
+        );
         prop_assert_eq!(back.key_certificate, report.key_certificate);
         // Details crossed the wire as the summary object, verbatim.
         let AttackDetails::Wire(summary) = &back.details else {
@@ -228,6 +240,40 @@ proptest! {
                 prop_assert_eq!(again.to_json(), reencoded);
             }
         }
+    }
+
+    /// Stripping the oracle-resilience counters from any wire document —
+    /// as a report written before the resilient oracle layer would look —
+    /// still decodes, defaults all three counters to zero, and re-encodes
+    /// canonically (the counters reappear explicitly).
+    #[test]
+    fn absent_oracle_counters_default_to_zero(seed in any::<u64>()) {
+        let report = derived_report(seed);
+        let text = report.to_json();
+        let stripped = text
+            .replace(
+                &format!(",\"oracle_retries\":{}", report.resilience.oracle_retries),
+                "",
+            )
+            .replace(
+                &format!(",\"oracle_requeries\":{}", report.resilience.oracle_requeries),
+                "",
+            )
+            .replace(
+                &format!(
+                    ",\"quarantined_pairs\":{}",
+                    report.resilience.quarantined_pairs
+                ),
+                "",
+            );
+        prop_assert!(stripped.len() < text.len(), "fields must have been present");
+        let back = AttackReport::from_json(&stripped).expect("pre-resilience document");
+        prop_assert_eq!(back.resilience.oracle_retries, 0);
+        prop_assert_eq!(back.resilience.oracle_requeries, 0);
+        prop_assert_eq!(back.resilience.quarantined_pairs, 0);
+        let reencoded = back.to_json();
+        let again = AttackReport::from_json(&reencoded).expect("canonical re-decode");
+        prop_assert_eq!(again.to_json(), reencoded);
     }
 
     /// Any `schema_version` other than the current one is refused, no

@@ -75,9 +75,16 @@ fn main() {
             std::thread::sleep(Duration::from_millis(ms));
             println!("chaos child #{index}: ok after {ms}ms");
         }
-        // The IO actions belong to the persist/queue disk-fault sites; a
-        // chaos child treats them like a generic injected failure.
-        Some(FaultAction::Enospc | FaultAction::Eio | FaultAction::Torn) => {
+        // The IO and oracle actions belong to the persist/queue disk-fault
+        // and oracle.query sites; a chaos child treats them like a generic
+        // injected failure.
+        Some(
+            FaultAction::Enospc
+            | FaultAction::Eio
+            | FaultAction::Torn
+            | FaultAction::Flip
+            | FaultAction::Stuck,
+        ) => {
             eprintln!("chaos child #{index}: injected io fault");
             std::process::exit(3);
         }

@@ -1,8 +1,9 @@
 //! One typed surface for the ambient `FULLLOCK_*` environment knobs.
 //!
-//! Five environment variables steer how this workspace solves: worker
-//! threads, answer certification, CDCL inprocessing, fault injection, and
-//! the wall-clock budget. Historically each layer re-read its own
+//! A handful of environment variables steer how this workspace solves:
+//! worker threads, answer certification, CDCL inprocessing, fault
+//! injection, the wall-clock budget, and the oracle-resilience knobs
+//! (vote count, retry budget, rate limit). Historically each layer re-read its own
 //! variable at its own call site with its own parsing rules; a serving
 //! daemon multiplexing many jobs cannot afford that — it must capture the
 //! environment *once* at startup into an explicit config struct and hand
@@ -35,17 +36,26 @@ pub use crate::faults::ENV_VAR as FAILPOINTS_ENV;
 pub const THREADS_ENV: &str = "FULLLOCK_THREADS";
 /// `FULLLOCK_TIMEOUT_SECS`: per-attack wall-clock budget in seconds.
 pub const TIMEOUT_ENV: &str = "FULLLOCK_TIMEOUT_SECS";
+/// `FULLLOCK_ORACLE_VOTES`: majority-vote repetitions per oracle query.
+pub const ORACLE_VOTES_ENV: &str = "FULLLOCK_ORACLE_VOTES";
+/// `FULLLOCK_ORACLE_RETRIES`: retry budget per oracle query.
+pub const ORACLE_RETRIES_ENV: &str = "FULLLOCK_ORACLE_RETRIES";
+/// `FULLLOCK_ORACLE_QPS`: oracle rate limit in queries per second.
+pub const ORACLE_QPS_ENV: &str = "FULLLOCK_ORACLE_QPS";
 
 /// Every `FULLLOCK_*` variable with a meaning somewhere in the workspace
 /// — the spell-check reference for unknown-variable warnings. The tail
 /// entries belong to the experiment harness and the campaign wrapper
 /// script; they pass through this layer untouched.
-pub const KNOWN_FULLLOCK_VARS: [&str; 9] = [
+pub const KNOWN_FULLLOCK_VARS: [&str; 12] = [
     TIMEOUT_ENV,
     THREADS_ENV,
     CERTIFY_ENV,
     INPROCESS_ENV,
     FAILPOINTS_ENV,
+    ORACLE_VOTES_ENV,
+    ORACLE_RETRIES_ENV,
+    ORACLE_QPS_ENV,
     "FULLLOCK_FULL",
     "FULLLOCK_JOBS",
     "FULLLOCK_RESUME",
@@ -88,6 +98,15 @@ pub struct AmbientConfig {
     /// [`TIMEOUT_ENV`]: wall-clock budget; `None` when unset (callers
     /// apply their own default).
     pub timeout: Option<Duration>,
+    /// [`ORACLE_VOTES_ENV`]: majority-vote repetitions per oracle query
+    /// (must be ≥ 1 and odd); `None` when unset.
+    pub oracle_votes: Option<u32>,
+    /// [`ORACLE_RETRIES_ENV`]: transient-error retry budget per oracle
+    /// query; `None` when unset.
+    pub oracle_retries: Option<u32>,
+    /// [`ORACLE_QPS_ENV`]: oracle rate limit in queries per second (must
+    /// be positive and finite); `None` when unset (unlimited).
+    pub oracle_qps: Option<f64>,
 }
 
 impl Default for AmbientConfig {
@@ -98,6 +117,9 @@ impl Default for AmbientConfig {
             inprocess: true,
             failpoints: None,
             timeout: None,
+            oracle_votes: None,
+            oracle_retries: None,
+            oracle_qps: None,
         }
     }
 }
@@ -158,6 +180,38 @@ impl AmbientConfig {
                             )))
                         }
                     };
+                }
+                ORACLE_VOTES_ENV => {
+                    let votes: u32 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| err("expected a vote count".to_string()))?;
+                    if votes == 0 || votes.is_multiple_of(2) {
+                        return Err(err(format!(
+                            "vote count must be odd and at least 1, got {votes}"
+                        )));
+                    }
+                    config.oracle_votes = Some(votes);
+                }
+                ORACLE_RETRIES_ENV => {
+                    config.oracle_retries = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| err("expected a retry count".to_string()))?,
+                    );
+                }
+                ORACLE_QPS_ENV => {
+                    let qps: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| err("expected queries per second".to_string()))?;
+                    if !qps.is_finite() || qps <= 0.0 {
+                        return Err(err(format!(
+                            "rate limit must be a positive finite number, got {qps}"
+                        )));
+                    }
+                    config.oracle_qps = Some(qps);
                 }
                 FAILPOINTS_ENV => {
                     let spec = value.trim();
@@ -226,6 +280,15 @@ impl AmbientConfig {
         if let Some(timeout) = self.timeout {
             pairs.push((TIMEOUT_ENV.to_string(), timeout.as_secs_f64().to_string()));
         }
+        if let Some(votes) = self.oracle_votes {
+            pairs.push((ORACLE_VOTES_ENV.to_string(), votes.to_string()));
+        }
+        if let Some(retries) = self.oracle_retries {
+            pairs.push((ORACLE_RETRIES_ENV.to_string(), retries.to_string()));
+        }
+        if let Some(qps) = self.oracle_qps {
+            pairs.push((ORACLE_QPS_ENV.to_string(), qps.to_string()));
+        }
         pairs
     }
 }
@@ -274,12 +337,18 @@ mod tests {
             (CERTIFY_ENV, "proof"),
             (INPROCESS_ENV, "off"),
             (FAILPOINTS_ENV, "portfolio.worker.panic#1=panicx1"),
+            (ORACLE_VOTES_ENV, "3"),
+            (ORACLE_RETRIES_ENV, "5"),
+            (ORACLE_QPS_ENV, "250"),
         ])
         .expect("parses");
         assert_eq!(config.timeout, Some(Duration::from_secs_f64(2.5)));
         assert_eq!(config.threads, 4);
         assert_eq!(config.certify, CertifyLevel::Proof);
         assert!(!config.inprocess);
+        assert_eq!(config.oracle_votes, Some(3));
+        assert_eq!(config.oracle_retries, Some(5));
+        assert_eq!(config.oracle_qps, Some(250.0));
         assert_eq!(
             config.failpoints.as_deref(),
             Some("portfolio.worker.panic#1=panicx1")
@@ -299,6 +368,12 @@ mod tests {
             (CERTIFY_ENV, "paranoid"),
             (INPROCESS_ENV, "maybe"),
             (FAILPOINTS_ENV, "not a spec"),
+            (ORACLE_VOTES_ENV, "0"),
+            (ORACLE_VOTES_ENV, "2"),
+            (ORACLE_VOTES_ENV, "lots"),
+            (ORACLE_RETRIES_ENV, "-1"),
+            (ORACLE_QPS_ENV, "0"),
+            (ORACLE_QPS_ENV, "inf"),
         ] {
             let err = parse(&[(var, value)]).expect_err(&format!("{var}={value}"));
             assert_eq!(err.var, var);
@@ -320,6 +395,9 @@ mod tests {
             inprocess: false,
             failpoints: Some("portfolio.budget.exhausted=trigger@5".to_string()),
             timeout: Some(Duration::from_secs(7)),
+            oracle_votes: Some(5),
+            oracle_retries: Some(2),
+            oracle_qps: Some(12.5),
         };
         let (back, warnings) = AmbientConfig::parse(config.to_env()).expect("own output parses");
         assert_eq!(back, config);

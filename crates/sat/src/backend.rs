@@ -65,6 +65,15 @@ pub trait SolveBackend: std::fmt::Debug + Send {
     /// [`SolveResult::Sat`]).
     fn model_value(&self, var: Var) -> Option<bool>;
 
+    /// The subset of the last solve call's assumptions proven jointly
+    /// unsatisfiable (see [`Solver::final_assumption_core`]). Meaningful
+    /// only right after a [`SolveResult::Unsat`]; empty when the formula
+    /// is UNSAT regardless of assumptions, or for backends that do not
+    /// track cores.
+    fn final_assumption_core(&self) -> Vec<Lit> {
+        Vec::new()
+    }
+
     /// Lifetime statistics — for a portfolio, the counters are
     /// [`merge`](SolverStats::merge)d across workers (rates must be
     /// derived *after* merging, see
@@ -131,6 +140,10 @@ impl SolveBackend for Solver {
         Solver::model_value(self, var)
     }
 
+    fn final_assumption_core(&self) -> Vec<Lit> {
+        Solver::final_assumption_core(self).to_vec()
+    }
+
     fn stats(&self) -> SolverStats {
         *Solver::stats(self)
     }
@@ -167,6 +180,10 @@ impl SolveBackend for PortfolioSolver {
 
     fn model_value(&self, var: Var) -> Option<bool> {
         PortfolioSolver::model_value(self, var)
+    }
+
+    fn final_assumption_core(&self) -> Vec<Lit> {
+        PortfolioSolver::final_assumption_core(self)
     }
 
     fn stats(&self) -> SolverStats {

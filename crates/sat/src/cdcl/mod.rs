@@ -446,6 +446,12 @@ pub struct Solver {
     /// [`Solver::take_shared_clauses`].
     outbox: Vec<Vec<Lit>>,
 
+    /// Assumptions proven jointly unsatisfiable by the last failing
+    /// `solve*` call (MiniSAT's `analyzeFinal` conflict, kept in
+    /// assumption polarity); empty unless that call returned `Unsat`
+    /// because the assumptions conflicted.
+    assumption_core: Vec<Lit>,
+
     // Scratch for conflict analysis.
     seen: Vec<bool>,
     // Scratch for LBD computation: level -> stamp of last visit.
@@ -499,6 +505,7 @@ impl Solver {
             config,
             polarity_rng: config.polarity_seed.map(|s| s | 1),
             outbox: Vec::new(),
+            assumption_core: Vec::new(),
             seen: Vec::new(),
             level_seen: vec![0],
             level_stamp: 0,
@@ -709,6 +716,7 @@ impl Solver {
     /// partial statistics remain readable via [`Solver::stats`].
     pub fn solve_limited(&mut self, assumptions: &[Lit], limits: SolveLimits) -> SolveResult {
         self.cancel_until(0);
+        self.assumption_core.clear();
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -779,6 +787,20 @@ impl Solver {
     /// The last model as a dense vector (empty before the first SAT).
     pub fn model(&self) -> &[bool] {
         &self.model
+    }
+
+    /// The subset of the last `solve*` call's assumptions proven jointly
+    /// unsatisfiable, in assumption polarity (MiniSAT's `analyzeFinal`
+    /// conflict clause, negated). Meaningful only right after a
+    /// [`SolveResult::Unsat`] answer; empty when the formula is UNSAT
+    /// regardless of assumptions (a root-level conflict), and cleared by
+    /// the next solve call.
+    ///
+    /// Not guaranteed minimal, but typically far smaller than the full
+    /// assumption set — the oracle-quarantine logic in the attack layer
+    /// uses it to localise which asserted I/O pairs conflict.
+    pub fn final_assumption_core(&self) -> &[Lit] {
+        &self.assumption_core
     }
 
     // ---- internals -----------------------------------------------------
@@ -1047,6 +1069,45 @@ impl Solver {
         false
     }
 
+    /// MiniSAT's `analyzeFinal`: the assumption `failed` was found falsified
+    /// while extending the assumption prefix, so its negation was implied by
+    /// the assumptions decided below it. Walk the implication trail backwards
+    /// from the falsifying literal, expanding reasons, until only assumption
+    /// decisions remain — those, plus `failed` itself, form the conflicting
+    /// assumption subset stored in `assumption_core` (kept in assumption
+    /// polarity, unlike MiniSAT's negated conflict clause).
+    fn analyze_final(&mut self, failed: Lit) {
+        self.assumption_core.clear();
+        self.assumption_core.push(failed);
+        if self.decision_level() == 0 {
+            // `!failed` is a root consequence: `failed` conflicts alone.
+            return;
+        }
+        self.seen[failed.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            let r = self.reason[v];
+            if r == CREF_UNDEF {
+                // A decision inside the assumption prefix IS an assumption.
+                debug_assert!(self.level[v] > 0);
+                self.assumption_core.push(lit);
+            } else {
+                for k in 0..self.db.size(r) {
+                    let q = self.db.lit(r, k);
+                    if q.var().index() != v && self.level[q.var().index()] > 0 {
+                        self.seen[q.var().index()] = true;
+                    }
+                }
+            }
+            self.seen[v] = false;
+        }
+        self.seen[failed.var().index()] = false;
+    }
+
     fn search(
         &mut self,
         assumptions: &[Lit],
@@ -1139,7 +1200,10 @@ impl Solver {
                             self.trail_lim.push(self.trail.len());
                             continue;
                         }
-                        VAL_FALSE => return SearchOutcome::Unsat,
+                        VAL_FALSE => {
+                            self.analyze_final(a);
+                            return SearchOutcome::Unsat;
+                        }
                         _ => a,
                     }
                 } else {
@@ -1287,6 +1351,59 @@ mod tests {
         );
         // The solver is still usable and SAT without assumptions.
         assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assumption_core_is_a_conflicting_subset() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let d = s.new_var();
+        // a ∧ b → ¬c, so assuming {a, b, c} conflicts; d is irrelevant.
+        s.add_clause([Lit::negative(a), Lit::negative(b), Lit::negative(c)]);
+        let assumptions = [
+            Lit::positive(d),
+            Lit::positive(a),
+            Lit::positive(b),
+            Lit::positive(c),
+        ];
+        assert_eq!(s.solve(&assumptions), SolveResult::Unsat);
+        let core = s.final_assumption_core().to_vec();
+        assert!(!core.is_empty());
+        assert!(core.iter().all(|l| assumptions.contains(l)), "{core:?}");
+        assert!(!core.contains(&Lit::positive(d)), "{core:?}");
+        // Re-solving under only the core is still UNSAT.
+        assert_eq!(s.solve(&core), SolveResult::Unsat);
+        // A later non-Unsat solve clears the core.
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.final_assumption_core().is_empty());
+    }
+
+    #[test]
+    fn directly_contradictory_assumptions_core() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::positive(a), Lit::positive(b)]);
+        let assumptions = [Lit::positive(a), Lit::negative(a)];
+        assert_eq!(s.solve(&assumptions), SolveResult::Unsat);
+        let core = s.final_assumption_core().to_vec();
+        assert!(core.contains(&Lit::positive(a)));
+        assert!(core.contains(&Lit::negative(a)));
+    }
+
+    #[test]
+    fn root_level_unsat_has_empty_core() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::positive(a)]);
+        s.add_clause([Lit::negative(a)]);
+        assert_eq!(s.solve(&[Lit::positive(a)]), SolveResult::Unsat);
+        assert!(
+            s.final_assumption_core().is_empty(),
+            "formula is UNSAT regardless of assumptions"
+        );
     }
 
     #[test]

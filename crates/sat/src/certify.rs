@@ -571,6 +571,10 @@ impl SolveBackend for CertifyingBackend {
         self.inner.model_value(var)
     }
 
+    fn final_assumption_core(&self) -> Vec<Lit> {
+        self.inner.final_assumption_core()
+    }
+
     fn stats(&self) -> SolverStats {
         let mut stats = self.inner.stats();
         stats.certified_models += self.certified_models;

@@ -71,6 +71,19 @@ impl Cnf {
         self.clauses.extend(other.clauses.iter().cloned());
     }
 
+    /// Prepends `guard` to every clause from index `start` onward — the
+    /// selector-literal transform. With `guard = ¬s`, the gated clauses are
+    /// active only while `s` is asserted as an assumption, so a caller can
+    /// later disable the whole group (and, on UNSAT, learn from the failed
+    /// assumptions which group conflicted). Callers record
+    /// [`Cnf::num_clauses`] before encoding a group, then gate the range.
+    pub fn gate_clauses_from(&mut self, start: usize, guard: Lit) {
+        self.grow_to(guard.var().index() + 1);
+        for clause in self.clauses.iter_mut().skip(start) {
+            clause.insert(0, guard);
+        }
+    }
+
     /// Number of variables.
     pub fn num_vars(&self) -> usize {
         self.num_vars
@@ -282,6 +295,20 @@ mod tests {
         // The boundary itself is representable (2·var + sign fits a u32).
         let cnf = Cnf::from_dimacs("2147483647 0\n").expect("i32::MAX is a valid literal");
         assert_eq!(cnf.num_vars(), i32::MAX as usize);
+    }
+
+    #[test]
+    fn gating_prepends_the_guard_to_the_range() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([lit(1), lit(2)]);
+        let start = cnf.num_clauses();
+        cnf.add_clause([lit(-1)]);
+        cnf.add_clause([lit(2), lit(3)]);
+        cnf.gate_clauses_from(start, lit(-4));
+        assert_eq!(cnf.clauses()[0], vec![lit(1), lit(2)]); // untouched
+        assert_eq!(cnf.clauses()[1], vec![lit(-4), lit(-1)]);
+        assert_eq!(cnf.clauses()[2], vec![lit(-4), lit(2), lit(3)]);
+        assert_eq!(cnf.num_vars(), 4);
     }
 
     #[test]

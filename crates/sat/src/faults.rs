@@ -32,7 +32,7 @@
 //! plan   := point (';' point)*
 //! point  := name ['#' index] '=' action ['@' skip] ['x' limit]
 //! action := panic | drop | corrupt | trigger | delay:<millis>
-//!         | enospc | eio | torn
+//!         | enospc | eio | torn | flip | stuck
 //! ```
 //!
 //! The three IO actions arm the *disk-fault* sites ([`site::PERSIST_WRITE`],
@@ -41,6 +41,12 @@
 //! makes it *lie* — the file lands truncated mid-envelope but the call
 //! reports success, exactly what a powered-off disk behind a lying fsync
 //! produces.
+//!
+//! The two *oracle* actions arm [`site::ORACLE_QUERY`]: `flip` inverts one
+//! output bit of the response (a transient metastability upset — a
+//! re-query answers correctly), `stuck` forces one output bit to a
+//! constant (a stuck-at fault that answers the same wrong way on every
+//! re-query).
 //!
 //! `#index` restricts the point to one context index (e.g. worker 1);
 //! `@skip` ignores the first `skip` matching evaluations; `xlimit` fires at
@@ -140,6 +146,13 @@ pub mod site {
     /// it holds the lease (exercising steal), `trigger` fails the unit
     /// execution spuriously.
     pub const SWEEP_UNIT: &str = "sweep.unit";
+    /// Evaluated by `SimOracle::try_query` on every oracle query, with the
+    /// query index. `flip` inverts one output bit of this response only (a
+    /// transient upset — re-querying answers correctly), `stuck` forces
+    /// one output bit to a constant wrong value (persists across
+    /// re-queries), `drop` loses the response (the caller sees a transient
+    /// error and must retry), `delay:<ms>` models a slow test harness.
+    pub const ORACLE_QUERY: &str = "oracle.query";
 }
 
 /// What happens when a failpoint fires.
@@ -164,6 +177,12 @@ pub enum FaultAction {
     /// Tear the write: the file lands truncated mid-payload but the call
     /// reports success (a lying fsync / power-loss torn write).
     Torn,
+    /// Flip one output bit of an oracle response (transient upset — only
+    /// this response is wrong; a re-query answers correctly).
+    Flip,
+    /// Force one oracle output bit to a constant wrong value (stuck-at
+    /// fault — every re-query answers the same wrong way).
+    Stuck,
 }
 
 impl fmt::Display for FaultAction {
@@ -177,6 +196,8 @@ impl fmt::Display for FaultAction {
             FaultAction::Enospc => write!(f, "enospc"),
             FaultAction::Eio => write!(f, "eio"),
             FaultAction::Torn => write!(f, "torn"),
+            FaultAction::Flip => write!(f, "flip"),
+            FaultAction::Stuck => write!(f, "stuck"),
         }
     }
 }
@@ -379,6 +400,8 @@ fn parse_point(raw: &str) -> Result<Failpoint, SatError> {
         "enospc" => FaultAction::Enospc,
         "eio" => FaultAction::Eio,
         "torn" => FaultAction::Torn,
+        "flip" => FaultAction::Flip,
+        "stuck" => FaultAction::Stuck,
         other => match other.strip_prefix("delay:") {
             Some(ms) => FaultAction::DelayMs(
                 ms.trim()
@@ -389,7 +412,7 @@ fn parse_point(raw: &str) -> Result<Failpoint, SatError> {
                 return Err(bad_spec(
                     raw,
                     "unknown action (expected panic|drop|corrupt|trigger|delay:<ms>|\
-                     enospc|eio|torn)",
+                     enospc|eio|torn|flip|stuck)",
                 ))
             }
         },
@@ -541,6 +564,24 @@ mod tests {
         assert_eq!(pts[1].limit, Some(2));
         assert_eq!(pts[2].name, site::SWEEP_UNIT);
         assert_eq!(pts[2].index, Some(7));
+    }
+
+    #[test]
+    fn parses_oracle_sites() {
+        let plan: FaultPlan =
+            "oracle.query=flip@10x3;oracle.query#5=stuck;oracle.query=delay:25x10"
+                .parse()
+                .expect("valid spec");
+        let pts = plan.points();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].name, site::ORACLE_QUERY);
+        assert_eq!(pts[0].action, FaultAction::Flip);
+        assert_eq!(pts[0].skip, 10);
+        assert_eq!(pts[0].limit, Some(3));
+        assert_eq!(pts[1].action, FaultAction::Stuck);
+        assert_eq!(pts[1].index, Some(5));
+        assert_eq!(pts[2].action, FaultAction::DelayMs(25));
+        assert_eq!(pts[2].limit, Some(10));
     }
 
     #[test]

@@ -596,6 +596,16 @@ impl PortfolioSolver {
         self.winner
     }
 
+    /// The winning worker's conflicting-assumption subset from the last
+    /// race (see [`Solver::final_assumption_core`]); empty unless the
+    /// last solve ended [`SolveResult::Unsat`] on conflicting assumptions.
+    pub fn final_assumption_core(&self) -> Vec<Lit> {
+        match self.winner {
+            Some(w) => self.workers[w].final_assumption_core().to_vec(),
+            None => Vec::new(),
+        }
+    }
+
     /// Every worker drop-out recorded over the portfolio's lifetime
     /// (panics, stalls, memory-cap retirements), in observation order.
     pub fn failures(&self) -> &[WorkerFailure] {

@@ -86,6 +86,116 @@ proptest! {
         }
     }
 
+    /// Assumption cores are sound: after an UNSAT answer under
+    /// assumptions, [`Solver::final_assumption_core`] returns a subset of
+    /// those assumptions that is itself jointly inconsistent with the
+    /// formula — re-solving under only the core stays UNSAT, and the
+    /// reference DPLL agrees. After a SAT answer the core is empty.
+    #[test]
+    fn assumption_cores_are_sound(
+        vars in 8usize..16,
+        ratio in 3.5f64..5.5,
+        seed in any::<u64>(),
+        picks in any::<u64>(),
+    ) {
+        let cnf = random_sat::generate(RandomSatConfig::from_ratio(vars, ratio, 3, seed))
+            .expect("valid config");
+        let mut solver = Solver::from_cnf(&cnf);
+        let mut assumptions: Vec<Lit> = (0..6u32)
+            .map(|i| {
+                let bits = picks.rotate_right(i * 11);
+                let v = (bits >> 1) as usize % vars;
+                Lit::with_polarity(Var::new(v), bits & 1 == 1)
+            })
+            .collect();
+        assumptions.sort_unstable_by_key(|l| l.var().index());
+        assumptions.dedup_by_key(|l| l.var().index());
+        match solver.solve(&assumptions) {
+            SolveResult::Unsat => {
+                let core: Vec<Lit> = solver.final_assumption_core().to_vec();
+                for &l in &core {
+                    prop_assert!(
+                        assumptions.contains(&l),
+                        "core literal outside the assumption set"
+                    );
+                }
+                // The core alone reproduces the refutation.
+                prop_assert_eq!(solver.solve(&core), SolveResult::Unsat);
+                // And it is genuinely inconsistent, by an independent
+                // decision procedure.
+                let mut augmented = cnf.clone();
+                for &a in &core {
+                    augmented.add_clause([a]);
+                }
+                prop_assert!(matches!(
+                    dpll::solve(&augmented, None).result,
+                    dpll::DpllResult::Unsat
+                ));
+            }
+            SolveResult::Sat => {
+                prop_assert!(solver.final_assumption_core().is_empty());
+            }
+            SolveResult::Unknown => unreachable!("no limits"),
+        }
+    }
+
+    /// Assumption cores stay sound across inprocessing rounds when the
+    /// assumed variables are frozen — the exact shape of the DIP loop's
+    /// quarantine machinery: frozen selector literals gating private
+    /// contradictions, interleaved with formula growth that re-trips the
+    /// simplifier.
+    #[test]
+    fn cores_survive_inprocessing_with_frozen_selectors(
+        vars in 24usize..32,
+        seed in any::<u64>(),
+    ) {
+        let base = random_sat::generate(RandomSatConfig::from_ratio(vars, 3.0, 3, seed))
+            .expect("valid config");
+        let mut solver = Solver::from_cnf_with_config(
+            &base,
+            SolverConfig { inprocess: true, ..SolverConfig::default() },
+        );
+        let mut selectors: Vec<Lit> = Vec::new();
+        for round in 0..3u64 {
+            // A fresh frozen selector gating a private contradiction
+            // (sel → x ∧ ¬x), as the attack layer encodes a quarantinable
+            // I/O pair.
+            let x = solver.new_var();
+            let sel = Lit::positive(solver.new_var());
+            solver.freeze_var(sel.var());
+            solver.add_clause([!sel, Lit::positive(x)]);
+            solver.add_clause([!sel, !Lit::positive(x)]);
+            selectors.push(sel);
+            // Growth between solves, enough to re-trip inprocessing.
+            let extra = random_sat::generate(RandomSatConfig {
+                vars,
+                clauses: 40,
+                clause_len: 3,
+                seed: seed.wrapping_add(round + 1),
+            }).expect("valid config");
+            for clause in extra.clauses() {
+                solver.add_clause(clause.iter().copied());
+            }
+            prop_assert_eq!(
+                solver.solve(&selectors),
+                SolveResult::Unsat,
+                "gated contradiction must refute round {}",
+                round
+            );
+            let core: Vec<Lit> = solver.final_assumption_core().to_vec();
+            for &l in &core {
+                prop_assert!(selectors.contains(&l), "core leaked a non-assumption");
+            }
+            prop_assert_eq!(solver.solve(&core), SolveResult::Unsat);
+            if core.is_empty() {
+                // The grown formula became UNSAT on its own; the core
+                // correctly blames no selector, and nothing further can
+                // be asserted this run.
+                break;
+            }
+        }
+    }
+
     /// DIMACS round-trips exactly.
     #[test]
     fn dimacs_round_trip(vars in 3usize..20, clauses in 1usize..60, seed in any::<u64>()) {

@@ -27,7 +27,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use full_lock::atlas::AtlasUnitExecutor;
-use full_lock::attacks::{Attack, AttackDetails, AttackOutcome, SatAttackConfig, SimOracle};
+use full_lock::attacks::{
+    Attack, AttackDetails, AttackOutcome, OracleResilience, SatAttackConfig, SimOracle,
+};
 use full_lock::harness::plan::CampaignPlan;
 use full_lock::harness::service::{serve, Endpoint, ServiceConfig};
 use full_lock::harness::supervisor::{run_campaign, SupervisorConfig};
@@ -55,6 +57,7 @@ USAGE:
   fulllock verify <locked.bench> --oracle <circuit.bench> --key <bits>
   fulllock attack <locked.bench> --oracle <circuit.bench> [--timeout SECS] [--threads N]
                   [--certify <off|model|proof>] [--checkpoint <file> [--resume]]
+                  [--oracle-votes N] [--oracle-retries N] [--oracle-qps Q]
   fulllock export <circuit.bench> --format <verilog|bench|dimacs> [-o FILE]
   fulllock optimize <circuit.bench> -o <optimized.bench>
   fulllock campaign --plan <file|builtin:paper> [--resume] [--jobs N]
@@ -79,8 +82,16 @@ ATTACK OPTIONS:
                        UNSAT answers); defaults to $FULLLOCK_CERTIFY or off
   --json <file|->      also write the report as versioned JSON (the serve
                        wire schema); - for stdout
+  --oracle-votes <n>   repeat every oracle query n times (odd) and take the
+                       per-bit majority — tolerates transiently flipped
+                       responses                                 (default 1)
+  --oracle-retries <n> retry budget per query for transient oracle
+                       failures (dropped responses, timeouts)    (default 3)
+  --oracle-qps <q>     token-bucket rate limit on oracle queries, in
+                       queries per second             (default: unlimited)
   Defaults for --threads/--timeout/--certify come from the FULLLOCK_*
-  environment (FULLLOCK_THREADS, FULLLOCK_TIMEOUT_SECS, FULLLOCK_CERTIFY).
+  environment (FULLLOCK_THREADS, FULLLOCK_TIMEOUT_SECS, FULLLOCK_CERTIFY);
+  the oracle knobs honor FULLLOCK_ORACLE_VOTES / _RETRIES / _QPS.
 
 SERVE OPTIONS:
   --listen <ep>       unix:PATH, tcp:HOST:PORT, or a bare socket path
@@ -438,6 +449,33 @@ fn cmd_attack(raw: &[String]) -> CliResult {
         None => ambient.certify,
     };
     let json_out = args.flag("json").map(str::to_string);
+    // Oracle-resilience knobs: flag beats FULLLOCK_ORACLE_* beats default.
+    let mut resilience = OracleResilience::default();
+    if let Some(votes) = ambient.oracle_votes {
+        resilience.votes = votes;
+    }
+    if let Some(retries) = ambient.oracle_retries {
+        resilience.retries = retries;
+    }
+    if let Some(qps) = ambient.oracle_qps {
+        resilience.qps = Some(qps);
+    }
+    if let Some(votes) = args.flag("oracle-votes") {
+        resilience.votes = votes.parse()?;
+        if resilience.votes == 0 || resilience.votes.is_multiple_of(2) {
+            return Err("attack: --oracle-votes must be an odd count ≥ 1".into());
+        }
+    }
+    if let Some(retries) = args.flag("oracle-retries") {
+        resilience.retries = retries.parse()?;
+    }
+    if let Some(qps) = args.flag("oracle-qps") {
+        let qps: f64 = qps.parse()?;
+        if !qps.is_finite() || qps <= 0.0 {
+            return Err("attack: --oracle-qps must be a positive rate".into());
+        }
+        resilience.qps = Some(qps);
+    }
     let backend = if threads > 1 {
         BackendSpec::portfolio(threads)
     } else {
@@ -465,6 +503,7 @@ fn cmd_attack(raw: &[String]) -> CliResult {
         timeout: Some(Duration::from_secs_f64(timeout)),
         backend,
         certify,
+        resilience,
         ..Default::default()
     };
     let report = match &checkpoint {
@@ -542,6 +581,13 @@ fn cmd_attack(raw: &[String]) -> CliResult {
             "solver faults absorbed: {} worker panic(s) [{}]",
             res.worker_panics,
             res.worker_failures.join("; ")
+        );
+    }
+    if res.oracle_retries > 0 || res.oracle_requeries > 0 || res.quarantined_pairs > 0 {
+        println!(
+            "oracle faults absorbed: {} retry(s), {} suspect re-query(s), \
+             {} pair(s) quarantined",
+            res.oracle_retries, res.oracle_requeries, res.quarantined_pairs
         );
     }
     Ok(())
